@@ -1,0 +1,49 @@
+"""Ablation: the entry-array enlarging ratio eta (Algorithm 5).
+
+eta > 1 over-allocates leaf slots so consecutive keys land apart;
+larger eta buys fewer conflicts (shorter nested chains, faster lookups)
+at a linear memory cost.  The paper fixes eta = 2; this ablation shows
+the trade-off curve it sits on.
+"""
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+from repro.core.stats import tree_stats
+
+ETAS = [1.2, 1.5, 2.0, 3.0, 4.0]
+
+
+def test_ablation_enlarge_ratio(cache, scale, benchmark, capsys):
+    keys = cache.keys("fb")
+    queries = cache.queries("fb")
+    rows = []
+    conflicts = []
+    memories = []
+    for eta in ETAS:
+        index = DILI(DiliConfig(enlarge=eta))
+        index.bulk_load(keys)
+        ns, _, _ = measure_lookup(index, queries, scale)
+        st = tree_stats(index)
+        per_1k = 1000.0 * st.nested_leaves / max(st.num_pairs, 1)
+        conflicts.append(per_1k)
+        memories.append(st.memory_bytes)
+        rows.append(
+            [f"eta={eta}", ns, per_1k, st.memory_bytes / 1e6,
+             st.avg_height]
+        )
+    with capsys.disabled():
+        print_table(
+            f"Ablation: enlarging ratio eta on FB, scale={scale.name}",
+            ["Param", "lookup (ns)", "conflicts/1K", "memory (MB)",
+             "avg height"],
+            rows,
+        )
+
+    # More slack -> monotonically fewer conflicts, more memory.
+    assert conflicts == sorted(conflicts, reverse=True), conflicts
+    assert memories == sorted(memories), memories
+
+    index = DILI(DiliConfig(enlarge=1.2))
+    index.bulk_load(keys)
+    benchmark(index.get, float(keys[11]))

@@ -1,0 +1,68 @@
+"""Ablation: zoom internals for DILI-LO (DESIGN.md calibration note).
+
+Equal-width division strands dense key bodies next to extreme tails in
+one oversized dense leaf; zoom internals subdivide such ranges.  The
+paper-shaped datasets only graze this pathology at benchmark scale, so
+the payoff is demonstrated on a synthetic worst case -- a dense integer
+body plus outliers a million times beyond it -- while the regular
+datasets check zoom never regresses anything.
+"""
+
+import numpy as np
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup, query_sample
+
+
+def _extreme_tail_dataset(n: int, seed: int = 0) -> np.ndarray:
+    """99.9% dense integer body, 0.1% outliers 2**20 beyond it."""
+    rng = np.random.default_rng(seed)
+    body = np.arange(n, dtype=np.float64) * 3.0
+    n_tail = max(n // 1000, 2)
+    tail = np.floor(
+        body[-1] * 2.0 ** rng.uniform(10, 20, size=n_tail)
+    )
+    return np.unique(np.concatenate([body, tail]))
+
+
+def test_ablation_zoom_nodes(cache, scale, benchmark, capsys):
+    rows = []
+    results = {}
+    extreme = _extreme_tail_dataset(scale.num_keys)
+    extreme_queries = query_sample(extreme, scale.num_queries)
+    cases = [("extreme-tail", extreme, extreme_queries)] + [
+        (name, cache.keys(name), cache.queries(name))
+        for name in ("fb", "osm", "wikits")
+    ]
+    for name, keys, queries in cases:
+        for label, zoom in (("no-zoom", False), ("zoom", True)):
+            index = DILI(
+                DiliConfig(local_optimization=False, zoom=zoom)
+            )
+            index.bulk_load(keys)
+            ns, misses, _ = measure_lookup(index, queries, scale)
+            results[(name, label)] = ns
+            rows.append([f"{name}/{label}", ns, misses])
+    with capsys.disabled():
+        print_table(
+            f"Ablation: DILI-LO zoom internals, scale={scale.name}",
+            ["Dataset/Variant", "lookup (ns)", "LL misses"],
+            rows,
+        )
+
+    # Zoom pays off decisively where the pathology actually strikes...
+    assert (
+        results[("extreme-tail", "zoom")]
+        < results[("extreme-tail", "no-zoom")] * 0.7
+    ), results
+    # ...and never regresses the paper-shaped datasets.
+    for name in ("fb", "osm", "wikits"):
+        assert (
+            results[(name, "zoom")]
+            <= results[(name, "no-zoom")] * 1.05
+        ), name
+
+    index = DILI(DiliConfig(local_optimization=False))
+    index.bulk_load(extreme)
+    benchmark(index.get, float(extreme[55]))

@@ -1,0 +1,91 @@
+"""Extension bench: the Appendix A.8 lock-crabbing wrapper.
+
+Measures the locking overhead of :class:`ConcurrentDILI` against the
+bare index (single-threaded wall-clock) and verifies a multi-threaded
+mixed workload completes losslessly.  Python's GIL precludes real
+parallel speedups; what this bench pins down is the overhead and
+correctness of the per-leaf locking protocol.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro import ConcurrentDILI, DILI
+from repro.bench import print_table
+from repro.data import split_initial
+
+
+def test_concurrent_wrapper(cache, scale, benchmark, capsys):
+    keys = cache.keys("wikits")
+    initial, pool = split_initial(keys, 0.5, seed=3)
+    probes = cache.queries("wikits")[:2_000]
+
+    plain = DILI()
+    plain.bulk_load(initial)
+    wrapped = ConcurrentDILI(stripes=128)
+    wrapped.bulk_load(initial)
+
+    def time_lookups(index):
+        t0 = time.perf_counter()
+        for key in probes:
+            index.get(float(key))
+        return (time.perf_counter() - t0) / len(probes) * 1e6
+
+    plain_us = time_lookups(plain)
+    wrapped_us = time_lookups(wrapped)
+
+    # Multi-threaded churn: 4 writers + 2 readers, lossless.
+    chunks = np.array_split(pool, 4)
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def writer(chunk):
+        try:
+            for key in chunk:
+                assert wrapped.insert(float(key), "w")
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                for key in initial[::501]:
+                    assert wrapped.get(float(key)) is not None
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(c,)) for c in chunks]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads[:4]:
+        thread.join()
+    stop.set()
+    for thread in threads[4:]:
+        thread.join()
+    churn_s = time.perf_counter() - t0
+
+    with capsys.disabled():
+        print_table(
+            f"Concurrent DILI (A.8), scale={scale.name}",
+            ["Metric", "value"],
+            [
+                ["bare lookup (us)", plain_us],
+                ["locked lookup (us)", wrapped_us],
+                ["lock overhead", wrapped_us / plain_us],
+                ["4w+2r churn (s)", churn_s],
+                ["inserts applied", float(len(pool))],
+            ],
+            first_col_width=24,
+        )
+
+    assert not errors
+    assert len(wrapped) == len(initial) + len(pool)
+    wrapped.index.validate()
+    # Striped locking should cost well under 10x a bare lookup.
+    assert wrapped_us < plain_us * 10
+
+    benchmark(wrapped.get, float(initial[77]))

@@ -1,0 +1,53 @@
+"""Construction-time comparison (Section 7.2, "Offline Construction").
+
+The paper reports bulk-loading 100M keys takes < 1 min for B+Tree,
+~2 min for ALEX, < 1 min for LIPP and ~6 min for DILI, growing roughly
+linearly with data size.  Check the shape: DILI is the slowest build
+(its greedy merging dominates) and build time grows close to linearly.
+"""
+
+import time
+
+from repro.bench import make_index, print_table
+from repro.data import load_dataset
+
+METHODS = ["B+Tree(32)", "ALEX(1MB)", "LIPP", "DILI"]
+
+
+def test_construction_time(cache, scale, benchmark, capsys):
+    sizes = [scale.num_keys // 2, scale.num_keys]
+    rows = {m: [m] for m in METHODS}
+    times = {}
+    for size in sizes:
+        keys = load_dataset("fb", size, seed=7)
+        for method in METHODS:
+            index = make_index(method)
+            t0 = time.perf_counter()
+            index.bulk_load(keys)
+            elapsed = time.perf_counter() - t0
+            times[(method, size)] = elapsed
+            rows[method].append(elapsed)
+    table_rows = [rows[m] for m in METHODS]
+    with capsys.disabled():
+        print_table(
+            f"Construction time (s) on FB, scale={scale.name}",
+            ["Method"] + [f"n={s}" for s in sizes],
+            table_rows,
+        )
+
+    full = scale.num_keys
+    # DILI is the most expensive build, as in the paper (6 min vs <= 2).
+    assert times[("DILI", full)] >= times[("B+Tree(32)", full)]
+    assert times[("DILI", full)] >= times[("LIPP", full)]
+    # Roughly linear growth: doubling n costs < 3.5x.
+    assert (
+        times[("DILI", full)] <= times[("DILI", full // 2)] * 3.5
+    )
+
+    keys_small = load_dataset("fb", 5_000, seed=7)
+
+    def build():
+        index = make_index("DILI")
+        index.bulk_load(keys_small)
+
+    benchmark(build)

@@ -1,0 +1,72 @@
+"""Extension bench: the Section 9 disk-resident configuration.
+
+The paper's future work sketches a disk DILI: price node fetches as
+block IOs in the BU cost model and disable the local optimization.
+This bench builds both configurations and compares (a) the layouts the
+two cost models choose and (b) simulated block reads per lookup when
+every node/pair fetch is an IO.
+"""
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.core.stats import tree_stats
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.tracer import CostTracer
+
+
+def _io_reads_per_lookup(index, queries, cache_lines):
+    """Cache misses = block reads under a block-buffer of given size."""
+    tracer = CostTracer(CacheSimulator(cache_lines))
+    split = len(queries) // 3
+    for key in queries[:split]:
+        index.get(float(key), tracer)
+    tracer.reset_counters()
+    for key in queries[split:]:
+        index.get(float(key), tracer)
+    return tracer.cache_misses / max(len(queries) - split, 1)
+
+
+def test_disk_mode_layout_and_ios(cache, scale, benchmark, capsys):
+    rows = []
+    reads = {}
+    for dataset in ["fb", "logn"]:
+        keys = cache.keys(dataset)
+        queries = cache.queries(dataset)
+        for label, config in (
+            ("memory", DiliConfig(local_optimization=False)),
+            ("disk", DiliConfig.for_disk()),
+        ):
+            index = DILI(config)
+            index.bulk_load(keys)
+            st = tree_stats(index)
+            per_lookup = _io_reads_per_lookup(
+                index, queries, scale.cache_lines
+            )
+            reads[(dataset, label)] = per_lookup
+            rows.append(
+                [
+                    f"{dataset}/{label}",
+                    st.leaf_nodes,
+                    st.avg_height,
+                    per_lookup,
+                ]
+            )
+    with capsys.disabled():
+        print_table(
+            f"Disk-mode DILI (Section 9 future work), scale={scale.name}",
+            ["Dataset/Cost model", "leaves", "avg height",
+             "block reads/lookup"],
+            rows,
+        )
+
+    # The IO-priced cost model must not need more block reads per
+    # lookup than the memory-priced layout it replaces.
+    for dataset in ["fb", "logn"]:
+        assert (
+            reads[(dataset, "disk")]
+            <= reads[(dataset, "memory")] * 1.10
+        ), dataset
+
+    index = DILI(DiliConfig.for_disk())
+    index.bulk_load(cache.keys("logn"))
+    benchmark(index.get, float(cache.keys("logn")[31]))

@@ -1,0 +1,56 @@
+"""Extension bench: FITing-Tree vs the paper's learned indexes.
+
+FITing-Tree is related work the paper cites but does not evaluate.
+This bench places it in the Table 4 landscape: expected to be far more
+memory-frugal than DILI (its selling point), with lookups between PGM's
+and DILI's (one B-tree descent plus one bounded search).
+"""
+
+from repro.baselines import FITingTree
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+
+COMPARE = ["PGM", "ALEX(1MB)", "DILI"]
+
+
+def test_extension_fiting_tree(cache, scale, benchmark, capsys):
+    rows = []
+    results = {}
+    for dataset in ["fb", "wikits", "logn"]:
+        keys = cache.keys(dataset)
+        queries = cache.queries(dataset)
+        fit = FITingTree(32)
+        fit.bulk_load(keys)
+        ns, misses, _ = measure_lookup(fit, queries, scale)
+        results[(dataset, "FITing-Tree")] = (ns, fit.memory_bytes())
+        rows.append(
+            ["FITing-Tree/" + dataset, ns, misses,
+             fit.memory_bytes() / 1e6]
+        )
+        for method in COMPARE:
+            m_ns, m_misses, _ = cache.lookup_result(method, dataset)
+            index = cache.index(method, dataset)
+            results[(dataset, method)] = (m_ns, index.memory_bytes())
+            rows.append(
+                [f"{method}/{dataset}", m_ns, m_misses,
+                 index.memory_bytes() / 1e6]
+            )
+    with capsys.disabled():
+        print_table(
+            f"Extension: FITing-Tree vs learned indexes, "
+            f"scale={scale.name}",
+            ["Method/Dataset", "lookup (ns)", "LL misses",
+             "memory (MB)"],
+            rows,
+        )
+
+    for dataset in ["fb", "wikits", "logn"]:
+        fit_ns, fit_mem = results[(dataset, "FITing-Tree")]
+        dili_ns, dili_mem = results[(dataset, "DILI")]
+        # Memory-frugal by design; slower than DILI at point lookups.
+        assert fit_mem < dili_mem, dataset
+        assert fit_ns > dili_ns * 0.9, dataset
+
+    fit = FITingTree(32)
+    fit.bulk_load(cache.keys("logn"))
+    benchmark(fit.get, float(cache.keys("logn")[9]))

@@ -1,0 +1,60 @@
+"""Extension bench: Zipfian (hot-key) read skew.
+
+The paper queries keys uniformly; production read traffic is usually
+skewed.  Under YCSB-style Zipf popularity, hot lookup paths stay
+cache-resident, so every method speeds up -- and the ordering between
+methods must survive the skew for the paper's conclusions to carry over
+to realistic traffic.
+"""
+
+from repro.bench import make_index, print_table
+from repro.workloads.generator import NAMED_SPECS, make_workload
+from repro.workloads.runner import run_workload
+
+METHODS = ["B+Tree(32)", "RMI(L)", "LIPP", "DILI"]
+
+
+def test_extension_zipf_reads(cache, scale, benchmark, capsys):
+    keys = cache.keys("fb")
+    spec = NAMED_SPECS["Read-Only"].scaled(
+        max(scale.num_queries * 3, 9_000)
+    )
+    rows = []
+    results = {}
+    for method in METHODS:
+        index = cache.index(method, "fb")
+        row = [method]
+        for dist in ("uniform", "zipf"):
+            ops = make_workload(
+                spec, keys, keys[:0], seed=31, query_distribution=dist
+            )
+            result = run_workload(
+                index, ops, name=dist, cache_lines=scale.cache_lines
+            )
+            results[(method, dist)] = result.sim_mops
+            row.append(result.sim_mops)
+        row.append(
+            results[(method, "zipf")] / results[(method, "uniform")]
+        )
+        rows.append(row)
+    with capsys.disabled():
+        print_table(
+            f"Extension: uniform vs Zipf read skew on FB (Mops), "
+            f"scale={scale.name}",
+            ["Method", "uniform", "zipf", "speedup"],
+            rows,
+        )
+
+    for method in METHODS:
+        # Hot keys cache their paths: skew never hurts.
+        assert (
+            results[(method, "zipf")]
+            >= results[(method, "uniform")] * 0.95
+        ), method
+    # The paper's ordering survives realistic read skew.
+    assert results[("DILI", "zipf")] >= max(
+        results[(m, "zipf")] for m in METHODS if m != "DILI"
+    ) * 0.9
+
+    index = cache.index("DILI", "fb")
+    benchmark(index.get, float(keys[111]))

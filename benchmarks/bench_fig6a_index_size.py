@@ -1,0 +1,32 @@
+"""Fig. 6a: index memory cost of all representative methods.
+
+Modelled C++ footprints in MB.  Shape to verify against the figure:
+RMI/RS smallest (model-only), B+Tree/PGM around the raw pair size, DILI
+above them (local-optimization slack), LIPP far above everything, and
+DILI-LO back down to B+Tree territory.
+"""
+
+from repro.bench import DATASETS
+from repro.bench.experiments import index_sizes
+
+
+def test_fig6a_index_size(cache, scale, benchmark, capsys):
+    result = index_sizes(cache)
+    with capsys.disabled():
+        print("\n" + result.to_text() + "\n")
+
+    for dataset in DATASETS:
+        # RMI and RS store only models: smallest footprint.
+        assert result.cell("RMI(L)", dataset) < result.cell(
+            "DILI", dataset
+        ), dataset
+        # LIPP pays the largest footprint (conflict nesting + gaps).
+        assert result.cell("LIPP", dataset) > result.cell(
+            "DILI", dataset
+        ), dataset
+        # Disabling local optimization brings DILI down near B+Tree.
+        assert result.cell("DILI-LO", dataset) < result.cell(
+            "DILI", dataset
+        ), dataset
+
+    benchmark(cache.index("DILI", "fb").memory_bytes)

@@ -1,0 +1,62 @@
+"""Fig. 6b: short range queries (< 100 keys per range).
+
+The paper issues random short ranges after bulk loading: a lower-bound
+search plus a scan.  Per the figure's takeaway, DILI's advantage shrinks
+here (its entry arrays hold gaps and mixed entry types) and DILI-LO
+overtakes DILI thanks to dense leaf arrays, while B+Tree's chained
+leaves keep it competitive.  Wall-clock time is used for the scan
+because scan cost is dominated by per-pair iteration rather than by
+cache geometry.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table
+
+METHODS = [
+    "B+Tree(32)",
+    "PGM",
+    "ALEX(1MB)",
+    "LIPP",
+    "DILI-LO",
+    "DILI",
+]
+RANGE_LEN = 64  # "less than 100 keys in a range"
+
+
+def test_fig6b_short_ranges(cache, scale, benchmark, capsys):
+    rng = np.random.default_rng(5)
+    rows = []
+    per_method_us: dict[str, float] = {}
+    for method in METHODS:
+        row = [method]
+        for dataset in ["fb", "wikits", "logn"]:
+            keys = cache.keys(dataset)
+            index = cache.index(method, dataset)
+            starts = rng.integers(0, len(keys) - RANGE_LEN - 1, size=300)
+            bounds = [
+                (float(keys[s]), float(keys[s + RANGE_LEN])) for s in starts
+            ]
+            t0 = time.perf_counter()
+            total = 0
+            for lo, hi in bounds:
+                total += len(index.range_query(lo, hi))
+            elapsed = (time.perf_counter() - t0) / len(bounds) * 1e6
+            assert total == RANGE_LEN * len(bounds)
+            row.append(elapsed)
+            per_method_us.setdefault(method, elapsed)
+        rows.append(row)
+    with capsys.disabled():
+        print_table(
+            f"Fig. 6b: avg short-range query time (us wall-clock, "
+            f"{RANGE_LEN} keys), scale={scale.name}",
+            ["Method", "fb", "wikits", "logn"],
+            rows,
+        )
+
+    index = cache.index("DILI", "logn")
+    keys = cache.keys("logn")
+    lo, hi = float(keys[1000]), float(keys[1000 + RANGE_LEN])
+    benchmark(index.range_query, lo, hi)

@@ -1,0 +1,33 @@
+"""Fig. 7: throughput on the four named workloads.
+
+Protocol (Section 7.3): bulk load half the dataset, then run a random
+mix of point queries over the full key set and insertions from the
+other half.  RMI and RS are excluded from mixes with insertions, as in
+the paper.  Simulated throughput (Mops under the cycle/cache model) is
+reported; the expected shape is DILI highest everywhere, PGM worst on
+write mixes, B+Tree and MassTree at the bottom of read mixes.
+"""
+
+from repro.bench.experiments import workload_throughput
+
+
+def test_fig7_workload_throughput(cache, scale, benchmark, capsys):
+    result = workload_throughput(cache)
+    with capsys.disabled():
+        print("\n" + result.to_text() + "\n")
+
+    methods = [row[0] for row in result.rows]
+    # DILI achieves the highest throughput on every dataset x workload.
+    for column in result.columns[1:]:
+        dili = result.cell("DILI", column)
+        best_other = max(
+            result.cell(m, column) for m in methods if m != "DILI"
+        )
+        assert dili >= best_other * 0.8, (
+            f"DILI not near the top for {column}: "
+            f"{dili:.2f} vs {best_other:.2f} Mops"
+        )
+
+    index = cache.index("DILI", "logn")
+    key = float(cache.keys("logn")[42])
+    benchmark(index.get, key)

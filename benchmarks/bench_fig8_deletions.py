@@ -1,0 +1,64 @@
+"""Fig. 8: throughput under deletion-heavy workloads (Section 7.4).
+
+Protocol: bulk load the whole dataset, then run (1) a Read-Heavy mix of
+lookups and deletions and (2) a Deletion-Heavy mix.  LIPP is excluded
+(no deletion support), exactly as in the paper.  Expected shape: DILI
+well ahead on Read-Heavy; ALEX competitive on Deletion-Heavy thanks to
+its lazy deletes (it "almost equals searching").
+"""
+
+from repro.bench import make_index, print_table
+from repro.data import load_dataset
+from repro.workloads.generator import NAMED_SPECS, deletion_workload
+from repro.workloads.runner import run_workload
+
+METHODS = ["B+Tree(32)", "MassTree", "PGM-dyn", "ALEX(1MB)", "DILI"]
+WORKLOADS = ["Read-Heavy(del)", "Deletion-Heavy"]
+
+
+def _make(method: str):
+    return make_index("DynPGM" if method == "PGM-dyn" else method)
+
+
+def test_fig8_deletion_throughput(cache, scale, benchmark, capsys):
+    total_ops = max(scale.num_queries * 3, 9_000)
+    rows = {m: [m] for m in METHODS}
+    for dataset in ["fb", "wikits", "logn"]:
+        keys = cache.keys(dataset)
+        for method in METHODS:
+            for wl_name in WORKLOADS:
+                spec = NAMED_SPECS[wl_name].scaled(total_ops)
+                index = _make(method)
+                index.bulk_load(keys)
+                ops = deletion_workload(spec, keys, seed=13)
+                result = run_workload(
+                    index,
+                    ops,
+                    name=wl_name,
+                    cache_lines=scale.cache_lines,
+                )
+                rows[method].append(result.sim_mops)
+    columns = ["Method"] + [
+        f"{ds[:4]}:{wl[:8]}"
+        for ds in ["fb", "wikits", "logn"]
+        for wl in WORKLOADS
+    ]
+    table_rows = [rows[m] for m in METHODS]
+    with capsys.disabled():
+        print_table(
+            f"Fig. 8: throughput with deletions (Mops), scale={scale.name}",
+            columns,
+            table_rows,
+            col_width=14,
+            first_col_width=12,
+        )
+
+    by_method = {r[0]: r[1:] for r in table_rows}
+    for col in range(0, len(columns) - 1, 2):  # Read-Heavy columns
+        dili = by_method["DILI"][col]
+        assert dili > by_method["B+Tree(32)"][col]
+        assert dili > by_method["MassTree"][col]
+
+    index = cache.index("DILI", "fb")
+    key = float(cache.keys("fb")[4321])
+    benchmark(index.get, key)

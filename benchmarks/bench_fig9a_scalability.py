@@ -1,0 +1,47 @@
+"""Fig. 9a (Appendix A.1): read-only throughput vs data cardinality.
+
+The paper initializes each index with 50/100/150/200M FB keys; this
+bench scales those to fractions of the benchmark scale.  Expected
+shape: DILI keeps the highest throughput as cardinality grows.
+"""
+
+from repro.bench import make_index, print_table
+from repro.bench.harness import measure_lookup, query_sample
+from repro.data import load_dataset
+
+METHODS = ["B+Tree(32)", "RMI(L)", "ALEX(1MB)", "LIPP", "DILI"]
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+
+
+def test_fig9a_scalability(cache, scale, benchmark, capsys):
+    sizes = [max(int(scale.num_keys * f), 10_000) for f in FRACTIONS]
+    rows = {m: [m] for m in METHODS}
+    dili_by_size = {}
+    for size in sizes:
+        keys = load_dataset("fb", size, seed=7)
+        queries = query_sample(keys, scale.num_queries)
+        for method in METHODS:
+            index = make_index(method)
+            index.bulk_load(keys)
+            ns, _, _ = measure_lookup(index, queries, scale)
+            mops = 1e3 / ns  # 1e9 ns/s / ns -> ops/s, scaled to Mops
+            rows[method].append(mops)
+            if method == "DILI":
+                dili_by_size[size] = mops
+    table_rows = [rows[m] for m in METHODS]
+    with capsys.disabled():
+        print_table(
+            f"Fig. 9a: read-only throughput (Mops) vs cardinality on FB, "
+            f"scale={scale.name}",
+            ["Method"] + [f"n={s}" for s in sizes],
+            table_rows,
+        )
+
+    by_method = {r[0]: r[1:] for r in table_rows}
+    for i in range(len(sizes)):
+        assert by_method["DILI"][i] >= max(
+            by_method[m][i] for m in METHODS if m != "DILI"
+        ) * 0.85, f"DILI not on top at n={sizes[i]}"
+
+    index = cache.index("DILI", "fb")
+    benchmark(index.get, float(cache.keys("fb")[1]))

@@ -1,0 +1,51 @@
+"""Table 10 (Appendix A.4): memory cost before/after heavy insertions.
+
+Protocol: bulk load half the dataset, insert the other half, measure
+the footprint at both points.  Expected shape: B+Tree/MassTree/PGM
+smallest, ALEX and DILI comparable in the middle, LIPP far above all.
+"""
+
+from repro.bench import make_index, print_table
+from repro.data import split_initial
+
+METHODS = ["B+Tree(32)", "MassTree", "PGM-dyn", "ALEX(1MB)", "LIPP", "DILI"]
+
+
+def _make(method: str):
+    return make_index("DynPGM" if method == "PGM-dyn" else method)
+
+
+def test_table10_memory_after_writes(cache, scale, benchmark, capsys):
+    rows = []
+    after = {}
+    for dataset in ["fb", "wikits", "logn"]:
+        keys = cache.keys(dataset)
+        initial, pool = split_initial(keys, 0.5, seed=3)
+        for method in METHODS:
+            index = _make(method)
+            index.bulk_load(initial)
+            before_mb = index.memory_bytes() / 1e6
+            for key in pool:
+                index.insert(float(key), "w")
+            after_mb = index.memory_bytes() / 1e6
+            after[(dataset, method)] = after_mb
+            rows.append([f"{dataset}/{method}", before_mb, after_mb])
+    with capsys.disabled():
+        print_table(
+            f"Table 10: memory (MB) before/after inserting the second "
+            f"half, scale={scale.name}",
+            ["Dataset/Method", "before", "after"],
+            rows,
+        )
+
+    for dataset in ["fb", "wikits", "logn"]:
+        # LIPP's footprint dominates every other method (Table 10).
+        assert (
+            after[(dataset, "LIPP")] > after[(dataset, "DILI")]
+        ), dataset
+        assert (
+            after[(dataset, "DILI")] > after[(dataset, "B+Tree(32)")]
+        ), dataset
+
+    index = cache.index("DILI", "wikits")
+    benchmark(index.memory_bytes)

@@ -1,0 +1,37 @@
+"""Table 11 (Appendix A.5): step breakdown -- DILI vs RadixSpline.
+
+RS's Step-1 is the radix-table probe plus the spline-segment search and
+interpolation; Step-2 is the error-bounded search in the data.  The
+paper finds RS's Step-1 consistently more expensive than DILI's, making
+RS slower overall despite small Step-2 costs.
+"""
+
+from repro.bench import DATASETS, print_table
+
+
+def test_table11_rs_breakdown(cache, scale, benchmark, capsys):
+    rows = []
+    results = {}
+    for dataset in DATASETS:
+        for label, method in (("RS", "RS(L)"), ("DILI", "DILI")):
+            ns, _, phases = cache.lookup_result(method, dataset)
+            step1 = phases.get("step1", 0.0)
+            step2 = phases.get("step2", 0.0)
+            results[(dataset, label)] = (step1, step2, ns)
+            rows.append([f"{dataset}/{label}", step1, step2, ns])
+    with capsys.disabled():
+        print_table(
+            f"Table 11: DILI vs RS step breakdown (ns), "
+            f"scale={scale.name}",
+            ["Dataset/Model", "Step-1", "Step-2", "Total"],
+            rows,
+        )
+
+    # RS pays more in Step-1 than DILI on every dataset (Table 11).
+    for dataset in DATASETS:
+        assert (
+            results[(dataset, "RS")][0] > results[(dataset, "DILI")][0]
+        ), dataset
+
+    index = cache.index("RS(L)", "logn")
+    benchmark(index.get, float(cache.keys("logn")[17]))

@@ -1,0 +1,82 @@
+"""Table 12 (Appendix A.6): effect of the leaf-adjustment strategy.
+
+Compares DILI against DILI-AD (adjustments disabled) after a write-only
+workload followed by a read-only workload.  The paper's finding:
+adjustments cost a little insertion time but yield a shorter structure,
+lower memory and faster post-insertion lookups.
+"""
+
+import time
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+from repro.core.stats import tree_stats
+from repro.data import split_initial
+
+
+def test_table12_adjustment_strategy(cache, scale, benchmark, capsys):
+    rows = []
+    heights = {}
+    lookups = {}
+    for dataset in ["fb", "wikits", "logn"]:
+        keys = cache.keys(dataset)
+        queries = cache.queries(dataset)
+        initial, pool = split_initial(keys, 0.5, seed=3)
+        for label, config in (
+            ("DILI-AD", DiliConfig(adjust=False)),
+            ("DILI", DiliConfig()),
+        ):
+            index = DILI(config)
+            index.bulk_load(initial)
+            t0 = time.perf_counter()
+            for key in pool:
+                index.insert(float(key), "w")
+            insert_us = (time.perf_counter() - t0) / len(pool) * 1e6
+            ns, _, _ = measure_lookup(index, queries, scale)
+            st = tree_stats(index)
+            heights[(dataset, label)] = st.avg_height
+            lookups[(dataset, label)] = ns
+            per_adjust = (
+                len(pool) / index.adjustment_count
+                if index.adjustment_count
+                else float("nan")
+            )
+            rows.append(
+                [
+                    f"{dataset}/{label}",
+                    per_adjust,
+                    insert_us,
+                    st.memory_bytes / 1e6,
+                    st.avg_height,
+                    ns,
+                ]
+            )
+    with capsys.disabled():
+        print_table(
+            f"Table 12: adjusting strategy (DILI vs DILI-AD), "
+            f"scale={scale.name}",
+            [
+                "Dataset/Model",
+                "ins/adjust",
+                "insert (us)",
+                "memory (MB)",
+                "avg height",
+                "lookup (ns)",
+            ],
+            rows,
+        )
+
+    for dataset in ["fb", "wikits", "logn"]:
+        # Adjustments keep the tree at least as shallow and lookups at
+        # least as fast as never adjusting (Table 12's conclusion).
+        assert (
+            heights[(dataset, "DILI")]
+            <= heights[(dataset, "DILI-AD")] + 0.05
+        ), dataset
+        assert (
+            lookups[(dataset, "DILI")]
+            <= lookups[(dataset, "DILI-AD")] * 1.1
+        ), dataset
+
+    benchmark(tree_stats, cache.index("DILI", "fb"))

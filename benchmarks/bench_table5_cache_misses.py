@@ -1,0 +1,29 @@
+"""Table 5: LL-cache misses per point query, representative methods.
+
+Uses the same built indexes as Table 4; misses come from the LRU
+cache-line simulator sized at ~1% of the pair bytes (the paper's
+machine-to-data ratio).  The paper's key observations to check: DILI
+has the fewest misses, LIPP sits well above it, and B+Tree/MassTree/PGM
+pay roughly twice DILI's misses.
+"""
+
+from repro.bench import DATASETS
+from repro.bench.experiments import cache_misses
+
+
+def test_table5_cache_misses(cache, scale, benchmark, capsys):
+    result = cache_misses(cache)
+    with capsys.disabled():
+        print("\n" + result.to_text() + "\n")
+
+    for dataset in DATASETS:
+        dili = result.cell("DILI", dataset)
+        # DILI triggers fewer misses than LIPP, B+Tree and MassTree
+        # (Table 5's takeaway).
+        assert dili < result.cell("B+Tree(32)", dataset), dataset
+        assert dili < result.cell("MassTree", dataset), dataset
+        assert dili <= result.cell("LIPP", dataset) * 1.1, dataset
+
+    index = cache.index("DILI", "logn")
+    key = float(cache.keys("logn")[777])
+    benchmark(index.get, key)

@@ -1,0 +1,36 @@
+"""Table 6: DILI structure statistics per dataset.
+
+Reports minimum / maximum / key-weighted-average height and conflicts
+per 1K keys after bulk loading.  Conflicts are reported as nested-leaf
+creations per 1K keys (the unit whose magnitudes line up with the
+paper's 1.2-227 range); the raw conflicting-pair count is shown too.
+The paper's ordering to verify: Logn and WikiTS far below FB/Books,
+with OSM in between.
+"""
+
+from repro.bench import DATASETS
+from repro.bench.experiments import dili_structure
+from repro.core.stats import tree_stats
+
+
+def test_table6_dili_structure(cache, scale, benchmark, capsys):
+    result = dili_structure(cache)
+    with capsys.disabled():
+        print("\n" + result.to_text() + "\n")
+
+    conflicts = {
+        ds: result.cell(ds, "conflicts/1K") for ds in DATASETS
+    }
+    assert conflicts["logn"] < conflicts["fb"]
+    assert conflicts["wikits"] < conflicts["fb"]
+    assert conflicts["logn"] < conflicts["books"]
+    for ds in DATASETS:
+        assert (
+            2
+            <= result.cell(ds, "min h")
+            <= result.cell(ds, "avg h")
+            <= result.cell(ds, "max h")
+        )
+        assert result.cell(ds, "max h") <= 16  # "a shallow structure"
+
+    benchmark(tree_stats, cache.index("DILI", "logn"))

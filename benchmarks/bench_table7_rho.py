@@ -1,0 +1,41 @@
+"""Table 7: effect of the decay-rate hyperparameter rho.
+
+Builds DILI on the FB dataset with rho in {0.05, 0.1, 0.2, 0.5} and
+reports lookup time, memory and average height.  The paper's finding to
+verify: rho has little influence -- lookup times within a few percent
+and near-identical structure.
+"""
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+from repro.core.stats import tree_stats
+
+RHOS = [0.05, 0.1, 0.2, 0.5]
+
+
+def test_table7_rho_effect(cache, scale, benchmark, capsys):
+    keys = cache.keys("fb")
+    queries = cache.queries("fb")
+    rows = []
+    lookups = []
+    for rho in RHOS:
+        index = DILI(DiliConfig(rho=rho))
+        index.bulk_load(keys)
+        ns, _, _ = measure_lookup(index, queries, scale)
+        st = tree_stats(index)
+        lookups.append(ns)
+        rows.append([f"rho={rho}", ns, st.memory_bytes / 1e6, st.avg_height])
+    with capsys.disabled():
+        print_table(
+            f"Table 7: effect of rho on FB, scale={scale.name}",
+            ["Param", "lookup (ns)", "memory (MB)", "avg height"],
+            rows,
+        )
+
+    # "the value of rho has little influence": spread under 25%.
+    assert max(lookups) <= min(lookups) * 1.25, lookups
+
+    index = DILI(DiliConfig(rho=0.1))
+    index.bulk_load(keys)
+    benchmark(index.get, float(keys[99]))

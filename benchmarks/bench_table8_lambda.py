@@ -1,0 +1,65 @@
+"""Table 8: effect of the adjustment threshold lambda.
+
+Protocol: build DILI on half the FB dataset, insert the other half with
+lambda in {1.5, 2, 4, 8}, then measure lookups.  The paper's finding:
+insertion and lookup performance are almost insensitive to lambda, with
+lambda = 2 marginally best.
+"""
+
+import time
+
+from repro import DILI, DiliConfig
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+from repro.core.stats import tree_stats
+from repro.data import split_initial
+
+LAMBDAS = [1.5, 2.0, 4.0, 8.0]
+
+
+def test_table8_lambda_effect(cache, scale, benchmark, capsys):
+    keys = cache.keys("fb")
+    queries = cache.queries("fb")
+    initial, pool = split_initial(keys, 0.5, seed=3)
+    rows = []
+    lookups = []
+    for lam in LAMBDAS:
+        index = DILI(DiliConfig(lambda_adjust=lam))
+        index.bulk_load(initial)
+        t0 = time.perf_counter()
+        for key in pool:
+            index.insert(float(key), "w")
+        insert_us = (time.perf_counter() - t0) / len(pool) * 1e6
+        ns, _, _ = measure_lookup(index, queries, scale)
+        st = tree_stats(index)
+        lookups.append(ns)
+        rows.append(
+            [
+                f"lambda={lam}",
+                insert_us,
+                ns,
+                st.memory_bytes / 1e6,
+                st.avg_height,
+                index.adjustment_count,
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            f"Table 8: effect of lambda on FB, scale={scale.name}",
+            [
+                "Param",
+                "insert (us)",
+                "lookup (ns)",
+                "memory (MB)",
+                "avg height",
+                "adjustments",
+            ],
+            rows,
+        )
+
+    # "insertion performance of DILI is almost not influenced by lambda".
+    assert max(lookups) <= min(lookups) * 1.3, lookups
+
+    index = DILI(DiliConfig(lambda_adjust=2.0))
+    index.bulk_load(initial)
+    benchmark(index.insert, float(pool[0]), "bench")

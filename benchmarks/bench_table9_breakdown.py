@@ -1,0 +1,58 @@
+"""Table 9: step breakdown -- DILI vs RMI vs BU-Tree.
+
+Step-1 is finding the leaf (or computing the predicted position for
+RMI); Step-2 is the work inside the leaf (or the local search around
+the prediction).  The paper's findings to verify: DILI beats RMI
+decisively on Step-1 (two perfect internal models vs multi-stage
+evaluation plus wide windows) and the BU-Tree loses on both steps
+because its internal nodes need bounds-array searches.
+"""
+
+from repro import DILI
+from repro.bench import print_table
+from repro.bench.harness import measure_lookup
+
+DATASETS_T9 = ["fb", "wikits", "logn"]
+
+
+def test_table9_step_breakdown(cache, scale, benchmark, capsys):
+    rows = []
+    results = {}
+    for dataset in DATASETS_T9:
+        keys = cache.keys(dataset)
+        queries = cache.queries(dataset)
+        dili = DILI()
+        dili.bulk_load(keys, keep_butree=True)
+        butree = dili.butree
+        rmi = cache.index("RMI(L)", dataset)
+        for label, index in (
+            ("RMI", rmi),
+            ("BU-Tree", butree),
+            ("DILI", dili),
+        ):
+            ns, _, phases = measure_lookup(index, queries, scale)
+            step1 = phases.get("step1", 0.0)
+            step2 = phases.get("step2", 0.0)
+            results[(dataset, label)] = (step1, step2, ns)
+            rows.append([f"{dataset}/{label}", step1, step2, ns])
+    with capsys.disabled():
+        print_table(
+            f"Table 9: step breakdown (ns), scale={scale.name}",
+            ["Dataset/Model", "Step-1", "Step-2", "Total"],
+            rows,
+        )
+
+    for dataset in DATASETS_T9:
+        dili_total = results[(dataset, "DILI")][2]
+        bu_total = results[(dataset, "BU-Tree")][2]
+        # DILI's whole point: it keeps the BU layout but removes the
+        # in-node searches, so it must beat its own mirror tree.
+        assert dili_total < bu_total, dataset
+        # And DILI finds leaves faster than RMI computes positions.
+        assert (
+            results[(dataset, "DILI")][0]
+            <= results[(dataset, "RMI")][0] * 1.5
+        ), dataset
+
+    dili = cache.index("DILI", "fb")
+    benchmark(dili.get, float(cache.keys("fb")[5]))

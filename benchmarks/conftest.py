@@ -1,0 +1,25 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+Builds are expensive, so datasets and built indexes are cached at
+session scope (one :class:`repro.bench.harness.BuildCache`) and shared
+across benchmark files: Table 4 (lookup time), Table 5 (cache misses),
+Fig. 6a (index size) and the breakdown tables all reuse the same built
+structures, exactly as the paper measures one build per method per
+dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchScale, BuildCache, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def cache(scale: BenchScale) -> BuildCache:
+    return BuildCache(scale)

@@ -1,0 +1,56 @@
+"""Compare DILI against every baseline on a dataset of your choice.
+
+Builds each index over the same keys, then reports simulated lookup
+cost (the paper's Table 4 metric), cache misses, and memory.
+
+Run:
+    python examples/compare_indexes.py [dataset] [num_keys]
+
+where dataset is one of: fb, wikits, osm, books, logn (default: logn).
+"""
+
+import sys
+
+from repro.bench import (
+    current_scale,
+    make_index,
+    measure_lookup,
+    method_names,
+    print_table,
+)
+from repro.bench.harness import query_sample
+from repro.data import DATASET_NAMES, load_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "logn"
+    if dataset not in DATASET_NAMES:
+        raise SystemExit(
+            f"unknown dataset {dataset!r}; pick from {sorted(DATASET_NAMES)}"
+        )
+    num_keys = int(sys.argv[2]) if len(sys.argv) > 2 else 50_000
+    scale = current_scale()
+    print(f"dataset={dataset}, keys={num_keys:,}")
+    keys = load_dataset(dataset, num_keys, seed=7)
+    queries = query_sample(keys, min(3_000, num_keys // 4))
+
+    rows = []
+    for method in method_names(representative_only=True):
+        index = make_index(method)
+        index.bulk_load(keys)
+        ns, misses, _ = measure_lookup(index, queries, scale)
+        rows.append([method, ns, misses, index.memory_bytes() / 1e6])
+    rows.sort(key=lambda r: r[1])
+    print_table(
+        f"Point-lookup comparison on {dataset} ({num_keys:,} keys)",
+        ["Method", "lookup (ns)", "LL misses", "memory (MB)"],
+        rows,
+    )
+    print(
+        "Lookup 'ns' are simulated cycles under the paper's cost model "
+        "(Section 3); compare ratios, not absolutes."
+    )
+
+
+if __name__ == "__main__":
+    main()

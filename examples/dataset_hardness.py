@@ -1,0 +1,74 @@
+"""Profile dataset hardness and predict index behaviour before building.
+
+The analysis module estimates, from the keys alone, how a learned index
+will fare: the expected DILI leaf-conflict rate, the global model error,
+gap variability and tail weight.  This example profiles all five paper
+datasets, then verifies the conflict prediction against a real DILI
+build.
+
+Run:
+    python examples/dataset_hardness.py
+"""
+
+from repro import DILI
+from repro.bench.reporting import print_table
+from repro.data import hardness_report, load_dataset
+
+DATASETS = ["fb", "wikits", "osm", "books", "logn"]
+N = 30_000
+
+
+def main() -> None:
+    rows = []
+    predicted = {}
+    for name in DATASETS:
+        keys = load_dataset(name, N, seed=7)
+        report = hardness_report(keys)
+        predicted[name] = report.conflict_rate
+        rows.append(
+            [
+                name,
+                report.global_rmse,
+                report.segment_rmse,
+                report.conflict_rate * 1000.0,
+                report.gap_cv,
+                report.tail_ratio,
+            ]
+        )
+    print_table(
+        f"Predicted hardness ({N:,} keys per dataset)",
+        [
+            "Dataset",
+            "global RMSE/n",
+            "leaf RMSE",
+            "pred conf/1K",
+            "gap CV",
+            "tail share",
+        ],
+        rows,
+    )
+
+    print("Verifying the conflict prediction against real DILI builds:")
+    check_rows = []
+    for name in DATASETS:
+        keys = load_dataset(name, N, seed=7)
+        index = DILI()
+        index.bulk_load(keys)
+        measured = index.opt_stats.nested_leaves / len(keys)
+        check_rows.append(
+            [name, predicted[name] * 1000.0, measured * 1000.0]
+        )
+    print_table(
+        "Conflicts per 1K keys: predicted vs measured",
+        ["Dataset", "predicted", "measured"],
+        check_rows,
+    )
+    print(
+        "Absolute values differ (the estimator uses fixed segments, "
+        "DILI uses distribution-driven ones) but the easy/hard "
+        "ordering matches -- profile before you build."
+    )
+
+
+if __name__ == "__main__":
+    main()

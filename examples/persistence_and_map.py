@@ -1,0 +1,85 @@
+"""DiliMap, persistence, and the disk-mode configuration.
+
+Three production conveniences layered over the paper's index:
+
+1. ``DiliMap`` -- drop-in dict semantics plus ordered queries.
+2. ``save``/``load`` -- build once, ship the index as a file.
+3. ``DiliConfig.for_disk()`` -- the paper's Section 9 sketch of a
+   disk-resident DILI (IO-priced cost model, no local optimization).
+
+Run:
+    python examples/persistence_and_map.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import DILI, DiliConfig, DiliMap, tree_stats
+from repro.data import load_dataset
+
+
+def demo_map() -> None:
+    print("== DiliMap: dict semantics + ordered queries ==")
+    sensors = DiliMap(
+        {1_690_000_000 + i * 60: f"reading-{i}" for i in range(1_000)}
+    )
+    ts = 1_690_000_000 + 500 * 60
+    print(f"  exact:   sensors[{ts}] = {sensors[ts]!r}")
+    sensors[ts + 1] = "late arrival"
+    window = list(sensors.irange(ts, ts + 3 * 60))
+    print(f"  window of {len(window)} readings after {ts}: "
+          f"{[v for _, v in window]}")
+    print(f"  newest: {sensors.peekitem()}")
+    del sensors[ts + 1]
+    print(f"  size after delete: {len(sensors):,}")
+
+
+def demo_persistence() -> None:
+    print("== save / load ==")
+    keys = load_dataset("wikits", 50_000, seed=7)
+    index = DILI()
+    t0 = time.perf_counter()
+    index.bulk_load(keys)
+    build_s = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wikits.dili"
+        index.save(path)
+        t0 = time.perf_counter()
+        loaded = DILI.load(path)
+        load_s = time.perf_counter() - t0
+        print(f"  build {build_s:.2f}s vs load {load_s:.2f}s "
+              f"({path.stat().st_size / 1e6:.1f} MB on disk)")
+    assert loaded.get(float(keys[123])) == 123
+    loaded.validate()
+    print("  loaded index answers and validates")
+
+
+def demo_disk_mode() -> None:
+    print("== Section 9: disk-priced construction ==")
+    keys = load_dataset("fb", 50_000, seed=7)
+    memory = DILI(DiliConfig(local_optimization=False))
+    memory.bulk_load(keys)
+    disk = DILI(DiliConfig.for_disk())
+    disk.bulk_load(keys)
+    for label, index in (("memory-priced", memory), ("disk-priced", disk)):
+        st = tree_stats(index)
+        print(f"  {label:14s}: {st.leaf_nodes:5d} leaves, "
+              f"avg height {st.avg_height:.2f}")
+    print("  with every fetch priced as a block IO, correction probes"
+          " dominate: the layout shifts toward more accurate (smaller)"
+          " leaves that answer in one read")
+
+
+def main() -> None:
+    demo_map()
+    print()
+    demo_persistence()
+    print()
+    demo_disk_mode()
+
+
+if __name__ == "__main__":
+    main()

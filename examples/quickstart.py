@@ -1,0 +1,61 @@
+"""Quickstart: build a DILI, query it, update it.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DILI, tree_stats
+
+
+def main() -> None:
+    # DILI indexes sorted, unique float64 keys (integers up to 2**52
+    # are exact).  Values can be anything -- record ids, offsets,
+    # objects.
+    rng = np.random.default_rng(0)
+    keys = np.unique(rng.integers(0, 10**12, size=100_000)).astype(float)
+    values = [f"record-{i}" for i in range(len(keys))]
+
+    index = DILI()
+    index.bulk_load(keys, values)
+    print(f"bulk loaded {len(index):,} pairs")
+
+    # Point lookups: exact hit or None.
+    probe = float(keys[12_345])
+    print(f"get({probe:.0f}) -> {index.get(probe)!r}")
+    print(f"get(missing)   -> {index.get(probe + 1.0)!r}")
+
+    # Inserts place the pair at its model-predicted slot; conflicting
+    # predictions spawn a nested leaf transparently.
+    new_key = float(keys[0]) + 1.0
+    assert index.insert(new_key, "fresh")
+    print(f"inserted {new_key:.0f}; get -> {index.get(new_key)!r}")
+    assert not index.insert(new_key, "dup"), "duplicates are rejected"
+
+    # Deletes clear the slot and trim single-pair nested leaves.
+    assert index.delete(new_key)
+    print(f"deleted {new_key:.0f}; get -> {index.get(new_key)!r}")
+
+    # Ordered range scans: [lo, hi) in key order.
+    lo, hi = float(keys[100]), float(keys[110])
+    window = index.range_query(lo, hi)
+    print(f"range [{lo:.0f}, {hi:.0f}) -> {len(window)} pairs, first: "
+          f"{window[0]}")
+
+    # Structural introspection (the paper's Table 6 metrics).
+    stats = tree_stats(index)
+    print(
+        f"heights min/avg/max = {stats.min_height}/"
+        f"{stats.avg_height:.2f}/{stats.max_height}, "
+        f"memory = {stats.memory_bytes / 1e6:.1f} MB, "
+        f"conflicts/1K = {stats.conflicts_per_1k:.1f}"
+    )
+
+    # Invariant check (useful in tests and after heavy updates).
+    index.validate()
+    print("validate() passed")
+
+
+if __name__ == "__main__":
+    main()

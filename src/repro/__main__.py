@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare``   -- build the representative methods on one dataset and
+  print a Table-4-style comparison.
+* ``workload``  -- run one of the paper's named workload mixes against
+  a chosen method and report throughput.
+* ``datasets``  -- summarize the five synthetic datasets.
+* ``structure`` -- build a DILI and print its Table-6 statistics.
+* ``bench``     -- run the paper's table/figure benchmarks (pytest
+  under the hood), optionally filtered and teed to a report file.
+* ``report``    -- run the core experiments programmatically (no
+  pytest) and write a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro import DILI, tree_stats
+from repro.bench.harness import (
+    DATASETS,
+    current_scale,
+    make_index,
+    measure_lookup,
+    method_names,
+    query_sample,
+)
+from repro.bench.reporting import print_table
+from repro.data import DATASET_NAMES, load_dataset, split_initial
+from repro.baselines.base import UnsupportedOperation
+from repro.workloads.generator import NAMED_SPECS, make_workload
+from repro.workloads.runner import run_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="logn",
+        choices=sorted(DATASET_NAMES),
+        help="synthetic dataset to generate (default: logn)",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        default=50_000,
+        help="number of keys to generate (default: 50000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="dataset RNG seed"
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    queries = query_sample(keys, min(3_000, args.keys // 4))
+    rows = []
+    for method in method_names(representative_only=True):
+        index = make_index(method)
+        index.bulk_load(keys)
+        ns, misses, _ = measure_lookup(index, queries, scale)
+        rows.append([method, ns, misses, index.memory_bytes() / 1e6])
+    rows.sort(key=lambda r: r[1])
+    print_table(
+        f"Point lookups on {args.dataset} ({args.keys:,} keys)",
+        ["Method", "lookup (ns)", "LL misses", "memory (MB)"],
+        rows,
+    )
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    if args.mix not in NAMED_SPECS:
+        print(
+            f"unknown mix {args.mix!r}; choose from "
+            f"{sorted(NAMED_SPECS)}",
+            file=sys.stderr,
+        )
+        return 2
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    initial, pool = split_initial(keys, 0.5, seed=3)
+    index = make_index(args.method)
+    index.bulk_load(initial)
+    spec = NAMED_SPECS[args.mix].scaled(min(args.ops, 2 * len(pool)))
+    ops = make_workload(spec, keys, pool, seed=11)
+    try:
+        result = run_workload(
+            index, ops, name=args.mix, cache_lines=scale.cache_lines
+        )
+    except UnsupportedOperation as exc:
+        print(f"cannot run {args.mix} on {args.method}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(
+        f"{args.method} on {args.dataset}/{args.mix}: "
+        f"{result.sim_mops:.2f} Mops simulated "
+        f"({result.sim_ns_per_op:.0f} ns/op), "
+        f"{result.wall_mops:.3f} Mops wall-clock; "
+        f"hits={result.hits:,} inserted={result.inserted:,} "
+        f"deleted={result.deleted:,}"
+    )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import hardness_report
+
+    rows = []
+    for name in DATASETS:
+        keys = load_dataset(name, args.keys, seed=args.seed)
+        gaps = np.diff(keys)
+        report = hardness_report(keys)
+        rows.append(
+            [
+                name,
+                float(np.median(gaps)),
+                float(gaps.max()),
+                report.gap_cv,
+                report.tail_ratio,
+                report.conflict_rate * 1000.0,
+            ]
+        )
+    print_table(
+        f"Synthetic datasets ({args.keys:,} keys each)",
+        ["Dataset", "med gap", "max gap", "gap CV", "tail share",
+         "est conf/1K"],
+        rows,
+    )
+    return 0
+
+
+def cmd_structure(args: argparse.Namespace) -> int:
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    index = DILI()
+    index.bulk_load(keys)
+    st = tree_stats(index)
+    print_table(
+        f"DILI structure on {args.dataset} ({args.keys:,} keys)",
+        ["Metric", "value"],
+        [
+            ["pairs", float(st.num_pairs)],
+            ["min height", float(st.min_height)],
+            ["max height", float(st.max_height)],
+            ["avg height", st.avg_height],
+            ["internal nodes", float(st.internal_nodes)],
+            ["leaf nodes", float(st.leaf_nodes)],
+            ["nested leaves", float(st.nested_leaves)],
+            ["conflicts / 1K keys", st.conflicts_per_1k],
+            ["memory (MB)", st.memory_bytes / 1e6],
+        ],
+        first_col_width=24,
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"benchmarks directory not found at {bench_dir}",
+              file=sys.stderr)
+        return 2
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(bench_dir),
+        "--benchmark-only",
+        "-q",
+    ]
+    if args.filter:
+        cmd += ["-k", args.filter]
+    env = dict(os.environ, REPRO_SCALE=args.scale)
+    if args.output:
+        with open(args.output, "w") as fh:
+            proc = subprocess.run(
+                cmd, env=env, stdout=fh, stderr=subprocess.STDOUT
+            )
+        print(f"report written to {args.output}")
+    else:
+        proc = subprocess.run(cmd, env=env)
+    return proc.returncode
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import CORE_EXPERIMENTS, run_report
+    from repro.bench.harness import SCALES, BuildCache
+
+    names = args.experiments or list(CORE_EXPERIMENTS)
+    unknown = [n for n in names if n not in CORE_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiments {unknown}; choose from "
+            f"{sorted(CORE_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = BuildCache(SCALES[args.scale])
+    report = run_report(cache, names)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="Table-4-style method comparison"
+    )
+    _add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    workload = sub.add_parser(
+        "workload", help="run a named workload mix"
+    )
+    _add_common(workload)
+    workload.add_argument(
+        "--method",
+        default="DILI",
+        choices=method_names(),
+        help="index to exercise (default: DILI)",
+    )
+    workload.add_argument(
+        "--mix",
+        default="Read-Heavy",
+        help=f"one of {sorted(NAMED_SPECS)}",
+    )
+    workload.add_argument(
+        "--ops", type=int, default=20_000, help="operations to run"
+    )
+    workload.set_defaults(func=cmd_workload)
+
+    datasets = sub.add_parser("datasets", help="summarize the datasets")
+    datasets.add_argument("--keys", type=int, default=20_000)
+    datasets.add_argument("--seed", type=int, default=7)
+    datasets.set_defaults(func=cmd_datasets)
+
+    structure = sub.add_parser(
+        "structure", help="DILI Table-6 statistics"
+    )
+    _add_common(structure)
+    structure.set_defaults(func=cmd_structure)
+
+    bench = sub.add_parser(
+        "bench", help="run the paper's table/figure benchmarks"
+    )
+    bench.add_argument(
+        "--filter",
+        default="",
+        help="pytest -k expression, e.g. 'table4 or fig7'",
+    )
+    bench.add_argument(
+        "--scale",
+        default="medium",
+        choices=["small", "medium", "large"],
+        help="benchmark scale (REPRO_SCALE)",
+    )
+    bench.add_argument(
+        "--output", default="", help="tee the report to this file"
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    report = sub.add_parser(
+        "report", help="markdown report of the core experiments"
+    )
+    report.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all core experiments)",
+    )
+    report.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "medium", "large"],
+        help="benchmark scale (default small for interactive use)",
+    )
+    report.add_argument(
+        "-o", "--output", default="", help="write to this file"
+    )
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

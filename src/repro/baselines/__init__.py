@@ -1,0 +1,47 @@
+"""From-scratch implementations of every competitor in Section 7.
+
+All indexes share the :class:`~repro.baselines.base.BaseIndex` interface
+and report their memory touches to the same tracing protocol as DILI, so
+the benchmark harness can compare simulated lookup cost, cache misses,
+memory and throughput across methods exactly as the paper's tables do.
+
+| Paper name | Class                     | Updates | Notes                          |
+|------------|---------------------------|---------|--------------------------------|
+| BinS       | BinarySearchIndex         | no      | whole-array binary search      |
+| B+Tree     | BPlusTree                 | yes     | stx::btree-style, node size Omega |
+| MassTree   | MassTree                  | yes     | trie of B+Trees over key slices |
+| RMI        | RMIIndex                  | no      | two-stage, linear or cubic root |
+| RS         | RadixSplineIndex          | no      | greedy spline + radix table    |
+| PGM        | PGMIndex / DynamicPGM     | static/yes | epsilon-bounded PLA, LSM inserts |
+| ALEX       | AlexIndex                 | yes     | gapped arrays, power-of-2 fanout |
+| LIPP       | LippIndex                 | insert  | precise positions, no deletes  |
+
+:class:`FITingTree` (Galakatos et al., SIGMOD'19) is included as an
+extension beyond the paper's evaluation set.
+"""
+
+from repro.baselines.alex import AlexIndex
+from repro.baselines.base import BaseIndex, UnsupportedOperation
+from repro.baselines.binary_search import BinarySearchIndex
+from repro.baselines.btree import BPlusTree
+from repro.baselines.fiting_tree import FITingTree
+from repro.baselines.lipp import LippIndex
+from repro.baselines.masstree import MassTree
+from repro.baselines.pgm import DynamicPGM, PGMIndex
+from repro.baselines.radix_spline import RadixSplineIndex
+from repro.baselines.rmi import RMIIndex
+
+__all__ = [
+    "AlexIndex",
+    "BaseIndex",
+    "BinarySearchIndex",
+    "BPlusTree",
+    "DynamicPGM",
+    "FITingTree",
+    "LippIndex",
+    "MassTree",
+    "PGMIndex",
+    "RadixSplineIndex",
+    "RMIIndex",
+    "UnsupportedOperation",
+]

@@ -1,0 +1,485 @@
+"""ALEX (Ding et al., SIGMOD'20): adaptive learned index, simplified.
+
+The structural traits the paper contrasts DILI against are kept:
+
+* internal nodes split their key range into a **power-of-2** number of
+  equal parts (the rigidity Section 4.4 criticizes),
+* leaves are **gapped arrays**: pairs sit near their model-predicted
+  slot with gaps in between, so inserts usually shift nothing and
+  lookups need an exponential search around the prediction,
+* a node-size budget ``max_node_bytes`` (the paper's Gamma parameter,
+  swept in Table 4) caps leaves; overfull leaves expand until the budget
+  and then split downward into a two-way internal node,
+* deletes are lazy: the slot is vacated but the array keeps its key as a
+  search fence (Section 7.4's observation).
+
+Gap slots duplicate the key of the nearest real element to their right
+(+inf after the last), keeping the whole array sorted so exponential
+search stays valid -- the same trick real ALEX uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.core.linear_model import LinearModel
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+_MAX_FANOUT_PER_NODE = 256
+_MAX_BUILD_DEPTH = 48
+
+
+class _Internal:
+    """Equal-width internal node with power-of-2 fanout."""
+
+    __slots__ = ("lb", "ub", "children", "region")
+
+    def __init__(self, lb: float, ub: float, fanout: int) -> None:
+        self.lb = lb
+        self.ub = ub
+        self.children: list[object] = [None] * fanout
+        self.region = region_id()
+
+    def child_index(self, key: float) -> int:
+        fanout = len(self.children)
+        pos = int((key - self.lb) * fanout / (self.ub - self.lb))
+        if pos < 0:
+            return 0
+        if pos >= fanout:
+            return fanout - 1
+        return pos
+
+
+class _Leaf:
+    """Gapped-array leaf."""
+
+    __slots__ = (
+        "lb",
+        "ub",
+        "keys",
+        "values",
+        "occupied",
+        "num",
+        "slope",
+        "intercept",
+        "region",
+        "shifted",
+    )
+
+    def __init__(
+        self,
+        lb: float,
+        ub: float,
+        keys: np.ndarray,
+        values: list,
+        capacity: int,
+    ) -> None:
+        self.lb = lb
+        self.ub = ub
+        self.num = len(keys)
+        self.region = region_id()
+        self.shifted = 0
+        model = LinearModel.fit(keys)
+        if self.num:
+            model = model.scaled(capacity / self.num)
+        self.slope = model.slope
+        self.intercept = model.intercept
+        self.keys = np.full(capacity, np.inf)
+        self.values: list = [None] * capacity
+        self.occupied = np.zeros(capacity, dtype=bool)
+        # Model-based placement: each pair lands at its predicted slot,
+        # pushed right just enough to preserve order.
+        last = -1
+        positions = []
+        for i in range(self.num):
+            pos = int(self.intercept + self.slope * float(keys[i]))
+            pos = max(pos, last + 1)
+            pos = min(pos, capacity - 1)
+            if pos <= last:  # ran out of room at the tail
+                positions = [
+                    int(i * capacity / self.num) for i in range(self.num)
+                ]
+                break
+            positions.append(pos)
+            last = pos
+        for i, pos in enumerate(positions):
+            self.keys[pos] = float(keys[i])
+            self.values[pos] = values[i]
+            self.occupied[pos] = True
+        self._refill_gaps(0, capacity)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.keys)
+
+    def _refill_gaps(self, lo: int, hi: int) -> None:
+        """Rewrite gap fence keys in [lo, hi): each gap takes the key of
+        the nearest real element to its right (+inf at the tail)."""
+        next_key = np.inf
+        if hi < self.capacity:
+            next_key = self.keys[hi]
+        for i in range(hi - 1, lo - 1, -1):
+            if self.occupied[i]:
+                next_key = self.keys[i]
+            else:
+                self.keys[i] = next_key
+
+    def predict(self, key: float) -> int:
+        pos = int(self.intercept + self.slope * key)
+        if pos < 0:
+            return 0
+        if pos >= self.capacity:
+            return self.capacity - 1
+        return pos
+
+    def lower_slot(self, key: float, tracer: Tracer) -> int:
+        """First slot with fence key >= ``key`` (exp search, traced)."""
+        from repro.core.search_util import exp_search_lub
+
+        return exp_search_lub(
+            self.keys, key, self.predict(key), tracer, self.region
+        )
+
+    def find(self, key: float, tracer: Tracer) -> int:
+        """Slot of the occupied pair with ``key``; -1 when absent."""
+        pos = self.lower_slot(key, tracer)
+        n = self.capacity
+        while pos < n and self.keys[pos] == key:
+            if self.occupied[pos]:
+                return pos
+            pos += 1
+            tracer.mem(self.region, pos * 8)
+        return -1
+
+    def iter_pairs(self):
+        for i in range(self.capacity):
+            if self.occupied[i]:
+                yield (float(self.keys[i]), self.values[i])
+
+    def insert(self, key: float, value: object, tracer: Tracer) -> bool:
+        """Insert into the gapped array; assumes key not present."""
+        g = self.lower_slot(key, tracer)
+        # Everything in [g, p) is a writable gap whose fence key belongs
+        # to the first occupied slot p of the >= run.
+        p = g
+        while p < self.capacity and not self.occupied[p]:
+            p += 1
+        if g < p:
+            # A gap exists right where the key belongs: use the slot
+            # closest to the model prediction inside [g, p-1].
+            t = min(max(self.predict(key), g), p - 1)
+            self.keys[t] = key
+            self.values[t] = value
+            self.occupied[t] = True
+            self._refill_gaps(g, t)
+            self.num += 1
+            return True
+        # No gap at the insertion point: shift toward the nearest gap.
+        right = p
+        while right < self.capacity and self.occupied[right]:
+            right += 1
+        if right < self.capacity:
+            # Shift [p, right) one slot right, freeing p.
+            self.shifted = right - p
+            for i in range(right, p, -1):
+                self.keys[i] = self.keys[i - 1]
+                self.values[i] = self.values[i - 1]
+                self.occupied[i] = self.occupied[i - 1]
+            tracer.compute(5.0 * (right - p))
+            self.keys[p] = key
+            self.values[p] = value
+            self.occupied[p] = True
+            self.num += 1
+            return True
+        left = p - 1
+        while left >= 0 and self.occupied[left]:
+            left -= 1
+        if left < 0:
+            return False  # completely full; caller must expand/split
+        self.shifted = p - 1 - left
+        for i in range(left, p - 1):
+            self.keys[i] = self.keys[i + 1]
+            self.values[i] = self.values[i + 1]
+            self.occupied[i] = self.occupied[i + 1]
+        tracer.compute(5.0 * (p - 1 - left))
+        self.keys[p - 1] = key
+        self.values[p - 1] = value
+        self.occupied[p - 1] = True
+        self.num += 1
+        return True
+
+    def delete(self, key: float, tracer: Tracer) -> bool:
+        """Lazy delete: vacate the slot, keep the key as a fence."""
+        pos = self.find(key, tracer)
+        if pos < 0:
+            return False
+        self.occupied[pos] = False
+        self.values[pos] = None
+        self.num -= 1
+        return True
+
+
+class AlexIndex(BaseIndex):
+    """Simplified ALEX with the paper-relevant structural behaviour.
+
+    Args:
+        max_node_bytes: The Gamma parameter -- byte budget per leaf
+            (16 bytes per slot).  Table 4 sweeps 16 KB .. 64 MB.
+        density: Target fill factor after (re)building a leaf.
+        max_density: Fill factor that triggers expansion or splitting.
+    """
+
+    name = "ALEX"
+    supports_insert = True
+    supports_delete = True
+
+    def __init__(
+        self,
+        max_node_bytes: int = 1 << 20,
+        density: float = 0.7,
+        max_density: float = 0.85,
+    ) -> None:
+        if max_node_bytes < 1024:
+            raise ValueError("max_node_bytes must be >= 1024")
+        if not 0.1 < density < max_density <= 0.95:
+            raise ValueError("need 0.1 < density < max_density <= 0.95")
+        self.max_node_bytes = max_node_bytes
+        self.density = density
+        self.max_density = max_density
+        self.name = f"ALEX(G={max_node_bytes // 1024}KB)"
+        self._root: object | None = None
+        self._count = 0
+        self.moved_pairs = 0
+        """Pairs shifted or copied by gap shifts, expansions, splits."""
+
+    @property
+    def _max_slots(self) -> int:
+        return max(self.max_node_bytes // 16, 64)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._count = len(keys)
+        if len(keys) == 0:
+            self._root = None
+            return
+        lb = float(keys[0])
+        ub = float(keys[-1]) + max(1.0, abs(float(keys[-1])) * 1e-12)
+        self._root = self._build(keys, values, lb, ub, 0)
+
+    def _build(self, keys, values, lb, ub, depth):
+        n = len(keys)
+        needed_slots = int(math.ceil(max(n, 1) / self.density))
+        fits_budget = needed_slots <= self._max_slots
+        if depth >= _MAX_BUILD_DEPTH or (
+            fits_budget and (n <= 512 or self._rank_rmse(keys) <= 8.0)
+        ):
+            return self._make_leaf(keys, values, lb, ub)
+        if fits_budget:
+            # Quality-driven split (ALEX's cost model: an inaccurate leaf
+            # pays exponential-search misses, an internal level pays one
+            # pointer chase) -- a moderate fanout, recursion refines.
+            fanout = 16
+        else:
+            # Size-driven split: children must fit the node budget.
+            fanout = 2
+            while (
+                fanout < _MAX_FANOUT_PER_NODE
+                and needed_slots / fanout > self._max_slots
+            ):
+                fanout *= 2
+        node = _Internal(lb, ub, fanout)
+        width = (ub - lb) / fanout
+        bounds = [lb + i * width for i in range(fanout)] + [ub]
+        splits = np.searchsorted(keys, bounds[1:-1], side="left")
+        starts = [0] + [int(s) for s in splits]
+        ends = [int(s) for s in splits] + [n]
+        for i in range(fanout):
+            node.children[i] = self._build(
+                keys[starts[i]:ends[i]],
+                values[starts[i]:ends[i]],
+                bounds[i],
+                bounds[i + 1],
+                depth + 1,
+            )
+        return node
+
+    @staticmethod
+    def _rank_rmse(keys: np.ndarray) -> float:
+        """RMSE of a least-squares rank fit (leaf-quality estimate)."""
+        n = len(keys)
+        if n < 2:
+            return 0.0
+        x = np.asarray(keys, dtype=np.float64)
+        ranks = np.arange(n, dtype=np.float64)
+        mx, my = x.mean(), ranks.mean()
+        dx = x - mx
+        sxx = float(dx @ dx)
+        if sxx <= 0.0:
+            return 0.0
+        slope = float(dx @ (ranks - my)) / sxx
+        err = ranks - (my + slope * dx)
+        return float(np.sqrt(np.mean(err * err)))
+
+    def _make_leaf(self, keys, values, lb, ub) -> _Leaf:
+        n = len(keys)
+        capacity = max(int(math.ceil(max(n, 1) / self.density)), 64)
+        return _Leaf(lb, ub, np.asarray(keys, dtype=np.float64),
+                     list(values), capacity)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        node = self._root
+        if node is None:
+            return None
+        while type(node) is _Internal:
+            tracer.mem(node.region)
+            tracer.compute(25.0)
+            idx = node.child_index(key)
+            tracer.mem(node.region, 64 + idx * 8)
+            node = node.children[idx]
+        tracer.mem(node.region)
+        tracer.compute(25.0)
+        pos = node.find(key, tracer)
+        if pos < 0:
+            return None
+        return node.values[pos]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: float):
+        """Return (leaf, parent, child_idx) for ``key``."""
+        parent, idx = None, -1
+        node = self._root
+        while type(node) is _Internal:
+            parent = node
+            idx = node.child_index(key)
+            node = node.children[idx]
+        return node, parent, idx
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        if self._root is None:
+            self._root = self._make_leaf(
+                np.array([key]), [value], key, key + 1.0
+            )
+            self._count = 1
+            return True
+        leaf, parent, idx = self._descend(key)
+        if leaf.find(key, NULL_TRACER) >= 0:
+            return False
+        leaf.shifted = 0
+        ok = leaf.insert(key, value, NULL_TRACER)
+        self.moved_pairs += leaf.shifted
+        if not ok or leaf.num / leaf.capacity > self.max_density:
+            self.moved_pairs += leaf.num
+            replacement = self._grow(leaf, key, value)
+            if parent is None:
+                self._root = replacement
+            else:
+                parent.children[idx] = replacement
+        self._count += 1
+        return True
+
+    def _grow(self, leaf: _Leaf, key: float, value: object):
+        """Expand an overfull leaf, or split it downward at the budget.
+
+        ``key``/``value`` are included if the preceding ``insert`` failed
+        for want of space (the pair is absent from the leaf then).
+        """
+        pairs = list(leaf.iter_pairs())
+        if not any(k == key for k, _ in pairs):
+            pairs.append((key, value))
+            pairs.sort()
+        keys = np.array([p[0] for p in pairs])
+        values = [p[1] for p in pairs]
+        needed = int(math.ceil(len(pairs) / self.density))
+        if needed <= self._max_slots:
+            return _Leaf(leaf.lb, leaf.ub, keys, values, needed)
+        # Split downward: a 2-way internal node over the halved range.
+        node = _Internal(leaf.lb, leaf.ub, 2)
+        mid = (leaf.lb + leaf.ub) / 2.0
+        cut = int(np.searchsorted(keys, mid, side="left"))
+        node.children[0] = self._build(
+            keys[:cut], values[:cut], leaf.lb, mid, 0
+        )
+        node.children[1] = self._build(
+            keys[cut:], values[cut:], mid, leaf.ub, 0
+        )
+        return node
+
+    def delete(self, key: float) -> bool:
+        key = float(key)
+        if self._root is None:
+            return False
+        leaf, _, _ = self._descend(key)
+        if leaf.delete(key, NULL_TRACER):
+            self._count -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Ranges and introspection
+    # ------------------------------------------------------------------
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        out: list[Pair] = []
+        if self._root is not None:
+            self._collect(self._root, lo, hi, out)
+        return out
+
+    def _collect(self, node, lo: float, hi: float, out: list[Pair]) -> bool:
+        """Append pairs in [lo, hi); returns False once past ``hi``."""
+        if type(node) is _Internal:
+            start = node.child_index(lo) if lo > node.lb else 0
+            for i in range(start, len(node.children)):
+                if not self._collect(node.children[i], lo, hi, out):
+                    return False
+            return True
+        start = int(np.searchsorted(node.keys, lo, side="left"))
+        for i in range(start, node.capacity):
+            if not node.occupied[i]:
+                continue
+            k = float(node.keys[i])
+            if k >= hi:
+                return False
+            if k >= lo:
+                out.append((k, node.values[i]))
+        return True
+
+    def memory_bytes(self) -> int:
+        total = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if type(node) is _Internal:
+                total += 32 + 8 * len(node.children)
+                stack.extend(node.children)
+            else:
+                # key + value slot (16 B) plus the occupancy bitmap.
+                total += 48 + 16 * node.capacity + node.capacity // 8
+        return total
+
+    def __len__(self) -> int:
+        return self._count
+
+    def height(self) -> int:
+        """Levels from root to the deepest leaf (diagnostic)."""
+
+        def depth(node) -> int:
+            if type(node) is _Internal:
+                return 1 + max(depth(c) for c in node.children)
+            return 1
+
+        return depth(self._root) if self._root is not None else 0

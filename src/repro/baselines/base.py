@@ -1,0 +1,98 @@
+"""Common interface of all competitor indexes.
+
+Every baseline is a :class:`BaseIndex`: bulk-loadable from sorted unique
+keys, point-queryable with optional cost tracing, and introspectable for
+memory accounting.  Methods that a structure genuinely does not support
+(the paper excludes RMI/RS from update workloads and LIPP from deletion
+workloads for this reason) raise :class:`UnsupportedOperation` so the
+workload runner can skip them exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+from repro.simulate.tracer import NULL_TRACER, Tracer
+
+Pair = tuple
+
+
+class UnsupportedOperation(NotImplementedError):
+    """The index structure does not support this operation."""
+
+
+class BaseIndex(ABC):
+    """Abstract one-dimensional ordered index.
+
+    Class attributes declare capabilities so benchmark code can select
+    applicable methods without try/except probing:
+
+    Attributes:
+        name: Display name used in paper-style tables.
+        supports_insert: Whether :meth:`insert` works.
+        supports_delete: Whether :meth:`delete` works.
+    """
+
+    name: str = "base"
+    supports_insert: bool = False
+    supports_delete: bool = False
+
+    @abstractmethod
+    def bulk_load(
+        self, keys: np.ndarray, values: list | np.ndarray | None = None
+    ) -> None:
+        """Build from sorted, strictly increasing keys."""
+
+    @abstractmethod
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        """Point lookup; None when absent."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled C++ memory footprint of the index structure."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored pairs."""
+
+    def insert(self, key: float, value: object) -> bool:
+        """Insert a pair; False if the key already exists."""
+        raise UnsupportedOperation(f"{self.name} does not support insertion")
+
+    def delete(self, key: float) -> bool:
+        """Delete a key; False if it was absent."""
+        raise UnsupportedOperation(f"{self.name} does not support deletion")
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        """All pairs with lo <= key < hi in ascending order."""
+        raise UnsupportedOperation(
+            f"{self.name} does not support range queries"
+        )
+
+    def items(self) -> Iterator[Pair]:
+        """All pairs in ascending key order (default: via range_query)."""
+        yield from self.range_query(-np.inf, np.inf)
+
+    def __contains__(self, key: float) -> bool:
+        return self.get(key) is not None
+
+    @staticmethod
+    def check_bulk_input(
+        keys: np.ndarray, values: list | np.ndarray | None
+    ) -> tuple[np.ndarray, list]:
+        """Validate and normalize bulk-load input (shared by subclasses)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if len(keys) > 1 and np.any(np.diff(keys) <= 0):
+            raise ValueError("keys must be sorted and strictly increasing")
+        if values is None:
+            values = list(range(len(keys)))
+        else:
+            values = list(values)
+            if len(values) != len(keys):
+                raise ValueError("values must match keys in length")
+        return keys, values

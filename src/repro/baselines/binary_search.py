@@ -1,0 +1,61 @@
+"""BinS: binary search over the whole sorted key array.
+
+The paper's simplest baseline.  Every probe halves a range spanning the
+entire dataset, so almost every iteration touches a cold cache line --
+which is exactly why BinS sits near the bottom of Table 4 despite its
+O(log n) asymptotics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+
+class BinarySearchIndex(BaseIndex):
+    """Sorted-array index answered by binary search."""
+
+    name = "BinS"
+
+    def __init__(self) -> None:
+        self._keys = np.array([], dtype=np.float64)
+        self._values: list = []
+        self._region = region_id()
+
+    def bulk_load(self, keys, values=None) -> None:
+        self._keys, self._values = self.check_bulk_input(keys, values)
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        keys = self._keys
+        lo, hi = 0, len(keys) - 1
+        mem = tracer.mem
+        compute = tracer.compute
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            mem(self._region, mid * 8)
+            compute(17.0)
+            k = keys[mid]
+            if k == key:
+                mem(self._region, mid * 8 + len(keys) * 8)  # value fetch
+                return self._values[mid]
+            if k < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        start = int(np.searchsorted(self._keys, lo, side="left"))
+        end = int(np.searchsorted(self._keys, hi, side="left"))
+        return [
+            (float(self._keys[i]), self._values[i]) for i in range(start, end)
+        ]
+
+    def memory_bytes(self) -> int:
+        # The sorted key + pointer arrays are the whole structure.
+        return 16 * len(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,449 @@
+"""A B+Tree in the style of stx::btree (the paper's B+Tree baseline).
+
+Internal nodes hold separator keys and child pointers; leaves hold the
+pairs and are chained for range scans.  The node size ``order`` (the
+paper's Omega parameter, swept over {16..512} in Table 4) is the maximum
+number of children per internal node and of pairs per leaf.
+
+Lookups binary-search within every node on the descent; those in-node
+probes are the repeated cache misses the paper's Section 4.4 blames for
+B+Tree's lookup times.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+_EXISTS = object()  # sentinel: insertion found a duplicate
+
+
+class _Node:
+    """One B+Tree node; ``children is None`` marks a leaf."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf", "region")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[float] = []
+        self.children: list["_Node"] | None = None if leaf else []
+        self.values: list | None = [] if leaf else None
+        self.next_leaf: "_Node | None" = None
+        self.region = region_id()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class BPlusTree(BaseIndex):
+    """B+Tree with bulk loading, insertion and rebalancing deletion.
+
+    Args:
+        order: Maximum fanout (children per internal node, pairs per
+            leaf).  Must be at least 4.
+    """
+
+    name = "B+Tree"
+    supports_insert = True
+    supports_delete = True
+
+    def __init__(self, order: int = 32, move_counter: list | None = None) -> None:
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._min_keys = order // 2
+        self._root = _Node(leaf=True)
+        self._count = 0
+        self.name = f"B+Tree(Omega={order})"
+        # Pairs moved by shifts/splits/merges; a shared list so a
+        # composite structure (MassTree) can aggregate across trees.
+        self._moves = move_counter if move_counter is not None else [0]
+
+    @property
+    def moved_pairs(self) -> int:
+        """Total pairs shifted or copied by structural maintenance."""
+        return self._moves[0]
+
+    # ------------------------------------------------------------------
+    # Bulk loading (bottom-up, full leaves, stx-style)
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._count = len(keys)
+        if len(keys) == 0:
+            self._root = _Node(leaf=True)
+            return
+        leaves = []
+        for start in range(0, len(keys), self.order):
+            leaf = _Node(leaf=True)
+            leaf.keys = [float(k) for k in keys[start:start + self.order]]
+            leaf.values = values[start:start + self.order]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        # Avoid an undersized final leaf (it would violate the fill
+        # invariant deletions rely on): rebalance with its left sibling.
+        if len(leaves) > 1 and len(leaves[-1].keys) < self._min_keys:
+            left, last = leaves[-2], leaves[-1]
+            merged_keys = left.keys + last.keys
+            merged_vals = left.values + last.values
+            half = len(merged_keys) // 2
+            left.keys, last.keys = merged_keys[:half], merged_keys[half:]
+            left.values, last.values = merged_vals[:half], merged_vals[half:]
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), self.order):
+                group = level[start:start + self.order]
+                parent = _Node(leaf=False)
+                parent.children = group
+                parent.keys = [self._subtree_min(c) for c in group[1:]]
+                parents.append(parent)
+            if (
+                len(parents) > 1
+                and len(parents[-1].children) < max(2, self._min_keys)
+            ):
+                # Undersized last parent: redistribute children evenly
+                # with its left sibling so both satisfy the fill bound.
+                prev, lonely = parents[-2], parents[-1]
+                combined = prev.children + lonely.children
+                half = len(combined) // 2
+                prev.children = combined[:half]
+                lonely.children = combined[half:]
+                prev.keys = [
+                    self._subtree_min(c) for c in prev.children[1:]
+                ]
+                lonely.keys = [
+                    self._subtree_min(c) for c in lonely.children[1:]
+                ]
+            level = parents
+        self._root = level[0]
+
+    @staticmethod
+    def _subtree_min(node: _Node) -> float:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        node = self._root
+        mem = tracer.mem
+        compute = tracer.compute
+        while not node.is_leaf:
+            mem(node.region, 0)
+            idx = self._search_node(node.keys, key, tracer, node.region)
+            node = node.children[idx]
+        mem(node.region, 0)
+        idx = bisect_left(node.keys, key)
+        # Charge the in-leaf binary search probes.
+        lo, hi = 0, len(node.keys)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            mem(node.region, 8 + mid * 8)
+            compute(17.0)
+            if node.keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        if idx < len(node.keys) and node.keys[idx] == key:
+            mem(node.region, 8 + idx * 16)
+            return node.values[idx]
+        return None
+
+    @staticmethod
+    def _search_node(
+        keys: list[float], key: float, tracer: Tracer, region: int
+    ) -> int:
+        """Traced ``bisect_right`` over one node's separator keys."""
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            tracer.mem(region, 8 + mid * 8)
+            tracer.compute(17.0)
+            if key < keys[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def floor_item(
+        self, key: float, tracer: Tracer = NULL_TRACER
+    ) -> tuple[float, object] | None:
+        """The pair with the largest key <= ``key`` (None if none).
+
+        Used by structures that index region boundaries in a B+Tree
+        (e.g. FITing-Tree segments): the floor entry owns the region
+        containing ``key``.
+        """
+        node = self._root
+        left_neighbor: _Node | None = None
+        while not node.is_leaf:
+            tracer.mem(node.region, 0)
+            idx = self._search_node(node.keys, key, tracer, node.region)
+            if idx > 0:
+                left_neighbor = node.children[idx - 1]
+            node = node.children[idx]
+        tracer.mem(node.region, 0)
+        idx = bisect_right(node.keys, key) - 1
+        if idx >= 0:
+            tracer.mem(node.region, 8 + idx * 16)
+            return node.keys[idx], node.values[idx]
+        # Everything in this leaf exceeds key: the floor (if any) is the
+        # maximum of the nearest subtree left of the descent path.
+        if left_neighbor is None:
+            return None
+        node = left_neighbor
+        while not node.is_leaf:
+            tracer.mem(node.region, 0)
+            node = node.children[-1]
+        if not node.keys:
+            return None
+        tracer.mem(node.region, 8 + (len(node.keys) - 1) * 16)
+        return node.keys[-1], node.values[-1]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        result = self._insert(self._root, key, value)
+        if result is _EXISTS:
+            return False
+        if result is not None:
+            sep, right = result
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._count += 1
+        return True
+
+    def _insert(self, node: _Node, key: float, value: object):
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return _EXISTS
+            # A C++ array leaf shifts the tail right by one slot.
+            self._moves[0] += len(node.keys) - idx
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect_right(node.keys, key)
+        result = self._insert(node.children[idx], key, value)
+        if result is _EXISTS or result is None:
+            return result
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        self._moves[0] += len(node.keys) // 2
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Deletion (with borrow/merge rebalancing)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float) -> bool:
+        key = float(key)
+        found = self._delete(self._root, key)
+        if not found:
+            return False
+        root = self._root
+        if not root.is_leaf and len(root.children) == 1:
+            self._root = root.children[0]
+        self._count -= 1
+        return True
+
+    def _delete(self, node: _Node, key: float) -> bool:
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                self._moves[0] += len(node.keys) - idx - 1
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                return True
+            return False
+        idx = bisect_right(node.keys, key)
+        found = self._delete(node.children[idx], key)
+        if found and self._underflow(node.children[idx]):
+            self._fix_child(node, idx)
+        return found
+
+    def _underflow(self, node: _Node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) < self._min_keys
+        return len(node.children) < self._min_keys
+
+    def _fix_child(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (
+            parent.children[idx + 1]
+            if idx + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and not self._is_minimal(left):
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and not self._is_minimal(right):
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        else:
+            self._merge(parent, idx, child, right)
+
+    def _is_minimal(self, node: _Node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) <= self._min_keys
+        return len(node.children) <= self._min_keys
+
+    def _borrow_from_left(
+        self, parent: _Node, idx: int, left: _Node, child: _Node
+    ) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node, idx: int, child: _Node, right: _Node
+    ) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Node, left_idx: int, left: _Node, right: _Node
+    ) -> None:
+        """Merge ``right`` into ``left``; both are children of parent."""
+        if left.is_leaf:
+            self._moves[0] += len(right.keys)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Ranges and introspection
+    # ------------------------------------------------------------------
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[bisect_right(node.keys, lo)]
+        out: list[Pair] = []
+        while node is not None:
+            for i, k in enumerate(node.keys):
+                if k >= hi:
+                    return out
+                if k >= lo:
+                    out.append((k, node.values[i]))
+            node = node.next_leaf
+        return out
+
+    def memory_bytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += 24 + 16 * len(node.keys)
+            else:
+                total += 16 + 8 * len(node.keys) + 8 * len(node.children)
+                stack.extend(node.children)
+        return total
+
+    def __len__(self) -> int:
+        return self._count
+
+    def height(self) -> int:
+        """Number of levels, leaves included."""
+        h, node = 1, self._root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def validate(self) -> None:
+        """Check ordering and fill invariants (test helper)."""
+        pairs = self.range_query(-np.inf, np.inf)
+        assert len(pairs) == self._count, (len(pairs), self._count)
+        keys = [k for k, _ in pairs]
+        assert keys == sorted(keys)
+        self._validate_node(self._root, is_root=True)
+
+    def _validate_node(self, node: _Node, is_root: bool) -> None:
+        if node.is_leaf:
+            if not is_root:
+                assert len(node.keys) >= self._min_keys
+            assert len(node.keys) <= self.order
+            return
+        assert len(node.children) == len(node.keys) + 1
+        assert len(node.children) <= self.order
+        if not is_root:
+            assert len(node.children) >= self._min_keys
+        # Separators are routing values: they need not equal a live key
+        # (deletions leave them stale) but must still partition the
+        # subtrees: max(left) < sep <= min(right).
+        for i, sep in enumerate(node.keys):
+            assert self._subtree_min(node.children[i + 1]) >= sep, (
+                "separator exceeds right subtree minimum"
+            )
+            assert self._subtree_max(node.children[i]) < sep, (
+                "separator not above left subtree maximum"
+            )
+        for child in node.children:
+            self._validate_node(child, is_root=False)
+
+    @staticmethod
+    def _subtree_max(node: _Node) -> float:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else -np.inf

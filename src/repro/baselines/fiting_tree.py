@@ -1,0 +1,254 @@
+"""FITing-Tree (Galakatos et al., SIGMOD'19): buffered PLA segments.
+
+The paper's related-work section positions FITing-Tree as the memory-
+frugal learned index: error-bounded linear segments replace B-tree
+leaves, a classic B+Tree indexes the segment boundaries, and each
+segment absorbs inserts into a small sorted buffer that is merged (and
+the segment re-split) when full.  It is not part of the paper's
+evaluation; it is included here as an extension baseline because it
+shares DILI's substrate (the epsilon-bounded PLA of
+:func:`repro.baselines.pgm.build_pla` and this repository's B+Tree) and
+rounds out the design space between PGM (static PLA) and ALEX (gapped
+arrays).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.baselines.btree import BPlusTree
+from repro.baselines.pgm import build_pla
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+
+class _Segment:
+    """One linear segment with its insert buffer."""
+
+    __slots__ = (
+        "keys",
+        "values",
+        "slope",
+        "intercept",
+        "base_rank",
+        "buf_keys",
+        "buf_values",
+        "region",
+    )
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: list,
+        slope: float,
+        intercept: float,
+        base_rank: int,
+    ) -> None:
+        self.keys = keys
+        self.values = values
+        self.slope = slope
+        self.intercept = intercept
+        self.base_rank = base_rank
+        self.buf_keys: list[float] = []
+        self.buf_values: list[object] = []
+        self.region = region_id()
+
+    @property
+    def first_key(self) -> float:
+        return float(self.keys[0])
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.keys) + len(self.buf_keys)
+
+    def merged_pairs(self) -> tuple[np.ndarray, list]:
+        """Segment data and buffer merged into sorted arrays."""
+        if not self.buf_keys:
+            return self.keys, self.values
+        all_keys = np.concatenate(
+            [self.keys, np.array(self.buf_keys, dtype=np.float64)]
+        )
+        all_values = self.values + self.buf_values
+        order = np.argsort(all_keys, kind="stable")
+        return all_keys[order], [all_values[int(i)] for i in order]
+
+
+class FITingTree(BaseIndex):
+    """Error-bounded segments + boundary B+Tree + insert buffers.
+
+    Args:
+        epsilon: PLA error bound; lookups search at most ``2*epsilon``
+            positions inside a segment.
+        buffer_size: Inserts a segment absorbs before it is merged and
+            re-split.
+        btree_order: Node size of the boundary B+Tree.
+    """
+
+    name = "FITing-Tree"
+    supports_insert = True
+
+    def __init__(
+        self,
+        epsilon: int = 32,
+        buffer_size: int = 64,
+        btree_order: int = 32,
+    ) -> None:
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        self.epsilon = epsilon
+        self.buffer_size = buffer_size
+        self.name = f"FITing-Tree(e={epsilon})"
+        self._btree = BPlusTree(btree_order)
+        self._count = 0
+        self.moved_pairs = 0
+        """Pairs copied by segment merge/re-split operations."""
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._btree = BPlusTree(self._btree.order)
+        self._count = len(keys)
+        if len(keys) == 0:
+            return
+        for segment in self._segment(keys, values):
+            self._btree.insert(segment.first_key, segment)
+
+    def _segment(self, keys: np.ndarray, values: list) -> list[_Segment]:
+        """Split sorted pairs into epsilon-bounded segments."""
+        firsts, slopes, intercepts, starts = build_pla(keys, self.epsilon)
+        segments = []
+        bounds = list(starts) + [len(keys)]
+        for i in range(len(firsts)):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            segments.append(
+                _Segment(
+                    keys[lo:hi],
+                    values[lo:hi],
+                    float(slopes[i]),
+                    float(intercepts[i]),
+                    lo,
+                )
+            )
+        return segments
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _locate(self, key: float, tracer: Tracer) -> _Segment | None:
+        entry = self._btree.floor_item(key, tracer)
+        if entry is None:
+            # Below the first segment: only that segment's buffer could
+            # have absorbed such a key.
+            first = self._btree.range_query(-np.inf, np.inf)
+            return first[0][1] if first else None
+        return entry[1]
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        segment = self._locate(key, tracer)
+        if segment is None:
+            return None
+        # Check the (small, cache-resident) buffer first.
+        idx = bisect_left(segment.buf_keys, key)
+        if idx < len(segment.buf_keys) and segment.buf_keys[idx] == key:
+            tracer.mem(segment.region, 0)
+            tracer.compute(17.0 * max(len(segment.buf_keys).bit_length(), 1))
+            return segment.buf_values[idx]
+        keys = segment.keys
+        n = len(keys)
+        if n == 0:
+            return None
+        tracer.mem(segment.region, 0)
+        tracer.compute(25.0)
+        # The PLA prediction targets the build-time rank; subtracting
+        # the segment's base rank yields the local array position.
+        pos = int(segment.intercept + segment.slope * key)
+        pos -= segment.base_rank
+        lo = max(pos - self.epsilon - 1, 0)
+        hi = min(pos + self.epsilon + 2, n)
+        lo = min(max(lo, 0), n - 1)
+        hi = max(min(hi, n), lo + 1)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            tracer.mem(segment.region, 64 + mid * 8)
+            tracer.compute(17.0)
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        if keys[lo] == key:
+            tracer.mem(segment.region, 64 + n * 8 + lo * 8)
+            return segment.values[lo]
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion (buffered)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        segment = self._locate(key, NULL_TRACER)
+        if segment is None:
+            fresh = _Segment(np.array([key]), [value], 0.0, 0.0, 0)
+            self._btree.insert(key, fresh)
+            self._count = 1
+            return True
+        if self.get(key) is not None:
+            return False
+        idx = bisect_left(segment.buf_keys, key)
+        segment.buf_keys.insert(idx, key)
+        segment.buf_values.insert(idx, value)
+        self._count += 1
+        if len(segment.buf_keys) > self.buffer_size:
+            self._split(segment)
+        return True
+
+    def _split(self, segment: _Segment) -> None:
+        """Merge a full buffer and re-segment (FITing-Tree's compaction)."""
+        keys, values = segment.merged_pairs()
+        self.moved_pairs += len(keys)
+        self._btree.delete(segment.first_key)
+        for fresh in self._segment(keys, list(values)):
+            self._btree.insert(fresh.first_key, fresh)
+
+    # ------------------------------------------------------------------
+    # Ranges and introspection
+    # ------------------------------------------------------------------
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        out: list[Pair] = []
+        segments = self._btree.range_query(-np.inf, np.inf)
+        for i, (first, segment) in enumerate(segments):
+            next_first = (
+                segments[i + 1][0] if i + 1 < len(segments) else np.inf
+            )
+            if next_first <= lo or first >= hi:
+                continue
+            keys, values = segment.merged_pairs()
+            start = int(np.searchsorted(keys, lo, side="left"))
+            for j in range(start, len(keys)):
+                k = float(keys[j])
+                if k >= hi:
+                    return out
+                out.append((k, values[j]))
+        return out
+
+    def memory_bytes(self) -> int:
+        total = self._btree.memory_bytes()
+        for _, segment in self._btree.range_query(-np.inf, np.inf):
+            total += 32 + 16 * segment.num_pairs
+        return total
+
+    def __len__(self) -> int:
+        return self._count
+
+    def segment_count(self) -> int:
+        """Number of live segments (diagnostic)."""
+        return len(self._btree)

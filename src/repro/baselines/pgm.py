@@ -1,0 +1,324 @@
+"""PGM-index (Ferragina & Vinciguerra, VLDB'20), static and dynamic.
+
+:class:`PGMIndex` is the static structure: an epsilon-bounded piecewise
+linear approximation (PLA) of the key->rank function, built level over
+level until a single root segment remains.  Every level guarantees
+``|predicted - true| <= epsilon``, so each descent step searches a
+``2*epsilon + 1`` window.
+
+:class:`DynamicPGM` adds updates with the logarithmic method the real
+PGM uses (and the paper criticizes): a sequence of static PGMs of
+doubling sizes; inserts rebuild the smallest run, deletes insert
+tombstones, and every query probes all runs -- which is why PGM trails
+badly on the paper's write-heavy workloads (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair, UnsupportedOperation
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+_TOMBSTONE = object()
+"""Marks a deleted key inside a DynamicPGM run."""
+
+
+def build_pla(
+    keys: np.ndarray, epsilon: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Greedy epsilon-bounded PLA over (keys[i], i).
+
+    Returns parallel arrays (first_key, slope, intercept, start_rank),
+    one entry per segment, such that segment ``s`` covers exactly the
+    ranks ``[start_rank[s], start_rank[s+1])`` and for every covered i,
+    ``|intercept_s + slope_s * keys[i] - i| <= epsilon``.
+    """
+    n = len(keys)
+    if n == 0:
+        empty = np.array([])
+        return (empty, empty, empty, np.array([], dtype=np.int64))
+    firsts: list[float] = []
+    slopes: list[float] = []
+    intercepts: list[float] = []
+    starts: list[int] = []
+
+    def emit(base_x: float, base_y: float, lo: float, hi: float) -> None:
+        if hi == np.inf or lo == -np.inf:
+            slope = 0.0
+        else:
+            slope = (lo + hi) / 2.0
+        firsts.append(base_x)
+        slopes.append(slope)
+        intercepts.append(base_y - slope * base_x)
+        starts.append(int(base_y))
+
+    base_x, base_y = float(keys[0]), 0.0
+    upper, lower = np.inf, -np.inf
+    for i in range(1, n):
+        x, y = float(keys[i]), float(i)
+        dx = x - base_x
+        slope = (y - base_y) / dx
+        if slope > upper or slope < lower:
+            emit(base_x, base_y, lower, upper)
+            base_x, base_y = x, y
+            upper, lower = np.inf, -np.inf
+        else:
+            upper = min(upper, (y + epsilon - base_y) / dx)
+            lower = max(lower, (y - epsilon - base_y) / dx)
+    emit(base_x, base_y, lower, upper)
+    return (
+        np.array(firsts),
+        np.array(slopes),
+        np.array(intercepts),
+        np.array(starts, dtype=np.int64),
+    )
+
+
+class PGMIndex(BaseIndex):
+    """Static multi-level PGM-index.
+
+    Args:
+        epsilon: Error bound of every PLA level (paper-typical: 32-128).
+    """
+
+    name = "PGM"
+
+    def __init__(self, epsilon: int = 32) -> None:
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        self.epsilon = epsilon
+        self.name = f"PGM(e={epsilon})"
+        self._keys = np.array([], dtype=np.float64)
+        self._values: list = []
+        # Levels from bottom (over the data) to top (single segment).
+        # Each level is (first_keys, slopes, intercepts, start_ranks).
+        self._levels: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        self._keys_region = region_id()
+        self._level_regions: list[int] = []
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._keys = keys
+        self._values = values
+        self._levels = []
+        self._level_regions = []
+        if len(keys) == 0:
+            return
+        level = build_pla(keys, self.epsilon)
+        self._levels.append(level)
+        self._level_regions.append(region_id())
+        while len(self._levels[-1][0]) > 1:
+            firsts = self._levels[-1][0]
+            self._levels.append(build_pla(firsts, self.epsilon))
+            self._level_regions.append(region_id())
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        n = len(self._keys)
+        if n == 0:
+            return None
+        # Descend the levels from the root; at each level the segment's
+        # model prediction, clamped to the segment's covered rank range,
+        # bounds a 2*epsilon window at the level below.
+        idx = 0
+        for depth in range(len(self._levels) - 1, -1, -1):
+            firsts, slopes, intercepts, starts = self._levels[depth]
+            region = self._level_regions[depth]
+            tracer.mem(region, idx * 24)
+            tracer.compute(25.0)
+            pred = intercepts[idx] + slopes[idx] * key
+            # Ranks covered by this segment at the level below.
+            size_below = (
+                n if depth == 0 else len(self._levels[depth - 1][0])
+            )
+            seg_lo = int(starts[idx])
+            seg_hi = (
+                int(starts[idx + 1]) if idx + 1 < len(starts) else size_below
+            )
+            pos = int(pred)
+            lo = max(pos - self.epsilon - 1, seg_lo)
+            hi = min(pos + self.epsilon + 2, seg_hi)
+            lo = min(max(lo, seg_lo), seg_hi - 1)
+            hi = max(min(hi, seg_hi), lo + 1)
+            if depth == 0:
+                return self._final_search(key, lo, hi, tracer)
+            # Last below-segment whose first key is <= key.
+            below_firsts = self._levels[depth - 1][0]
+            below_region = self._level_regions[depth - 1]
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                tracer.mem(below_region, mid * 24)
+                tracer.compute(17.0)
+                if below_firsts[mid] <= key:
+                    lo = mid
+                else:
+                    hi = mid
+            idx = lo
+        return None  # pragma: no cover - loop always returns at depth 0
+
+    def _final_search(
+        self, key: float, lo: int, hi: int, tracer: Tracer
+    ) -> object | None:
+        keys = self._keys
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            tracer.mem(self._keys_region, mid * 8)
+            tracer.compute(17.0)
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        if lo < len(keys) and keys[lo] == key:
+            tracer.mem(self._keys_region, len(keys) * 8 + lo * 8)
+            return self._values[lo]
+        return None
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        start = int(np.searchsorted(self._keys, lo, side="left"))
+        end = int(np.searchsorted(self._keys, hi, side="left"))
+        return [
+            (float(self._keys[i]), self._values[i]) for i in range(start, end)
+        ]
+
+    def memory_bytes(self) -> int:
+        # The PGM owns a sorted copy of the pairs (key + pointer, as in
+        # the paper's Table 10 where PGM's footprint tracks B+Tree's)
+        # plus 24 bytes per segment per level.
+        return 16 * len(self._keys) + sum(
+            24 * len(level[0]) for level in self._levels
+        )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def level_sizes(self) -> list[int]:
+        """Segments per level, bottom first (diagnostic)."""
+        return [len(level[0]) for level in self._levels]
+
+
+class DynamicPGM(BaseIndex):
+    """PGM with inserts/deletes via the logarithmic method (LSM of runs).
+
+    Run ``i`` holds a static PGM over at most ``base * 2**i`` pairs.  An
+    insert merges runs 0..j into the first empty slot j; a delete inserts
+    a tombstone that shadows older runs.  Point queries probe runs newest
+    to oldest -- the O(log n) trees per query the paper blames for PGM's
+    weak write-workload throughput.
+    """
+
+    name = "PGM"
+    supports_insert = True
+    supports_delete = True
+
+    def __init__(self, epsilon: int = 32, base: int = 128) -> None:
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        self.epsilon = epsilon
+        self.base = base
+        self._runs: list[PGMIndex | None] = []
+        self._count = 0
+        self.moved_pairs = 0
+        """Pairs copied by run merges (the logarithmic method's cost)."""
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._runs = []
+        self._count = len(keys)
+        if len(keys) == 0:
+            return
+        run = PGMIndex(self.epsilon)
+        run.bulk_load(keys, values)
+        slot = self._slot_for(len(keys))
+        self._runs = [None] * slot + [run]
+
+    def _slot_for(self, n: int) -> int:
+        slot = 0
+        cap = self.base
+        while cap < n:
+            cap *= 2
+            slot += 1
+        return slot
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        for run in self._runs:  # newest (smallest) first
+            if run is None:
+                continue
+            hit = run.get(key, tracer)
+            if hit is not None:
+                return None if hit is _TOMBSTONE else hit
+        return None
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        existing = self.get(key)
+        if existing is not None:
+            return False
+        self._push(key, value)
+        self._count += 1
+        return True
+
+    def delete(self, key: float) -> bool:
+        key = float(key)
+        if self.get(key) is None:
+            return False
+        self._push(key, _TOMBSTONE)
+        self._count -= 1
+        return True
+
+    def _push(self, key: float, value: object) -> None:
+        """Merge the new pair with runs 0..j into the first free slot."""
+        pairs: dict[float, object] = {key: value}
+        slot = 0
+        for slot, run in enumerate(self._runs):
+            if run is None:
+                break
+            # Older pairs must not overwrite newer ones.
+            for k, v in zip(run._keys, run._values):
+                pairs.setdefault(float(k), v)
+            self._runs[slot] = None
+            if len(pairs) <= self.base * (2**slot):
+                break
+        else:
+            slot = len(self._runs)
+            self._runs.append(None)
+        while len(pairs) > self.base * (2**slot):
+            slot += 1
+            if slot == len(self._runs):
+                self._runs.append(None)
+            elif self._runs[slot] is not None:
+                run = self._runs[slot]
+                for k, v in zip(run._keys, run._values):
+                    pairs.setdefault(float(k), v)
+                self._runs[slot] = None
+        self.moved_pairs += len(pairs)
+        merged_keys = np.array(sorted(pairs), dtype=np.float64)
+        merged_values = [pairs[float(k)] for k in merged_keys]
+        run = PGMIndex(self.epsilon)
+        run.bulk_load(merged_keys, merged_values)
+        if slot == len(self._runs):
+            self._runs.append(run)
+        else:
+            self._runs[slot] = run
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        merged: dict[float, object] = {}
+        for run in reversed([r for r in self._runs if r is not None]):
+            for k, v in run.range_query(lo, hi):
+                merged[k] = v  # newer runs overwrite older pairs
+        return [
+            (k, v)
+            for k, v in sorted(merged.items())
+            if v is not _TOMBSTONE
+        ]
+
+    def memory_bytes(self) -> int:
+        return sum(r.memory_bytes() for r in self._runs if r is not None)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def run_sizes(self) -> list[int]:
+        """Pairs per run slot, newest first (diagnostic)."""
+        return [0 if r is None else len(r) for r in self._runs]

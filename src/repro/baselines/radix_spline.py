@@ -1,0 +1,199 @@
+"""RadixSpline (Kipf et al., aiDM'20): single-pass spline + radix table.
+
+A greedy spline-corridor pass over the sorted keys picks spline points
+such that linear interpolation between consecutive points approximates
+every key's rank within ``max_error``.  A radix table over the top
+``radix_bits`` of the key narrows the spline-point search to a handful of
+candidates.  Lookup: radix table -> binary search spline points ->
+interpolate -> error-bounded binary search in the data.  Like RMI, the
+structure is static (no updates), matching the paper's exclusions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+_KEY_BITS = 53  # keys are integer-valued float64 below 2**53
+
+
+class RadixSplineIndex(BaseIndex):
+    """Spline-based learned index with a radix prefix table.
+
+    Args:
+        max_error: Corridor half-width epsilon; lookup searches at most
+            ``2 * max_error`` keys.  The paper's RS (S)/(L) configs trade
+            this off against the table size.
+        radix_bits: Width of the key prefix indexing the table
+            (table has ``2**radix_bits + 1`` four-byte entries).
+    """
+
+    name = "RS"
+
+    def __init__(self, max_error: int = 32, radix_bits: int = 18) -> None:
+        if max_error < 1:
+            raise ValueError("max_error must be >= 1")
+        if not 1 <= radix_bits <= 28:
+            raise ValueError("radix_bits must be in [1, 28]")
+        self.max_error = max_error
+        self.radix_bits = radix_bits
+        self.name = f"RS(e={max_error},r={radix_bits})"
+        self._keys = np.array([], dtype=np.float64)
+        self._values: list = []
+        self._spline_keys = np.array([], dtype=np.float64)
+        self._spline_ranks = np.array([], dtype=np.float64)
+        self._table = np.array([], dtype=np.int64)
+        self._shift = 0
+        self._min_key = 0
+        self._keys_region = region_id()
+        self._spline_region = region_id()
+        self._table_region = region_id()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        self._keys = keys
+        self._values = values
+        n = len(keys)
+        if n == 0:
+            return
+        sk, sr = _greedy_spline(keys, self.max_error)
+        self._spline_keys = sk
+        self._spline_ranks = sr
+        # Radix table over the key prefix, relative to the minimum key so
+        # the prefix space is actually used.
+        self._min_key = int(keys[0])
+        span = int(keys[-1]) - self._min_key
+        self._shift = max(span.bit_length() - self.radix_bits, 0)
+        size = (span >> self._shift) + 2 if span > 0 else 2
+        prefixes = (sk.astype(np.int64) - self._min_key) >> self._shift
+        # table[p] = first spline index whose prefix is >= p.
+        self._table = np.searchsorted(
+            prefixes, np.arange(size, dtype=np.int64), side="left"
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        n = len(self._keys)
+        if n == 0:
+            return None
+        sk = self._spline_keys
+        if key < sk[0] or key > sk[-1]:
+            return None
+        tracer.phase("step1")
+        prefix = (int(key) - self._min_key) >> self._shift
+        tracer.compute(4.0)
+        tracer.mem(self._table_region, prefix * 4)
+        lo_idx = int(self._table[prefix])
+        tracer.mem(self._table_region, (prefix + 1) * 4)
+        hi_idx = int(self._table[prefix + 1]) if prefix + 1 < len(
+            self._table
+        ) else len(sk)
+        # Find the spline segment: last spline key <= key within
+        # [lo_idx - 1, hi_idx].  (The point before the prefix window can
+        # still start the covering segment.)
+        lo = max(lo_idx - 1, 0)
+        hi = min(hi_idx, len(sk) - 1)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            tracer.mem(self._spline_region, mid * 16)
+            tracer.compute(17.0)
+            if sk[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        seg = lo
+        if sk[hi] <= key:
+            seg = hi
+        seg = min(seg, len(sk) - 2)
+        x0, x1 = sk[seg], sk[seg + 1]
+        y0, y1 = self._spline_ranks[seg], self._spline_ranks[seg + 1]
+        tracer.compute(25.0)  # interpolation
+        if x1 > x0:
+            pos = y0 + (y1 - y0) * (key - x0) / (x1 - x0)
+        else:
+            pos = y0
+        tracer.phase("step2")
+        lo = int(pos) - self.max_error
+        hi = int(pos) + self.max_error + 1
+        if lo < 0:
+            lo = 0
+        if hi > n:
+            hi = n
+        keys = self._keys
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            tracer.mem(self._keys_region, mid * 8)
+            tracer.compute(17.0)
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        tracer.phase("done")
+        if lo < n and keys[lo] == key:
+            tracer.mem(self._keys_region, n * 8 + lo * 8)
+            return self._values[lo]
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return 16 * len(self._spline_keys) + 4 * len(self._table)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def spline_size(self) -> int:
+        """Number of spline points (diagnostic)."""
+        return len(self._spline_keys)
+
+
+def _greedy_spline(
+    keys: np.ndarray, epsilon: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """GreedySplineCorridor: spline points bounding interpolation error.
+
+    Maintains the slope corridor from the current base spline point that
+    keeps every seen point within ``epsilon`` of the interpolation line;
+    when a point falls outside, the previous point becomes the next
+    spline point and the corridor restarts.
+    """
+    n = len(keys)
+    if n == 1:
+        return keys.copy(), np.zeros(1)
+    points_x = [float(keys[0])]
+    points_y = [0.0]
+    base_x, base_y = float(keys[0]), 0.0
+    upper = np.inf
+    lower = -np.inf
+    prev_x, prev_y = base_x, base_y
+    for i in range(1, n):
+        x, y = float(keys[i]), float(i)
+        dx = x - base_x
+        slope = (y - base_y) / dx
+        if slope > upper or slope < lower:
+            # Emit the previous point and restart the corridor from it.
+            points_x.append(prev_x)
+            points_y.append(prev_y)
+            base_x, base_y = prev_x, prev_y
+            dx = x - base_x
+            upper = (y + epsilon - base_y) / dx
+            lower = (y - epsilon - base_y) / dx
+        else:
+            upper = min(upper, (y + epsilon - base_y) / dx)
+            lower = max(lower, (y - epsilon - base_y) / dx)
+        prev_x, prev_y = x, y
+    if points_x[-1] != float(keys[-1]):
+        points_x.append(float(keys[-1]))
+        points_y.append(float(n - 1))
+    return np.array(points_x), np.array(points_y)

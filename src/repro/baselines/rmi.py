@@ -1,0 +1,228 @@
+"""RMI: the two-stage Recursive Model Index (Kraska et al., SIGMOD'18).
+
+A root model (linear or cubic, per the paper's "linear stages and cubic
+stages") routes each key to one of ``branching`` second-stage linear
+models; the chosen model predicts a position in the sorted key array and
+a per-model error bound limits the correcting binary search.  The layout
+is fixed at build time and the structure supports no updates -- exactly
+why the paper excludes RMI from its insertion workloads.
+
+The paper's RMI (S) and RMI (L) configurations differ only in the
+second-stage count; pass ``branching`` accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
+
+
+class RMIIndex(BaseIndex):
+    """Two-stage RMI over a sorted array.
+
+    Args:
+        branching: Number of second-stage models.
+        root_kind: "linear", "cubic", "loglinear" or "auto".  The SOSD
+            RMI tuner picks per-dataset root models; "loglinear" fits
+            ranks against ``log2(key + 1)`` so heavy tails (FB, Books)
+            cannot collapse the body into a handful of buckets, and
+            "auto" builds with every root kind and keeps the one whose
+            mean second-stage error window is smallest -- the tuner's
+            selection criterion.
+    """
+
+    name = "RMI"
+
+    def __init__(self, branching: int = 4096, root_kind: str = "cubic") -> None:
+        if branching < 1:
+            raise ValueError("branching must be positive")
+        if root_kind not in ("linear", "cubic", "loglinear", "auto"):
+            raise ValueError(
+                "root_kind must be 'linear', 'cubic', 'loglinear' or "
+                "'auto'"
+            )
+        self.branching = branching
+        self.root_kind = root_kind
+        self.name = f"RMI({root_kind},{branching})"
+        self._keys = np.array([], dtype=np.float64)
+        self._values: list = []
+        self._root_coeffs = np.zeros(4)
+        self._key_offset = 0.0
+        self._key_scale = 1.0
+        self._slopes = np.array([])
+        self._intercepts = np.array([])
+        self._err_lo = np.array([])
+        self._err_hi = np.array([])
+        self._keys_region = region_id()
+        self._stage2_region = region_id()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys, values=None) -> None:
+        keys, values = self.check_bulk_input(keys, values)
+        if self.root_kind == "auto":
+            self._bulk_load_auto(keys, values)
+            return
+        self._keys = keys
+        self._values = values
+        n = len(keys)
+        if n == 0:
+            return
+        ranks = np.arange(n, dtype=np.float64)
+        # Normalize keys into [0, 1] so the polynomial fit stays
+        # conditioned; the loglinear root transforms first.
+        self._key_offset = float(keys[0])
+        span = float(keys[-1] - keys[0])
+        self._key_scale = 1.0 / span if span > 0 else 1.0
+        x = self._transform(keys)
+        if n == 1:
+            self._root_coeffs = np.array([0.0, 0.0])
+        else:
+            degree = 3 if self.root_kind == "cubic" and n > 4 else 1
+            with np.errstate(all="ignore"):
+                self._root_coeffs = np.polyfit(x, ranks, degree)
+        buckets = self._route(keys)
+        m = self.branching
+        slopes = np.zeros(m)
+        intercepts = np.zeros(m)
+        err_lo = np.zeros(m, dtype=np.int64)
+        err_hi = np.zeros(m, dtype=np.int64)
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        starts = np.searchsorted(sorted_buckets, np.arange(m), side="left")
+        ends = np.searchsorted(sorted_buckets, np.arange(m), side="right")
+        last_boundary = 0.0
+        for b in range(m):
+            idx = order[starts[b]:ends[b]]
+            if len(idx) == 0:
+                # Empty bucket: predict the running boundary rank so that
+                # misses routed here search a one-element window.
+                slopes[b] = 0.0
+                intercepts[b] = last_boundary
+                continue
+            bk = keys[idx]
+            br = ranks[idx]
+            if len(idx) == 1 or bk[-1] == bk[0]:
+                slopes[b] = 0.0
+                intercepts[b] = br[0]
+            else:
+                mx, my = bk.mean(), br.mean()
+                dx = bk - mx
+                sxx = float(dx @ dx)
+                slope = float(dx @ (br - my)) / sxx if sxx > 0 else 0.0
+                slopes[b] = slope
+                intercepts[b] = my - slope * mx
+            pred = intercepts[b] + slopes[b] * bk
+            err = br - pred
+            err_lo[b] = int(np.floor(err.min()))
+            err_hi[b] = int(np.ceil(err.max()))
+            last_boundary = float(br[-1])
+        self._slopes = slopes
+        self._intercepts = intercepts
+        self._err_lo = err_lo
+        self._err_hi = err_hi
+
+    def _bulk_load_auto(self, keys, values) -> None:
+        """Build with every root kind; adopt the tightest-window one."""
+        best: RMIIndex | None = None
+        best_window = None
+        for kind in ("linear", "cubic", "loglinear"):
+            candidate = RMIIndex(self.branching, kind)
+            candidate.bulk_load(keys, values)
+            window = (
+                float(np.mean(candidate._err_hi - candidate._err_lo))
+                if len(candidate._err_hi)
+                else 0.0
+            )
+            if best_window is None or window < best_window:
+                best, best_window = candidate, window
+        assert best is not None
+        self.root_kind = best.root_kind
+        self.name = f"RMI(auto->{best.root_kind},{self.branching})"
+        for attr in (
+            "_keys", "_values", "_root_coeffs", "_key_offset",
+            "_key_scale", "_slopes", "_intercepts", "_err_lo", "_err_hi",
+        ):
+            setattr(self, attr, getattr(best, attr))
+
+    def _transform(self, keys: np.ndarray | float):
+        """Root-model input transform (normalization or log)."""
+        if self.root_kind == "loglinear":
+            return np.log2(np.maximum(keys, 0.0) + 1.0)
+        return (keys - self._key_offset) * self._key_scale
+
+    def _route(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized root-model bucket assignment."""
+        x = self._transform(keys)
+        pred = np.polyval(self._root_coeffs, x)
+        n = len(self._keys)
+        buckets = np.floor(pred * self.branching / max(n, 1)).astype(np.int64)
+        return np.clip(buckets, 0, self.branching - 1)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        n = len(self._keys)
+        if n == 0:
+            return None
+        tracer.phase("step1")
+        x = self._transform(key)
+        # Root model evaluation: one multiply-add per polynomial degree
+        # (a log transform costs about one more).
+        tracer.compute(25.0 * (len(self._root_coeffs) - 1))
+        if self.root_kind == "loglinear":
+            tracer.compute(25.0)
+        pred = float(np.polyval(self._root_coeffs, x))
+        bucket = int(pred * self.branching / n)
+        if bucket < 0:
+            bucket = 0
+        elif bucket >= self.branching:
+            bucket = self.branching - 1
+        # Fetch the second-stage model (4 doubles = half a cache line).
+        tracer.mem(self._stage2_region, bucket * 32)
+        tracer.compute(25.0)
+        pos = self._intercepts[bucket] + self._slopes[bucket] * key
+        lo = int(pos) + int(self._err_lo[bucket])
+        hi = int(pos) + int(self._err_hi[bucket]) + 1
+        if lo < 0:
+            lo = 0
+        if hi > n:
+            hi = n
+        tracer.phase("step2")
+        keys = self._keys
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            tracer.mem(self._keys_region, mid * 8)
+            tracer.compute(17.0)
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        tracer.phase("done")
+        if lo < n and keys[lo] == key:
+            tracer.mem(self._keys_region, n * 8 + lo * 8)
+            return self._values[lo]
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        # Root polynomial + per-model (slope, intercept, two error ints).
+        return 32 + self.branching * 32
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def max_error_window(self) -> int:
+        """Widest per-model search window (diagnostic for tests)."""
+        if len(self._err_lo) == 0:
+            return 0
+        return int(np.max(self._err_hi - self._err_lo))

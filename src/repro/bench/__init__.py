@@ -1,0 +1,36 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+:mod:`repro.bench.harness` provides the scale configuration, the method
+registry (one factory per paper configuration), and the measurement
+loops; :mod:`repro.bench.reporting` renders paper-style tables.  Each
+file under ``benchmarks/`` is one table or figure (see DESIGN.md).
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    BuildCache,
+    DATASETS,
+    MAIN_DATASETS,
+    METHOD_FACTORIES,
+    SCALES,
+    current_scale,
+    make_index,
+    measure_lookup,
+    method_names,
+)
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "BenchScale",
+    "BuildCache",
+    "DATASETS",
+    "MAIN_DATASETS",
+    "METHOD_FACTORIES",
+    "SCALES",
+    "current_scale",
+    "format_table",
+    "make_index",
+    "measure_lookup",
+    "method_names",
+    "print_table",
+]

@@ -1,0 +1,249 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Scale
+-----
+The paper indexes 200-800M keys; pure Python cannot.  Benchmarks run at
+a configurable scale (``REPRO_SCALE`` environment variable: ``small``,
+``medium`` -- the default -- or ``large``).  The simulated LL cache is
+sized *relative to the dataset* (about 1% of the pair bytes) so the
+hot-top/cold-leaf regime of the paper's machine is preserved at every
+scale; see DESIGN.md's substitution notes.
+
+Method registry
+---------------
+``METHOD_FACTORIES`` maps the paper's method labels to zero-argument
+factories with the paper's representative configurations, adapted to
+benchmark scale where the original value is tied to 200M keys (e.g.
+ALEX's Gamma = 16 MB at 200M keys corresponds to node budgets around
+1 MiB at 10**5 keys).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import DILI, DiliConfig
+from repro.baselines import (
+    AlexIndex,
+    BinarySearchIndex,
+    BPlusTree,
+    DynamicPGM,
+    LippIndex,
+    MassTree,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+)
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.tracer import CostTracer
+
+GHZ = 2.5
+"""Simulated clock used to convert cycles to nanoseconds."""
+
+DATASETS = ["fb", "wikits", "osm", "books", "logn"]
+"""All five paper datasets in Table 4 order."""
+
+MAIN_DATASETS = ["fb", "wikits", "logn"]
+"""Section 7.2 keeps these three after dropping OSM/Books to save space."""
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark scale configuration.
+
+    Attributes:
+        name: Scale label.
+        num_keys: Keys per dataset.
+        num_queries: Point queries per measurement.
+        cache_lines: Simulated LL-cache lines (~1% of pair bytes).
+    """
+
+    name: str
+    num_keys: int
+    num_queries: int
+
+    @property
+    def cache_lines(self) -> int:
+        return max(512, self.num_keys // 100)
+
+
+SCALES = {
+    "small": BenchScale("small", 50_000, 3_000),
+    "medium": BenchScale("medium", 100_000, 4_000),
+    "large": BenchScale("large", 200_000, 5_000),
+}
+
+
+def current_scale() -> BenchScale:
+    """Scale selected by the REPRO_SCALE environment variable."""
+    name = os.environ.get("REPRO_SCALE", "medium").lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}"
+        ) from None
+
+
+def _dili_lo() -> DILI:
+    return DILI(DiliConfig(local_optimization=False))
+
+
+METHOD_FACTORIES: dict[str, Callable[[], object]] = {
+    "BinS": BinarySearchIndex,
+    "B+Tree(16)": lambda: BPlusTree(16),
+    "B+Tree(32)": lambda: BPlusTree(32),
+    "B+Tree(64)": lambda: BPlusTree(64),
+    "B+Tree(128)": lambda: BPlusTree(128),
+    "B+Tree(256)": lambda: BPlusTree(256),
+    "B+Tree(512)": lambda: BPlusTree(512),
+    "ALEX(16KB)": lambda: AlexIndex(16 * 1024),
+    "ALEX(64KB)": lambda: AlexIndex(64 * 1024),
+    "ALEX(256KB)": lambda: AlexIndex(256 * 1024),
+    "ALEX(1MB)": lambda: AlexIndex(1 << 20),
+    "RMI(S)": lambda: RMIIndex(256, "cubic"),
+    "RMI(L)": lambda: RMIIndex(16384, "auto"),
+    "RS(S)": lambda: RadixSplineIndex(128, 12),
+    "RS(L)": lambda: RadixSplineIndex(16, 18),
+    "MassTree": MassTree,
+    "PGM": lambda: PGMIndex(64),
+    "DynPGM": lambda: DynamicPGM(64, base=256),
+    "LIPP": LippIndex,
+    "DILI-LO": _dili_lo,
+    "DILI": DILI,
+}
+
+REPRESENTATIVE = [
+    "BinS",
+    "B+Tree(32)",
+    "MassTree",
+    "RMI(L)",
+    "RS(L)",
+    "PGM",
+    "ALEX(1MB)",
+    "LIPP",
+    "DILI-LO",
+    "DILI",
+]
+"""Section 7.2's representative subset used after Table 4."""
+
+
+def make_index(name: str):
+    """Instantiate the method registered under ``name``."""
+    try:
+        return METHOD_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown method {name!r}") from None
+
+
+def method_names(representative_only: bool = False) -> list[str]:
+    if representative_only:
+        return list(REPRESENTATIVE)
+    return list(METHOD_FACTORIES)
+
+
+def query_sample(
+    keys: np.ndarray, count: int, seed: int = 1
+) -> np.ndarray:
+    """Random existing-key point queries (the paper's query workload)."""
+    rng = np.random.default_rng(seed)
+    return keys[rng.integers(0, len(keys), size=count)]
+
+
+class BuildCache:
+    """Cache of datasets, query batches, built indexes and measurements.
+
+    Builds are the expensive part of every experiment; sharing one cache
+    across experiments mirrors the paper's protocol of measuring one
+    build per method per dataset.  Used by the pytest benchmarks (via a
+    session fixture) and by the programmatic experiment API
+    (:mod:`repro.bench.experiments`).
+    """
+
+    def __init__(self, scale: BenchScale, seed: int = 7) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._keys: dict[str, np.ndarray] = {}
+        self._queries: dict[str, np.ndarray] = {}
+        self._indexes: dict[tuple[str, str], object] = {}
+        self._lookup: dict[tuple[str, str], tuple] = {}
+
+    def keys(self, dataset: str) -> np.ndarray:
+        """Sorted unique keys of ``dataset`` at the cache's scale."""
+        if dataset not in self._keys:
+            from repro.data import load_dataset
+
+            self._keys[dataset] = load_dataset(
+                dataset, self.scale.num_keys, seed=self.seed
+            )
+        return self._keys[dataset]
+
+    def queries(self, dataset: str) -> np.ndarray:
+        """The point-query batch used for every lookup measurement."""
+        if dataset not in self._queries:
+            self._queries[dataset] = query_sample(
+                self.keys(dataset), self.scale.num_queries
+            )
+        return self._queries[dataset]
+
+    def index(self, method: str, dataset: str):
+        """The built index for (method, dataset), building once."""
+        key = (method, dataset)
+        if key not in self._indexes:
+            index = make_index(method)
+            index.bulk_load(self.keys(dataset))
+            self._indexes[key] = index
+        return self._indexes[key]
+
+    def lookup_result(self, method: str, dataset: str) -> tuple:
+        """(ns, misses, phases) for one built method on one dataset."""
+        key = (method, dataset)
+        if key not in self._lookup:
+            self._lookup[key] = measure_lookup(
+                self.index(method, dataset),
+                self.queries(dataset),
+                self.scale,
+            )
+        return self._lookup[key]
+
+
+def measure_lookup(
+    index,
+    queries: np.ndarray,
+    scale: BenchScale,
+    *,
+    warm_fraction: float = 0.3,
+) -> tuple[float, float, dict[str, float]]:
+    """Average simulated lookup time over a query batch.
+
+    The first ``warm_fraction`` of queries warms the simulated cache
+    (steady state); the remainder is measured.
+
+    Returns:
+        (nanoseconds per lookup, LL-cache misses per lookup,
+        per-phase nanoseconds dict -- 'step1'/'step2' where the index
+        reports them).
+    """
+    tracer = CostTracer(CacheSimulator(scale.cache_lines))
+    split = int(len(queries) * warm_fraction)
+    for key in queries[:split]:
+        index.get(float(key), tracer)
+    tracer.reset_counters()
+    measured = queries[split:]
+    for key in measured:
+        index.get(float(key), tracer)
+    n = max(len(measured), 1)
+    phases = {
+        name: cycles / GHZ / n
+        for name, cycles in tracer.phase_cycles.items()
+        if name in ("step1", "step2")
+    }
+    return (
+        tracer.total_cycles / GHZ / n,
+        tracer.cache_misses / n,
+        phases,
+    )

@@ -1,0 +1,66 @@
+"""Paper-style table rendering for benchmark output.
+
+Each benchmark prints the same rows/columns as the paper's table or
+figure, so output can be compared side by side with the published
+numbers (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    col_width: int = 12,
+    first_col_width: int = 18,
+) -> str:
+    """Render an aligned text table.
+
+    Args:
+        title: Heading printed above the table.
+        columns: Column labels; the first labels the row-name column.
+        rows: Row tuples; the first element is the row name, the rest
+            are values (floats are rendered with sensible precision).
+    """
+    def cell(value: object, width: int) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN marks inapplicable cells
+                text = "-"
+            elif abs(value) >= 1000:
+                text = f"{value:,.0f}"
+            elif abs(value) >= 10:
+                text = f"{value:.1f}"
+            else:
+                text = f"{value:.2f}"
+        else:
+            text = str(value)
+        return text.rjust(width)
+
+    lines = [title, "=" * len(title)]
+    header = columns[0].ljust(first_col_width) + "".join(
+        c.rjust(col_width) for c in columns[1:]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        line = str(row[0]).ljust(first_col_width) + "".join(
+            cell(v, col_width) for v in row[1:]
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    **kwargs,
+) -> None:
+    """Print :func:`format_table` output with surrounding blank lines."""
+    print()
+    print(format_table(title, columns, rows, **kwargs))
+    print()

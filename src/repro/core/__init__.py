@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the DILI learned index.
+
+Subpackage layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core.linear_model` -- two-parameter linear models and
+  mergeable least-squares statistics.
+* :mod:`repro.core.cost` -- the cache-aware search-cost model (Eq. 2, 5-7).
+* :mod:`repro.core.segmentation` -- greedy merging (Algorithm 3).
+* :mod:`repro.core.butree` -- the bottom-up mirror tree (Algorithm 2).
+* :mod:`repro.core.nodes` -- DILI internal/leaf node structures.
+* :mod:`repro.core.local_opt` -- leaf local optimization (Algorithm 5).
+* :mod:`repro.core.bulk_load` -- BU-Tree-based bulk loading (Algorithm 4).
+* :mod:`repro.core.dili` -- the public :class:`DILI` index
+  (Algorithms 1, 6, 7 and 8).
+* :mod:`repro.core.concurrent` -- lock-crabbing wrapper (Appendix A.8).
+* :mod:`repro.core.stats` -- structural statistics (Table 6 metrics).
+"""
+
+from repro.core.dili import DILI, DiliConfig
+from repro.core.linear_model import LinearModel, SegmentStats
+
+__all__ = ["DILI", "DiliConfig", "LinearModel", "SegmentStats"]

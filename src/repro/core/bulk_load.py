@@ -1,0 +1,201 @@
+"""BU-Tree-based bulk loading of DILI (Algorithm 4).
+
+Phase two of construction: the BU-Tree's per-level lower bounds (the
+``theta`` lists) fix how many nodes each DILI level gets, then DILI is
+grown top-down.  An internal node's fanout is the number of BU nodes one
+level down whose lower bounds fall inside its range, and its children
+equally divide that range -- which is what gives DILI internal models
+perfect accuracy while keeping the leaf layout close to the BU-Tree's
+distribution-aware one (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.butree import BUTree
+from repro.core.cost import CostParams
+from repro.core.linear_model import LinearModel
+from repro.core.local_opt import LocalOptStats, local_opt
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
+
+logger = logging.getLogger(__name__)
+
+_EMPTY_LEAF_FANOUT = 4
+"""Slot count given to leaves whose range holds no bulk-loaded pairs, so
+that later inserts spread over several slots instead of piling on one."""
+
+
+@dataclass
+class BulkLoadResult:
+    """Everything Algorithm 4 produces.
+
+    Attributes:
+        root: Root of the DILI tree (an internal node unless the dataset
+            is so small the BU-Tree had a single leaf).
+        butree: The phase-one mirror tree (kept for Table 9 comparisons;
+            droppable by callers that only need the index).
+        opt_stats: Conflict counters from the local optimization pass
+            (Table 6 metrics).
+    """
+
+    root: InternalNode | LeafNode | DenseLeafNode
+    butree: BUTree
+    opt_stats: LocalOptStats
+
+
+def bulk_load(
+    keys: np.ndarray,
+    values: list,
+    params: CostParams,
+    *,
+    enlarge: float = 2.0,
+    local_optimization: bool = True,
+    sample: bool = False,
+    zoom: bool = True,
+) -> BulkLoadResult:
+    """Build a DILI node tree over sorted unique ``keys`` (Algorithm 4).
+
+    Args:
+        keys: Sorted, strictly increasing float64 array.
+        values: Same-length sequence of record pointers/payloads.
+        params: Cost-model constants for the BU-Tree phase.
+        enlarge: Entry-array enlarging ratio ``eta`` for local opt.
+        local_optimization: When False, build the DILI-LO ablation whose
+            leaves pack pairs tightly (Algorithm 1 search).
+        sample: Appendix A.7 sampling during greedy merging.
+        zoom: Allow zoom internals for overfull DILI-LO leaf ranges.
+    """
+    butree = BUTree(keys, values, params=params, sample=sample)
+    height = butree.height
+    thetas = [butree.level_lower_bounds(h) for h in range(height)]
+    opt_stats = LocalOptStats()
+    builder = _Builder(
+        keys=np.asarray(keys, dtype=np.float64),
+        values=list(values),
+        thetas=thetas,
+        enlarge=enlarge,
+        local_optimization=local_optimization,
+        opt_stats=opt_stats,
+        omega=params.omega,
+        zoom=zoom,
+    )
+    root = builder.create(butree.root.lb, butree.root.ub, height)
+    logger.debug(
+        "DILI bulk load: %d keys, BU height %d, %d conflicts, "
+        "%d nested leaves",
+        len(keys),
+        height,
+        opt_stats.conflicts,
+        opt_stats.nested_leaves,
+    )
+    return BulkLoadResult(root=root, butree=butree, opt_stats=opt_stats)
+
+
+class _Builder:
+    """Recursive node factory shared by the internal/leaf branches."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: list,
+        thetas: list[np.ndarray],
+        enlarge: float,
+        local_optimization: bool,
+        opt_stats: LocalOptStats,
+        omega: int,
+        zoom: bool = True,
+    ) -> None:
+        self.keys = keys
+        self.values = values
+        self.thetas = thetas
+        self.enlarge = enlarge
+        self.local_optimization = local_optimization
+        self.opt_stats = opt_stats
+        self.omega = omega
+        self.zoom = zoom
+
+    def create(self, lb: float, ub: float, h: int, zoom_depth: int = 0):
+        """CreateInternal of Algorithm 4, with three practical deviations.
+
+        A range containing zero BU lower bounds one level down becomes a
+        leaf immediately; a range containing exactly one is collapsed
+        (the single-child internal node the literal algorithm would
+        create adds a node hop without partitioning anything); and a
+        leaf range left with far more keys than the fanout cap ``omega``
+        -- which happens when equal-width division strands a dense body
+        next to extreme outliers (FB/OSM-style tails) -- is subdivided
+        by *zoom* internal nodes.  Zoom nodes are ordinary equal-width
+        DILI internals; they take over the range-narrowing role that
+        nested conflict leaves would otherwise perform one slot at a
+        time, and they are what keeps DILI-LO viable on tailed data.
+        """
+        while h >= 1:
+            theta = self.thetas[h - 1]
+            lo = int(np.searchsorted(theta, lb, side="left"))
+            hi = int(np.searchsorted(theta, ub, side="left"))
+            fanout = hi - lo
+            if fanout >= 2:
+                return self._create_internal(lb, ub, h, fanout)
+            h -= 1  # collapse empty/single-child levels
+        n_keys = self._count_keys(lb, ub)
+        # Locally optimized leaves zoom through nested *fitted* models in
+        # about one hop, so zoom internals would only lengthen the path;
+        # dense DILI-LO leaves have no such mechanism and need them.
+        need_zoom = self.zoom and not self.local_optimization
+        if need_zoom and n_keys > 2 * self.omega and zoom_depth < 64:
+            fanout = min(1024, max(2, -(-n_keys // self.omega)))
+            node = InternalNode(lb, ub, fanout)
+            width = (ub - lb) / fanout
+            for i in range(fanout):
+                child_lb = lb + i * width
+                child_ub = lb + (i + 1) * width if i + 1 < fanout else ub
+                node.children[i] = self.create(
+                    child_lb, child_ub, 0, zoom_depth + 1
+                )
+            return node
+        return self._create_leaf(lb, ub)
+
+    def _count_keys(self, lb: float, ub: float) -> int:
+        lo = int(np.searchsorted(self.keys, lb, side="left"))
+        hi = int(np.searchsorted(self.keys, ub, side="left"))
+        return hi - lo
+
+    def _create_internal(self, lb: float, ub: float, h: int, fanout: int):
+        node = InternalNode(lb, ub, fanout)
+        width = (ub - lb) / fanout
+        for i in range(fanout):
+            child_lb = lb + i * width
+            child_ub = lb + (i + 1) * width if i + 1 < fanout else ub
+            node.children[i] = self.create(child_lb, child_ub, h - 1)
+        return node
+
+    def _create_leaf(self, lb: float, ub: float):
+        lo = int(np.searchsorted(self.keys, lb, side="left"))
+        hi = int(np.searchsorted(self.keys, ub, side="left"))
+        piece_keys = self.keys[lo:hi]
+        if not self.local_optimization:
+            model = LinearModel.fit(piece_keys)
+            return DenseLeafNode(
+                lb, ub, piece_keys.copy(), self.values[lo:hi], model
+            )
+        leaf = LeafNode(lb, ub)
+        pairs = [
+            (float(piece_keys[i]), self.values[lo + i])
+            for i in range(hi - lo)
+        ]
+        if not pairs:
+            local_opt(
+                leaf,
+                pairs,
+                enlarge=self.enlarge,
+                fanout=_EMPTY_LEAF_FANOUT,
+                model=LinearModel.from_range(lb, ub, _EMPTY_LEAF_FANOUT),
+                stats=self.opt_stats,
+            )
+        else:
+            local_opt(leaf, pairs, enlarge=self.enlarge, stats=self.opt_stats)
+        return leaf

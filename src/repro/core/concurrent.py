@@ -1,0 +1,96 @@
+"""Thread-safe DILI wrapper following the Appendix A.8 protocol.
+
+The paper observes that DILI updates touch exactly one top-level leaf
+subtree (internal nodes are immutable after bulk loading -- adjustments
+rebuild a leaf's entry array in place), so B+Tree-style lock crabbing
+degenerates to per-leaf locking.  This wrapper implements that: the
+internal descent is lock-free, then the operation holds the lock of the
+top leaf it reached.  Locks are striped so millions of leaves do not each
+carry a lock object.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.dili import DILI, DiliConfig
+from repro.core.nodes import InternalNode, Pair
+
+
+class ConcurrentDILI:
+    """A DILI safe for concurrent readers and writers.
+
+    Point operations (get / insert / delete) serialize per top-level
+    leaf via striped locks; operations on different leaves proceed in
+    parallel.  Range queries take a coarse global lock because they
+    cross leaf boundaries.
+
+    Args:
+        config: Forwarded to the underlying :class:`DILI`.
+        stripes: Number of leaf locks; must be positive.
+    """
+
+    def __init__(
+        self, config: DiliConfig | None = None, stripes: int = 256
+    ) -> None:
+        if stripes <= 0:
+            raise ValueError("stripes must be positive")
+        self._index = DILI(config)
+        self._locks = [threading.RLock() for _ in range(stripes)]
+        self._global = threading.RLock()
+
+    def bulk_load(self, keys: np.ndarray, values: list | None = None) -> None:
+        """Build the index; must not race with other operations."""
+        with self._global:
+            self._index.bulk_load(keys, values)
+
+    def _leaf_lock(self, key: float) -> threading.RLock:
+        node = self._index.root
+        while type(node) is InternalNode:
+            node = node.children[node.child_index(key)]
+        return self._locks[id(node) % len(self._locks)]
+
+    def get(self, key: float) -> object | None:
+        """Point lookup under the owning leaf's lock."""
+        if self._index.root is None:
+            return None
+        with self._leaf_lock(key):
+            return self._index.get(key)
+
+    def insert(self, key: float, value: object) -> bool:
+        """Insert under the owning leaf's lock (A.8 insertion protocol)."""
+        if self._index.root is None:
+            with self._global:
+                return self._index.insert(key, value)
+        with self._leaf_lock(key):
+            return self._index.insert(key, value)
+
+    def delete(self, key: float) -> bool:
+        """Delete under the owning leaf's lock (A.8 deletion protocol)."""
+        if self._index.root is None:
+            return False
+        with self._leaf_lock(key):
+            return self._index.delete(key)
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        """Ordered scan under the coarse lock (crosses leaf boundaries)."""
+        with self._global:
+            return self._index.range_query(lo, hi)
+
+    def insert_many(self, pairs: Iterable[Pair]) -> int:
+        """Insert pairs one by one; returns how many were new."""
+        return sum(1 for k, v in pairs if self.insert(k, v))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: float) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def index(self) -> DILI:
+        """The wrapped single-threaded index (for stats/validation)."""
+        return self._index

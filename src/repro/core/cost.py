@@ -1,0 +1,133 @@
+"""Cache-aware search-cost model (Section 3 and Eq. 5-7 of the paper).
+
+These functions score candidate node layouts during BU-Tree construction.
+They estimate, in CPU cycles, how long the *final DILI* would take to find
+a key if the layout under consideration were adopted:
+
+* descending one level costs a node load plus a model evaluation
+  (``theta_N + eta``),
+* imperfect models at a level cost an exponential search whose iteration
+  count is ``~log2`` of the prediction error, damped by ``rho**h`` because
+  high levels influence the eventual leaf layout less (Section 4.4).
+
+The greedy merging of Algorithm 3 needs the *estimated accumulated search
+cost* ``T_ea`` of a breakpoint list in O(1) per candidate, so the entry
+point here takes aggregate statistics (piece count and the key-weighted
+mean log-error) rather than raw keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Constants of the search-cost model.
+
+    Attributes:
+        cycles: Hardware charge table (theta_N, eta, mu_E, ... in cycles).
+        rho: Decay factor applied per level above the one being laid out
+            (Eq. 5); the paper uses 0.2 and finds 0.05-0.5 near-equivalent
+            (Table 7).
+        omega: Average maximum fanout; greedy merging stops once the mean
+            piece size reaches omega (Algorithm 3 line 6; paper: 4096).
+    """
+
+    cycles: CyclesPerOp = DEFAULT_CYCLES
+    rho: float = 0.2
+    omega: int = 4096
+
+
+DEFAULT_COST = CostParams()
+
+
+def exp_search_cycles(error: float, cycles: CyclesPerOp = DEFAULT_CYCLES) -> float:
+    """Cost ``t_E`` of an exponential search starting ``error`` slots away.
+
+    The paper models the search as ``2*log2(error)`` iterations, each
+    paying one pair access (``theta_E``, a potential cache miss) plus
+    ``mu_E`` cycles of arithmetic (Section 3).
+    """
+    if error < 1.0:
+        return 0.0
+    iters = 2.0 * math.log2(error + 1.0)
+    return iters * (cycles.exp_search_step + cycles.cache_miss)
+
+
+def bu_node_search_cycles(
+    error: float,
+    height: int,
+    params: CostParams = DEFAULT_COST,
+) -> float:
+    """Cost ``T_ns`` of visiting one BU node at ``height`` (Eq. 5).
+
+    ``error`` is the node model's prediction error for the key; the local
+    correction term is damped by ``rho**height``.
+    """
+    c = params.cycles
+    local = 0.0
+    if error >= 1.0:
+        local = math.log2(error + 1.0) * (c.exp_search_step + c.cache_miss)
+    return c.cache_miss + c.linear_model + (params.rho ** height) * local
+
+
+def estimated_depth(n_below: int, k: int) -> float:
+    """Estimated depth ``delta`` of nodes at the level being laid out.
+
+    With ``n_below`` nodes one level down grouped into ``k`` pieces, the
+    average fanout is ``n_below/k`` and the tree above needs
+    ``delta = log_{n_below/k}(n_below)`` further levels to converge to a
+    single root (Eq. 7's worked example).
+    """
+    if k <= 1:
+        return 1.0
+    if n_below <= 1:
+        return 1.0
+    fanout = n_below / k
+    if fanout <= 1.0:
+        # Merging made no progress; treat as a full extra level per node.
+        return float(n_below)
+    return math.log(n_below) / math.log(fanout)
+
+
+def accumulated_cost(
+    n_below: int,
+    k: int,
+    mean_log_error: float,
+    height: int,
+    params: CostParams = DEFAULT_COST,
+) -> float:
+    """Estimated accumulated search cost ``T_ea`` of a breakpoint list.
+
+    Args:
+        n_below: Number of nodes (or keys, at height 0) one level down.
+        k: Number of pieces the candidate breakpoint list induces.
+        mean_log_error: Key-weighted mean of ``log2(prediction error)``
+            across the candidate pieces; greedy merging maintains this
+            incrementally from per-piece RMSEs.
+        height: Height ``h`` of the level being laid out.
+        params: Model constants.
+
+    Returns:
+        The cost in cycles of descending from the (estimated) root to a
+        node at this height, per key (Eq. 7).  Fewer pieces mean a
+        shallower tree but larger per-piece error; this function encodes
+        that trade-off.
+    """
+    c = params.cycles
+    delta = estimated_depth(n_below, k)
+    ceil_delta = math.ceil(delta)
+    local = mean_log_error * (c.exp_search_step + c.cache_miss)
+    total = 0.0
+    for h_prime in range(height, ceil_delta + 1):
+        weight = min(1.0, delta + 1.0 - h_prime)
+        if weight <= 0.0:
+            continue
+        level_cost = c.cache_miss + c.linear_model
+        level_cost += (params.rho ** h_prime) * local
+        total += weight * level_cost
+    return total

@@ -1,0 +1,730 @@
+"""The DILI index: public API over the node tree.
+
+Implements the paper's query and update algorithms:
+
+* point lookup with local optimization (Algorithm 6) and without it
+  (Algorithm 1, for the DILI-LO ablation),
+* insertion with conflict-node creation and cost-triggered leaf
+  adjustment (Algorithm 7),
+* deletion with single-pair node trimming (Algorithm 8),
+* ordered range scans.
+
+The two ablation variants the paper evaluates are configuration flags:
+``local_optimization=False`` yields DILI-LO and ``adjust=False`` yields
+DILI-AD.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.bulk_load import bulk_load
+from repro.core.cost import CostParams
+from repro.core.linear_model import LinearModel
+from repro.core.local_opt import LocalOptStats, fit_leaf_model, local_opt
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode, Pair
+from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
+from repro.simulate.tracer import NULL_TRACER, Tracer
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class DiliConfig:
+    """Hyperparameters of DILI (defaults follow Section 7.1).
+
+    Attributes:
+        omega: Average maximum fanout bounding greedy merging (4096).
+        rho: Level-decay rate of the BU cost model (0.2).
+        enlarge: Entry-array enlarging ratio ``eta`` (2).
+        lambda_adjust: Adjustment threshold ``lambda``; a leaf whose
+            average entry accesses per lookup exceeds ``lambda * kappa``
+            is rebuilt (2).
+        local_optimization: False builds the DILI-LO ablation.
+        adjust: False builds the DILI-AD ablation (never rebuilds leaves).
+        sampling: Appendix A.7 fit-on-half-the-keys during construction.
+        zoom: Subdivide pathologically overfull DILI-LO leaf ranges with
+            equal-width zoom internals (see DESIGN.md; False reproduces
+            the literal Algorithm 4).
+        max_enlarge: Cap of the adjustment ratio ``phi`` (4).
+        cycles: Cycle-charge table used for cost tracing and the BU-Tree
+            layout search.
+    """
+
+    omega: int = 4096
+    rho: float = 0.2
+    enlarge: float = 2.0
+    lambda_adjust: float = 2.0
+    local_optimization: bool = True
+    adjust: bool = True
+    sampling: bool = False
+    zoom: bool = True
+    max_enlarge: float = 4.0
+    cycles: CyclesPerOp = DEFAULT_CYCLES
+
+    def cost_params(self) -> CostParams:
+        return CostParams(cycles=self.cycles, rho=self.rho, omega=self.omega)
+
+    def phi(self, alpha: int) -> float:
+        """Adjustment enlarging ratio ``phi(alpha) = min(eta + 0.1a, max)``."""
+        return min(self.enlarge + 0.1 * alpha, self.max_enlarge)
+
+    @classmethod
+    def for_disk(cls, io_cycles: float = 25_000.0) -> "DiliConfig":
+        """Configuration for disk-resident data (the paper's Section 9).
+
+        The future-work sketch: make the BU-Tree cost model price
+        expected IOs instead of cache misses -- every node or pair fetch
+        becomes a block read -- and disable the local optimization,
+        which would otherwise create leaf nodes covering few keys
+        (wasting a block each).  With every correction probe costing a
+        full block read, the layout shifts toward more accurate leaves
+        that answer in a single read.
+
+        Args:
+            io_cycles: Cost of one block read in cycles (default ~10us
+                at 2.5 GHz, an NVMe-class random read).
+        """
+        io = CyclesPerOp(
+            cache_miss=io_cycles,
+            cache_hit=4.0,
+            linear_model=25.0,
+            linear_search_step=5.0,
+            exp_search_step=17.0,
+            branch=2.0,
+        )
+        return cls(local_optimization=False, cycles=io)
+
+
+class DILI:
+    """Distribution-driven learned index for one-dimensional keys.
+
+    Typical use::
+
+        index = DILI()
+        index.bulk_load(sorted_unique_keys, payloads)
+        index.get(key)            # -> payload or None
+        index.insert(key, value)  # -> True if newly inserted
+        index.delete(key)         # -> True if the key existed
+        index.range_query(lo, hi) # -> [(key, value), ...] sorted
+
+    Keys are float64 (integers up to 2**53 are exact); duplicates are
+    rejected at bulk load and deduplicated semantically on insert.
+    """
+
+    def __init__(self, config: DiliConfig | None = None) -> None:
+        self.config = config if config is not None else DiliConfig()
+        self.root: InternalNode | LeafNode | DenseLeafNode | None = None
+        self.butree = None
+        self.opt_stats = LocalOptStats()
+        self.adjustment_count = 0
+        self.insert_count = 0
+        self.moved_pairs = 0
+        self._count = 0
+        self._cycles = self.config.cycles
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(
+        self,
+        keys: np.ndarray,
+        values: list | np.ndarray | None = None,
+        *,
+        keep_butree: bool = False,
+    ) -> None:
+        """Build the index from sorted, strictly increasing keys.
+
+        Args:
+            keys: 1-D array-like of unique, ascending keys.
+            values: Optional payloads; defaults to each key's position.
+            keep_butree: Retain the phase-one BU-Tree on ``self.butree``
+                for breakdown experiments (Table 9); otherwise it is
+                dropped to free memory.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if len(keys) == 0:
+            self.root = None
+            self._count = 0
+            return
+        if np.any(np.diff(keys) <= 0):
+            raise ValueError("keys must be sorted and strictly increasing")
+        if values is None:
+            values = list(range(len(keys)))
+        else:
+            values = list(values)
+            if len(values) != len(keys):
+                raise ValueError("values must match keys in length")
+        result = bulk_load(
+            keys,
+            values,
+            self.config.cost_params(),
+            enlarge=self.config.enlarge,
+            local_optimization=self.config.local_optimization,
+            sample=self.config.sampling,
+            zoom=self.config.zoom,
+        )
+        self.root = result.root
+        self.opt_stats = result.opt_stats
+        self.butree = result.butree if keep_butree else None
+        self._count = len(keys)
+
+    @classmethod
+    def from_pairs(cls, pairs: list[Pair], config: DiliConfig | None = None) -> "DILI":
+        """Convenience constructor from unsorted (key, value) pairs."""
+        index = cls(config)
+        if pairs:
+            pairs = sorted(pairs)
+            keys = np.array([p[0] for p in pairs], dtype=np.float64)
+            values = [p[1] for p in pairs]
+            index.bulk_load(keys, values)
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup (Algorithms 1 and 6)
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, tracer: Tracer = NULL_TRACER) -> object | None:
+        """Return the value stored under ``key``, or None."""
+        node = self.root
+        if node is None:
+            return None
+        c = self._cycles
+        tracer.phase("step1")
+        while type(node) is InternalNode:
+            tracer.mem(node.region)
+            tracer.compute(c.linear_model)
+            idx = node.child_index(key)
+            tracer.mem(node.region, 64 + idx * 8)
+            node = node.children[idx]
+        tracer.phase("step2")
+        if type(node) is DenseLeafNode:
+            return self._dense_lookup(node, key, tracer)
+        # Algorithm 6: follow nested leaves until a pair or NULL.
+        while True:
+            tracer.mem(node.region)
+            tracer.compute(c.linear_model)
+            pos = node.predict_slot(key)
+            tracer.mem(node.region, 64 + pos * 16)
+            entry = node.slots[pos]
+            if entry is None:
+                return None
+            if type(entry) is tuple:
+                tracer.compute(c.branch)
+                return entry[1] if entry[0] == key else None
+            node = entry
+
+    def _dense_lookup(
+        self, node: DenseLeafNode, key: float, tracer: Tracer
+    ) -> object | None:
+        """Algorithm 1's last-mile: prediction + exponential search."""
+        from repro.core.search_util import exp_search_lub
+
+        if len(node.keys) == 0:
+            return None
+        tracer.mem(node.region)
+        tracer.compute(self._cycles.linear_model)
+        hint = node.predict_position(key)
+        pos = exp_search_lub(node.keys, key, hint, tracer, node.region)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node.values[pos]
+        return None
+
+    def __contains__(self, key: float) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Insertion (Algorithm 7)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> bool:
+        """Insert a pair; returns False (and changes nothing) if present."""
+        key = float(key)
+        if self.root is None:
+            leaf = LeafNode(key, key + 1.0)
+            local_opt(leaf, [(key, value)], enlarge=self.config.enlarge)
+            self.root = leaf
+            self._count = 1
+            self.insert_count += 1
+            return True
+        if not self.config.local_optimization:
+            raise NotImplementedError(
+                "the DILI-LO ablation is lookup-only (paper Section 7.2)"
+            )
+        node = self.root
+        while type(node) is InternalNode:
+            node = node.children[node.child_index(key)]
+        inserted = self._insert_to_leaf(node, (key, value))
+        if inserted:
+            self._count += 1
+            self.insert_count += 1
+        return inserted
+
+    def _insert_to_leaf(self, leaf: LeafNode, pair: Pair) -> bool:
+        """insertToLeafNode of Algorithm 7, including the adjust check."""
+        pos = leaf.predict_slot(pair[0])
+        entry = leaf.slots[pos]
+        if entry is None:
+            leaf.slots[pos] = pair
+            leaf.delta += 1
+            not_exist = True
+        elif type(entry) is tuple:
+            if entry[0] == pair[0]:
+                not_exist = False
+            else:
+                child = LeafNode(
+                    min(entry[0], pair[0]), max(entry[0], pair[0])
+                )
+                group = sorted([entry, pair])
+                local_opt(child, group, enlarge=self.config.enlarge)
+                leaf.slots[pos] = child
+                leaf.delta += 1 + child.delta
+                self.moved_pairs += 2
+                not_exist = True
+        else:
+            delta_before = entry.delta
+            not_exist = self._insert_to_leaf(entry, pair)
+            leaf.delta += 1 + entry.delta - delta_before
+        if not_exist:
+            leaf.num_pairs += 1
+            if (
+                self.config.adjust
+                and leaf.delta / leaf.num_pairs
+                > self.config.lambda_adjust * leaf.kappa
+            ):
+                self._adjust(leaf)
+        return not_exist
+
+    def _adjust(self, leaf: LeafNode) -> None:
+        """Rebuild a degraded leaf with an enlarged entry array.
+
+        Collects every pair under the leaf, enlarges the array by
+        ``phi(alpha)``, retrains the model stretched over the new fanout
+        (Algorithm 7 lines 21-26) and redistributes with local opt.
+        """
+        pairs = list(leaf.iter_pairs())
+        self.moved_pairs += len(pairs)
+        ratio = self.config.phi(leaf.alpha)
+        leaf.alpha += 1
+        fanout = max(2, int(math.ceil(len(pairs) * ratio)))
+        model = fit_leaf_model([p[0] for p in pairs], fanout)
+        local_opt(
+            leaf,
+            pairs,
+            enlarge=self.config.enlarge,
+            fanout=fanout,
+            model=model,
+            stats=self.opt_stats,
+        )
+        self.adjustment_count += 1
+        logger.debug(
+            "adjusted leaf [%s, %s): %d pairs, ratio %.2f, alpha %d",
+            leaf.lb,
+            leaf.ub,
+            len(pairs),
+            ratio,
+            leaf.alpha,
+        )
+
+    # ------------------------------------------------------------------
+    # Deletion (Algorithm 8)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float) -> bool:
+        """Remove ``key``; returns False if it was not present."""
+        key = float(key)
+        node = self.root
+        if node is None:
+            return False
+        if not self.config.local_optimization:
+            raise NotImplementedError(
+                "the DILI-LO ablation is lookup-only (paper Section 7.2)"
+            )
+        while type(node) is InternalNode:
+            node = node.children[node.child_index(key)]
+        existed = self._delete_from_leaf(node, key)
+        if existed:
+            self._count -= 1
+        return existed
+
+    def _delete_from_leaf(self, leaf: LeafNode, key: float) -> bool:
+        """deleteFromLeafNode of Algorithm 8, with single-pair trimming."""
+        pos = leaf.predict_slot(key)
+        entry = leaf.slots[pos]
+        if entry is None:
+            existed = False
+        elif type(entry) is tuple:
+            if entry[0] == key:
+                leaf.slots[pos] = None
+                leaf.delta -= 1
+                existed = True
+            else:
+                existed = False
+        else:
+            delta_before = entry.delta
+            existed = self._delete_from_leaf(entry, key)
+            leaf.delta -= 1 + delta_before - entry.delta
+            if existed and entry.num_pairs == 1:
+                remaining = next(entry.iter_pairs())
+                leaf.slots[pos] = remaining
+                leaf.delta -= 1
+        if existed:
+            leaf.num_pairs -= 1
+            leaf.kappa = (
+                leaf.delta / leaf.num_pairs if leaf.num_pairs > 0 else 1.0
+            )
+        return existed
+
+    def bulk_insert(
+        self,
+        keys: np.ndarray | list,
+        values: list | None = None,
+        *,
+        rebuild_ratio: float = 0.3,
+    ) -> int:
+        """Insert many pairs at once; returns how many were new.
+
+        Small batches are applied through the normal insertion path
+        (Algorithm 7).  When the batch exceeds ``rebuild_ratio`` of the
+        current size, it is cheaper -- and yields a distribution-aware
+        layout for the *combined* data -- to merge and re-run bulk
+        loading, the strategy the paper's construction-cost discussion
+        implies for large ingests.  Existing keys keep their old values
+        (insert semantics).
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        if values is None:
+            values = ["inserted"] * len(keys)
+        if len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        if len(keys) == 0:
+            return 0
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = [values[int(i)] for i in order]
+        if np.any(np.diff(keys) <= 0):
+            raise ValueError("batch keys must be unique")
+        if len(self) == 0 or len(keys) < rebuild_ratio * len(self):
+            return sum(
+                1
+                for i in range(len(keys))
+                if self.insert(float(keys[i]), values[i])
+            )
+        merged: dict[float, object] = {
+            float(keys[i]): values[i] for i in range(len(keys))
+        }
+        before = len(self)
+        batch_new = len(merged)
+        for key, value in self.items():
+            if key in merged:
+                batch_new -= 1
+            merged[key] = value  # existing pairs win, insert semantics
+        all_keys = np.fromiter(sorted(merged), dtype=np.float64,
+                               count=len(merged))
+        all_values = [merged[float(k)] for k in all_keys]
+        self.bulk_load(all_keys, all_values)
+        self.insert_count += len(self) - before
+        return batch_new
+
+    # ------------------------------------------------------------------
+    # Value updates and convenience accessors
+    # ------------------------------------------------------------------
+
+    def update(self, key: float, value: object) -> bool:
+        """Replace the value stored under an existing key.
+
+        Returns False (and stores nothing) when the key is absent; use
+        :meth:`insert` to add new keys.  Updates touch exactly one slot
+        and never restructure the tree.
+        """
+        key = float(key)
+        node = self.root
+        if node is None:
+            return False
+        while type(node) is InternalNode:
+            node = node.children[node.child_index(key)]
+        if type(node) is DenseLeafNode:
+            idx = int(np.searchsorted(node.keys, key, side="left"))
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return True
+            return False
+        while True:
+            pos = node.predict_slot(key)
+            entry = node.slots[pos]
+            if entry is None:
+                return False
+            if type(entry) is tuple:
+                if entry[0] == key:
+                    node.slots[pos] = (key, value)
+                    return True
+                return False
+            node = entry
+
+    def pop(self, key: float, default: object = None) -> object:
+        """Remove ``key`` and return its value (``default`` if absent)."""
+        value = self.get(key)
+        if value is None:
+            return default
+        self.delete(key)
+        return value
+
+    def min_item(self) -> Pair | None:
+        """The smallest-key pair, or None when empty."""
+        for pair in self.items():
+            return pair
+        return None
+
+    def max_item(self) -> Pair | None:
+        """The largest-key pair, or None when empty."""
+        last = None
+        for pair in self.items():
+            last = pair
+        return last
+
+    def count_range(self, lo: float, hi: float) -> int:
+        """Number of keys in [lo, hi)."""
+        count = 0
+        for pair in self.iter_from(lo):
+            if pair[0] >= hi:
+                break
+            count += 1
+        return count
+
+    def keys(self) -> Iterator[float]:
+        """All keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[object]:
+        """All values in ascending key order."""
+        for _, value in self.items():
+            yield value
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    _PICKLE_VERSION = 1
+
+    def save(self, path) -> None:
+        """Serialize the index to ``path`` (pickle protocol).
+
+        The saved file embeds a format version; :meth:`load` refuses
+        files written by incompatible versions.
+        """
+        import pickle
+
+        payload = {
+            "format_version": self._PICKLE_VERSION,
+            "index": self,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "DILI":
+        """Deserialize an index written by :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or "index" not in payload:
+            raise ValueError(f"{path} is not a saved DILI index")
+        if payload.get("format_version") != cls._PICKLE_VERSION:
+            raise ValueError(
+                f"unsupported DILI file version "
+                f"{payload.get('format_version')!r}"
+            )
+        index = payload["index"]
+        if not isinstance(index, cls):
+            raise ValueError(f"{path} does not contain a DILI index")
+        return index
+
+    # ------------------------------------------------------------------
+    # Ordered iteration and range queries
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Pair]:
+        """All (key, value) pairs in ascending key order."""
+        if self.root is None:
+            return
+        yield from self._iter_node(self.root)
+
+    def _iter_node(self, node) -> Iterator[Pair]:
+        if type(node) is InternalNode:
+            for child in node.children:
+                yield from self._iter_node(child)
+        elif type(node) is DenseLeafNode:
+            yield from node.iter_pairs()
+        else:
+            yield from node.iter_pairs()
+
+    def iter_from(self, lo: float) -> Iterator[Pair]:
+        """Pairs with key >= lo, ascending (the scan primitive)."""
+        if self.root is None:
+            return
+        yield from self._iter_node_from(self.root, lo)
+
+    def _iter_node_from(self, node, lo: float) -> Iterator[Pair]:
+        if type(node) is InternalNode:
+            start = node.child_index(lo)
+            children = node.children
+            yield from self._iter_node_from(children[start], lo)
+            for i in range(start + 1, len(children)):
+                yield from self._iter_node(children[i])
+        elif type(node) is DenseLeafNode:
+            start = int(np.searchsorted(node.keys, lo, side="left"))
+            for i in range(start, len(node.keys)):
+                yield (float(node.keys[i]), node.values[i])
+        else:
+            start = node.predict_slot(lo)
+            slots = node.slots
+            for i in range(start, len(slots)):
+                entry = slots[i]
+                if entry is None:
+                    continue
+                if type(entry) is tuple:
+                    if entry[0] >= lo:
+                        yield entry
+                else:
+                    if i == start:
+                        yield from self._iter_node_from(entry, lo)
+                    else:
+                        yield from entry.iter_pairs()
+
+    def range_query(self, lo: float, hi: float) -> list[Pair]:
+        """All pairs with lo <= key < hi, in ascending key order.
+
+        Dense (DILI-LO) leaves are harvested with vectorised slices --
+        the streaming advantage Fig. 6b credits them with -- while
+        locally optimized leaves walk their slot arrays.
+        """
+        out: list[Pair] = []
+        if self.root is not None:
+            self._collect_range(self.root, lo, hi, out)
+        return out
+
+    def _collect_range(
+        self, node, lo: float, hi: float, out: list[Pair]
+    ) -> bool:
+        """Append pairs in [lo, hi); False once a key >= hi is seen."""
+        if type(node) is InternalNode:
+            start = node.child_index(lo)
+            for i in range(start, len(node.children)):
+                if not self._collect_range(node.children[i], lo, hi, out):
+                    return False
+            return True
+        if type(node) is DenseLeafNode:
+            keys = node.keys
+            a = int(np.searchsorted(keys, lo, side="left"))
+            b = int(np.searchsorted(keys, hi, side="left"))
+            out.extend(zip(keys[a:b].tolist(), node.values[a:b]))
+            return b >= len(keys)
+        start = node.predict_slot(lo)
+        slots = node.slots
+        for i in range(start, len(slots)):
+            entry = slots[i]
+            if entry is None:
+                continue
+            if type(entry) is tuple:
+                key = entry[0]
+                if key >= hi:
+                    return False
+                if key >= lo:
+                    out.append(entry)
+            else:
+                if not self._collect_range(entry, lo, hi, out):
+                    return False
+        return True
+
+    def scan(self, lo: float, count: int) -> list[Pair]:
+        """Up to ``count`` pairs starting at the first key >= lo."""
+        out = []
+        for pair in self.iter_from(lo):
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Modelled C++ footprint (header + slot/pointer arrays)."""
+        return _memory_bytes(self.root)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on damage.
+
+        Verifies that every stored pair is found at exactly its predicted
+        slot, that per-leaf pair counts match, and that in-order
+        iteration yields strictly increasing keys.
+        """
+        if self.root is None:
+            assert self._count == 0, "empty tree with nonzero count"
+            return
+        total = _validate_node(self.root)
+        assert total == self._count, (
+            f"pair count mismatch: walked {total}, tracked {self._count}"
+        )
+        last = -math.inf
+        for key, _ in self.items():
+            assert key > last, f"iteration order broken at {key}"
+            last = key
+
+
+def _memory_bytes(node) -> int:
+    if node is None:
+        return 0
+    if type(node) is InternalNode:
+        return 32 + 8 * len(node.children) + sum(
+            _memory_bytes(c) for c in node.children
+        )
+    if type(node) is DenseLeafNode:
+        return 64 + 16 * len(node.keys)
+    total = 64 + 16 * len(node.slots)
+    for entry in node.slots:
+        if entry is not None and type(entry) is not tuple:
+            total += _memory_bytes(entry)
+    return total
+
+
+def _validate_node(node) -> int:
+    """Recursively verify a subtree; returns the number of pairs in it."""
+    if type(node) is InternalNode:
+        assert len(node.children) >= 1, "internal node without children"
+        return sum(_validate_node(c) for c in node.children)
+    if type(node) is DenseLeafNode:
+        assert len(node.keys) == len(node.values)
+        if len(node.keys) > 1:
+            assert bool(np.all(np.diff(node.keys) > 0)), "dense leaf unsorted"
+        return len(node.keys)
+    count = 0
+    for i, entry in enumerate(node.slots):
+        if entry is None:
+            continue
+        if type(entry) is tuple:
+            predicted = node.predict_slot(entry[0])
+            assert predicted == i, (
+                f"pair {entry[0]} stored at slot {i}, predicted {predicted}"
+            )
+            count += 1
+        else:
+            count += _validate_node(entry)
+    assert count == node.num_pairs, (
+        f"leaf pair count mismatch: walked {count}, tracked {node.num_pairs}"
+    )
+    return count

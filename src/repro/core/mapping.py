@@ -1,0 +1,118 @@
+"""DiliMap: a ``collections.abc.MutableMapping`` facade over DILI.
+
+Lets the learned index drop into code written against dict-like
+interfaces (caches, feature stores, symbol tables) while keeping DILI's
+ordered-scan superpowers reachable::
+
+    m = DiliMap({10: "a", 20: "b"})
+    m[15] = "c"
+    del m[10]
+    list(m.irange(12, 30))   # ordered slice, a dict cannot do this
+
+Keys are coerced to float64 (integers up to 2**53 are exact); values
+may be anything except None, which DILI reserves as the absence
+signal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.dili import DILI, DiliConfig
+
+
+class DiliMap(MutableMapping):
+    """Dict-compatible wrapper around a :class:`~repro.DILI` index.
+
+    Args:
+        items: Optional mapping or iterable of (key, value) pairs to
+            bulk load.
+        config: Optional :class:`~repro.DiliConfig`.
+    """
+
+    def __init__(
+        self,
+        items: Mapping | list | None = None,
+        config: DiliConfig | None = None,
+    ) -> None:
+        self._index = DILI(config)
+        if items:
+            pairs = (
+                list(items.items())
+                if isinstance(items, Mapping)
+                else list(items)
+            )
+            seen: dict[float, object] = {}
+            for key, value in pairs:
+                seen[self._check(key, value)] = value
+            keys = np.fromiter(sorted(seen), dtype=np.float64,
+                               count=len(seen))
+            self._index.bulk_load(keys, [seen[float(k)] for k in keys])
+
+    @staticmethod
+    def _check(key, value=1) -> float:
+        if value is None:
+            raise ValueError("DiliMap cannot store None values")
+        key = float(key)
+        if key != key:  # NaN
+            raise ValueError("DiliMap cannot use NaN keys")
+        return key
+
+    # -- MutableMapping protocol ---------------------------------------
+
+    def __getitem__(self, key) -> object:
+        value = self._index.get(float(key))
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        key = self._check(key, value)
+        if not self._index.insert(key, value):
+            self._index.update(key, value)
+
+    def __delitem__(self, key) -> None:
+        if not self._index.delete(float(key)):
+            raise KeyError(key)
+
+    def __iter__(self) -> Iterator[float]:
+        return self._index.keys()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key) -> bool:
+        try:
+            key = float(key)
+        except (TypeError, ValueError):
+            return False
+        return self._index.get(key) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiliMap({len(self)} items)"
+
+    # -- Ordered extensions beyond dict --------------------------------
+
+    def irange(self, lo: float, hi: float) -> Iterator[tuple]:
+        """(key, value) pairs with lo <= key < hi, ascending."""
+        for pair in self._index.iter_from(float(lo)):
+            if pair[0] >= float(hi):
+                return
+            yield pair
+
+    def peekitem(self, last: bool = True) -> tuple:
+        """Largest (default) or smallest item; KeyError when empty."""
+        item = (
+            self._index.max_item() if last else self._index.min_item()
+        )
+        if item is None:
+            raise KeyError("DiliMap is empty")
+        return item
+
+    @property
+    def index(self) -> DILI:
+        """The underlying DILI (for stats, tracing, validation)."""
+        return self._index

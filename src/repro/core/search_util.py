@@ -1,0 +1,105 @@
+"""Exponential search used for last-mile correction, with cost tracing.
+
+Learned indexes predict an approximate position and correct it with an
+exponential search: double the step until the target is bracketed, then
+binary-search the bracket.  Every probe of the underlying array is a
+potential cache miss, so both helpers report each touched element to the
+tracer along with the per-iteration arithmetic charge ``mu_E``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulate.tracer import NULL_TRACER, Tracer
+
+_KEY_BYTES = 8
+
+
+def exp_search_lub(
+    keys: Sequence[float],
+    x: float,
+    hint: int,
+    tracer: Tracer = NULL_TRACER,
+    region: int = 0,
+) -> int:
+    """Smallest index ``i`` with ``keys[i] >= x`` (``len(keys)`` if none).
+
+    Args:
+        keys: Sorted sequence.
+        x: Search key.
+        hint: Predicted position to start from (clamped into range).
+        tracer: Cost tracer; each key probe is one memory touch plus
+            ``mu_E`` cycles.
+        region: Memory-region id of ``keys`` for the tracer.
+    """
+    n = len(keys)
+    if n == 0:
+        return 0
+    mu = tracer.compute  # bound methods to keep the hot loop short
+    mem = tracer.mem
+    pos = hint
+    if pos < 0:
+        pos = 0
+    elif pos >= n:
+        pos = n - 1
+    mem(region, pos * _KEY_BYTES)
+    mu(17.0)
+    if keys[pos] >= x:
+        # Gallop left: find lo with keys[lo] < x.
+        step = 1
+        hi = pos
+        lo = pos - step
+        while lo >= 0:
+            mem(region, lo * _KEY_BYTES)
+            mu(17.0)
+            if keys[lo] < x:
+                break
+            hi = lo
+            step <<= 1
+            lo = pos - step
+        if lo < 0:
+            lo = -1
+    else:
+        # Gallop right: find hi with keys[hi] >= x.
+        step = 1
+        lo = pos
+        hi = pos + step
+        while hi < n:
+            mem(region, hi * _KEY_BYTES)
+            mu(17.0)
+            if keys[hi] >= x:
+                break
+            lo = hi
+            step <<= 1
+            hi = pos + step
+        if hi >= n:
+            hi = n
+    # Invariant: keys[lo] < x (or lo == -1), keys[hi] >= x (or hi == n).
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        mem(region, mid * _KEY_BYTES)
+        mu(17.0)
+        if keys[mid] >= x:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def exp_search_floor(
+    keys: Sequence[float],
+    x: float,
+    hint: int,
+    tracer: Tracer = NULL_TRACER,
+    region: int = 0,
+) -> int:
+    """Largest index ``i`` with ``keys[i] <= x`` (-1 if none).
+
+    This is the child-locating search over a BU internal node's bounds
+    array ``B`` (Section 4.1): find ``i`` with ``B[i] <= x < B[i+1]``.
+    """
+    lub = exp_search_lub(keys, x, hint, tracer, region)
+    if lub < len(keys) and keys[lub] == x:
+        return lub
+    return lub - 1

@@ -1,0 +1,304 @@
+"""Greedy merging segmentation (Algorithm 3 of the paper).
+
+Given a sorted sequence ``xs`` (raw keys at height 0, child lower bounds
+at higher levels) with implicit targets ``ys = 0..n-1``, the algorithm:
+
+1. starts from ``n/2`` pieces of two (the last of three) elements,
+2. repeatedly merges the adjacent pair of pieces whose merge increases
+   total linear-fit loss the least, maintaining per-piece statistics in
+   O(1) per merge via :class:`~repro.core.linear_model.SegmentStats`,
+3. after every merge evaluates the *estimated accumulated search cost*
+   (Eq. 7) of the current breakpoint list in O(1),
+4. stops when the mean piece size reaches the fanout cap ``omega`` and
+   returns the segmentation whose cost estimate was smallest.
+
+Because merging is destructive, the merge order is recorded and the
+winning configuration is reconstructed afterwards from the removed
+boundaries; this keeps the whole routine O(n log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost import CostParams, DEFAULT_COST, accumulated_cost
+from repro.core.linear_model import LinearModel, SegmentStats
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One piece of the chosen segmentation.
+
+    Attributes:
+        start: Index of the first element (inclusive) in the input array.
+        end: Index one past the last element.
+        model: Least-squares line fit on (xs[start:end], start..end-1),
+            i.e. targets are *global* positions, matching Eq. 3/4 where
+            the node-local model subtracts the piece offset afterwards.
+        rmse: Root-mean-square error of the fit over this piece.
+    """
+
+    start: int
+    end: int
+    model: LinearModel
+    rmse: float
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class SegmentationResult:
+    """Output of :func:`greedy_merging`.
+
+    Attributes:
+        segments: Chosen pieces in key order.
+        cost: Estimated accumulated search cost of the chosen layout.
+        cost_curve: ``{k: cost}`` for every piece count evaluated; kept
+            for the hyperparameter benchmarks and tests.
+    """
+
+    segments: list[Segment]
+    cost: float
+    cost_curve: dict[int, float] = field(default_factory=dict)
+
+    def piece_starts(self) -> list[int]:
+        """Start index of each piece (indices into the input array)."""
+        return [seg.start for seg in self.segments]
+
+
+def _weighted_log_error(stats: SegmentStats) -> float:
+    """Contribution of one piece to the mean-log-error aggregate.
+
+    ``T_ea`` needs the key-weighted mean of ``log2(prediction error)``;
+    per piece we use ``n * log2(rmse + 1)`` with the piece RMSE as the
+    error proxy (the +1 keeps perfect pieces at zero cost).
+    """
+    if stats.n == 0:
+        return 0.0
+    return stats.n * math.log2(stats.rmse() + 1.0)
+
+
+def _initial_pieces(n: int) -> list[tuple[int, int]]:
+    """Size-2 pieces over ``range(n)``; the last piece absorbs a leftover.
+
+    Mirrors Algorithm 3 line 2: ``{{0,1},{2,3},...,{2k-2,2k-1,n-1}}``.
+    """
+    if n <= 3:
+        return [(0, n)]
+    k = n // 2
+    pieces = [(2 * i, 2 * i + 2) for i in range(k)]
+    if n % 2 == 1:
+        start, _ = pieces[-1]
+        pieces[-1] = (start, n)
+    return pieces
+
+
+def _initial_stats(
+    xs: np.ndarray, ys: np.ndarray, pieces: list[tuple[int, int]]
+) -> list[SegmentStats | None]:
+    """Statistics of the initial size-2 pieces, computed vectorised.
+
+    All pieces except possibly the last have exactly two points, whose
+    moments have closed forms; building ~n/2 SegmentStats objects through
+    the generic constructor dominates construction time otherwise.
+    """
+    k = len(pieces)
+    if k == 0:
+        return []
+    # The final piece may hold three points; handle it generically.
+    tail_start, tail_end = pieces[-1]
+    even = k - 1 if (tail_end - tail_start) != 2 else k
+    x0 = xs[0:2 * even:2]
+    x1 = xs[1:2 * even:2]
+    y0 = ys[0:2 * even:2]
+    y1 = ys[1:2 * even:2]
+    mean_x = (x0 + x1) * 0.5
+    mean_y = (y0 + y1) * 0.5
+    half_dx = (x1 - x0) * 0.5
+    half_dy = (y1 - y0) * 0.5
+    sxx = 2.0 * half_dx * half_dx
+    syy = 2.0 * half_dy * half_dy
+    sxy = 2.0 * half_dx * half_dy
+    stats: list[SegmentStats | None] = [
+        SegmentStats(
+            n=2,
+            mean_x=float(mean_x[i]),
+            mean_y=float(mean_y[i]),
+            sxx=float(sxx[i]),
+            syy=float(syy[i]),
+            sxy=float(sxy[i]),
+        )
+        for i in range(even)
+    ]
+    if even != k:
+        stats.append(
+            SegmentStats.from_arrays(
+                xs[tail_start:tail_end], ys[tail_start:tail_end]
+            )
+        )
+    return stats
+
+
+def greedy_merging(
+    xs: np.ndarray,
+    *,
+    height: int = 0,
+    params: CostParams = DEFAULT_COST,
+    sample: bool = False,
+    sample_piece_threshold: int = 8,
+) -> SegmentationResult:
+    """Find a good piecewise-linear segmentation of ``xs`` (Algorithm 3).
+
+    Args:
+        xs: Sorted, strictly increasing 1-D array of keys or bounds.
+        height: Tree height of the level being laid out (0 = leaves);
+            enters the cost model through the ``rho**h`` damping.
+        params: Cost-model constants, including the fanout cap ``omega``.
+        sample: Apply the Appendix A.7 sampling strategy -- pieces larger
+            than ``sample_piece_threshold`` fit their final model on every
+            second element, halving fit work with little layout change.
+        sample_piece_threshold: Piece size above which sampling kicks in.
+
+    Returns:
+        The segmentation with the smallest estimated accumulated search
+        cost among all piece counts visited by the merge schedule.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    n = len(xs)
+    if n == 0:
+        return SegmentationResult(segments=[], cost=0.0)
+    ys = np.arange(n, dtype=np.float64)
+    pieces = _initial_pieces(n)
+    if len(pieces) == 1:
+        seg = _fit_segment(xs, ys, 0, n, sample, sample_piece_threshold)
+        return SegmentationResult(segments=[seg], cost=0.0, cost_curve={1: 0.0})
+
+    k = len(pieces)
+    starts = [p[0] for p in pieces]
+    ends = [p[1] for p in pieces]
+    stats: list[SegmentStats | None] = _initial_stats(xs, ys, pieces)
+    nxt = list(range(1, k)) + [-1]
+    prv = [-1] + list(range(k - 1))
+    version = [0] * k
+    alive = [True] * k
+
+    total_wle = sum(_weighted_log_error(st) for st in stats if st is not None)
+    max_piece = 2 * params.omega
+    k_min = max(1, math.ceil(n / params.omega))
+
+    # Heap entries carry the exact (i, j, version_i, version_j) they were
+    # computed for; any later merge touching i or j bumps a version and
+    # invalidates the entry (lazy deletion).
+    heap: list[tuple[float, int, int, int, int]] = []
+
+    def push_candidate(i: int) -> None:
+        j = nxt[i]
+        if j == -1:
+            return
+        si, sj = stats[i], stats[j]
+        assert si is not None and sj is not None
+        if si.n + sj.n > max_piece:
+            return
+        merged = si.merged(sj)
+        delta = merged.sse() - si.sse() - sj.sse()
+        heapq.heappush(heap, (delta, i, j, version[i], version[j]))
+
+    for i in range(k):
+        push_candidate(i)
+
+    def current_cost() -> float:
+        mean_log_err = total_wle / n
+        return accumulated_cost(n, k, mean_log_err, height, params)
+
+    cost_curve: dict[int, float] = {k: current_cost()}
+    removed_boundaries: list[int] = []  # start index of the absorbed piece
+
+    while k > k_min and heap:
+        delta, i, j, vi, vj = heapq.heappop(heap)
+        if not alive[i] or not alive[j]:
+            continue
+        if nxt[i] != j or version[i] != vi or version[j] != vj:
+            continue
+        si, sj = stats[i], stats[j]
+        assert si is not None and sj is not None
+        if si.n + sj.n > max_piece:
+            continue
+        # Merge piece j into piece i.
+        total_wle -= _weighted_log_error(si) + _weighted_log_error(sj)
+        merged = si.merged(sj)
+        total_wle += _weighted_log_error(merged)
+        stats[i] = merged
+        ends[i] = ends[j]
+        alive[j] = False
+        stats[j] = None
+        removed_boundaries.append(starts[j])
+        nxt[i] = nxt[j]
+        if nxt[j] != -1:
+            prv[nxt[j]] = i
+        version[i] += 1
+        k -= 1
+        cost_curve[k] = current_cost()
+        push_candidate(i)
+        if prv[i] != -1:
+            push_candidate(prv[i])
+
+    best_k = min(cost_curve, key=lambda kk: (cost_curve[kk], kk))
+    segments = _reconstruct(
+        xs, ys, pieces, removed_boundaries, best_k, sample, sample_piece_threshold
+    )
+    return SegmentationResult(
+        segments=segments, cost=cost_curve[best_k], cost_curve=cost_curve
+    )
+
+
+def _reconstruct(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    initial_pieces: list[tuple[int, int]],
+    removed_boundaries: list[int],
+    best_k: int,
+    sample: bool,
+    sample_piece_threshold: int,
+) -> list[Segment]:
+    """Rebuild the piece list at ``best_k`` from the recorded merge order."""
+    n = len(xs)
+    k0 = len(initial_pieces)
+    n_merges = k0 - best_k
+    boundary_set = {start for start, _ in initial_pieces}
+    for start in removed_boundaries[:n_merges]:
+        boundary_set.discard(start)
+    starts = sorted(boundary_set)
+    segments = []
+    for idx, start in enumerate(starts):
+        end = starts[idx + 1] if idx + 1 < len(starts) else n
+        segments.append(
+            _fit_segment(xs, ys, start, end, sample, sample_piece_threshold)
+        )
+    return segments
+
+
+def _fit_segment(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    start: int,
+    end: int,
+    sample: bool,
+    sample_piece_threshold: int,
+) -> Segment:
+    """Fit the final model of one piece, optionally on a half sample."""
+    px = xs[start:end]
+    py = ys[start:end]
+    if sample and len(px) > sample_piece_threshold:
+        model = LinearModel.fit(px[::2], py[::2])
+    else:
+        model = LinearModel.fit(px, py)
+    pred = model.intercept + model.slope * px
+    err = pred - py
+    rmse = float(np.sqrt(np.mean(err * err))) if len(px) else 0.0
+    return Segment(start=start, end=end, model=model, rmse=rmse)

@@ -1,0 +1,211 @@
+"""Structural statistics of a DILI tree (the Table 6 metrics).
+
+The paper characterizes a built DILI by its minimum, maximum and
+key-weighted average *height* -- the number of nodes on the path from the
+root to the slot holding a pair, nested conflict leaves included -- plus
+the number of conflicts per thousand keys observed during construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dili import DILI
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary of a DILI's shape.
+
+    Attributes:
+        num_pairs: Pairs stored in the tree.
+        min_height / max_height: Extremes of per-pair path length.
+        avg_height: Key-weighted mean path length.
+        internal_nodes: Count of equal-width internal nodes.
+        leaf_nodes: Count of leaf nodes, nested conflict leaves included.
+        nested_leaves: Leaf nodes that hang off another leaf's slot.
+        conflicts_per_1k: Bulk-load conflicts per thousand keys
+            (Table 6's last column).
+        memory_bytes: Modelled index footprint.
+    """
+
+    num_pairs: int
+    min_height: int
+    max_height: int
+    avg_height: float
+    internal_nodes: int
+    leaf_nodes: int
+    nested_leaves: int
+    conflicts_per_1k: float
+    memory_bytes: int
+
+
+def tree_stats(index: DILI) -> TreeStats:
+    """Walk ``index`` and compute its :class:`TreeStats`."""
+    acc = _Accumulator()
+    if index.root is not None:
+        _walk(index.root, 1, False, acc)
+    n = max(acc.num_pairs, 1)
+    conflicts = index.opt_stats.conflicts
+    return TreeStats(
+        num_pairs=acc.num_pairs,
+        min_height=acc.min_height if acc.num_pairs else 0,
+        max_height=acc.max_height,
+        avg_height=acc.height_sum / n,
+        internal_nodes=acc.internal_nodes,
+        leaf_nodes=acc.leaf_nodes,
+        nested_leaves=acc.nested_leaves,
+        conflicts_per_1k=1000.0 * conflicts / max(len(index), 1),
+        memory_bytes=index.memory_bytes(),
+    )
+
+
+def describe(index: DILI) -> str:
+    """Human-readable one-screen summary of an index's structure.
+
+    Intended for debugging sessions and log lines; everything in it is
+    derivable from :func:`tree_stats` and :func:`memory_breakdown`.
+    """
+    st = tree_stats(index)
+    if st.num_pairs == 0:
+        return "DILI(empty)"
+    mem = memory_breakdown(index)
+    lines = [
+        f"DILI with {st.num_pairs:,} pairs",
+        (
+            f"  heights: min {st.min_height} / avg {st.avg_height:.2f}"
+            f" / max {st.max_height}"
+        ),
+        (
+            f"  nodes: {st.internal_nodes:,} internal,"
+            f" {st.leaf_nodes:,} leaves"
+            f" ({st.nested_leaves:,} nested)"
+        ),
+        (
+            f"  conflicts: {st.conflicts_per_1k:.1f} pairs/1K at bulk"
+            f" load, {index.adjustment_count} adjustments since"
+        ),
+        (
+            f"  memory: {mem.total / 1e6:.2f} MB"
+            f" ({mem.internal_bytes / 1e6:.2f} internal,"
+            f" {mem.slot_bytes / 1e6:.2f} slots,"
+            f" {mem.slack_fraction:.0%} slack)"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Where a DILI's modelled bytes go.
+
+    Attributes:
+        internal_bytes: Internal-node headers and child-pointer arrays.
+        leaf_header_bytes: Per-leaf fixed overhead (model + bookkeeping).
+        slot_bytes: Entry-array slots, occupied or not.
+        occupied_slot_bytes: The subset of slot bytes holding pairs.
+        nested_bytes: Bytes of nested conflict leaves (headers + slots),
+            also included in the other categories' totals.
+    """
+
+    internal_bytes: int
+    leaf_header_bytes: int
+    slot_bytes: int
+    occupied_slot_bytes: int
+    nested_bytes: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.internal_bytes + self.leaf_header_bytes + self.slot_bytes
+        )
+
+    @property
+    def slack_fraction(self) -> float:
+        """Share of slot bytes that hold nothing (the eta over-allocation)."""
+        if self.slot_bytes == 0:
+            return 0.0
+        return 1.0 - self.occupied_slot_bytes / self.slot_bytes
+
+
+def memory_breakdown(index: DILI) -> MemoryBreakdown:
+    """Attribute the index's modelled footprint to its components."""
+    internal = leaf_header = slots = occupied = nested = 0
+    stack: list[tuple[object, bool]] = (
+        [(index.root, False)] if index.root is not None else []
+    )
+    while stack:
+        node, is_nested = stack.pop()
+        if type(node) is InternalNode:
+            internal += 32 + 8 * len(node.children)
+            stack.extend((child, False) for child in node.children)
+            continue
+        if type(node) is DenseLeafNode:
+            leaf_header += 64
+            slots += 16 * len(node.keys)
+            occupied += 16 * len(node.keys)
+            continue
+        leaf_header += 64
+        slots += 16 * len(node.slots)
+        here = 64 + 16 * len(node.slots)
+        if is_nested:
+            nested += here
+        for entry in node.slots:
+            if entry is None:
+                continue
+            if type(entry) is tuple:
+                occupied += 16
+            else:
+                stack.append((entry, True))
+    return MemoryBreakdown(
+        internal_bytes=internal,
+        leaf_header_bytes=leaf_header,
+        slot_bytes=slots,
+        occupied_slot_bytes=occupied,
+        nested_bytes=nested,
+    )
+
+
+class _Accumulator:
+    def __init__(self) -> None:
+        self.num_pairs = 0
+        self.min_height = 1 << 30
+        self.max_height = 0
+        self.height_sum = 0
+        self.internal_nodes = 0
+        self.leaf_nodes = 0
+        self.nested_leaves = 0
+
+
+def _walk(node, depth: int, nested: bool, acc: _Accumulator) -> None:
+    if type(node) is InternalNode:
+        acc.internal_nodes += 1
+        for child in node.children:
+            _walk(child, depth + 1, False, acc)
+        return
+    if type(node) is DenseLeafNode:
+        acc.leaf_nodes += 1
+        n = len(node.keys)
+        acc.num_pairs += n
+        if n:
+            acc.height_sum += depth * n
+            acc.min_height = min(acc.min_height, depth)
+            acc.max_height = max(acc.max_height, depth)
+        return
+    acc.leaf_nodes += 1
+    if nested:
+        acc.nested_leaves += 1
+    pairs_here = 0
+    for entry in node.slots:
+        if entry is None:
+            continue
+        if type(entry) is tuple:
+            pairs_here += 1
+        else:
+            _walk(entry, depth + 1, True, acc)
+    acc.num_pairs += pairs_here
+    if pairs_here:
+        acc.height_sum += depth * pairs_here
+        acc.min_height = min(acc.min_height, depth)
+        acc.max_height = max(acc.max_height, depth)

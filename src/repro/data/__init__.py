@@ -1,0 +1,47 @@
+"""Synthetic datasets shaped like the paper's evaluation data.
+
+The paper evaluates on four SOSD datasets (FB, WikiTS, OSM, Books) and a
+synthetic lognormal set.  The real files are hundreds of millions of
+uint64 keys behind download links; this package generates smaller
+synthetic stand-ins whose *CDF shapes* -- the property that decides how
+hard a dataset is for a learned index -- mimic each original.  See
+DESIGN.md ("Substitutions") for the rationale per dataset.
+
+All generators return sorted, unique, integer-valued float64 arrays with
+keys below 2**53, so every key is exactly representable and every pair of
+keys is separable by a float64 linear model.
+"""
+
+from repro.data.analysis import (
+    HardnessReport,
+    estimate_conflict_rate,
+    hardness_report,
+    segment_rmse_profile,
+)
+from repro.data.datasets import (
+    DATASET_NAMES,
+    books_like,
+    fb_like,
+    load_dataset,
+    lognormal,
+    osm_like,
+    wikits_like,
+)
+from repro.data.records import make_payloads, prepare_keys, split_initial
+
+__all__ = [
+    "DATASET_NAMES",
+    "HardnessReport",
+    "books_like",
+    "estimate_conflict_rate",
+    "fb_like",
+    "hardness_report",
+    "segment_rmse_profile",
+    "load_dataset",
+    "lognormal",
+    "make_payloads",
+    "osm_like",
+    "prepare_keys",
+    "split_initial",
+    "wikits_like",
+]

@@ -1,0 +1,54 @@
+"""Record packing helpers (Section 7.1, "Datasets").
+
+The paper associates each key with a random integer, packs them as a
+simulated record into a data array, and indexes (key, address) pairs.
+Payload values here play the role of those record addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import MAX_KEY
+
+
+def prepare_keys(raw: np.ndarray | list) -> np.ndarray:
+    """Sort, deduplicate and validate an arbitrary key array.
+
+    Returns a strictly increasing float64 array suitable for every index
+    in this repository.  Raises if any key falls outside [0, 2**52],
+    where float64 integer arithmetic stops being exact.
+    """
+    keys = np.unique(np.asarray(raw, dtype=np.float64))
+    if len(keys) and (keys[0] < 0 or keys[-1] > MAX_KEY):
+        raise ValueError(
+            f"keys must lie in [0, {int(MAX_KEY)}], got "
+            f"[{keys[0]}, {keys[-1]}]"
+        )
+    return keys
+
+
+def make_payloads(n: int, seed: int = 0) -> np.ndarray:
+    """Random integer payloads standing in for record addresses."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**31, size=n)
+
+
+def split_initial(
+    keys: np.ndarray, fraction: float = 0.5, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random split into (P0, P1) as the workload experiments require.
+
+    Section 7.3: "we randomly select 50% of the pairs as the initial
+    dataset P0; the other 50% of P is named P1" -- indexes are bulk
+    loaded on P0 and the P1 keys are inserted during the workload.
+    Both halves are returned sorted.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n0 = int(len(keys) * fraction)
+    picked = rng.permutation(len(keys))
+    initial = np.sort(keys[picked[:n0]])
+    rest = np.sort(keys[picked[n0:]])
+    return initial, rest

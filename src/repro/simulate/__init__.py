@@ -1,0 +1,41 @@
+"""Hardware-behaviour simulation used to score index structures.
+
+The paper evaluates C++ implementations with wall-clock nanoseconds and
+hardware LL-cache-miss counters.  A pure-Python reproduction cannot match
+absolute numbers, so this package provides the substitute measurement
+substrate described in DESIGN.md:
+
+* :mod:`repro.simulate.tracer` -- a tracing protocol.  Every index
+  implementation reports its memory touches (cache-line-sized blocks) and
+  its arithmetic work (cycles) to a tracer while answering a probe.
+* :mod:`repro.simulate.cache` -- an LRU cache-line simulator that decides
+  which touches hit and which miss.
+* :mod:`repro.simulate.latency` -- the cycle-cost model with the constants
+  from Section 7.1 of the paper (theta_N = theta_C = 130 cycles per
+  cache-line load, eta = 25 cycles per linear-model evaluation, ...).
+
+Costs are structural: an index that traverses fewer nodes, touches fewer
+cache lines, and performs fewer search iterations scores lower.  This is
+exactly the quantity the paper's Tables 4, 5, 9 and 11 compare.
+"""
+
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
+from repro.simulate.tracer import (
+    NULL_TRACER,
+    CostTracer,
+    NullTracer,
+    Tracer,
+    region_id,
+)
+
+__all__ = [
+    "CacheSimulator",
+    "CostTracer",
+    "CyclesPerOp",
+    "DEFAULT_CYCLES",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "region_id",
+]

@@ -1,0 +1,104 @@
+"""Access-pattern statistics: node visits and footprint per probe.
+
+The paper argues with structural access counts ("DILI accesses only
+0.2-1 node per point query on average", Section 7.3).  This tracer
+records, per probe, how many node headers were touched (memory events
+at offset 0 of a region), how many distinct regions participated, and
+the total touches -- without any cost model, so the numbers are pure
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulate.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Aggregate access statistics over a batch of probes.
+
+    Attributes:
+        probes: Number of probes profiled.
+        nodes_per_probe: Mean node-header touches per probe (tree depth
+            as experienced by the memory system).
+        regions_per_probe: Mean distinct memory regions per probe.
+        touches_per_probe: Mean total memory touches per probe.
+        max_nodes: Worst-case node touches in a single probe.
+    """
+
+    probes: int
+    nodes_per_probe: float
+    regions_per_probe: float
+    touches_per_probe: float
+    max_nodes: int
+
+
+class AccessStatsTracer(Tracer):
+    """Tracer that counts structure, not cycles.
+
+    Call :meth:`next_probe` between probes (or use
+    :func:`profile_lookups`, which does it for you).
+    """
+
+    __slots__ = (
+        "_node_touches",
+        "_regions",
+        "_touches",
+        "_per_probe_nodes",
+        "_per_probe_regions",
+        "_per_probe_touches",
+    )
+
+    def __init__(self) -> None:
+        self._node_touches = 0
+        self._regions: set[int] = set()
+        self._touches = 0
+        self._per_probe_nodes: list[int] = []
+        self._per_probe_regions: list[int] = []
+        self._per_probe_touches: list[int] = []
+
+    def mem(self, region: int, offset: int = 0) -> None:
+        self._touches += 1
+        self._regions.add(region)
+        if offset == 0:
+            self._node_touches += 1
+
+    def compute(self, cycles: float) -> None:  # structure only
+        pass
+
+    def phase(self, name: str) -> None:
+        pass
+
+    def next_probe(self) -> None:
+        """Close the current probe's counters and start a new one."""
+        self._per_probe_nodes.append(self._node_touches)
+        self._per_probe_regions.append(len(self._regions))
+        self._per_probe_touches.append(self._touches)
+        self._node_touches = 0
+        self._regions = set()
+        self._touches = 0
+
+    def profile(self) -> AccessProfile:
+        """Aggregate everything recorded so far."""
+        counts = self._per_probe_nodes
+        if not counts:
+            return AccessProfile(0, 0.0, 0.0, 0.0, 0)
+        n = len(counts)
+        return AccessProfile(
+            probes=n,
+            nodes_per_probe=sum(counts) / n,
+            regions_per_probe=sum(self._per_probe_regions) / n,
+            touches_per_probe=sum(self._per_probe_touches) / n,
+            max_nodes=max(counts),
+        )
+
+
+def profile_lookups(index, keys) -> AccessProfile:
+    """Profile ``index.get`` over ``keys`` and aggregate the accesses."""
+    tracer = AccessStatsTracer()
+    for key in keys:
+        index.get(float(key), tracer)
+        tracer.next_probe()
+    return tracer.profile()

@@ -1,0 +1,60 @@
+"""Cycle-cost constants mirroring Section 7.1 of the DILI paper.
+
+The paper calibrates its cost model on a Xeon Platinum 8163:
+
+* an LL-cache line is 64 bytes and fetching one from main memory costs
+  about 130 cycles at worst (``theta_N`` and ``theta_C``),
+* executing a linear function including type casts costs about 25 cycles
+  (``eta``),
+* the non-memory work of one linear-search iteration costs about 5 cycles
+  (``mu_L``) and of one exponential-search iteration about 17 cycles
+  (``mu_E``).
+
+Simulated lookup "nanoseconds" reported by the benchmarks are cycle counts
+scaled by an assumed clock so the magnitudes are comparable to the paper's
+tables.  Only ratios between methods are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CACHE_LINE_BYTES = 64
+"""Size of one simulated cache line (matches the paper's machine)."""
+
+
+@dataclass(frozen=True)
+class CyclesPerOp:
+    """Cycle charges for the primitive operations of an index probe.
+
+    Attributes:
+        cache_miss: Loading a cache line from main memory (``theta_N``,
+            ``theta_C`` and ``theta_E`` in the paper).
+        cache_hit: Touching a line already resident in the simulated cache.
+            The paper treats hits as nearly free next to the 130-cycle
+            misses; a small nonzero charge keeps long in-cache scans from
+            being free.
+        linear_model: Evaluating ``a + b * x`` with the final cast
+            (``eta``).
+        linear_search_step: Non-memory work per linear-search iteration
+            (``mu_L``).
+        exp_search_step: Non-memory work per exponential/binary-search
+            iteration (``mu_E``).
+        branch: A predicted-taken branch or comparison outside a search
+            loop.
+    """
+
+    cache_miss: float = 130.0
+    cache_hit: float = 4.0
+    linear_model: float = 25.0
+    linear_search_step: float = 5.0
+    exp_search_step: float = 17.0
+    branch: float = 2.0
+
+    def to_nanoseconds(self, cycles: float, ghz: float = 2.5) -> float:
+        """Convert a cycle count to nanoseconds at ``ghz`` (8163 base clock)."""
+        return cycles / ghz
+
+
+DEFAULT_CYCLES = CyclesPerOp()
+"""Module-wide default charge table; benchmarks share this instance."""

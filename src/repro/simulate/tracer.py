@@ -1,0 +1,137 @@
+"""Tracing protocol connecting index probes to the cost model.
+
+Every index in this repository implements its lookup as
+``_lookup(key, tracer)``.  The tracer receives two kinds of events:
+
+* ``mem(region, offset)`` -- the probe read memory at byte ``offset``
+  inside the object identified by ``region``.  The tracer folds this to a
+  cache-line identifier and charges a hit or a miss.
+* ``compute(cycles)`` -- the probe performed ``cycles`` worth of
+  arithmetic (model evaluations, comparisons, search-loop overhead).
+
+Production-path calls (``index.get``) pass :data:`NULL_TRACER`, whose
+methods are no-ops, so correctness tests and real-time benchmarks pay only
+an attribute lookup.  Cost benchmarks pass a :class:`CostTracer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable
+
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.latency import CACHE_LINE_BYTES, DEFAULT_CYCLES, CyclesPerOp
+
+_region_counter = itertools.count(1)
+
+
+def region_id() -> int:
+    """Return a fresh identifier for a contiguous memory region.
+
+    Index structures call this once per allocated node or array and pass
+    the identifier to ``tracer.mem``; the tracer then distinguishes
+    cache lines *within* the region by byte offset.
+    """
+    return next(_region_counter)
+
+
+class Tracer:
+    """Base tracer; both events are no-ops.  Subclass to record costs."""
+
+    __slots__ = ()
+
+    def mem(self, region: int, offset: int = 0) -> None:
+        """Record a memory access at ``offset`` bytes into ``region``."""
+
+    def compute(self, cycles: float) -> None:
+        """Record ``cycles`` of non-memory work."""
+
+    def phase(self, name: str) -> None:
+        """Switch the accounting phase (e.g. 'step1' / 'step2')."""
+
+
+class NullTracer(Tracer):
+    """Shared do-nothing tracer for production code paths."""
+
+    __slots__ = ()
+
+
+NULL_TRACER = NullTracer()
+
+
+class CostTracer(Tracer):
+    """Tracer that accumulates simulated cycles and cache misses.
+
+    Args:
+        cache: Cache simulator deciding hits vs. misses.  A fresh 4 MiB
+            LRU cache is created when omitted.
+        cycles: Charge table; defaults to the paper's constants.
+
+    Attributes:
+        total_cycles: Simulated cycles accumulated so far.
+        mem_accesses: Number of ``mem`` events.
+        phase_cycles: Mapping from phase name to cycles spent in it.
+    """
+
+    __slots__ = (
+        "cache",
+        "cycles_per_op",
+        "total_cycles",
+        "mem_accesses",
+        "phase_cycles",
+        "_phase",
+    )
+
+    def __init__(
+        self,
+        cache: CacheSimulator | None = None,
+        cycles: CyclesPerOp = DEFAULT_CYCLES,
+    ) -> None:
+        self.cache = cache if cache is not None else CacheSimulator()
+        self.cycles_per_op = cycles
+        self.total_cycles = 0.0
+        self.mem_accesses = 0
+        self.phase_cycles: dict[str, float] = {}
+        self._phase: str | None = None
+
+    @property
+    def cache_misses(self) -> int:
+        """Total misses recorded by the underlying cache simulator."""
+        return self.cache.misses
+
+    def mem(self, region: int, offset: int = 0) -> None:
+        self.mem_accesses += 1
+        block: Hashable = (region, offset // CACHE_LINE_BYTES)
+        if self.cache.touch(block):
+            self._charge(self.cycles_per_op.cache_miss)
+        else:
+            self._charge(self.cycles_per_op.cache_hit)
+
+    def compute(self, cycles: float) -> None:
+        self._charge(cycles)
+
+    def phase(self, name: str) -> None:
+        self._phase = name
+        self.phase_cycles.setdefault(name, 0.0)
+
+    def _charge(self, cycles: float) -> None:
+        self.total_cycles += cycles
+        if self._phase is not None:
+            self.phase_cycles[self._phase] += cycles
+
+    def reset_counters(self) -> None:
+        """Zero the accumulated cycles/accesses but keep cache contents.
+
+        Benchmarks warm the cache with a batch of probes, reset counters,
+        then measure, mimicking steady-state hardware counters.
+        """
+        self.total_cycles = 0.0
+        self.mem_accesses = 0
+        self.phase_cycles = {}
+        self._phase = None
+        self.cache.hits = 0
+        self.cache.misses = 0
+
+    def nanoseconds(self, ghz: float = 2.5) -> float:
+        """Total simulated time in nanoseconds."""
+        return self.cycles_per_op.to_nanoseconds(self.total_cycles, ghz)

@@ -1,0 +1,30 @@
+"""Workload generation and execution (Sections 7.3, 7.4, Appendix A).
+
+The paper evaluates indexes under named operation mixes -- Read-only,
+Read-Heavy, Write-Heavy, Write-Only, plus deletion-, distribution-shift-
+and skewed-write variants.  :mod:`repro.workloads.generator` builds the
+operation streams; :mod:`repro.workloads.runner` executes them against
+any :class:`~repro.baselines.base.BaseIndex`-compatible index and
+reports throughput (simulated and wall-clock).
+"""
+
+from repro.workloads.generator import (
+    Operation,
+    WorkloadSpec,
+    deletion_workload,
+    make_workload,
+    skewed_insert_keys,
+    zipf_indices,
+)
+from repro.workloads.runner import WorkloadResult, run_workload
+
+__all__ = [
+    "Operation",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "deletion_workload",
+    "make_workload",
+    "run_workload",
+    "skewed_insert_keys",
+    "zipf_indices",
+]

@@ -1,0 +1,182 @@
+"""Workload stream generation (Section 7.3 and Appendix A.2/A.3).
+
+The paper's protocol: split the dataset into an initial half ``P0``
+(bulk loaded) and an insert pool ``P1``; a workload is a random mix of
+point queries (keys drawn from the whole dataset) and insertions (keys
+drawn from ``P1``), with the four named mixes below.  Deletion
+workloads (Section 7.4) bulk load everything and mix lookups with
+deletions of random keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class Operation(Enum):
+    """One workload step kind."""
+
+    LOOKUP = "lookup"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named operation mix, in paper proportions.
+
+    The paper uses 100M/50M counts; ``scale`` rescales the total while
+    keeping the ratio, so e.g. Read-Heavy at scale 30_000 issues 20_000
+    lookups and 10_000 inserts.
+    """
+
+    name: str
+    lookups: int
+    inserts: int
+    deletes: int = 0
+
+    def scaled(self, total: int) -> "WorkloadSpec":
+        own_total = self.lookups + self.inserts + self.deletes
+        factor = total / own_total
+        return WorkloadSpec(
+            name=self.name,
+            lookups=int(self.lookups * factor),
+            inserts=int(self.inserts * factor),
+            deletes=int(self.deletes * factor),
+        )
+
+
+READ_ONLY = WorkloadSpec("Read-Only", lookups=100, inserts=0)
+READ_HEAVY = WorkloadSpec("Read-Heavy", lookups=100, inserts=50)
+WRITE_HEAVY = WorkloadSpec("Write-Heavy", lookups=50, inserts=100)
+WRITE_ONLY = WorkloadSpec("Write-Only", lookups=0, inserts=100)
+DELETE_READ_HEAVY = WorkloadSpec("Read-Heavy(del)", lookups=100, inserts=0,
+                                 deletes=50)
+DELETE_HEAVY = WorkloadSpec("Deletion-Heavy", lookups=50, inserts=0,
+                            deletes=100)
+
+NAMED_SPECS = {
+    spec.name: spec
+    for spec in (
+        READ_ONLY,
+        READ_HEAVY,
+        WRITE_HEAVY,
+        WRITE_ONLY,
+        DELETE_READ_HEAVY,
+        DELETE_HEAVY,
+    )
+}
+
+
+def zipf_indices(
+    n: int, count: int, rng: np.random.Generator, theta: float = 0.99
+) -> np.ndarray:
+    """Zipfian-distributed indices into ``range(n)`` (YCSB-style skew).
+
+    Hot indices are scattered over the range (not clustered at 0) via a
+    fixed permutation derived from the RNG, so skew means *popularity*
+    skew rather than key-space locality.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = 1.0 / ranks**theta
+    weights /= weights.sum()
+    hot_order = rng.permutation(n)
+    picks = rng.choice(n, size=count, p=weights)
+    return hot_order[picks]
+
+
+def make_workload(
+    spec: WorkloadSpec,
+    all_keys: np.ndarray,
+    insert_pool: np.ndarray,
+    seed: int = 0,
+    query_distribution: str = "uniform",
+) -> list[tuple[Operation, float]]:
+    """Build a shuffled operation stream for ``spec``.
+
+    Args:
+        spec: Operation mix (already scaled to the desired total).
+        all_keys: Full key universe; lookup keys are drawn from it, as
+            in the paper ("query keys are randomly selected from
+            KEYS(P)").
+        insert_pool: Keys to insert (the paper's ``P1``); ``spec`` must
+            not ask for more inserts than the pool holds.
+        seed: RNG seed; streams are deterministic given it.
+        query_distribution: "uniform" (the paper's protocol) or "zipf"
+            (YCSB-style popularity skew over the lookup keys).
+
+    Returns:
+        List of (operation, key), randomly interleaved.
+    """
+    if spec.inserts > len(insert_pool):
+        raise ValueError(
+            f"spec wants {spec.inserts} inserts, pool has "
+            f"{len(insert_pool)}"
+        )
+    if query_distribution not in ("uniform", "zipf"):
+        raise ValueError(
+            "query_distribution must be 'uniform' or 'zipf'"
+        )
+    rng = np.random.default_rng(seed)
+    ops: list[tuple[Operation, float]] = []
+    if spec.lookups:
+        if query_distribution == "zipf":
+            picks = zipf_indices(len(all_keys), spec.lookups, rng)
+        else:
+            picks = rng.integers(0, len(all_keys), size=spec.lookups)
+        ops.extend((Operation.LOOKUP, float(all_keys[i])) for i in picks)
+    if spec.inserts:
+        picks = rng.choice(len(insert_pool), size=spec.inserts,
+                           replace=False)
+        ops.extend(
+            (Operation.INSERT, float(insert_pool[i])) for i in picks
+        )
+    if spec.deletes:
+        picks = rng.choice(len(all_keys), size=spec.deletes, replace=False)
+        ops.extend((Operation.DELETE, float(all_keys[i])) for i in picks)
+    order = rng.permutation(len(ops))
+    return [ops[i] for i in order]
+
+
+def deletion_workload(
+    spec: WorkloadSpec, keys: np.ndarray, seed: int = 0
+) -> list[tuple[Operation, float]]:
+    """Section 7.4 stream: lookups and deletions over a loaded index."""
+    return make_workload(spec, keys, np.array([]), seed=seed)
+
+
+def skewed_insert_keys(
+    source: np.ndarray,
+    target: np.ndarray,
+    count: int,
+    compress: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Appendix A.3's skewed write keys.
+
+    Maps keys of a *different* distribution (``source``, the paper's Q)
+    into the first ``compress`` fraction of the loaded dataset's key
+    range, producing the pair set Q' whose inserts concentrate into a
+    narrow region of the index.
+    """
+    if not 0.0 < compress <= 1.0:
+        raise ValueError("compress must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    lo = float(target[0])
+    span = (float(target[-1]) - lo) * compress
+    src_lo = float(source[0])
+    src_span = max(float(source[-1]) - src_lo, 1.0)
+    mapped = lo + (source - src_lo) / src_span * span
+    mapped = np.unique(np.floor(mapped))
+    mapped = np.setdiff1d(mapped, target)
+    if len(mapped) < count:
+        raise ValueError(
+            f"only {len(mapped)} distinct mapped keys, need {count}"
+        )
+    picks = rng.choice(len(mapped), size=count, replace=False)
+    return np.sort(mapped[picks])

@@ -1,0 +1,32 @@
+"""Shared fixtures for baseline index tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="package")
+def fb_keys():
+    return load_dataset("fb", 8000, seed=11)
+
+
+@pytest.fixture(scope="package")
+def logn_keys():
+    return load_dataset("logn", 8000, seed=12)
+
+
+@pytest.fixture(scope="package")
+def linear_keys():
+    return np.arange(0, 50000, 10, dtype=np.float64)
+
+
+def assert_full_lookup(index, keys, stride=17):
+    """Every key resolves to its bulk-load position; misses return None."""
+    for i in range(0, len(keys), stride):
+        assert index.get(float(keys[i])) == i, (index.name, i)
+    assert index.get(float(keys[0]) - 1.0) is None
+    assert index.get(float(keys[-1]) + 1.0) is None
+    mid = (float(keys[0]) + float(keys[1])) / 2.0
+    if mid not in (float(keys[0]), float(keys[1])):
+        assert index.get(mid) is None

@@ -1,0 +1,191 @@
+"""Tests for the ALEX baseline (gapped arrays, adaptive structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.alex import AlexIndex, _Leaf
+from repro.data import load_dataset
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestGappedLeaf:
+    def _leaf(self, keys, capacity=None):
+        keys = np.asarray(keys, dtype=np.float64)
+        cap = capacity or max(64, int(len(keys) / 0.7))
+        return _Leaf(float(keys[0]), float(keys[-1]) + 1.0, keys,
+                     list(range(len(keys))), cap)
+
+    def test_build_places_all_keys(self):
+        keys = np.arange(0, 1000, 7, dtype=np.float64)
+        leaf = self._leaf(keys)
+        assert leaf.num == len(keys)
+        from repro.simulate.tracer import NULL_TRACER
+        for i, k in enumerate(keys):
+            pos = leaf.find(float(k), NULL_TRACER)
+            assert pos >= 0 and leaf.values[pos] == i
+
+    def test_gap_fences_keep_array_sorted(self):
+        keys = np.unique(np.random.default_rng(51).uniform(0, 1e6, 300))
+        leaf = self._leaf(keys)
+        finite = leaf.keys[np.isfinite(leaf.keys)]
+        assert bool(np.all(np.diff(finite) >= 0))
+
+    def test_iter_pairs_sorted(self):
+        keys = np.unique(np.random.default_rng(52).uniform(0, 1e6, 200))
+        leaf = self._leaf(keys)
+        got = [k for k, _ in leaf.iter_pairs()]
+        assert got == [float(k) for k in keys]
+
+    def test_insert_uses_gap_without_shifting(self):
+        from repro.simulate.tracer import NULL_TRACER
+        keys = np.arange(0, 100, 10, dtype=np.float64)
+        leaf = self._leaf(keys, capacity=64)
+        assert leaf.insert(55.0, "new", NULL_TRACER)
+        assert leaf.find(55.0, NULL_TRACER) >= 0
+        got = [k for k, _ in leaf.iter_pairs()]
+        assert got == sorted(got)
+
+    def test_lazy_delete_keeps_fence(self):
+        from repro.simulate.tracer import NULL_TRACER
+        keys = np.arange(0, 100, 10, dtype=np.float64)
+        leaf = self._leaf(keys)
+        assert leaf.delete(50.0, NULL_TRACER)
+        assert leaf.find(50.0, NULL_TRACER) == -1
+        assert leaf.find(60.0, NULL_TRACER) >= 0
+        # Re-insert into the vacated region.
+        assert leaf.insert(50.0, "back", NULL_TRACER)
+        assert leaf.find(50.0, NULL_TRACER) >= 0
+
+
+class TestAlexIndex:
+    @pytest.mark.parametrize("budget", [16 * 1024, 256 * 1024])
+    def test_lookup(self, fb_keys, budget):
+        index = AlexIndex(budget)
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 5000, seed=53)
+            index = AlexIndex(64 * 1024)
+            index.bulk_load(keys)
+            for i in range(0, len(keys), 59):
+                assert index.get(float(keys[i])) == i, (name, i)
+
+    def test_small_budget_builds_deeper_tree(self):
+        keys = load_dataset("logn", 20000, seed=54)
+        tight = AlexIndex(16 * 1024)
+        tight.bulk_load(keys)
+        roomy = AlexIndex(1 << 20)
+        roomy.bulk_load(keys)
+        assert tight.height() >= roomy.height()
+
+    def test_fanouts_are_powers_of_two(self):
+        from repro.baselines.alex import _Internal
+
+        keys = load_dataset("fb", 20000, seed=55)
+        index = AlexIndex(16 * 1024)
+        index.bulk_load(keys)
+        stack = [index._root]
+        saw_internal = False
+        while stack:
+            node = stack.pop()
+            if type(node) is _Internal:
+                saw_internal = True
+                fanout = len(node.children)
+                assert fanout & (fanout - 1) == 0, fanout
+                stack.extend(node.children)
+        assert saw_internal
+
+    def test_insert_and_get(self, logn_keys):
+        index = AlexIndex(64 * 1024)
+        index.bulk_load(logn_keys[::2])
+        for k in logn_keys[1::2]:
+            assert index.insert(float(k), "new")
+        assert not index.insert(float(logn_keys[0]), "dup")
+        for k in logn_keys[1::2][::9]:
+            assert index.get(float(k)) == "new"
+        assert len(index) == len(logn_keys)
+
+    def test_heavy_skewed_inserts_trigger_splits(self):
+        index = AlexIndex(16 * 1024)
+        index.bulk_load(np.arange(0, 100000, 50, dtype=np.float64))
+        h0 = index.height()
+        rng = np.random.default_rng(56)
+        hot = np.unique(rng.uniform(777.0, 788.0, 3000))
+        for k in hot:
+            assert index.insert(float(k), "hot")
+        for k in hot[::23]:
+            assert index.get(float(k)) == "hot"
+        assert index.height() >= h0  # split-down may deepen the tree
+
+    def test_insert_into_empty(self):
+        index = AlexIndex()
+        assert index.insert(5.0, "a")
+        assert index.get(5.0) == "a"
+        assert len(index) == 1
+
+    def test_delete_is_lazy_but_correct(self, logn_keys):
+        index = AlexIndex(64 * 1024)
+        index.bulk_load(logn_keys)
+        mem_before = index.memory_bytes()
+        for k in logn_keys[::2]:
+            assert index.delete(float(k))
+        for k in logn_keys[::2]:
+            assert index.get(float(k)) is None
+        for i in range(1, len(logn_keys), 2):
+            assert index.get(float(logn_keys[i])) == i
+        # Lazy deletion: the structure does not shrink (Section 7.4).
+        assert index.memory_bytes() == mem_before
+        assert not index.delete(float(logn_keys[0]))
+
+    def test_range_query(self):
+        index = AlexIndex(64 * 1024)
+        index.bulk_load(np.arange(0, 1000, 2, dtype=np.float64))
+        index.insert(101.0, "odd")
+        index.delete(102.0)
+        got = [k for k, _ in index.range_query(100.0, 106.0)]
+        assert got == [100.0, 101.0, 104.0]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AlexIndex(max_node_bytes=10)
+        with pytest.raises(ValueError):
+            AlexIndex(density=0.9, max_density=0.8)
+
+    def test_empty_bulk_load(self):
+        index = AlexIndex()
+        index.bulk_load(np.array([]))
+        assert index.get(1.0) is None
+        assert len(index) == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=500),
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_alex_matches_dict(ops):
+    """Gapped-array shifting/splitting never loses or duplicates pairs."""
+    index = AlexIndex(4096)
+    reference: dict[float, object] = {}
+    for op, key in ops:
+        key = float(key)
+        if op == "insert":
+            assert index.insert(key, key) == (key not in reference)
+            reference.setdefault(key, key)
+        else:
+            assert index.delete(key) == (key in reference)
+            reference.pop(key, None)
+    assert len(index) == len(reference)
+    for k, v in reference.items():
+        assert index.get(k) == v
+    pairs = index.range_query(-np.inf, np.inf)
+    assert [k for k, _ in pairs] == sorted(reference)

@@ -1,0 +1,192 @@
+"""Tests for the B+Tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BPlusTree
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestBulkLoadAndLookup:
+    @pytest.mark.parametrize("order", [4, 16, 32, 256])
+    def test_lookup_across_orders(self, fb_keys, order):
+        tree = BPlusTree(order)
+        tree.bulk_load(fb_keys)
+        assert_full_lookup(tree, fb_keys)
+        tree.validate()
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        tree.bulk_load(np.array([]))
+        assert len(tree) == 0
+        assert tree.get(1.0) is None
+        assert tree.range_query(0.0, 10.0) == []
+
+    def test_single_key(self):
+        tree = BPlusTree()
+        tree.bulk_load(np.array([42.0]), ["x"])
+        assert tree.get(42.0) == "x"
+        assert len(tree) == 1
+
+    def test_height_shrinks_with_order(self, linear_keys):
+        small = BPlusTree(8)
+        small.bulk_load(linear_keys)
+        big = BPlusTree(128)
+        big.bulk_load(linear_keys)
+        assert big.height() < small.height()
+
+    def test_bulk_load_fill_invariant(self, logn_keys):
+        tree = BPlusTree(16)
+        tree.bulk_load(logn_keys)
+        tree.validate()  # checks min-fill of every node
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = BPlusTree(8)
+        for i in range(100):
+            assert tree.insert(float(i * 3), i)
+        for i in range(100):
+            assert tree.get(float(i * 3)) == i
+        tree.validate()
+
+    def test_duplicate_rejected(self):
+        tree = BPlusTree(8)
+        tree.bulk_load(np.array([1.0, 2.0]))
+        assert not tree.insert(1.0, "other")
+        assert tree.get(1.0) == 0
+
+    def test_insert_splits_propagate_to_root(self):
+        tree = BPlusTree(4)
+        rng = np.random.default_rng(21)
+        keys = rng.permutation(np.arange(2000, dtype=np.float64))
+        for k in keys:
+            assert tree.insert(float(k), int(k))
+        assert tree.height() > 2
+        for k in keys[::7]:
+            assert tree.get(float(k)) == int(k)
+        tree.validate()
+
+    def test_mixed_bulk_and_insert(self, logn_keys):
+        tree = BPlusTree(32)
+        tree.bulk_load(logn_keys[::2])
+        for k in logn_keys[1::2]:
+            assert tree.insert(float(k), "new")
+        assert len(tree) == len(logn_keys)
+        tree.validate()
+
+
+class TestDelete:
+    def test_delete_with_rebalancing(self):
+        tree = BPlusTree(4)
+        keys = np.arange(500, dtype=np.float64)
+        tree.bulk_load(keys)
+        rng = np.random.default_rng(22)
+        for k in rng.permutation(keys)[:400]:
+            assert tree.delete(float(k))
+            tree.validate()  # invariants hold after *every* delete
+        assert len(tree) == 100
+
+    def test_delete_everything(self):
+        tree = BPlusTree(4)
+        keys = np.arange(200, dtype=np.float64)
+        tree.bulk_load(keys)
+        for k in keys:
+            assert tree.delete(float(k))
+        assert len(tree) == 0
+        assert tree.get(5.0) is None
+        assert tree.insert(5.0, "again")
+
+    def test_delete_missing(self):
+        tree = BPlusTree()
+        tree.bulk_load(np.array([1.0, 2.0, 3.0]))
+        assert not tree.delete(9.0)
+        assert len(tree) == 3
+
+    def test_root_collapse(self):
+        tree = BPlusTree(4)
+        tree.bulk_load(np.arange(100, dtype=np.float64))
+        for k in range(99):
+            tree.delete(float(k))
+        assert tree.get(99.0) == 99
+        tree.validate()
+
+
+class TestRangeQuery:
+    def test_range_spans_leaves(self, linear_keys):
+        tree = BPlusTree(16)
+        tree.bulk_load(linear_keys)
+        got = [k for k, _ in tree.range_query(100.0, 400.0)]
+        expected = [float(k) for k in linear_keys if 100.0 <= k < 400.0]
+        assert got == expected
+
+    def test_range_empty_window(self, linear_keys):
+        tree = BPlusTree(16)
+        tree.bulk_load(linear_keys)
+        assert tree.range_query(3.0, 7.0) == []
+
+    def test_range_after_updates(self):
+        tree = BPlusTree(8)
+        tree.bulk_load(np.arange(0, 100, 2, dtype=np.float64))
+        tree.insert(51.0, "odd")
+        tree.delete(52.0)
+        got = [k for k, _ in tree.range_query(50.0, 56.0)]
+        assert got == [50.0, 51.0, 54.0]
+
+
+class TestCostProfile:
+    def test_larger_nodes_mean_fewer_levels_more_in_node_work(self, fb_keys):
+        from repro.simulate.tracer import CostTracer
+
+        costs = {}
+        for order in (16, 512):
+            tree = BPlusTree(order)
+            tree.bulk_load(fb_keys)
+            tracer = CostTracer()
+            for k in fb_keys[::101]:
+                tree.get(float(k), tracer)
+            costs[order] = tracer.total_cycles
+        # Table 4: huge nodes (Omega=512) lose to moderate ones because
+        # in-node binary search touches many cold lines.
+        assert costs[512] > costs[16] * 0.5  # sanity: same order of magnitude
+
+    def test_memory_positive_and_scales(self, fb_keys):
+        tree = BPlusTree(32)
+        tree.bulk_load(fb_keys)
+        small = tree.memory_bytes()
+        assert small > 16 * len(fb_keys) * 0.9  # at least the pairs
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=400),
+        ),
+        max_size=300,
+    ),
+    order=st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_btree_matches_dict(ops, order):
+    """Any insert/delete sequence leaves the tree equal to a dict."""
+    tree = BPlusTree(order)
+    reference: dict[float, object] = {}
+    for op, key in ops:
+        key = float(key)
+        if op == "insert":
+            assert tree.insert(key, key) == (key not in reference)
+            reference.setdefault(key, key)
+        else:
+            assert tree.delete(key) == (key in reference)
+            reference.pop(key, None)
+    assert len(tree) == len(reference)
+    for k, v in reference.items():
+        assert tree.get(k) == v
+    tree.validate()

@@ -1,0 +1,111 @@
+"""Configuration-behaviour tests for the baselines.
+
+Each knob a baseline exposes must visibly do the thing the paper (or
+its source paper) says it does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AlexIndex,
+    LippIndex,
+    MassTree,
+    RMIIndex,
+)
+from repro.baselines.alex import AlexIndex as _Alex
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def fb():
+    return load_dataset("fb", 15_000, seed=88)
+
+
+class TestRMIAutoRoot:
+    def test_auto_picks_a_concrete_root(self, fb):
+        index = RMIIndex(512, "auto")
+        index.bulk_load(fb)
+        assert index.root_kind in ("linear", "cubic", "loglinear")
+        assert "auto->" in index.name
+
+    def test_auto_window_not_worse_than_any_fixed_root(self, fb):
+        auto = RMIIndex(512, "auto")
+        auto.bulk_load(fb)
+        for kind in ("linear", "cubic", "loglinear"):
+            fixed = RMIIndex(512, kind)
+            fixed.bulk_load(fb)
+            assert np.mean(auto._err_hi - auto._err_lo) <= np.mean(
+                fixed._err_hi - fixed._err_lo
+            ) + 1e-9
+
+    def test_auto_answers_correctly(self, fb):
+        index = RMIIndex(512, "auto")
+        index.bulk_load(fb)
+        for i in range(0, len(fb), 173):
+            assert index.get(float(fb[i])) == i
+
+
+class TestLippNodeCap:
+    def test_cap_bounds_every_node(self, fb):
+        cap = 1024
+        index = LippIndex(max_node_slots=cap)
+        index.bulk_load(fb)
+        stack = [index._root]
+        while stack:
+            node = stack.pop()
+            assert len(node.slots) <= max(cap, 2 * 5 * 2)
+            for entry in node.slots:
+                if entry is not None and type(entry) is not tuple:
+                    stack.append(entry)
+
+    def test_smaller_cap_deeper_tree(self, fb):
+        shallow = LippIndex(max_node_slots=65536)
+        shallow.bulk_load(fb)
+        deep = LippIndex(max_node_slots=512)
+        deep.bulk_load(fb)
+        assert deep.max_depth() >= shallow.max_depth()
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            LippIndex(max_node_slots=10)
+
+
+class TestAlexQualitySplit:
+    def test_rank_rmse_zero_on_linear(self):
+        assert _Alex._rank_rmse(np.arange(1000.0)) == pytest.approx(0.0)
+
+    def test_rank_rmse_positive_on_rough(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(np.cumsum(rng.exponential(20.0, 5_000)))
+        assert _Alex._rank_rmse(keys) > 1.0
+
+    def test_rough_data_builds_deeper_than_smooth(self):
+        smooth = AlexIndex(1 << 20)
+        smooth.bulk_load(np.arange(0, 200_000, 4, dtype=np.float64))
+        rng = np.random.default_rng(4)
+        rough_keys = np.unique(
+            np.floor(np.cumsum(rng.exponential(50.0, 50_000)))
+        )
+        rough = AlexIndex(1 << 20)
+        rough.bulk_load(rough_keys)
+        assert rough.height() >= smooth.height()
+
+
+class TestMassTreeIntegerKeys:
+    def test_fractional_get_is_always_miss(self):
+        tree = MassTree()
+        tree.bulk_load(np.array([1.0, 2.0, 3.0]))
+        assert tree.get(1.5) is None
+        assert tree.get(1.0000001) is None
+
+    def test_fractional_insert_rejected(self):
+        tree = MassTree()
+        with pytest.raises(ValueError):
+            tree.insert(1.5, "x")
+
+    def test_fractional_delete_is_false(self):
+        tree = MassTree()
+        tree.bulk_load(np.array([1.0]))
+        assert not tree.delete(1.5)
+        assert tree.get(1.0) == 0

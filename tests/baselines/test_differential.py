@@ -1,0 +1,163 @@
+"""Differential testing: every index answers identically to a dict.
+
+One hypothesis-driven test drives *all* updatable indexes and all
+static indexes through the same scenario simultaneously and requires
+bit-identical answers -- the strongest cross-implementation check in
+the suite.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DILI
+from repro.baselines import (
+    AlexIndex,
+    BinarySearchIndex,
+    BPlusTree,
+    DynamicPGM,
+    LippIndex,
+    MassTree,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+)
+
+
+def _updatable():
+    return [
+        DILI(),
+        BPlusTree(8),
+        MassTree(),
+        DynamicPGM(8, base=16),
+        AlexIndex(4096),
+    ]
+
+
+def _static():
+    return [
+        BinarySearchIndex(),
+        RMIIndex(64),
+        RadixSplineIndex(8, 10),
+        PGMIndex(8),
+    ]
+
+
+@given(
+    bulk=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=1,
+        max_size=150,
+        unique=True,
+    ),
+    probes=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        max_size=40,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_all_indexes_agree_on_lookups(bulk, probes):
+    """Static + updatable indexes give identical answers after bulk."""
+    keys = np.array(sorted(bulk), dtype=np.float64)
+    values = list(range(len(keys)))
+    indexes = _updatable() + _static()
+    for index in indexes:
+        index.bulk_load(keys, values)
+    reference = {float(k): i for i, k in enumerate(keys)}
+    all_probes = [float(k) for k in keys] + [float(p) for p in probes]
+    for probe in all_probes:
+        expected = reference.get(probe)
+        for index in indexes:
+            assert index.get(probe) == expected, (
+                type(index).__name__,
+                probe,
+            )
+
+
+@given(
+    bulk=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=1,
+        max_size=80,
+        unique=True,
+    ),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=2**40),
+        ),
+        max_size=100,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_updatable_indexes_agree_under_churn(bulk, ops):
+    """DILI, B+Tree, MassTree, DynamicPGM and ALEX stay in lockstep
+    with a dict under arbitrary insert/delete/get interleavings."""
+    keys = np.array(sorted(bulk), dtype=np.float64)
+    indexes = _updatable()
+    for index in indexes:
+        index.bulk_load(keys)
+    reference = {float(k): i for i, k in enumerate(keys)}
+    for op, raw in ops:
+        key = float(raw)
+        if op == "insert":
+            expected = key not in reference
+            for index in indexes:
+                assert index.insert(key, "u") == expected, (
+                    type(index).__name__,
+                    op,
+                    key,
+                )
+            reference.setdefault(key, "u")
+        elif op == "delete":
+            expected = key in reference
+            for index in indexes:
+                assert index.delete(key) == expected, (
+                    type(index).__name__,
+                    op,
+                    key,
+                )
+            reference.pop(key, None)
+        else:
+            expected_val = reference.get(key)
+            for index in indexes:
+                assert index.get(key) == expected_val, (
+                    type(index).__name__,
+                    op,
+                    key,
+                )
+    for index in indexes:
+        assert len(index) == len(reference), type(index).__name__
+
+
+@given(
+    bulk=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=2,
+        max_size=120,
+        unique=True,
+    ),
+    window=st.tuples(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_range_queries_agree(bulk, window):
+    """Every range-capable index returns the same sorted slice."""
+    keys = np.array(sorted(bulk), dtype=np.float64)
+    lo, hi = sorted(float(w) for w in window)
+    expected = [
+        (float(k), i) for i, k in enumerate(keys) if lo <= k < hi
+    ]
+    for index in [
+        DILI(),
+        BPlusTree(8),
+        BinarySearchIndex(),
+        PGMIndex(8),
+        AlexIndex(4096),
+        LippIndex(),
+        MassTree(),
+    ]:
+        index.bulk_load(keys)
+        assert index.range_query(lo, hi) == expected, type(index).__name__

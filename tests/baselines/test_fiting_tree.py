@@ -1,0 +1,166 @@
+"""Tests for the FITing-Tree extension baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BPlusTree, FITingTree
+from repro.data import load_dataset
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestFloorItem:
+    """floor_item on the underlying B+Tree (added for FITing-Tree)."""
+
+    def test_basic(self):
+        tree = BPlusTree(8)
+        tree.bulk_load(np.array([10.0, 20.0, 30.0]), ["a", "b", "c"])
+        assert tree.floor_item(25.0) == (20.0, "b")
+        assert tree.floor_item(20.0) == (20.0, "b")
+        assert tree.floor_item(9.0) is None
+        assert tree.floor_item(99.0) == (30.0, "c")
+
+    def test_across_leaf_boundaries(self):
+        tree = BPlusTree(4)
+        keys = np.arange(0, 1000, 10, dtype=np.float64)
+        tree.bulk_load(keys)
+        for probe in (5.0, 15.0, 995.0, 501.0):
+            expected = float(keys[keys <= probe][-1])
+            got = tree.floor_item(probe)
+            assert got is not None and got[0] == expected
+
+    def test_after_deletions(self):
+        tree = BPlusTree(4)
+        tree.bulk_load(np.arange(0, 100, 1, dtype=np.float64))
+        for k in range(40, 60):
+            tree.delete(float(k))
+        assert tree.floor_item(50.0) == (39.0, 39)
+
+    def test_empty_tree(self):
+        assert BPlusTree(8).floor_item(5.0) is None
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=10**6),
+        min_size=1,
+        max_size=200,
+        unique=True,
+    ),
+    probe=st.integers(min_value=-5, max_value=10**6 + 5),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_floor_item_matches_reference(keys, probe):
+    arr = np.array(sorted(keys), dtype=np.float64)
+    tree = BPlusTree(4)
+    tree.bulk_load(arr)
+    below = arr[arr <= probe]
+    expected = (
+        (float(below[-1]), int(np.searchsorted(arr, below[-1])))
+        if len(below)
+        else None
+    )
+    assert tree.floor_item(float(probe)) == expected
+
+
+class TestFITingTree:
+    @pytest.mark.parametrize("eps", [8, 32, 128])
+    def test_lookup(self, fb_keys, eps):
+        tree = FITingTree(eps)
+        tree.bulk_load(fb_keys)
+        assert_full_lookup(tree, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 5_000, seed=71)
+            tree = FITingTree(16)
+            tree.bulk_load(keys)
+            for i in range(0, len(keys), 67):
+                assert tree.get(float(keys[i])) == i, (name, i)
+
+    def test_buffered_inserts_then_split(self, logn_keys):
+        tree = FITingTree(32, buffer_size=16)
+        tree.bulk_load(logn_keys[::2])
+        before_segments = tree.segment_count()
+        for k in logn_keys[1::2]:
+            assert tree.insert(float(k), "new")
+        assert not tree.insert(float(logn_keys[0]), "dup")
+        for k in logn_keys[1::2][::9]:
+            assert tree.get(float(k)) == "new"
+        assert len(tree) == len(logn_keys)
+        # Buffer overflows forced at least one merge-and-resegment.
+        assert tree.moved_pairs > 0
+        assert tree.segment_count() >= before_segments
+
+    def test_insert_below_first_key(self):
+        tree = FITingTree(16, buffer_size=8)
+        tree.bulk_load(np.arange(100.0, 200.0))
+        assert tree.insert(5.0, "low")
+        assert tree.get(5.0) == "low"
+        assert tree.get(4.0) is None
+
+    def test_insert_into_empty(self):
+        tree = FITingTree()
+        assert tree.insert(7.0, "x")
+        assert tree.get(7.0) == "x"
+        assert len(tree) == 1
+
+    def test_range_query_merges_buffers(self):
+        tree = FITingTree(16, buffer_size=64)
+        tree.bulk_load(np.arange(0, 100, 2, dtype=np.float64))
+        tree.insert(51.0, "odd")
+        got = [k for k, _ in tree.range_query(50.0, 56.0)]
+        assert got == [50.0, 51.0, 52.0, 54.0]
+
+    def test_memory_frugal_vs_dili(self, fb_keys):
+        """FITing-Tree's selling point: near-minimal memory."""
+        from repro import DILI
+
+        tree = FITingTree(32)
+        tree.bulk_load(fb_keys)
+        dili = DILI()
+        dili.bulk_load(fb_keys)
+        assert tree.memory_bytes() < dili.memory_bytes()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            FITingTree(0)
+        with pytest.raises(ValueError):
+            FITingTree(8, buffer_size=0)
+
+    def test_no_deletes(self, fb_keys):
+        from repro.baselines import UnsupportedOperation
+
+        tree = FITingTree()
+        tree.bulk_load(fb_keys)
+        with pytest.raises(UnsupportedOperation):
+            tree.delete(float(fb_keys[0]))
+
+
+@given(
+    bulk=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=1,
+        max_size=120,
+        unique=True,
+    ),
+    extra=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        max_size=80,
+        unique=True,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_fiting_tree_matches_dict(bulk, extra):
+    arr = np.array(sorted(bulk), dtype=np.float64)
+    tree = FITingTree(8, buffer_size=8)
+    tree.bulk_load(arr)
+    reference = {float(k): i for i, k in enumerate(arr)}
+    for k in extra:
+        k = float(k)
+        assert tree.insert(k, "e") == (k not in reference)
+        reference.setdefault(k, "e")
+    assert len(tree) == len(reference)
+    for k, v in reference.items():
+        assert tree.get(k) == v

@@ -1,0 +1,196 @@
+"""Tests for the static learned baselines: BinS, RMI, RadixSpline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BinarySearchIndex,
+    RadixSplineIndex,
+    RMIIndex,
+    UnsupportedOperation,
+)
+from repro.baselines.radix_spline import _greedy_spline
+from repro.data import load_dataset
+from repro.simulate.tracer import CostTracer
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestBinarySearch:
+    def test_lookup(self, fb_keys):
+        index = BinarySearchIndex()
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_no_updates(self, fb_keys):
+        index = BinarySearchIndex()
+        index.bulk_load(fb_keys)
+        with pytest.raises(UnsupportedOperation):
+            index.insert(1.0, "x")
+        with pytest.raises(UnsupportedOperation):
+            index.delete(float(fb_keys[0]))
+
+    def test_range_query(self):
+        index = BinarySearchIndex()
+        index.bulk_load(np.arange(0, 100, 2, dtype=np.float64))
+        got = [k for k, _ in index.range_query(10.0, 20.0)]
+        assert got == [10.0, 12.0, 14.0, 16.0, 18.0]
+
+    def test_cost_is_logarithmic_in_touches(self, fb_keys):
+        index = BinarySearchIndex()
+        index.bulk_load(fb_keys)
+        tracer = CostTracer()
+        index.get(float(fb_keys[1234]), tracer)
+        # ~log2(8000) = 13 probes, each one memory touch.
+        assert 8 <= tracer.mem_accesses <= 2 + int(np.log2(len(fb_keys))) + 3
+
+
+class TestRMI:
+    @pytest.mark.parametrize("root_kind", ["linear", "cubic"])
+    @pytest.mark.parametrize("branching", [64, 1024])
+    def test_lookup(self, fb_keys, root_kind, branching):
+        index = RMIIndex(branching, root_kind)
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 4000, seed=31)
+            index = RMIIndex(256)
+            index.bulk_load(keys)
+            for i in range(0, len(keys), 37):
+                assert index.get(float(keys[i])) == i, (name, i)
+
+    def test_more_models_tighter_windows(self, fb_keys):
+        small = RMIIndex(16)
+        small.bulk_load(fb_keys)
+        large = RMIIndex(4096)
+        large.bulk_load(fb_keys)
+        assert large.max_error_window() <= small.max_error_window()
+
+    def test_memory_scales_with_branching(self, fb_keys):
+        small = RMIIndex(64)
+        small.bulk_load(fb_keys)
+        large = RMIIndex(4096)
+        large.bulk_load(fb_keys)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RMIIndex(0)
+        with pytest.raises(ValueError):
+            RMIIndex(16, "quadratic")
+
+    def test_no_updates(self, fb_keys):
+        index = RMIIndex(64)
+        index.bulk_load(fb_keys)
+        with pytest.raises(UnsupportedOperation):
+            index.insert(1.0, "x")
+
+    def test_empty_and_tiny(self):
+        index = RMIIndex(16)
+        index.bulk_load(np.array([]))
+        assert index.get(1.0) is None
+        index.bulk_load(np.array([5.0, 9.0]), ["a", "b"])
+        assert index.get(5.0) == "a"
+        assert index.get(9.0) == "b"
+        assert index.get(7.0) is None
+
+
+class TestGreedySpline:
+    def test_error_bound_holds(self):
+        rng = np.random.default_rng(33)
+        keys = np.unique(rng.lognormal(0, 2, 5000) * 1e6)
+        for eps in (4, 32, 128):
+            sx, sy = _greedy_spline(keys, eps)
+            # Interpolate every key and check the corridor guarantee.
+            seg = np.clip(np.searchsorted(sx, keys, side="right") - 1,
+                          0, len(sx) - 2)
+            x0, x1 = sx[seg], sx[seg + 1]
+            y0, y1 = sy[seg], sy[seg + 1]
+            pred = y0 + (y1 - y0) * (keys - x0) / np.maximum(x1 - x0, 1e-30)
+            err = np.abs(pred - np.arange(len(keys)))
+            assert float(err.max()) <= eps + 1.0
+
+    def test_smaller_epsilon_more_points(self):
+        keys = load_dataset("books", 5000, seed=34)
+        tight_x, _ = _greedy_spline(keys, 8)
+        loose_x, _ = _greedy_spline(keys, 256)
+        assert len(tight_x) > len(loose_x)
+
+    def test_linear_data_needs_two_points(self):
+        keys = np.arange(1000, dtype=np.float64)
+        sx, sy = _greedy_spline(keys, 16)
+        assert len(sx) <= 3
+
+    def test_single_key(self):
+        sx, sy = _greedy_spline(np.array([7.0]), 16)
+        assert list(sx) == [7.0]
+
+
+class TestRadixSpline:
+    @pytest.mark.parametrize("config", [(8, 12), (32, 16), (128, 20)])
+    def test_lookup(self, fb_keys, config):
+        eps, bits = config
+        index = RadixSplineIndex(eps, bits)
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 4000, seed=35)
+            index = RadixSplineIndex(16, 14)
+            index.bulk_load(keys)
+            for i in range(0, len(keys), 41):
+                assert index.get(float(keys[i])) == i, (name, i)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RadixSplineIndex(0, 10)
+        with pytest.raises(ValueError):
+            RadixSplineIndex(16, 0)
+
+    def test_memory_tradeoff(self, fb_keys):
+        # RS (L): small epsilon, big table -> more memory, less search.
+        small = RadixSplineIndex(256, 8)
+        small.bulk_load(fb_keys)
+        large = RadixSplineIndex(8, 20)
+        large.bulk_load(fb_keys)
+        assert large.memory_bytes() > small.memory_bytes()
+        assert large.spline_size() > small.spline_size()
+
+    def test_no_updates(self, fb_keys):
+        index = RadixSplineIndex()
+        index.bulk_load(fb_keys)
+        with pytest.raises(UnsupportedOperation):
+            index.insert(1.0, "x")
+
+    def test_empty_and_tiny(self):
+        index = RadixSplineIndex(8, 8)
+        index.bulk_load(np.array([]))
+        assert index.get(1.0) is None
+        index.bulk_load(np.array([3.0]), ["only"])
+        assert index.get(3.0) == "only"
+        assert index.get(4.0) is None
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**45),
+        min_size=2,
+        max_size=400,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_static_indexes_agree(keys):
+    """BinS, RMI and RS answer identically on arbitrary key sets."""
+    arr = np.array(sorted(keys), dtype=np.float64)
+    indexes = [BinarySearchIndex(), RMIIndex(32), RadixSplineIndex(8, 10)]
+    for index in indexes:
+        index.bulk_load(arr)
+    probes = list(arr[::3]) + [arr[0] - 1, arr[-1] + 5, (arr[0] + arr[-1]) / 2]
+    for probe in probes:
+        answers = {index.get(float(probe)) for index in indexes}
+        assert len(answers) == 1, (probe, answers)

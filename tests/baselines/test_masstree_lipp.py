@@ -1,0 +1,178 @@
+"""Tests for MassTree and LIPP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LippIndex, MassTree, UnsupportedOperation
+from repro.data import load_dataset
+from repro.simulate.tracer import CostTracer
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestMassTree:
+    def test_lookup(self, fb_keys):
+        index = MassTree()
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_rejects_insufficient_slices(self):
+        with pytest.raises(ValueError):
+            MassTree(slice_bits=8, levels=4)  # 32 bits < 52
+
+    def test_insert_and_get(self, logn_keys):
+        index = MassTree()
+        index.bulk_load(logn_keys[::2])
+        for k in logn_keys[1::2]:
+            assert index.insert(float(k), "new")
+        assert not index.insert(float(logn_keys[0]), "dup")
+        for k in logn_keys[1::2][::9]:
+            assert index.get(float(k)) == "new"
+        assert len(index) == len(logn_keys)
+
+    def test_delete_prunes_empty_layers(self):
+        index = MassTree()
+        keys = np.array([1.0, 2.0, 3.0])
+        index.bulk_load(keys)
+        mem_full = index.memory_bytes()
+        for k in keys:
+            assert index.delete(float(k))
+        assert len(index) == 0
+        assert index.get(1.0) is None
+        assert index.memory_bytes() < mem_full
+        assert not index.delete(1.0)
+
+    def test_insert_into_empty(self):
+        index = MassTree()
+        assert index.insert(7.0, "x")
+        assert index.get(7.0) == "x"
+
+    def test_range_query(self):
+        index = MassTree()
+        index.bulk_load(np.arange(0, 200, 2, dtype=np.float64))
+        got = [k for k, _ in index.range_query(10.0, 21.0)]
+        assert got == [10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+
+    def test_deep_traversal_costs_more_than_btree(self, fb_keys):
+        """Table 4's point: the layered trie pays for its depth."""
+        from repro.baselines import BPlusTree
+
+        mass = MassTree()
+        mass.bulk_load(fb_keys)
+        btree = BPlusTree(32)
+        btree.bulk_load(fb_keys)
+        mass_tracer, btree_tracer = CostTracer(), CostTracer()
+        probes = fb_keys[::41]
+        for k in probes:  # warm
+            mass.get(float(k), mass_tracer)
+            btree.get(float(k), btree_tracer)
+        mass_tracer.reset_counters()
+        btree_tracer.reset_counters()
+        for k in probes:
+            mass.get(float(k), mass_tracer)
+            btree.get(float(k), btree_tracer)
+        assert mass_tracer.total_cycles > btree_tracer.total_cycles
+
+
+class TestLipp:
+    def test_lookup(self, fb_keys):
+        index = LippIndex()
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 5000, seed=61)
+            index = LippIndex()
+            index.bulk_load(keys)
+            for i in range(0, len(keys), 61):
+                assert index.get(float(keys[i])) == i, (name, i)
+
+    def test_no_deletions(self, fb_keys):
+        index = LippIndex()
+        index.bulk_load(fb_keys)
+        with pytest.raises(UnsupportedOperation):
+            index.delete(float(fb_keys[0]))
+
+    def test_insert_and_get(self, logn_keys):
+        index = LippIndex()
+        index.bulk_load(logn_keys[::2])
+        for k in logn_keys[1::2]:
+            assert index.insert(float(k), "new")
+        assert not index.insert(float(logn_keys[0]), "dup")
+        for k in logn_keys[1::2][::9]:
+            assert index.get(float(k)) == "new"
+        assert len(index) == len(logn_keys)
+
+    def test_insert_into_empty(self):
+        index = LippIndex()
+        assert index.insert(3.0, "a")
+        assert index.get(3.0) == "a"
+
+    def test_rebuilds_bound_depth(self):
+        index = LippIndex(rebuild_threshold=2.0)
+        index.bulk_load(np.arange(0, 50000, 25, dtype=np.float64))
+        rng = np.random.default_rng(62)
+        hot = np.unique(rng.uniform(100.0, 120.0, 1500))
+        for k in hot:
+            index.insert(float(k), "hot")
+        assert index.rebuild_count > 0
+        for k in hot[::17]:
+            assert index.get(float(k)) == "hot"
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            LippIndex(rebuild_threshold=1.0)
+
+    def test_range_query(self, logn_keys):
+        index = LippIndex()
+        index.bulk_load(logn_keys)
+        lo, hi = float(logn_keys[50]), float(logn_keys[250])
+        got = [k for k, _ in index.range_query(lo, hi)]
+        assert got == [float(k) for k in logn_keys[50:250]]
+
+    def test_memory_exceeds_dili(self):
+        """Fig. 6a: LIPP's conflict nesting costs far more memory."""
+        from repro import DILI
+
+        keys = load_dataset("fb", 10000, seed=63)
+        lipp = LippIndex()
+        lipp.bulk_load(keys)
+        dili = DILI()
+        dili.bulk_load(keys)
+        assert lipp.memory_bytes() > dili.memory_bytes()
+
+    def test_max_depth_diagnostic(self, fb_keys):
+        index = LippIndex()
+        index.bulk_load(fb_keys)
+        assert index.max_depth() >= 2  # conflicts are inevitable on FB
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**45),
+        min_size=1,
+        max_size=200,
+        unique=True,
+    ),
+    extra=st.lists(
+        st.integers(min_value=0, max_value=2**45),
+        max_size=60,
+        unique=True,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_lipp_and_masstree_store_everything(keys, extra):
+    """Bulk + inserts: both structures retain exactly the key set."""
+    arr = np.array(sorted(keys), dtype=np.float64)
+    for index in (LippIndex(), MassTree()):
+        index.bulk_load(arr)
+        inserted = set(map(float, keys))
+        for k in extra:
+            k = float(k)
+            assert index.insert(k, "e") == (k not in inserted)
+            inserted.add(k)
+        assert len(index) == len(inserted)
+        for k in inserted:
+            assert index.get(k) is not None

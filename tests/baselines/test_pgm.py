@@ -1,0 +1,186 @@
+"""Tests for the static and dynamic PGM-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pgm import DynamicPGM, PGMIndex, build_pla
+from repro.data import load_dataset
+from tests.baselines.conftest import assert_full_lookup
+
+
+class TestBuildPLA:
+    def test_error_bound_holds_everywhere(self):
+        rng = np.random.default_rng(41)
+        keys = np.unique(rng.lognormal(0, 2, 4000) * 1e6)
+        for eps in (1, 8, 64):
+            firsts, slopes, intercepts, starts = build_pla(keys, eps)
+            seg = np.clip(
+                np.searchsorted(firsts, keys, side="right") - 1,
+                0,
+                len(firsts) - 1,
+            )
+            pred = intercepts[seg] + slopes[seg] * keys
+            err = np.abs(pred - np.arange(len(keys)))
+            assert float(err.max()) <= eps + 1.0, eps
+
+    def test_starts_partition_ranks(self):
+        keys = load_dataset("osm", 3000, seed=42)
+        firsts, _, _, starts = build_pla(keys, 16)
+        assert starts[0] == 0
+        assert bool(np.all(np.diff(starts) > 0))
+        # Each segment's first key sits exactly at its start rank.
+        for f, s in zip(firsts, starts):
+            assert keys[s] == f
+
+    def test_linear_data_one_segment(self):
+        keys = np.arange(0, 10000, 7, dtype=np.float64)
+        firsts, _, _, _ = build_pla(keys, 4)
+        assert len(firsts) == 1
+
+    def test_empty(self):
+        firsts, _, _, starts = build_pla(np.array([]), 8)
+        assert len(firsts) == 0 and len(starts) == 0
+
+
+class TestPGMIndex:
+    @pytest.mark.parametrize("eps", [4, 32, 128])
+    def test_lookup(self, fb_keys, eps):
+        index = PGMIndex(eps)
+        index.bulk_load(fb_keys)
+        assert_full_lookup(index, fb_keys)
+
+    def test_lookup_on_all_datasets(self):
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            keys = load_dataset(name, 5000, seed=43)
+            index = PGMIndex(16)
+            index.bulk_load(keys)
+            for i in range(0, len(keys), 53):
+                assert index.get(float(keys[i])) == i, (name, i)
+
+    def test_levels_shrink_to_single_root(self, fb_keys):
+        index = PGMIndex(8)
+        index.bulk_load(fb_keys)
+        sizes = index.level_sizes()
+        assert sizes[-1] == 1
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_smaller_epsilon_more_segments(self, fb_keys):
+        tight = PGMIndex(4)
+        tight.bulk_load(fb_keys)
+        loose = PGMIndex(128)
+        loose.bulk_load(fb_keys)
+        assert tight.level_sizes()[0] > loose.level_sizes()[0]
+        assert tight.memory_bytes() > loose.memory_bytes()
+
+    def test_range_query(self):
+        index = PGMIndex(16)
+        index.bulk_load(np.arange(0, 1000, 3, dtype=np.float64))
+        got = [k for k, _ in index.range_query(10.0, 31.0)]
+        assert got == [12.0, 15.0, 18.0, 21.0, 24.0, 27.0, 30.0]
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            PGMIndex(0)
+
+    def test_empty_and_tiny(self):
+        index = PGMIndex(8)
+        index.bulk_load(np.array([]))
+        assert index.get(1.0) is None
+        index.bulk_load(np.array([4.0]), ["v"])
+        assert index.get(4.0) == "v"
+        assert index.get(5.0) is None
+
+
+class TestDynamicPGM:
+    def test_bulk_then_lookup(self, logn_keys):
+        index = DynamicPGM(32)
+        index.bulk_load(logn_keys)
+        assert_full_lookup(index, logn_keys)
+
+    def test_inserts_spill_over_runs(self):
+        index = DynamicPGM(16, base=32)
+        index.bulk_load(np.arange(0, 1000, 2, dtype=np.float64))
+        for k in range(1, 1000, 2):
+            assert index.insert(float(k), "odd")
+        assert len(index) == 1000
+        # The logarithmic method must have created multiple run slots.
+        assert sum(1 for s in index.run_sizes() if s > 0) >= 1
+        for k in range(0, 1000):
+            expected = "odd" if k % 2 else k // 2
+            assert index.get(float(k)) == expected
+
+    def test_duplicate_insert_rejected(self):
+        index = DynamicPGM(16, base=16)
+        index.bulk_load(np.array([1.0, 2.0]))
+        assert not index.insert(1.0, "dup")
+        assert index.get(1.0) == 0
+
+    def test_delete_via_tombstones(self):
+        index = DynamicPGM(16, base=32)
+        keys = np.arange(0, 500, 1, dtype=np.float64)
+        index.bulk_load(keys)
+        for k in keys[::3]:
+            assert index.delete(float(k))
+        for k in keys[::3]:
+            assert index.get(float(k)) is None
+        assert index.get(1.0) == 1
+        assert len(index) == 500 - len(keys[::3])
+        assert not index.delete(float(keys[0]))
+
+    def test_reinsert_after_delete(self):
+        index = DynamicPGM(16, base=16)
+        index.bulk_load(np.array([1.0, 2.0, 3.0]))
+        assert index.delete(2.0)
+        assert index.insert(2.0, "back")
+        assert index.get(2.0) == "back"
+
+    def test_range_query_merges_runs(self):
+        index = DynamicPGM(16, base=16)
+        index.bulk_load(np.arange(0, 100, 2, dtype=np.float64))
+        index.insert(51.0, "odd")
+        index.delete(52.0)
+        got = [k for k, _ in index.range_query(50.0, 56.0)]
+        assert got == [50.0, 51.0, 54.0]
+
+    def test_query_probes_multiple_runs(self):
+        """The paper's criticism: every lookup searches O(log n) trees."""
+        index = DynamicPGM(16, base=16)
+        index.bulk_load(np.arange(0, 2000, 2, dtype=np.float64))
+        rng = np.random.default_rng(44)
+        for k in rng.permutation(np.arange(1, 300, 2, dtype=np.float64)):
+            index.insert(float(k), "x")
+        occupied = sum(1 for s in index.run_sizes() if s > 0)
+        assert occupied >= 2
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            DynamicPGM(16, base=1)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=300),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_dynamic_pgm_matches_dict(ops):
+    """LSM runs + tombstones behave exactly like a dict."""
+    index = DynamicPGM(8, base=16)
+    reference: dict[float, object] = {}
+    for op, key in ops:
+        key = float(key)
+        if op == "insert":
+            assert index.insert(key, key) == (key not in reference)
+            reference.setdefault(key, key)
+        else:
+            assert index.delete(key) == (key in reference)
+            reference.pop(key, None)
+    assert len(index) == len(reference)
+    for k, v in reference.items():
+        assert index.get(k) == v

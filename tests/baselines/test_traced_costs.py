@@ -1,0 +1,161 @@
+"""Cross-baseline tests of the traced cost behaviour.
+
+These pin down the *structural* properties the simulated tables rely
+on: which methods touch how many regions, how costs respond to
+configuration knobs, and that tracing never changes answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DILI
+from repro.baselines import (
+    BinarySearchIndex,
+    BPlusTree,
+    FITingTree,
+    LippIndex,
+    MassTree,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+)
+from repro.data import load_dataset
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.tracer import CostTracer
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return load_dataset("books", 20_000, seed=77)
+
+
+def _cold_cost(index, probes):
+    """Average fully-cold cost (fresh cache per probe)."""
+    total = 0.0
+    for key in probes:
+        tracer = CostTracer(CacheSimulator(4096))
+        index.get(float(key), tracer)
+        total += tracer.total_cycles
+    return total / len(probes)
+
+
+class TestTracingIsPure:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            DILI,
+            BinarySearchIndex,
+            lambda: BPlusTree(16),
+            MassTree,
+            lambda: RMIIndex(256),
+            lambda: RadixSplineIndex(16, 12),
+            lambda: PGMIndex(16),
+            LippIndex,
+            lambda: FITingTree(16),
+        ],
+    )
+    def test_traced_and_untraced_answers_match(self, keys, make):
+        index = make()
+        index.bulk_load(keys)
+        tracer = CostTracer()
+        for i in range(0, len(keys), 211):
+            key = float(keys[i])
+            assert index.get(key) == index.get(key, tracer)
+        probe = float(keys[0]) - 1.0
+        assert index.get(probe) == index.get(probe, tracer) is None
+
+
+class TestStructuralCostProperties:
+    def test_bins_cost_scales_logarithmically(self):
+        small = BinarySearchIndex()
+        small.bulk_load(np.arange(1_000, dtype=np.float64))
+        big = BinarySearchIndex()
+        big.bulk_load(np.arange(1_000_000, dtype=np.float64))
+        probes_small = np.arange(0, 1_000, 97, dtype=np.float64)
+        probes_big = np.arange(0, 1_000_000, 97_003, dtype=np.float64)
+        ratio = _cold_cost(big, probes_big) / _cold_cost(
+            small, probes_small
+        )
+        # log2(1e6)/log2(1e3) = 2; allow generous slack.
+        assert 1.5 < ratio < 3.0
+
+    def test_btree_cold_cost_grows_with_node_size(self, keys):
+        costs = {}
+        for order in (16, 256):
+            tree = BPlusTree(order)
+            tree.bulk_load(keys)
+            costs[order] = _cold_cost(tree, keys[::501])
+        # Bigger nodes -> more in-node probe lines touched cold.
+        assert costs[256] > costs[16] * 0.8
+
+    def test_pgm_epsilon_trades_levels_for_search(self, keys):
+        tight = PGMIndex(4)
+        tight.bulk_load(keys)
+        loose = PGMIndex(256)
+        loose.bulk_load(keys)
+        assert len(tight.level_sizes()) >= len(loose.level_sizes())
+        # Looser bound -> wider final search window.
+        t = CostTracer(CacheSimulator(64))
+        for k in keys[::997]:
+            loose.get(float(k), t)
+        loose_cost = t.total_cycles
+        t = CostTracer(CacheSimulator(64))
+        for k in keys[::997]:
+            tight.get(float(k), t)
+        tight_cost = t.total_cycles
+        assert loose_cost != tight_cost  # the knob does something
+
+    def test_rmi_branching_shrinks_final_search(self, keys):
+        small = RMIIndex(16)
+        small.bulk_load(keys)
+        large = RMIIndex(8192)
+        large.bulk_load(keys)
+        assert _cold_cost(large, keys[::501]) <= _cold_cost(
+            small, keys[::501]
+        )
+
+    def test_dili_pays_no_last_mile_search(self, keys):
+        """DILI's headline property: per-leaf work is O(1) -- one slot
+        probe -- so its cold cost has no log-n search component."""
+        index = DILI()
+        index.bulk_load(keys)
+        bins = BinarySearchIndex()
+        bins.bulk_load(keys)
+        assert _cold_cost(index, keys[::501]) < _cold_cost(
+            bins, keys[::501]
+        )
+
+    def test_warm_cache_reduces_everyones_cost(self, keys):
+        for make in (DILI, lambda: BPlusTree(32), LippIndex):
+            index = make()
+            index.bulk_load(keys)
+            tracer = CostTracer(CacheSimulator(1 << 18))
+            probes = keys[::301]
+            for k in probes:
+                index.get(float(k), tracer)
+            cold = tracer.total_cycles
+            tracer.reset_counters()
+            for k in probes:
+                index.get(float(k), tracer)
+            warm = tracer.total_cycles
+            assert warm < cold, type(index).__name__
+
+
+class TestPhaseAccounting:
+    @pytest.mark.parametrize(
+        "make",
+        [DILI, lambda: RMIIndex(256), lambda: RadixSplineIndex(16, 12)],
+    )
+    def test_step_phases_partition_cost(self, keys, make):
+        index = make()
+        index.bulk_load(keys)
+        tracer = CostTracer()
+        for k in keys[::401]:
+            index.get(float(k), tracer)
+        phases = tracer.phase_cycles
+        assert phases.get("step1", 0) > 0
+        assert phases.get("step2", 0) > 0
+        assert (
+            phases["step1"] + phases["step2"]
+            <= tracer.total_cycles + 1e-6
+        )

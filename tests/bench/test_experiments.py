@@ -1,0 +1,97 @@
+"""Tests for the programmatic experiment API."""
+
+import pytest
+
+from repro.bench.experiments import (
+    CORE_EXPERIMENTS,
+    ExperimentResult,
+    dili_structure,
+    lookup_times,
+    run_report,
+    workload_throughput,
+)
+from repro.bench.harness import BenchScale, BuildCache
+
+TINY = BenchScale("tiny", 8_000, 600)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return BuildCache(TINY)
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            name="x",
+            title="T",
+            columns=["Method", "a", "b"],
+            rows=[["m1", 1.0, 2.0], ["m2", 3.0, 4.0]],
+            notes=["note"],
+        )
+
+    def test_cell_access(self):
+        r = self._result()
+        assert r.cell("m1", "a") == 1.0
+        assert r.cell("m2", "b") == 4.0
+        with pytest.raises(KeyError):
+            r.cell("m3", "a")
+        with pytest.raises(KeyError):
+            r.cell("m1", "z")
+
+    def test_to_markdown(self):
+        md = self._result().to_markdown()
+        assert "### T" in md
+        assert "| Method | a | b |" in md
+        assert "| m1 | 1.00 | 2.00 |" in md
+        assert "* note" in md
+
+    def test_to_text(self):
+        text = self._result().to_text()
+        assert "T" in text and "m2" in text
+
+
+class TestCoreExperiments:
+    def test_lookup_times_covers_full_matrix(self, cache):
+        result = lookup_times(cache)
+        assert result.name == "table4"
+        assert len(result.columns) == 6  # Method + 5 datasets
+        assert any(row[0] == "DILI" for row in result.rows)
+        assert all(
+            isinstance(v, float) and v > 0
+            for row in result.rows
+            for v in row[1:]
+        )
+
+    def test_dili_structure_rows(self, cache):
+        result = dili_structure(cache)
+        datasets = [row[0] for row in result.rows]
+        assert datasets == ["fb", "wikits", "osm", "books", "logn"]
+
+    def test_workload_throughput_small(self, cache):
+        result = workload_throughput(
+            cache, methods=["B+Tree(32)", "DILI"], total_ops=2_000
+        )
+        assert len(result.rows) == 2
+        assert all(v > 0 for v in result.rows[0][1:])
+
+    def test_registry_complete(self):
+        assert set(CORE_EXPERIMENTS) == {
+            "table4",
+            "table5",
+            "table6",
+            "fig6a",
+            "fig7",
+        }
+
+
+class TestRunReport:
+    def test_selected_experiment(self, cache):
+        report = run_report(cache, ["table6"])
+        assert "# DILI reproduction report" in report
+        assert "Table 6" in report
+        assert "Table 4" not in report
+
+    def test_unknown_experiment_rejected(self, cache):
+        with pytest.raises(ValueError):
+            run_report(cache, ["table99"])

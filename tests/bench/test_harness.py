@@ -1,0 +1,99 @@
+"""Tests for the benchmark harness and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    DATASETS,
+    METHOD_FACTORIES,
+    REPRESENTATIVE,
+    SCALES,
+    current_scale,
+    make_index,
+    measure_lookup,
+    method_names,
+    query_sample,
+)
+from repro.bench.reporting import format_table
+from repro.data import load_dataset
+
+
+class TestScales:
+    def test_all_scales_well_formed(self):
+        for scale in SCALES.values():
+            assert scale.num_keys > scale.num_queries
+            assert scale.cache_lines >= 512
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale().name == "small"
+        monkeypatch.setenv("REPRO_SCALE", "LARGE")
+        assert current_scale().name == "large"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale().name == "medium"
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+class TestRegistry:
+    def test_every_factory_builds_and_answers(self):
+        keys = load_dataset("logn", 3_000, seed=42)
+        for name in method_names():
+            index = make_index(name)
+            index.bulk_load(keys)
+            assert index.get(float(keys[100])) == 100, name
+            assert index.get(float(keys[0]) - 1.0) is None, name
+
+    def test_representative_subset_is_registered(self):
+        for name in REPRESENTATIVE:
+            assert name in METHOD_FACTORIES
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_index("SkipList")
+
+    def test_dataset_list_matches_paper(self):
+        assert DATASETS == ["fb", "wikits", "osm", "books", "logn"]
+
+
+class TestMeasurement:
+    def test_measure_lookup_returns_sane_numbers(self):
+        scale = SCALES["small"]
+        keys = load_dataset("logn", 10_000, seed=1)
+        queries = query_sample(keys, 800)
+        index = make_index("DILI")
+        index.bulk_load(keys)
+        ns, misses, phases = measure_lookup(index, queries, scale)
+        assert 0 < ns < 10_000
+        assert 0 < misses < 50
+        assert phases.get("step1", 0) >= 0
+        assert phases.get("step2", 0) > 0
+        # Phases are a decomposition of (most of) the total.
+        assert phases["step1"] + phases["step2"] <= ns + 1e-6
+
+    def test_query_sample_is_deterministic(self):
+        keys = np.arange(100, dtype=np.float64)
+        a = query_sample(keys, 50, seed=3)
+        b = query_sample(keys, 50, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(
+            "T", ["Method", "a", "b"], [["x", 1.2345, 10_000.0]]
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Method" in lines[2]
+        assert "1.23" in lines[-1]
+        assert "10,000" in lines[-1]
+
+    def test_format_table_nan_dash(self):
+        out = format_table("T", ["m", "v"], [["row", float("nan")]])
+        assert out.splitlines()[-1].strip().endswith("-")
+
+    def test_format_table_strings_pass_through(self):
+        out = format_table("T", ["m", "v"], [["row", "yes"]])
+        assert "yes" in out

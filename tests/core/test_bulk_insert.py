@@ -1,0 +1,128 @@
+"""Tests for DILI.bulk_insert (batch ingestion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DILI
+
+
+def _index(n=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 10**9, 3 * n))[:n].astype(float)
+    index = DILI()
+    index.bulk_load(keys, [f"v{i}" for i in range(len(keys))])
+    return index, keys
+
+
+class TestBulkInsert:
+    def test_small_batch_uses_insert_path(self):
+        index, keys = _index()
+        batch = np.array([0.5, 1.5, 2.5])
+        added = index.bulk_insert(batch, ["a", "b", "c"])
+        assert added == 3
+        assert index.get(1.5) == "b"
+        assert len(index) == len(keys) + 3
+        index.validate()
+
+    def test_large_batch_triggers_rebuild(self):
+        index, keys = _index(1_000, seed=1)
+        rng = np.random.default_rng(2)
+        batch = np.setdiff1d(
+            np.unique(rng.integers(0, 10**9, 3_000)).astype(float), keys
+        )
+        added = index.bulk_insert(batch, [f"n{i}" for i in range(len(batch))])
+        assert added == len(batch)
+        assert len(index) == len(keys) + len(batch)
+        # Old values survive the rebuild.
+        assert index.get(float(keys[10])) == "v10"
+        assert index.get(float(batch[5])) == "n5"
+        index.validate()
+
+    def test_existing_keys_keep_old_values(self):
+        index, keys = _index(500, seed=3)
+        batch = keys[:100].copy()
+        added = index.bulk_insert(batch, ["clash"] * len(batch))
+        assert added == 0
+        assert index.get(float(keys[0])) == "v0"
+        assert len(index) == len(keys)
+
+    def test_mixed_batch_counts_only_new(self):
+        index, keys = _index(4_00, seed=4)
+        fresh = np.array([0.25, 0.75])
+        batch = np.concatenate([keys[:3], fresh])
+        added = index.bulk_insert(
+            batch, ["x"] * len(batch), rebuild_ratio=0.001
+        )
+        assert added == 2
+        assert index.get(0.25) == "x"
+        assert index.get(float(keys[0])) == "v0"
+        index.validate()
+
+    def test_unsorted_batch_accepted(self):
+        index, _ = _index(300, seed=5)
+        added = index.bulk_insert([3.5, 1.5, 2.5])
+        assert added == 3
+        assert index.get(1.5) == "inserted"
+
+    def test_duplicate_batch_keys_rejected(self):
+        index, _ = _index(300, seed=6)
+        with pytest.raises(ValueError):
+            index.bulk_insert([1.5, 1.5])
+
+    def test_value_length_mismatch_rejected(self):
+        index, _ = _index(300, seed=7)
+        with pytest.raises(ValueError):
+            index.bulk_insert([1.0, 2.0], ["only-one"])
+
+    def test_empty_batch(self):
+        index, keys = _index(300, seed=8)
+        assert index.bulk_insert([]) == 0
+        assert len(index) == len(keys)
+
+    def test_into_empty_index(self):
+        index = DILI()
+        added = index.bulk_insert([3.0, 1.0, 2.0], ["c", "a", "b"])
+        assert added == 3
+        assert index.get(1.0) == "a"
+        index.validate()
+
+
+@given(
+    initial=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        min_size=0,
+        max_size=100,
+        unique=True,
+    ),
+    batch=st.lists(
+        st.integers(min_value=0, max_value=2**40),
+        max_size=120,
+        unique=True,
+    ),
+    ratio=st.sampled_from([0.01, 0.3, 10.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bulk_insert_matches_loop_of_inserts(initial, batch, ratio):
+    """bulk_insert is semantically a loop of insert() calls, whatever
+    the internal strategy (per-key vs rebuild)."""
+    initial = sorted(initial)
+    bulk = DILI()
+    loop = DILI()
+    if initial:
+        arr = np.array(initial, dtype=np.float64)
+        bulk.bulk_load(arr)
+        loop.bulk_load(arr)
+    batch_arr = np.array(sorted(batch), dtype=np.float64)
+    added = bulk.bulk_insert(
+        batch_arr, ["b"] * len(batch_arr), rebuild_ratio=ratio
+    )
+    expected_added = sum(
+        1 for k in batch_arr if loop.insert(float(k), "b")
+    )
+    assert added == expected_added
+    assert len(bulk) == len(loop)
+    for key in set(initial) | set(batch):
+        assert bulk.get(float(key)) == loop.get(float(key))
+    bulk.validate()

@@ -1,0 +1,145 @@
+"""Structural tests for the bulk loader (Algorithm 4 + deviations)."""
+
+import numpy as np
+import pytest
+
+from repro import DILI, DiliConfig
+from repro.core.bulk_load import bulk_load
+from repro.core.cost import CostParams
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
+
+
+def _walk_nodes(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if type(node) is InternalNode:
+            stack.extend(node.children)
+        elif type(node) is LeafNode:
+            for entry in node.slots:
+                if entry is not None and type(entry) is not tuple:
+                    stack.append(entry)
+
+
+class TestLayout:
+    def test_internal_children_partition_parent_range(self):
+        rng = np.random.default_rng(1)
+        keys = np.unique(rng.integers(0, 10**9, 20_000)).astype(float)
+        result = bulk_load(keys, list(range(len(keys))), CostParams())
+        for node in _walk_nodes(result.root):
+            if type(node) is not InternalNode:
+                continue
+            width = (node.ub - node.lb) / node.fanout
+            for i, child in enumerate(node.children):
+                if hasattr(child, "lb"):
+                    assert child.lb == pytest.approx(
+                        node.lb + i * width, rel=1e-9
+                    )
+
+    def test_no_single_child_internal_chains(self):
+        """The collapse deviation: every internal node partitions."""
+        rng = np.random.default_rng(2)
+        keys = np.unique(rng.lognormal(0, 2, 20_000) * 1e6)
+        result = bulk_load(keys, list(range(len(keys))), CostParams())
+        for node in _walk_nodes(result.root):
+            if type(node) is InternalNode:
+                assert node.fanout >= 2
+
+    def test_all_keys_land_in_covering_leaves(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 10**8, 10_000)).astype(float)
+        result = bulk_load(keys, list(range(len(keys))), CostParams())
+        found = sorted(
+            k
+            for node in _walk_nodes(result.root)
+            if type(node) is LeafNode
+            for k, _ in (
+                entry
+                for entry in node.slots
+                if entry is not None and type(entry) is tuple
+            )
+        )
+        assert found == sorted(set(found))
+        assert len(found) + sum(
+            0 for _ in ()
+        ) <= len(keys)  # no duplicates materialized
+
+    def test_leaf_count_matches_bu_level0(self):
+        """Algorithm 4: DILI has as many top-level leaves as the BU-Tree
+        has level-0 nodes (plus/minus the clipping at equal-width
+        boundaries)."""
+        rng = np.random.default_rng(4)
+        keys = np.unique(rng.integers(0, 10**8, 30_000)).astype(float)
+        index = DILI()
+        index.bulk_load(keys, keep_butree=True)
+        bu_leaves = len(index.butree.levels[0])
+        top_leaves = 0
+
+        def count_top(node):
+            nonlocal top_leaves
+            if type(node) is InternalNode:
+                for child in node.children:
+                    count_top(child)
+            else:
+                top_leaves += 1
+
+        count_top(index.root)
+        assert abs(top_leaves - bu_leaves) <= max(2, 0.2 * bu_leaves)
+
+    def test_empty_range_leaves_accept_inserts(self):
+        # A dataset with a huge hole: equal-width children inside the
+        # hole become empty leaves that must still absorb inserts.
+        keys = np.concatenate(
+            [
+                np.arange(0, 5_000, 1, dtype=np.float64),
+                np.arange(10**7, 10**7 + 5_000, 1, dtype=np.float64),
+            ]
+        )
+        index = DILI()
+        index.bulk_load(keys)
+        hole_key = 5.0e6
+        assert index.get(hole_key) is None
+        assert index.insert(hole_key, "hole")
+        assert index.get(hole_key) == "hole"
+        index.validate()
+
+
+class TestZoom:
+    def _tailed(self, n=30_000):
+        body = np.arange(n, dtype=np.float64)
+        tail = body[-1] * 2.0 ** np.arange(10, 20, dtype=np.float64)
+        return np.unique(np.concatenate([body, tail]))
+
+    def test_zoom_bounds_dense_leaf_sizes(self):
+        keys = self._tailed()
+        config = DiliConfig(local_optimization=False, zoom=True)
+        index = DILI(config)
+        index.bulk_load(keys)
+        omega = config.omega
+        for node in _walk_nodes(index.root):
+            if type(node) is DenseLeafNode:
+                assert len(node.keys) <= 4 * omega
+
+    def test_no_zoom_reproduces_literal_algorithm(self):
+        keys = self._tailed()
+        index = DILI(DiliConfig(local_optimization=False, zoom=False))
+        index.bulk_load(keys)
+        sizes = [
+            len(node.keys)
+            for node in _walk_nodes(index.root)
+            if type(node) is DenseLeafNode
+        ]
+        # The literal algorithm strands nearly the whole body somewhere.
+        assert max(sizes) > 4 * DiliConfig().omega
+        # Still correct, just slow.
+        for i in range(0, len(keys), 997):
+            assert index.get(float(keys[i])) == i
+
+    def test_zoom_never_applies_to_local_opt_trees(self):
+        keys = self._tailed()
+        index = DILI(DiliConfig(zoom=True))
+        index.bulk_load(keys)
+        for i in range(0, len(keys), 997):
+            assert index.get(float(keys[i])) == i
+        index.validate()

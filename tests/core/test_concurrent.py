@@ -1,0 +1,231 @@
+"""Tests for the lock-crabbing concurrent wrapper (Appendix A.8)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.concurrent import ConcurrentDILI
+
+
+def _keys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.uniform(0, 1e9, n))
+
+
+class TestBasicOperations:
+    def test_single_threaded_semantics(self):
+        keys = _keys(1000)
+        index = ConcurrentDILI()
+        index.bulk_load(keys)
+        assert len(index) == len(keys)
+        assert index.get(float(keys[10])) == 10
+        assert index.insert(0.5, "x")
+        assert not index.insert(0.5, "y")
+        assert index.delete(0.5)
+        assert not index.delete(0.5)
+        assert float(keys[3]) in index
+        index.index.validate()
+
+    def test_empty_index(self):
+        index = ConcurrentDILI()
+        assert index.get(1.0) is None
+        assert not index.delete(1.0)
+        assert index.insert(1.0, "a")
+        assert index.get(1.0) == "a"
+
+    def test_range_query(self):
+        index = ConcurrentDILI()
+        index.bulk_load(np.arange(0.0, 100.0))
+        got = [k for k, _ in index.range_query(10.0, 15.0)]
+        assert got == [10.0, 11.0, 12.0, 13.0, 14.0]
+
+    def test_insert_many(self):
+        index = ConcurrentDILI()
+        index.bulk_load(np.arange(0.0, 10.0))
+        added = index.insert_many([(100.0, "a"), (5.0, "dup"), (101.0, "b")])
+        assert added == 2
+
+    def test_rejects_bad_stripes(self):
+        with pytest.raises(ValueError):
+            ConcurrentDILI(stripes=0)
+
+
+class TestConcurrency:
+    def test_parallel_inserts_are_all_applied(self):
+        base = _keys(2000, seed=1)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        extra = np.setdiff1d(_keys(4000, seed=2), base)
+        chunks = np.array_split(extra, 8)
+        errors = []
+
+        def worker(chunk):
+            try:
+                for k in chunk:
+                    assert index.insert(float(k), "t")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(index) == len(base) + len(extra)
+        for k in extra[::97]:
+            assert index.get(float(k)) == "t"
+        index.index.validate()
+
+    def test_mixed_readers_and_writers(self):
+        base = _keys(3000, seed=3)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        extra = np.setdiff1d(_keys(2000, seed=4), base)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for k in base[::201]:
+                        assert index.get(float(k)) is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer(chunk):
+            try:
+                for k in chunk:
+                    index.insert(float(k), "w")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [
+            threading.Thread(target=writer, args=(c,))
+            for c in np.array_split(extra, 4)
+        ]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert len(index) == len(base) + len(extra)
+        index.index.validate()
+
+    def test_concurrent_deletes_remove_exactly_once(self):
+        base = _keys(2000, seed=5)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        victims = base[::2]
+        deleted = []
+        lock = threading.Lock()
+
+        def worker():
+            count = 0
+            for k in victims:
+                if index.delete(float(k)):
+                    count += 1
+            with lock:
+                deleted.append(count)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each victim key is deleted by exactly one thread overall.
+        assert sum(deleted) == len(victims)
+        assert len(index) == len(base) - len(victims)
+        index.index.validate()
+
+
+class TestConcurrentRangeAndMixedOps:
+    def test_range_queries_during_writes_are_consistent_snapshots(self):
+        """Ranges under the coarse lock must always see a sorted,
+        duplicate-free view even while writers run."""
+        base = _keys(2000, seed=7)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        extra = np.setdiff1d(_keys(2000, seed=8), base)
+        stop = threading.Event()
+        errors = []
+
+        def scanner():
+            try:
+                while not stop.is_set():
+                    lo = float(base[100])
+                    hi = float(base[900])
+                    pairs = index.range_query(lo, hi)
+                    keys_only = [k for k, _ in pairs]
+                    assert keys_only == sorted(set(keys_only))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer(chunk):
+            try:
+                for k in chunk:
+                    index.insert(float(k), "w")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        scan_threads = [threading.Thread(target=scanner) for _ in range(2)]
+        write_threads = [
+            threading.Thread(target=writer, args=(c,))
+            for c in np.array_split(extra, 3)
+        ]
+        for t in scan_threads + write_threads:
+            t.start()
+        for t in write_threads:
+            t.join()
+        stop.set()
+        for t in scan_threads:
+            t.join()
+        assert not errors
+        index.index.validate()
+
+    def test_interleaved_insert_delete_get_across_threads(self):
+        base = _keys(3000, seed=9)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        victims = base[::3]
+        extra = np.setdiff1d(_keys(3000, seed=10), base)
+        errors = []
+
+        def deleter():
+            try:
+                for k in victims:
+                    index.delete(float(k))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def inserter():
+            try:
+                for k in extra:
+                    assert index.insert(float(k), "i")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def getter():
+            try:
+                survivors = np.setdiff1d(base, victims)
+                for k in survivors[::7]:
+                    assert index.get(float(k)) is not None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=f)
+            for f in (deleter, inserter, getter, getter)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(index) == len(base) - len(victims) + len(extra)
+        index.index.validate()

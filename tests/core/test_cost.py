@@ -1,0 +1,103 @@
+"""Tests for the cache-aware search-cost model (Eq. 2, 5-7)."""
+
+import math
+
+import pytest
+
+from repro.core.cost import (
+    CostParams,
+    accumulated_cost,
+    bu_node_search_cycles,
+    estimated_depth,
+    exp_search_cycles,
+)
+from repro.simulate.latency import CyclesPerOp
+
+
+class TestExpSearchCycles:
+    def test_zero_error_is_free(self):
+        assert exp_search_cycles(0.0) == 0.0
+
+    def test_cost_grows_logarithmically(self):
+        c4 = exp_search_cycles(4.0)
+        c16 = exp_search_cycles(16.0)
+        c256 = exp_search_cycles(256.0)
+        assert 0 < c4 < c16 < c256
+        # Doubling the log error roughly doubles the cost.
+        assert c16 / c4 < 2.0
+        assert c256 / c16 < 2.2
+
+    def test_matches_formula(self):
+        cycles = CyclesPerOp()
+        expected = 2 * math.log2(8.0) * (
+            cycles.exp_search_step + cycles.cache_miss
+        )
+        assert exp_search_cycles(7.0) == pytest.approx(expected)
+
+
+class TestEstimatedDepth:
+    def test_paper_worked_example(self):
+        # n_{h-1}=1000 grouped into k=100 pieces: fanout 10, delta = 3.
+        assert estimated_depth(1000, 100) == pytest.approx(3.0)
+
+    def test_single_piece_is_depth_one(self):
+        assert estimated_depth(1000, 1) == 1.0
+
+    def test_no_progress_is_penalized(self):
+        # fanout <= 1 means merging accomplished nothing.
+        assert estimated_depth(100, 100) == 100.0
+
+    def test_depth_decreases_with_fewer_pieces(self):
+        depths = [estimated_depth(10000, k) for k in (5000, 1000, 100, 10)]
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestBuNodeSearchCycles:
+    def test_perfect_model_costs_node_plus_model(self):
+        params = CostParams()
+        c = params.cycles
+        got = bu_node_search_cycles(0.0, height=0, params=params)
+        assert got == pytest.approx(c.cache_miss + c.linear_model)
+
+    def test_height_damps_error_term(self):
+        base = bu_node_search_cycles(100.0, height=0)
+        damped = bu_node_search_cycles(100.0, height=3)
+        assert damped < base
+
+
+class TestAccumulatedCost:
+    def test_more_error_costs_more(self):
+        low = accumulated_cost(1000, 100, mean_log_error=0.5, height=0)
+        high = accumulated_cost(1000, 100, mean_log_error=5.0, height=0)
+        assert high > low
+
+    def test_tradeoff_has_an_interior_optimum(self):
+        """With error shrinking as pieces multiply, the best k is neither
+        extreme -- the trade-off Section 4.2.2 is built around."""
+        n = 4096
+
+        def scenario(k):
+            # Larger pieces -> larger model error (toy inverse relation).
+            mean_log_error = math.log2(n / k + 1.0)
+            return accumulated_cost(n, k, mean_log_error, height=0)
+
+        ks = [2, 8, 32, 128, 512, 2048]
+        costs = [scenario(k) for k in ks]
+        best = ks[costs.index(min(costs))]
+        assert best not in (ks[0], ks[-1])
+
+    def test_zero_error_prefers_fewest_pieces(self):
+        costs = [
+            accumulated_cost(1000, k, mean_log_error=0.0, height=0)
+            for k in (2, 10, 100, 500)
+        ]
+        assert costs == sorted(costs)
+
+    def test_rho_controls_upper_level_influence(self):
+        shallow = accumulated_cost(
+            1000, 100, 3.0, height=0, params=CostParams(rho=0.05)
+        )
+        steep = accumulated_cost(
+            1000, 100, 3.0, height=0, params=CostParams(rho=0.5)
+        )
+        assert steep > shallow

@@ -1,0 +1,169 @@
+"""Tests for DILI's extended API: updates, accessors, persistence,
+and the disk-mode configuration (the paper's Section 9 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import DILI, DiliConfig
+from repro.core.nodes import DenseLeafNode
+
+
+def _index(n=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 10**9, n * 2))[:n].astype(float)
+    index = DILI()
+    index.bulk_load(keys, [f"v{i}" for i in range(len(keys))])
+    return index, keys
+
+
+class TestUpdate:
+    def test_update_existing(self):
+        index, keys = _index()
+        assert index.update(float(keys[5]), "changed")
+        assert index.get(float(keys[5])) == "changed"
+        assert len(index) == len(keys)
+        index.validate()
+
+    def test_update_missing_is_noop(self):
+        index, keys = _index()
+        assert not index.update(float(keys[0]) - 1.0, "x")
+        assert index.get(float(keys[0]) - 1.0) is None
+
+    def test_update_nested_pair(self):
+        index = DILI()
+        index.bulk_load(np.arange(0, 1000, 1, dtype=np.float64))
+        index.insert(500.25, "a")
+        index.insert(500.5, "b")  # forces a nested conflict leaf
+        assert index.update(500.25, "a2")
+        assert index.get(500.25) == "a2"
+        assert index.get(500.5) == "b"
+
+    def test_update_on_empty(self):
+        assert not DILI().update(1.0, "x")
+
+    def test_update_dense_leaf(self):
+        keys = np.arange(0, 500, 1, dtype=np.float64)
+        index = DILI(DiliConfig(local_optimization=False))
+        index.bulk_load(keys)
+        assert index.update(250.0, "dense")
+        assert index.get(250.0) == "dense"
+        assert not index.update(250.5, "no")
+
+
+class TestAccessors:
+    def test_pop(self):
+        index, keys = _index()
+        key = float(keys[7])
+        assert index.pop(key) == "v7"
+        assert index.get(key) is None
+        assert index.pop(key, default="gone") == "gone"
+        index.validate()
+
+    def test_min_max(self):
+        index, keys = _index()
+        assert index.min_item() == (float(keys[0]), "v0")
+        assert index.max_item()[0] == float(keys[-1])
+
+    def test_min_max_empty(self):
+        index = DILI()
+        assert index.min_item() is None
+        assert index.max_item() is None
+
+    def test_count_range(self):
+        index = DILI()
+        index.bulk_load(np.arange(0, 100, 2, dtype=np.float64))
+        assert index.count_range(10.0, 20.0) == 5
+        assert index.count_range(11.0, 12.0) == 0
+        assert index.count_range(-5.0, 1000.0) == 50
+
+    def test_keys_values_iterators(self):
+        index, keys = _index(200)
+        assert list(index.keys()) == [float(k) for k in keys]
+        assert list(index.values()) == [f"v{i}" for i in range(len(keys))]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        index, keys = _index(1_500, seed=3)
+        index.insert(0.5, "extra")
+        path = tmp_path / "index.dili"
+        index.save(path)
+        loaded = DILI.load(path)
+        assert len(loaded) == len(index)
+        assert loaded.get(0.5) == "extra"
+        for i in range(0, len(keys), 37):
+            assert loaded.get(float(keys[i])) == f"v{i}"
+        loaded.validate()
+
+    def test_loaded_index_is_updatable(self, tmp_path):
+        index, keys = _index(500, seed=4)
+        path = tmp_path / "index.dili"
+        index.save(path)
+        loaded = DILI.load(path)
+        assert loaded.insert(float(keys[-1]) + 10.0, "post-load")
+        assert loaded.delete(float(keys[0]))
+        loaded.validate()
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.dili"
+        import pickle
+
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            DILI.load(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.dili"
+        path.write_bytes(
+            pickle.dumps({"format_version": 99, "index": None})
+        )
+        with pytest.raises(ValueError):
+            DILI.load(path)
+
+
+class TestDiskMode:
+    def test_for_disk_builds_and_answers(self):
+        keys = np.unique(
+            np.random.default_rng(5).integers(0, 10**9, 8_000)
+        ).astype(float)
+        index = DILI(DiliConfig.for_disk())
+        index.bulk_load(keys)
+        for i in range(0, len(keys), 61):
+            assert index.get(float(keys[i])) == i
+        index.validate()
+
+    def test_disk_mode_disables_local_opt(self):
+        config = DiliConfig.for_disk()
+        assert not config.local_optimization
+        keys = np.arange(0, 3_000, 1, dtype=np.float64)
+        index = DILI(config)
+        index.bulk_load(keys)
+
+        def leaf_kinds(node):
+            if type(node) is DenseLeafNode:
+                yield node
+                return
+            children = getattr(node, "children", None)
+            if children:
+                for child in children:
+                    yield from leaf_kinds(child)
+
+        assert all(
+            isinstance(leaf, DenseLeafNode)
+            for leaf in leaf_kinds(index.root)
+        )
+
+    def test_disk_cost_model_prefers_fewer_nodes(self):
+        """Pricing node fetches as IOs pushes greedy merging toward
+        fewer, larger pieces than the in-memory model chooses."""
+        from repro.core.segmentation import greedy_merging
+
+        rng = np.random.default_rng(6)
+        xs = np.sort(rng.uniform(0, 1e9, 4_000))
+        mem_result = greedy_merging(xs, params=DiliConfig().cost_params())
+        disk_result = greedy_merging(
+            xs, params=DiliConfig.for_disk().cost_params()
+        )
+        assert len(disk_result.segments) <= len(mem_result.segments)

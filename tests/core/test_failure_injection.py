@@ -1,0 +1,120 @@
+"""Failure-injection tests: validate() must catch structural damage.
+
+A production index needs a checker that actually detects corruption;
+these tests break invariants on purpose and assert the checker trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DILI
+from repro.core.nodes import InternalNode, LeafNode
+
+
+def _built(n=3_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 10**9, 2 * n))[:n].astype(float)
+    index = DILI()
+    index.bulk_load(keys)
+    return index
+
+
+def _first_leaf_with_pair(index):
+    stack = [index.root]
+    while stack:
+        node = stack.pop()
+        if type(node) is InternalNode:
+            stack.extend(node.children)
+            continue
+        for i, entry in enumerate(node.slots):
+            if type(entry) is tuple:
+                return node, i
+    raise AssertionError("no pair found")
+
+
+class TestValidateCatchesCorruption:
+    def test_clean_index_passes(self):
+        _built().validate()
+
+    def test_misplaced_pair_detected(self):
+        index = _built()
+        leaf, i = _first_leaf_with_pair(index)
+        # Move the pair to a slot its model does not predict.
+        wrong = (i + 1) % len(leaf.slots)
+        while leaf.slots[wrong] is not None:
+            wrong = (wrong + 1) % len(leaf.slots)
+        leaf.slots[wrong], leaf.slots[i] = leaf.slots[i], None
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_count_drift_detected(self):
+        index = _built()
+        index._count += 1
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_leaf_num_pairs_drift_detected(self):
+        index = _built()
+        leaf, _ = _first_leaf_with_pair(index)
+        leaf.num_pairs += 1
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_silently_dropped_pair_detected(self):
+        index = _built()
+        leaf, i = _first_leaf_with_pair(index)
+        leaf.slots[i] = None  # lose a pair without bookkeeping
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_duplicate_key_detected(self):
+        index = _built()
+        leaf, i = _first_leaf_with_pair(index)
+        key, value = leaf.slots[i]
+        # Plant a second copy of the same key in another leaf slot that
+        # happens to predict it -- iteration order then breaks.
+        other = LeafNode(key, key + 1.0)
+        from repro.core.local_opt import local_opt
+
+        local_opt(other, [(key, "dup")])
+        planted = False
+        stack = [index.root]
+        while stack and not planted:
+            node = stack.pop()
+            if type(node) is InternalNode:
+                stack.extend(node.children)
+                continue
+            for j, entry in enumerate(node.slots):
+                if entry is None and node is not other:
+                    node.slots[j] = other
+                    node.num_pairs += 1
+                    index._count += 1
+                    planted = True
+                    break
+        assert planted
+        with pytest.raises(AssertionError):
+            index.validate()
+
+
+class TestBPlusTreeValidator:
+    def test_detects_unsorted_leaf(self):
+        from repro.baselines import BPlusTree
+
+        tree = BPlusTree(8)
+        tree.bulk_load(np.arange(100, dtype=np.float64))
+        node = tree._root
+        while not node.is_leaf:
+            node = node.children[0]
+        node.keys[0], node.keys[1] = node.keys[1], node.keys[0]
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_bad_separator(self):
+        from repro.baselines import BPlusTree
+
+        tree = BPlusTree(8)
+        tree.bulk_load(np.arange(1000, dtype=np.float64))
+        assert not tree._root.is_leaf
+        tree._root.keys[0] = -1.0
+        with pytest.raises(AssertionError):
+            tree.validate()

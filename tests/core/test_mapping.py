@@ -1,0 +1,133 @@
+"""Tests for the DiliMap MutableMapping facade."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import DiliMap
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        m = DiliMap({10: "a", 20: "b"})
+        assert m[10] == "a"
+        assert len(m) == 2
+
+    def test_from_pairs(self):
+        m = DiliMap([(3, "c"), (1, "a")])
+        assert list(m) == [1.0, 3.0]
+
+    def test_duplicate_keys_last_wins(self):
+        m = DiliMap([(1, "first"), (1, "second")])
+        assert m[1] == "second"
+        assert len(m) == 1
+
+    def test_empty(self):
+        m = DiliMap()
+        assert len(m) == 0
+        assert 1 not in m
+
+
+class TestMappingProtocol:
+    def test_set_get_del(self):
+        m = DiliMap()
+        m[5] = "x"
+        assert m[5] == "x"
+        m[5] = "y"  # overwrite via update path
+        assert m[5] == "y"
+        assert len(m) == 1
+        del m[5]
+        assert 5 not in m
+        with pytest.raises(KeyError):
+            m[5]
+        with pytest.raises(KeyError):
+            del m[5]
+
+    def test_get_default(self):
+        m = DiliMap({1: "a"})
+        assert m.get(1) == "a"
+        assert m.get(2) is None
+        assert m.get(2, "d") == "d"
+
+    def test_iteration_is_sorted(self):
+        m = DiliMap({30: "c", 10: "a", 20: "b"})
+        assert list(m) == [10.0, 20.0, 30.0]
+        assert list(m.values()) == ["a", "b", "c"]
+        assert list(m.items()) == [(10.0, "a"), (20.0, "b"), (30.0, "c")]
+
+    def test_update_and_setdefault(self):
+        m = DiliMap({1: "a"})
+        m.update({2: "b", 3: "c"})
+        assert len(m) == 3
+        assert m.setdefault(1, "z") == "a"
+        assert m.setdefault(4, "d") == "d"
+
+    def test_pop(self):
+        m = DiliMap({1: "a"})
+        assert m.pop(1) == "a"
+        assert m.pop(1, "gone") == "gone"
+        with pytest.raises(KeyError):
+            m.pop(1)
+
+    def test_contains_non_numeric(self):
+        m = DiliMap({1: "a"})
+        assert "banana" not in m
+
+    def test_rejects_none_values_and_nan_keys(self):
+        m = DiliMap()
+        with pytest.raises(ValueError):
+            m[1] = None
+        with pytest.raises(ValueError):
+            m[float("nan")] = "x"
+
+
+class TestOrderedExtensions:
+    def test_irange(self):
+        m = DiliMap({float(k): k for k in range(0, 100, 10)})
+        assert [k for k, _ in m.irange(15, 45)] == [20.0, 30.0, 40.0]
+
+    def test_peekitem(self):
+        m = DiliMap({5: "lo", 50: "hi"})
+        assert m.peekitem() == (50.0, "hi")
+        assert m.peekitem(last=False) == (5.0, "lo")
+        with pytest.raises(KeyError):
+            DiliMap().peekitem()
+
+    def test_underlying_index_accessible(self):
+        m = DiliMap({1: "a", 2: "b"})
+        m.index.validate()
+        assert len(m.index) == 2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "del", "get"]),
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_dilimap_matches_dict(ops):
+    """DiliMap behaves exactly like a dict with float keys."""
+    m = DiliMap()
+    ref: dict[float, int] = {}
+    for op, raw_key, value in ops:
+        key = float(raw_key)
+        if op == "set":
+            m[key] = value
+            ref[key] = value
+        elif op == "del":
+            if key in ref:
+                del m[key]
+                del ref[key]
+            else:
+                with pytest.raises(KeyError):
+                    del m[key]
+        else:
+            assert m.get(key) == ref.get(key)
+    assert len(m) == len(ref)
+    assert dict(m.items()) == ref
+    m.index.validate()

@@ -1,0 +1,87 @@
+"""Unit tests for the DILI node structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.linear_model import LinearModel
+from repro.core.local_opt import local_opt
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
+
+
+class TestInternalNode:
+    def test_child_index_paper_example(self):
+        # Fig. 1: N_T covers [80, 160) with 4 children; key 101 -> child 1.
+        node = InternalNode(80.0, 160.0, 4)
+        assert node.child_index(101.0) == 1
+        assert node.child_index(80.0) == 0
+        assert node.child_index(159.999) == 3
+
+    def test_child_index_clamps_out_of_range(self):
+        node = InternalNode(0.0, 100.0, 10)
+        assert node.child_index(-50.0) == 0
+        assert node.child_index(500.0) == 9
+
+    def test_child_bounds_partition_range(self):
+        node = InternalNode(0.0, 120.0, 3)
+        bounds = [node.child_bounds(i) for i in range(3)]
+        assert bounds[0] == (0.0, 40.0)
+        assert bounds[2] == (80.0, 120.0)
+        # Contiguous partition.
+        for (___, ub), (lb, __) in zip(bounds, bounds[1:]):
+            assert ub == lb
+
+    def test_keys_route_into_their_bounds(self):
+        node = InternalNode(7.0, 993.0, 17)
+        rng = np.random.default_rng(1)
+        for key in rng.uniform(7.0, 993.0, 200):
+            i = node.child_index(float(key))
+            lb, ub = node.child_bounds(i)
+            assert lb <= key < ub or i == node.fanout - 1
+
+    def test_fanout(self):
+        assert InternalNode(0.0, 1.0, 5).fanout == 5
+
+
+class TestLeafNode:
+    def test_predict_slot_clamps(self):
+        leaf = LeafNode(0.0, 100.0)
+        leaf.set_model(LinearModel(1.0, 0.0))
+        leaf.slots = [None] * 10
+        assert leaf.predict_slot(-5.0) == 0
+        assert leaf.predict_slot(4.2) == 4
+        assert leaf.predict_slot(99.0) == 9
+
+    def test_iter_pairs_recurses_in_key_order(self):
+        leaf = LeafNode(0.0, 100.0)
+        # Cluster keys so nesting definitely occurs.
+        keys = sorted(
+            [10.0, 10.001, 10.002, 50.0, 90.0, 90.0001, 90.0002]
+        )
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        local_opt(leaf, pairs)
+        assert list(leaf.iter_pairs()) == pairs
+
+    def test_fanout_tracks_slots(self):
+        leaf = LeafNode(0.0, 1.0)
+        leaf.slots = [None] * 7
+        assert leaf.fanout == 7
+
+
+class TestDenseLeafNode:
+    def _make(self, n=100):
+        keys = np.arange(n, dtype=np.float64) * 2.0
+        model = LinearModel.fit(keys)
+        return DenseLeafNode(0.0, 2.0 * n, keys, list(range(n)), model)
+
+    def test_predict_position(self):
+        leaf = self._make()
+        assert leaf.predict_position(40.0) == 20
+
+    def test_iter_pairs(self):
+        leaf = self._make(5)
+        assert list(leaf.iter_pairs()) == [
+            (0.0, 0), (2.0, 1), (4.0, 2), (6.0, 3), (8.0, 4)
+        ]
+
+    def test_num_pairs(self):
+        assert self._make(13).num_pairs == 13

@@ -1,0 +1,72 @@
+"""Tests for the traced exponential search helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search_util import exp_search_floor, exp_search_lub
+from repro.simulate.tracer import CostTracer
+
+
+class TestExpSearchLub:
+    def setup_method(self):
+        self.keys = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+
+    def test_exact_hits(self):
+        for i, k in enumerate(self.keys):
+            assert exp_search_lub(self.keys, float(k), hint=0) == i
+            assert exp_search_lub(self.keys, float(k), hint=4) == i
+
+    def test_between_keys(self):
+        assert exp_search_lub(self.keys, 25.0, hint=2) == 2
+        assert exp_search_lub(self.keys, 10.5, hint=0) == 1
+
+    def test_below_and_above_range(self):
+        assert exp_search_lub(self.keys, 5.0, hint=2) == 0
+        assert exp_search_lub(self.keys, 99.0, hint=2) == len(self.keys)
+
+    def test_empty(self):
+        assert exp_search_lub(np.array([]), 1.0, hint=0) == 0
+
+    def test_wild_hints_are_clamped(self):
+        assert exp_search_lub(self.keys, 30.0, hint=-100) == 2
+        assert exp_search_lub(self.keys, 30.0, hint=10**6) == 2
+
+    def test_cost_grows_with_hint_error(self):
+        keys = np.arange(0, 100_000, 1, dtype=np.float64)
+        near, far = CostTracer(), CostTracer()
+        exp_search_lub(keys, 50_000.0, hint=50_001, tracer=near, region=1)
+        exp_search_lub(keys, 50_000.0, hint=10, tracer=far, region=1)
+        assert far.mem_accesses > near.mem_accesses
+
+
+class TestExpSearchFloor:
+    def test_basic(self):
+        keys = np.array([10.0, 20.0, 30.0])
+        assert exp_search_floor(keys, 10.0, hint=0) == 0
+        assert exp_search_floor(keys, 15.0, hint=0) == 0
+        assert exp_search_floor(keys, 30.0, hint=1) == 2
+        assert exp_search_floor(keys, 99.0, hint=1) == 2
+
+    def test_below_all(self):
+        keys = np.array([10.0, 20.0])
+        assert exp_search_floor(keys, 5.0, hint=1) == -1
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=10**6),
+        min_size=1,
+        max_size=300,
+        unique=True,
+    ),
+    probe=st.integers(min_value=-10, max_value=10**6 + 10),
+    hint=st.integers(min_value=-50, max_value=400),
+)
+@settings(max_examples=300, deadline=None)
+def test_property_lub_matches_searchsorted(keys, probe, hint):
+    """exp_search_lub agrees with numpy's searchsorted for any hint."""
+    arr = np.array(sorted(keys), dtype=np.float64)
+    expected = int(np.searchsorted(arr, float(probe), side="left"))
+    assert exp_search_lub(arr, float(probe), hint=hint) == expected

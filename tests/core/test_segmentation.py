@@ -1,0 +1,147 @@
+"""Tests for greedy merging segmentation (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostParams
+from repro.core.segmentation import _initial_pieces, greedy_merging
+
+
+def _check_partition(segments, n):
+    """Segments must tile [0, n) contiguously and in order."""
+    assert segments[0].start == 0
+    assert segments[-1].end == n
+    for a, b in zip(segments, segments[1:]):
+        assert a.end == b.start
+
+
+class TestInitialPieces:
+    def test_even_length(self):
+        assert _initial_pieces(6) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_odd_length_last_piece_has_three(self):
+        assert _initial_pieces(7) == [(0, 2), (2, 4), (4, 7)]
+
+    def test_tiny_inputs_are_single_piece(self):
+        assert _initial_pieces(1) == [(0, 1)]
+        assert _initial_pieces(3) == [(0, 3)]
+
+
+class TestGreedyMerging:
+    def test_empty_input(self):
+        result = greedy_merging(np.array([]))
+        assert result.segments == []
+
+    def test_single_key(self):
+        result = greedy_merging(np.array([5.0]))
+        assert len(result.segments) == 1
+        assert result.segments[0].size == 1
+
+    def test_segments_partition_input(self):
+        rng = np.random.default_rng(4)
+        xs = np.sort(rng.uniform(0, 1e6, 1000))
+        result = greedy_merging(xs)
+        _check_partition(result.segments, 1000)
+
+    def test_perfectly_linear_data_merges_to_few_pieces(self):
+        xs = np.arange(2000, dtype=np.float64) * 3.0 + 100.0
+        result = greedy_merging(xs)
+        # Linear data has zero loss everywhere; the cost model should
+        # drive the piece count toward the shallow-tree end.
+        assert len(result.segments) <= 4
+        assert all(seg.rmse < 1e-6 for seg in result.segments)
+
+    def test_piecewise_linear_data_recovers_more_pieces_than_linear(self):
+        # Two segments with very different slopes.
+        left = np.arange(500, dtype=np.float64)
+        right = 500.0 + np.arange(500, dtype=np.float64) * 1000.0
+        xs = np.concatenate([left, right])
+        res_pw = greedy_merging(xs)
+        res_lin = greedy_merging(np.arange(1000, dtype=np.float64))
+        assert len(res_pw.segments) >= len(res_lin.segments)
+
+    def test_max_piece_size_respected(self):
+        params = CostParams(omega=16)
+        xs = np.sort(np.random.default_rng(5).uniform(0, 1e6, 500))
+        result = greedy_merging(xs, params=params)
+        assert all(seg.size <= 2 * params.omega for seg in result.segments)
+
+    def test_omega_bounds_minimum_piece_count(self):
+        params = CostParams(omega=50)
+        xs = np.arange(1000, dtype=np.float64)  # favours heavy merging
+        result = greedy_merging(xs, params=params)
+        assert len(result.segments) >= 1000 / 50 / 2  # k_min = ceil(n/omega)
+
+    def test_cost_curve_covers_visited_piece_counts(self):
+        xs = np.sort(np.random.default_rng(6).uniform(0, 1e6, 200))
+        result = greedy_merging(xs)
+        ks = sorted(result.cost_curve)
+        assert ks == list(range(ks[0], ks[-1] + 1))
+        best = min(result.cost_curve.values())
+        assert result.cost == pytest.approx(best)
+
+    def test_chosen_k_matches_segment_count(self):
+        xs = np.sort(np.random.default_rng(7).uniform(0, 1e6, 300))
+        result = greedy_merging(xs)
+        assert len(result.segments) in result.cost_curve
+        assert result.cost_curve[len(result.segments)] == pytest.approx(
+            result.cost
+        )
+
+    def test_models_fit_global_positions(self):
+        xs = np.arange(100, dtype=np.float64)
+        result = greedy_merging(xs)
+        for seg in result.segments:
+            mid = (seg.start + seg.end) // 2
+            assert seg.model.predict(xs[mid]) == pytest.approx(mid, abs=0.5)
+
+    def test_sampling_changes_little_on_smooth_data(self):
+        rng = np.random.default_rng(8)
+        xs = np.sort(rng.lognormal(0, 1, 3000) * 1e6)
+        xs = np.unique(xs)
+        full = greedy_merging(xs, sample=False)
+        sampled = greedy_merging(xs, sample=True)
+        # Appendix A.7: sampling barely changes the layout quality.
+        n_full, n_samp = len(full.segments), len(sampled.segments)
+        assert abs(n_full - n_samp) <= max(2, 0.2 * n_full)
+
+    def test_height_parameter_damps_local_cost(self):
+        xs = np.sort(np.random.default_rng(9).uniform(0, 1e6, 400))
+        low = greedy_merging(xs, height=0)
+        high = greedy_merging(xs, height=3)
+        # At higher heights the rho**h damping shrinks the error term, so
+        # merging further (fewer pieces) becomes attractive.
+        assert len(high.segments) <= len(low.segments)
+
+    def test_piece_starts_accessor(self):
+        xs = np.sort(np.random.default_rng(10).uniform(0, 1e3, 64))
+        result = greedy_merging(xs)
+        assert result.piece_starts() == [s.start for s in result.segments]
+
+
+@given(
+    xs=st.lists(
+        st.floats(min_value=0, max_value=1e15),
+        min_size=1,
+        max_size=300,
+        unique=True,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_segments_always_tile_the_input(xs):
+    """For any strictly increasing input the output tiles [0, n)."""
+    arr = np.sort(np.array(xs, dtype=np.float64))
+    arr = np.unique(arr)
+    result = greedy_merging(arr)
+    _check_partition(result.segments, len(arr))
+
+
+@given(n=st.integers(min_value=4, max_value=2000))
+@settings(max_examples=50, deadline=None)
+def test_property_linear_inputs_have_near_zero_rmse(n):
+    """Any arithmetic progression fits every piece perfectly."""
+    xs = np.arange(n, dtype=np.float64) * 7.0
+    result = greedy_merging(xs)
+    assert all(seg.rmse < 1e-6 for seg in result.segments)

@@ -1,0 +1,137 @@
+"""Unit tests for tree statistics (Table 6 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro import DILI, DiliConfig, tree_stats
+
+
+def _build(n=5_000, seed=0, **config):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 10**9, 2 * n))[:n].astype(float)
+    index = DILI(DiliConfig(**config)) if config else DILI()
+    index.bulk_load(keys)
+    return index
+
+
+class TestTreeStats:
+    def test_counts_are_consistent(self):
+        index = _build()
+        st = tree_stats(index)
+        assert st.num_pairs == len(index)
+        assert st.leaf_nodes > 0
+        assert st.internal_nodes >= 1
+        assert st.nested_leaves <= st.leaf_nodes
+        assert st.memory_bytes == index.memory_bytes()
+
+    def test_height_bounds(self):
+        st = tree_stats(_build())
+        assert 1 <= st.min_height <= st.avg_height <= st.max_height
+
+    def test_avg_height_is_key_weighted(self):
+        """Hand-check against a walk that records per-pair depths."""
+        index = _build(2_000, seed=1)
+        from repro.core.nodes import InternalNode, LeafNode
+
+        depths = []
+
+        def walk(node, depth):
+            if type(node) is InternalNode:
+                for child in node.children:
+                    walk(child, depth + 1)
+                return
+            pairs_here = 0
+            for entry in node.slots:
+                if entry is None:
+                    continue
+                if type(entry) is tuple:
+                    pairs_here += 1
+                else:
+                    walk(entry, depth + 1)
+            depths.extend([depth] * pairs_here)
+
+        walk(index.root, 1)
+        st = tree_stats(index)
+        assert st.avg_height == pytest.approx(np.mean(depths))
+        assert st.min_height == min(depths)
+        assert st.max_height == max(depths)
+
+    def test_empty_index(self):
+        index = DILI()
+        index.bulk_load(np.array([]))
+        st = tree_stats(index)
+        assert st.num_pairs == 0
+        assert st.max_height == 0
+        assert st.conflicts_per_1k == 0.0
+
+    def test_dense_variant_has_no_nested_leaves(self):
+        index = _build(3_000, seed=2, local_optimization=False)
+        st = tree_stats(index)
+        assert st.nested_leaves == 0
+        assert st.num_pairs == len(index)
+
+    def test_conflicts_metric_tracks_opt_stats(self):
+        index = _build(4_000, seed=3)
+        st = tree_stats(index)
+        expected = 1000.0 * index.opt_stats.conflicts / len(index)
+        assert st.conflicts_per_1k == pytest.approx(expected)
+
+    def test_stats_after_updates(self):
+        index = _build(2_000, seed=4)
+        rng = np.random.default_rng(5)
+        extra = np.unique(rng.integers(0, 10**9, 800)).astype(float)
+        added = sum(1 for k in extra if index.insert(float(k), "w"))
+        st = tree_stats(index)
+        assert st.num_pairs == len(index) == 2_000 + added
+
+
+class TestMemoryBreakdown:
+    def test_breakdown_sums_to_memory_bytes(self):
+        from repro.core.stats import memory_breakdown
+
+        index = _build(3_000, seed=6)
+        mem = memory_breakdown(index)
+        assert mem.total == index.memory_bytes()
+        assert 0 < mem.occupied_slot_bytes <= mem.slot_bytes
+        assert 0.0 <= mem.slack_fraction < 1.0
+        assert mem.nested_bytes <= mem.total
+
+    def test_slack_tracks_enlarge_ratio(self):
+        """eta = 2 over-allocation means roughly half the slots empty."""
+        from repro.core.stats import memory_breakdown
+
+        index = _build(3_000, seed=7)
+        mem = memory_breakdown(index)
+        assert 0.3 < mem.slack_fraction < 0.7
+
+    def test_dense_variant_has_no_slack(self):
+        from repro.core.stats import memory_breakdown
+
+        index = _build(2_000, seed=8, local_optimization=False)
+        mem = memory_breakdown(index)
+        assert mem.slack_fraction == 0.0
+        assert mem.nested_bytes == 0
+
+    def test_empty_breakdown(self):
+        from repro.core.stats import memory_breakdown
+
+        index = DILI()
+        mem = memory_breakdown(index)
+        assert mem.total == 0
+        assert mem.slack_fraction == 0.0
+
+
+class TestDescribe:
+    def test_describe_mentions_key_facts(self):
+        from repro.core.stats import describe
+
+        index = _build(2_000, seed=9)
+        text = describe(index)
+        assert "2,000 pairs" in text
+        assert "heights" in text
+        assert "memory" in text
+
+    def test_describe_empty(self):
+        from repro.core.stats import describe
+
+        assert describe(DILI()) == "DILI(empty)"

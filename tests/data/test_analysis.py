@@ -1,0 +1,92 @@
+"""Tests for the dataset hardness analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.analysis import (
+    estimate_conflict_rate,
+    hardness_report,
+    segment_rmse_profile,
+)
+
+
+class TestRankRmseProfile:
+    def test_linear_data_is_trivially_easy(self):
+        keys = np.arange(0, 50_000, 5, dtype=np.float64)
+        profile = segment_rmse_profile(keys)
+        assert float(profile.max()) < 1e-6
+
+    def test_noisy_data_is_harder(self):
+        rng = np.random.default_rng(1)
+        easy = np.arange(20_000, dtype=np.float64)
+        hard = np.cumsum(rng.exponential(10.0, size=20_000))
+        assert (
+            segment_rmse_profile(hard).mean()
+            > segment_rmse_profile(easy).mean()
+        )
+
+    def test_segment_count(self):
+        keys = np.arange(10_000, dtype=np.float64)
+        assert len(segment_rmse_profile(keys, segment_size=1_000)) == 10
+
+
+class TestConflictRate:
+    def test_arithmetic_progression_never_conflicts(self):
+        keys = np.arange(0, 30_000, 3, dtype=np.float64)
+        assert estimate_conflict_rate(keys) == 0.0
+
+    def test_poisson_gaps_conflict_substantially(self):
+        rng = np.random.default_rng(2)
+        keys = np.unique(np.floor(np.cumsum(
+            rng.exponential(50.0, size=30_000)
+        )))
+        rate = estimate_conflict_rate(keys)
+        # Analytic Poisson collision rate at eta=2 is ~0.21.
+        assert 0.10 < rate < 0.35
+
+    def test_larger_enlarge_fewer_conflicts(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(np.floor(np.cumsum(
+            rng.exponential(50.0, size=20_000)
+        )))
+        assert estimate_conflict_rate(keys, enlarge=4.0) < (
+            estimate_conflict_rate(keys, enlarge=1.5)
+        )
+
+    def test_tiny_inputs(self):
+        assert estimate_conflict_rate(np.array([])) == 0.0
+        assert estimate_conflict_rate(np.array([5.0])) == 0.0
+
+
+class TestHardnessReport:
+    def test_predicts_table6_difficulty_ordering(self):
+        """The whole point: the report must rank datasets the way DILI's
+        measured conflicts do (easy logn/wikits, hard fb/books)."""
+        rates = {
+            name: hardness_report(load_dataset(name, 30_000, seed=4))
+            for name in ("fb", "wikits", "books", "logn")
+        }
+        assert rates["wikits"].conflict_rate < rates["fb"].conflict_rate
+        assert rates["logn"].conflict_rate < rates["books"].conflict_rate
+
+    def test_fb_has_heaviest_tail(self):
+        fb = hardness_report(load_dataset("fb", 20_000, seed=5))
+        wikits = hardness_report(load_dataset("wikits", 20_000, seed=5))
+        assert fb.tail_ratio > wikits.tail_ratio
+
+    def test_report_fields_consistent(self):
+        keys = load_dataset("osm", 10_000, seed=6)
+        report = hardness_report(keys)
+        assert report.num_keys == 10_000
+        assert report.global_rmse >= 0
+        assert 0 <= report.conflict_rate <= 1
+        assert report.gap_cv >= 0
+
+    def test_degenerate_inputs(self):
+        assert hardness_report(np.array([])).num_keys == 0
+        assert hardness_report(np.array([7.0])).conflict_rate == 0.0
+
+    def test_gap_cv_zero_for_uniform_spacing(self):
+        keys = np.arange(0, 1_000, 10, dtype=np.float64)
+        assert hardness_report(keys).gap_cv == pytest.approx(0.0)

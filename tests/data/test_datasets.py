@@ -1,0 +1,154 @@
+"""Tests for the synthetic SOSD-shaped dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    load_dataset,
+    make_payloads,
+    prepare_keys,
+    split_initial,
+)
+from repro.data.datasets import MAX_KEY, _decimate, _morton_interleave
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+    @pytest.mark.parametrize("n", [1_000, 20_000])
+    def test_exact_count_sorted_unique(self, name, n):
+        keys = load_dataset(name, n, seed=1)
+        assert len(keys) == n
+        assert keys.dtype == np.float64
+        assert bool(np.all(np.diff(keys) > 0))
+
+    @pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+    def test_keys_are_exact_integers_in_range(self, name):
+        keys = load_dataset(name, 5_000, seed=2)
+        assert keys[0] >= 0
+        assert keys[-1] <= MAX_KEY
+        assert bool(np.all(keys == np.floor(keys)))
+
+    @pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+    def test_deterministic_given_seed(self, name):
+        a = load_dataset(name, 2_000, seed=5)
+        b = load_dataset(name, 2_000, seed=5)
+        assert np.array_equal(a, b)
+        c = load_dataset(name, 2_000, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("zipfian", 100)
+
+
+class TestDistributionShapes:
+    def test_fb_has_heavy_tail(self):
+        keys = load_dataset("fb", 20_000, seed=3)
+        # Top 1% of keys stretch far beyond the body.
+        body_span = keys[int(0.99 * len(keys))] - keys[0]
+        full_span = keys[-1] - keys[0]
+        assert full_span > 1.5 * body_span
+
+    def test_wikits_gaps_mostly_minimal(self):
+        keys = load_dataset("wikits", 20_000, seed=3)
+        gaps = np.diff(keys)
+        # The saturated time grid: the modal gap dominates.
+        modal = np.median(gaps)
+        assert np.mean(gaps == modal) > 0.4
+
+    def test_logn_right_skewed(self):
+        keys = load_dataset("logn", 20_000, seed=3)
+        # Long right tail: the top keys sit far above the median, and
+        # the mean is pulled visibly to the right of it.
+        assert keys[-1] > 8 * np.median(keys)
+        assert keys.mean() > np.median(keys) * 1.15
+
+    def test_books_has_power_law_gaps(self):
+        keys = load_dataset("books", 20_000, seed=3)
+        gaps = np.diff(keys)
+        assert gaps.max() > 100 * np.median(gaps)
+
+    def test_osm_is_clustered(self):
+        keys = load_dataset("osm", 20_000, seed=3)
+        gaps = np.diff(keys)
+        # Clusters: most gaps tiny, a few enormous inter-cluster jumps.
+        assert gaps.max() > 1000 * np.median(gaps)
+
+    def test_conflict_difficulty_ordering(self):
+        """The Table 6 raison d'etre: logn/wikits easy, fb/books hard."""
+        from repro import DILI
+
+        nested = {}
+        for name in ("fb", "wikits", "books", "logn"):
+            keys = load_dataset(name, 20_000, seed=4)
+            index = DILI()
+            index.bulk_load(keys)
+            nested[name] = index.opt_stats.nested_leaves / len(keys)
+        assert nested["logn"] < nested["fb"]
+        assert nested["wikits"] < nested["books"]
+
+
+class TestDecimate:
+    def test_preserves_count(self):
+        keys = np.arange(100, dtype=np.float64)
+        out = _decimate(keys, 40)
+        assert len(out) == 40
+        assert out[0] == keys[0] and out[-1] == keys[-1]
+
+    def test_identity_when_exact(self):
+        keys = np.arange(10, dtype=np.float64)
+        assert np.array_equal(_decimate(keys, 10), keys)
+
+    def test_rejects_shortfall(self):
+        with pytest.raises(ValueError):
+            _decimate(np.arange(5, dtype=np.float64), 10)
+
+
+class TestMortonInterleave:
+    def test_small_examples(self):
+        xs = np.array([0, 1, 0, 1], dtype=np.uint64)
+        ys = np.array([0, 0, 1, 1], dtype=np.uint64)
+        codes = _morton_interleave(xs, ys)
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_locality(self):
+        # Nearby points in 2-D stay nearby in code space (coarsely).
+        xs = np.array([100, 101], dtype=np.uint64)
+        ys = np.array([200, 200], dtype=np.uint64)
+        codes = _morton_interleave(xs, ys)
+        assert abs(int(codes[1]) - int(codes[0])) < 16
+
+
+class TestRecords:
+    def test_prepare_keys_sorts_and_dedups(self):
+        out = prepare_keys([5.0, 1.0, 5.0, 3.0])
+        assert list(out) == [1.0, 3.0, 5.0]
+
+    def test_prepare_keys_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prepare_keys([-1.0])
+        with pytest.raises(ValueError):
+            prepare_keys([2.0**60])
+
+    def test_make_payloads_deterministic(self):
+        a = make_payloads(100, seed=1)
+        b = make_payloads(100, seed=1)
+        assert np.array_equal(a, b)
+        assert len(a) == 100
+
+    def test_split_initial_partitions(self):
+        keys = np.arange(1000, dtype=np.float64)
+        a, b = split_initial(keys, 0.5, seed=0)
+        assert len(a) == 500 and len(b) == 500
+        assert bool(np.all(np.diff(a) > 0))
+        assert bool(np.all(np.diff(b) > 0))
+        merged = np.sort(np.concatenate([a, b]))
+        assert np.array_equal(merged, keys)
+
+    def test_split_initial_fraction_bounds(self):
+        keys = np.arange(10, dtype=np.float64)
+        with pytest.raises(ValueError):
+            split_initial(keys, 0.0)
+        with pytest.raises(ValueError):
+            split_initial(keys, 1.0)

@@ -1,0 +1,82 @@
+"""Tests for the access-pattern statistics tracer."""
+
+import numpy as np
+import pytest
+
+from repro import DILI
+from repro.baselines import BinarySearchIndex, BPlusTree
+from repro.simulate.access_stats import (
+    AccessStatsTracer,
+    profile_lookups,
+)
+
+
+class TestTracer:
+    def test_counts_node_headers_and_regions(self):
+        tracer = AccessStatsTracer()
+        tracer.mem(1, 0)      # node header
+        tracer.mem(1, 128)    # array entry, same region
+        tracer.mem(2, 0)      # second node
+        tracer.next_probe()
+        profile = tracer.profile()
+        assert profile.probes == 1
+        assert profile.nodes_per_probe == 2.0
+        assert profile.regions_per_probe == 2.0
+        assert profile.touches_per_probe == 3.0
+
+    def test_per_probe_separation(self):
+        tracer = AccessStatsTracer()
+        tracer.mem(1, 0)
+        tracer.next_probe()
+        tracer.mem(1, 0)
+        tracer.mem(2, 0)
+        tracer.mem(3, 0)
+        tracer.next_probe()
+        profile = tracer.profile()
+        assert profile.probes == 2
+        assert profile.nodes_per_probe == 2.0
+        assert profile.max_nodes == 3
+
+    def test_empty_profile(self):
+        assert AccessStatsTracer().profile().probes == 0
+
+    def test_compute_and_phase_are_ignored(self):
+        tracer = AccessStatsTracer()
+        tracer.compute(1000.0)
+        tracer.phase("step1")
+        tracer.mem(1, 0)
+        tracer.next_probe()
+        assert tracer.profile().touches_per_probe == 1.0
+
+
+class TestProfileLookups:
+    def test_dili_depth_matches_tree_stats(self):
+        rng = np.random.default_rng(1)
+        keys = np.unique(rng.integers(0, 10**9, 20_000)).astype(float)
+        index = DILI()
+        index.bulk_load(keys)
+        profile = profile_lookups(index, keys[::97])
+        from repro import tree_stats
+
+        st = tree_stats(index)
+        # Node touches per lookup ~ key-weighted average height.
+        assert profile.nodes_per_probe == pytest.approx(
+            st.avg_height, abs=0.5
+        )
+
+    def test_bins_touches_many_lines_but_one_region(self):
+        keys = np.arange(0, 100_000, 7, dtype=np.float64)
+        index = BinarySearchIndex()
+        index.bulk_load(keys)
+        profile = profile_lookups(index, keys[::501])
+        assert profile.regions_per_probe <= 2.0
+        assert profile.touches_per_probe > 10  # ~log2(n) probes
+
+    def test_btree_nodes_equal_height(self):
+        keys = np.arange(0, 50_000, 3, dtype=np.float64)
+        tree = BPlusTree(32)
+        tree.bulk_load(keys)
+        profile = profile_lookups(tree, keys[::301])
+        assert profile.nodes_per_probe == pytest.approx(
+            tree.height(), abs=0.1
+        )

@@ -1,0 +1,52 @@
+"""Tests for the LRU cache-line simulator."""
+
+import pytest
+
+from repro.simulate.cache import CacheSimulator
+
+
+class TestCacheSimulator:
+    def test_first_touch_misses_second_hits(self):
+        cache = CacheSimulator(capacity_lines=4)
+        assert cache.touch("a") is True
+        assert cache.touch("a") is False
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = CacheSimulator(capacity_lines=2)
+        cache.touch("a")
+        cache.touch("b")
+        cache.touch("a")  # refresh a; b is now LRU
+        cache.touch("c")  # evicts b
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.contains("c")
+
+    def test_capacity_never_exceeded(self):
+        cache = CacheSimulator(capacity_lines=8)
+        for i in range(100):
+            cache.touch(i)
+        assert len(cache) == 8
+
+    def test_clear_resets_everything(self):
+        cache = CacheSimulator(capacity_lines=4)
+        cache.touch("x")
+        cache.touch("x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.touch("x") is True
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(capacity_lines=0)
+
+    def test_contains_does_not_touch(self):
+        cache = CacheSimulator(capacity_lines=2)
+        cache.touch("a")
+        cache.touch("b")
+        # Peeking at "a" must not refresh it...
+        assert cache.contains("a")
+        cache.touch("c")  # ...so "a" (the LRU line) is evicted.
+        assert not cache.contains("a")

@@ -1,0 +1,33 @@
+"""Tests for the cycle-cost constants module."""
+
+import pytest
+
+from repro.simulate.latency import (
+    CACHE_LINE_BYTES,
+    CyclesPerOp,
+    DEFAULT_CYCLES,
+)
+
+
+class TestCyclesPerOp:
+    def test_defaults_match_paper_constants(self):
+        # Section 7.1: theta_N = theta_C = 130, eta = 25, mu_L = 5,
+        # mu_E = 17 cycles; 64-byte cache lines.
+        assert DEFAULT_CYCLES.cache_miss == 130.0
+        assert DEFAULT_CYCLES.linear_model == 25.0
+        assert DEFAULT_CYCLES.linear_search_step == 5.0
+        assert DEFAULT_CYCLES.exp_search_step == 17.0
+        assert CACHE_LINE_BYTES == 64
+
+    def test_to_nanoseconds(self):
+        assert DEFAULT_CYCLES.to_nanoseconds(250.0, ghz=2.5) == 100.0
+        assert DEFAULT_CYCLES.to_nanoseconds(0.0) == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CYCLES.cache_miss = 1.0  # type: ignore[misc]
+
+    def test_custom_table(self):
+        io = CyclesPerOp(cache_miss=25_000.0)
+        assert io.cache_miss == 25_000.0
+        assert io.linear_model == DEFAULT_CYCLES.linear_model

@@ -1,0 +1,132 @@
+"""Adversarial key patterns: distributions designed to hurt learned
+indexes.  Every index must stay *correct* on all of them (performance
+may degrade; correctness may not)."""
+
+import numpy as np
+import pytest
+
+from repro import DILI, DiliConfig
+from repro.baselines import (
+    AlexIndex,
+    BinarySearchIndex,
+    BPlusTree,
+    FITingTree,
+    LippIndex,
+    MassTree,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+)
+
+MAX_KEY = float(2**52)
+
+
+def _patterns() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(1234)
+    n = 4_000
+    patterns = {
+        # Perfectly linear: the easy extreme.
+        "arithmetic": np.arange(n, dtype=np.float64) * 97.0,
+        # Exponential spacing: every prefix looks flat to a line.
+        "exponential": np.unique(
+            np.floor(1.0001 ** np.arange(n) * 1e3)
+        ),
+        # Giant cliff: half dense at the bottom, half dense at the top.
+        "cliff": np.concatenate(
+            [
+                np.arange(n // 2, dtype=np.float64),
+                MAX_KEY / 2 + np.arange(n // 2, dtype=np.float64),
+            ]
+        ),
+        # Thousands of micro-clusters with huge empty space between.
+        "dust": np.unique(
+            (
+                rng.integers(0, 2**40, n // 4)[:, None]
+                + np.arange(4)[None, :]
+            ).ravel()
+        ).astype(np.float64),
+        # Keys at the top of the representable range.
+        "ceiling": MAX_KEY - np.arange(n, dtype=np.float64) * 3.0,
+        # Unit gaps: maximal density everywhere.
+        "unit": np.arange(n, dtype=np.float64),
+        # Quadratic: smoothly accelerating gaps.
+        "quadratic": np.cumsum(np.arange(1, n + 1, dtype=np.float64)),
+        # Random walk with mixed step magnitudes.
+        "mixed-steps": np.cumsum(
+            np.where(
+                rng.random(n) < 0.9,
+                1.0,
+                rng.integers(10**3, 10**6, n).astype(np.float64),
+            )
+        ),
+    }
+    return {
+        name: np.unique(np.sort(keys))
+        for name, keys in patterns.items()
+    }
+
+
+def _indexes():
+    return [
+        DILI(),
+        DILI(DiliConfig(local_optimization=False)),
+        BinarySearchIndex(),
+        BPlusTree(16),
+        MassTree(),
+        RMIIndex(128),
+        RadixSplineIndex(16, 12),
+        PGMIndex(16),
+        AlexIndex(64 * 1024),
+        LippIndex(),
+        FITingTree(16),
+    ]
+
+
+@pytest.mark.parametrize("pattern", sorted(_patterns()))
+def test_every_index_correct_on_adversarial_pattern(pattern):
+    keys = _patterns()[pattern]
+    assert keys[-1] <= MAX_KEY
+    for index in _indexes():
+        index.bulk_load(keys)
+        for i in range(0, len(keys), 97):
+            got = index.get(float(keys[i]))
+            assert got == i, (type(index).__name__, pattern, i)
+        # Misses between the first two keys and beyond both ends.
+        probe = (float(keys[0]) + float(keys[1])) / 2.0
+        if probe not in (float(keys[0]), float(keys[1])):
+            assert index.get(probe) is None, (
+                type(index).__name__,
+                pattern,
+            )
+        assert index.get(float(keys[-1]) + 1.0) is None
+
+
+@pytest.mark.parametrize("pattern", ["cliff", "dust", "mixed-steps"])
+def test_dili_updates_survive_adversarial_patterns(pattern):
+    keys = _patterns()[pattern]
+    index = DILI()
+    index.bulk_load(keys[::2])
+    for k in keys[1::2]:
+        assert index.insert(float(k), "w")
+    for k in keys[1::2][::53]:
+        assert index.get(float(k)) == "w"
+    for k in keys[::4]:
+        assert index.delete(float(k))
+    index.validate()
+
+
+def test_dili_handles_two_keys_one_ulp_apart():
+    base = 1.0e15
+    pair = np.array([base, np.nextafter(base, np.inf)])
+    index = DILI()
+    index.bulk_load(pair)
+    assert index.get(float(pair[0])) == 0
+    assert index.get(float(pair[1])) == 1
+
+
+def test_sub_resolution_keys_fail_loudly_not_silently():
+    """Keys closer than a float64 model can separate must raise."""
+    keys = np.array([0.0, 2.225073858507203e-309])
+    index = DILI()
+    with pytest.raises(ValueError):
+        index.bulk_load(keys)

@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "zipf"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--method", "Trie"])
+
+
+class TestCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "--dataset", "logn", "--keys", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "DILI" in out
+        assert "lookup (ns)" in out
+
+    def test_workload(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--dataset",
+                "logn",
+                "--keys",
+                "8000",
+                "--method",
+                "DILI",
+                "--mix",
+                "Read-Heavy",
+                "--ops",
+                "3000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mops simulated" in out
+
+    def test_workload_bad_mix(self, capsys):
+        code = main(
+            ["workload", "--keys", "5000", "--mix", "Chaos-Monkey"]
+        )
+        assert code == 2
+        assert "unknown mix" in capsys.readouterr().err
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--keys", "3000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fb", "wikits", "osm", "books", "logn"):
+            assert name in out
+
+    def test_structure(self, capsys):
+        assert (
+            main(["structure", "--dataset", "fb", "--keys", "5000"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "avg height" in out
+        assert "conflicts" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["report", "table6", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "# DILI reproduction report" in out
+        assert "Table 6" in out
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["report", "table99", "--scale", "small"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "r.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "table6",
+                    "--scale",
+                    "small",
+                    "-o",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert "Table 6" in out_file.read_text()
+
+
+class TestBenchParser:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == "medium"
+        assert args.filter == ""
+
+    def test_bench_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scale", "galactic"])

@@ -1,0 +1,99 @@
+"""End-to-end integration tests across packages.
+
+Each test exercises the full pipeline the benchmarks rely on:
+dataset generation -> index construction -> workload execution ->
+measurement -> statistics, for every representative method.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DILI, DiliConfig, tree_stats
+from repro.bench.harness import (
+    SCALES,
+    make_index,
+    measure_lookup,
+    method_names,
+    query_sample,
+)
+from repro.data import load_dataset, split_initial
+from repro.workloads.generator import NAMED_SPECS, make_workload
+from repro.workloads.runner import run_workload
+
+SCALE = SCALES["small"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    keys = load_dataset("books", 15_000, seed=99)
+    return keys
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize(
+        "method", method_names(representative_only=True)
+    )
+    def test_build_measure_and_introspect(self, dataset, method):
+        index = make_index(method)
+        index.bulk_load(dataset)
+        queries = query_sample(dataset, 600, seed=5)
+        ns, misses, _ = measure_lookup(index, queries, SCALE)
+        assert 0 < ns < 50_000
+        assert misses >= 0
+        assert index.memory_bytes() > 0
+        assert len(index) == len(dataset)
+
+    @pytest.mark.parametrize(
+        "method", ["DILI", "B+Tree(32)", "ALEX(1MB)", "LIPP", "DynPGM"]
+    )
+    def test_read_heavy_workload_runs(self, dataset, method):
+        initial, pool = split_initial(dataset, 0.5, seed=1)
+        index = make_index(method)
+        index.bulk_load(initial)
+        spec = NAMED_SPECS["Read-Heavy"].scaled(3_000)
+        ops = make_workload(spec, dataset, pool, seed=2)
+        result = run_workload(index, ops, cache_lines=SCALE.cache_lines)
+        assert result.sim_mops > 0
+        assert result.inserted > 0
+        assert len(index) == len(initial) + result.inserted + (
+            # warmup inserts are applied but not counted
+            sum(
+                1
+                for op, key in ops[: min(500, len(ops) // 10)]
+                if op.value == "insert"
+            )
+        )
+
+    def test_dili_survives_all_named_workloads_in_sequence(self, dataset):
+        """One index instance through every mix, validating throughout."""
+        initial, pool = split_initial(dataset, 0.5, seed=3)
+        index = DILI()
+        index.bulk_load(initial)
+        half = len(pool) // 2
+        for mix, pool_slice in (
+            ("Read-Heavy", pool[:half]),
+            ("Write-Heavy", pool[half:]),
+        ):
+            spec = NAMED_SPECS[mix].scaled(2_000)
+            ops = make_workload(spec, dataset, pool_slice, seed=4)
+            run_workload(index, ops, cache_lines=SCALE.cache_lines)
+            index.validate()
+        spec = NAMED_SPECS["Deletion-Heavy"].scaled(2_000)
+        live = np.array(sorted(k for k, _ in index.items()))
+        from repro.workloads.generator import deletion_workload
+
+        ops = deletion_workload(spec, live, seed=5)
+        result = run_workload(index, ops, cache_lines=SCALE.cache_lines)
+        assert result.deleted > 0
+        index.validate()
+
+    def test_stats_track_reality_after_churn(self, dataset):
+        index = DILI(DiliConfig(lambda_adjust=1.5))
+        initial, pool = split_initial(dataset, 0.5, seed=6)
+        index.bulk_load(initial)
+        for key in pool:
+            index.insert(float(key), "w")
+        st = tree_stats(index)
+        assert st.num_pairs == len(index) == len(dataset)
+        assert st.min_height <= st.avg_height <= st.max_height
+        assert st.memory_bytes == index.memory_bytes()

@@ -1,0 +1,115 @@
+"""Tests for workload stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    DELETE_HEAVY,
+    NAMED_SPECS,
+    Operation,
+    READ_HEAVY,
+    READ_ONLY,
+    WRITE_HEAVY,
+    WRITE_ONLY,
+    WorkloadSpec,
+    deletion_workload,
+    make_workload,
+    skewed_insert_keys,
+)
+
+
+class TestWorkloadSpec:
+    def test_scaled_preserves_ratio(self):
+        spec = READ_HEAVY.scaled(3_000)
+        assert spec.lookups == 2_000
+        assert spec.inserts == 1_000
+        assert spec.deletes == 0
+
+    def test_named_specs_match_paper_ratios(self):
+        assert READ_ONLY.inserts == 0
+        assert WRITE_ONLY.lookups == 0
+        assert READ_HEAVY.lookups == 2 * READ_HEAVY.inserts
+        assert WRITE_HEAVY.inserts == 2 * WRITE_HEAVY.lookups
+        assert DELETE_HEAVY.deletes == 2 * DELETE_HEAVY.lookups
+        assert len(NAMED_SPECS) == 6
+
+
+class TestMakeWorkload:
+    def setup_method(self):
+        self.keys = np.arange(0, 10_000, 2, dtype=np.float64)
+        self.pool = np.arange(1, 10_000, 2, dtype=np.float64)
+
+    def test_counts_and_kinds(self):
+        spec = READ_HEAVY.scaled(900)
+        ops = make_workload(spec, self.keys, self.pool, seed=1)
+        assert len(ops) == 900
+        kinds = [op for op, _ in ops]
+        assert kinds.count(Operation.LOOKUP) == 600
+        assert kinds.count(Operation.INSERT) == 300
+
+    def test_insert_keys_come_from_pool_without_repeats(self):
+        spec = WRITE_ONLY.scaled(500)
+        ops = make_workload(spec, self.keys, self.pool, seed=2)
+        inserted = [k for op, k in ops if op is Operation.INSERT]
+        assert len(set(inserted)) == len(inserted)
+        assert set(inserted) <= set(self.pool.tolist())
+
+    def test_lookup_keys_come_from_universe(self):
+        spec = READ_ONLY.scaled(400)
+        ops = make_workload(spec, self.keys, self.pool, seed=3)
+        assert all(k in set(self.keys.tolist()) for _, k in ops)
+
+    def test_deterministic_given_seed(self):
+        spec = READ_HEAVY.scaled(300)
+        a = make_workload(spec, self.keys, self.pool, seed=9)
+        b = make_workload(spec, self.keys, self.pool, seed=9)
+        assert a == b
+
+    def test_operations_are_shuffled(self):
+        spec = READ_HEAVY.scaled(600)
+        ops = make_workload(spec, self.keys, self.pool, seed=4)
+        first_half = [op for op, _ in ops[:300]]
+        # A random mix: inserts must not all cluster in one half.
+        assert 50 < first_half.count(Operation.INSERT) < 250
+
+    def test_pool_exhaustion_rejected(self):
+        spec = WorkloadSpec("too-big", lookups=0, inserts=10**6)
+        with pytest.raises(ValueError):
+            make_workload(spec, self.keys, self.pool, seed=0)
+
+    def test_deletion_workload(self):
+        spec = DELETE_HEAVY.scaled(300)
+        ops = deletion_workload(spec, self.keys, seed=5)
+        kinds = [op for op, _ in ops]
+        assert kinds.count(Operation.DELETE) == 200
+        assert kinds.count(Operation.LOOKUP) == 100
+        deleted = [k for op, k in ops if op is Operation.DELETE]
+        assert len(set(deleted)) == len(deleted)  # no double deletes
+
+
+class TestSkewedInsertKeys:
+    def test_keys_land_in_compressed_prefix(self):
+        target = np.arange(0, 100_000, 10, dtype=np.float64)
+        source = np.arange(3, 50_000, 7, dtype=np.float64)
+        skewed = skewed_insert_keys(source, target, 500, compress=0.1,
+                                    seed=1)
+        assert len(skewed) == 500
+        span = target[-1] - target[0]
+        assert skewed.max() <= target[0] + span * 0.1 + 1
+
+    def test_skewed_keys_disjoint_from_target(self):
+        target = np.arange(0, 10_000, 2, dtype=np.float64)
+        source = np.arange(1, 30_000, 3, dtype=np.float64)
+        skewed = skewed_insert_keys(source, target, 200, seed=2)
+        assert not set(skewed.tolist()) & set(target.tolist())
+
+    def test_rejects_bad_compress(self):
+        target = np.arange(100, dtype=np.float64)
+        with pytest.raises(ValueError):
+            skewed_insert_keys(target, target, 5, compress=0.0)
+
+    def test_rejects_insufficient_keys(self):
+        target = np.arange(0, 100, 1, dtype=np.float64)
+        source = np.arange(0, 10, 1, dtype=np.float64)
+        with pytest.raises(ValueError):
+            skewed_insert_keys(source, target, 1_000, seed=0)

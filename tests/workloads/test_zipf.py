@@ -1,0 +1,80 @@
+"""Tests for the Zipfian query-skew extension."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    NAMED_SPECS,
+    Operation,
+    make_workload,
+    zipf_indices,
+)
+
+
+class TestZipfIndices:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        idx = zipf_indices(1_000, 5_000, rng)
+        assert len(idx) == 5_000
+        assert idx.min() >= 0 and idx.max() < 1_000
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(2)
+        idx = zipf_indices(10_000, 50_000, rng, theta=0.99)
+        _, counts = np.unique(idx, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # The hottest 1% of touched keys absorb a large share.
+        top = counts[: max(len(counts) // 100, 1)].sum()
+        assert top / counts.sum() > 0.15
+
+    def test_uniform_theta_zero(self):
+        rng = np.random.default_rng(3)
+        idx = zipf_indices(1_000, 50_000, rng, theta=0.0)
+        _, counts = np.unique(idx, return_counts=True)
+        # Near-uniform: max popularity close to the mean.
+        assert counts.max() < counts.mean() * 3
+
+    def test_hot_keys_are_scattered(self):
+        rng = np.random.default_rng(4)
+        idx = zipf_indices(10_000, 20_000, rng)
+        values, counts = np.unique(idx, return_counts=True)
+        hottest = values[np.argsort(counts)[-10:]]
+        # The permutation spreads hot ranks over the index range.
+        assert hottest.max() - hottest.min() > 1_000
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            zipf_indices(0, 10, np.random.default_rng(0))
+
+
+class TestZipfWorkloads:
+    def test_zipf_lookups_repeat_keys(self):
+        keys = np.arange(0, 50_000, 5, dtype=np.float64)
+        spec = NAMED_SPECS["Read-Only"].scaled(5_000)
+        uni = make_workload(spec, keys, np.array([]), seed=5,
+                            query_distribution="uniform")
+        zipf = make_workload(spec, keys, np.array([]), seed=5,
+                             query_distribution="zipf")
+        distinct_uni = len({k for _, k in uni})
+        distinct_zipf = len({k for _, k in zipf})
+        assert distinct_zipf < distinct_uni
+
+    def test_zipf_keys_still_valid(self):
+        keys = np.arange(0, 1_000, 2, dtype=np.float64)
+        spec = NAMED_SPECS["Read-Only"].scaled(500)
+        ops = make_workload(spec, keys, np.array([]), seed=6,
+                            query_distribution="zipf")
+        universe = set(keys.tolist())
+        assert all(
+            op is Operation.LOOKUP and k in universe for op, k in ops
+        )
+
+    def test_unknown_distribution_rejected(self):
+        keys = np.arange(10, dtype=np.float64)
+        with pytest.raises(ValueError):
+            make_workload(
+                NAMED_SPECS["Read-Only"].scaled(10),
+                keys,
+                np.array([]),
+                query_distribution="pareto",
+            )
