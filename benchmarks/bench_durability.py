@@ -1,0 +1,119 @@
+"""Durability bench: WAL overhead per op and recovery time vs log length.
+
+Two costs bound the durability subsystem's usefulness:
+
+* the **WAL tax** every mutation pays -- serialization + append (and,
+  in the strict mode, an fsync) before the in-memory insert runs;
+* the **recovery time** after a crash, which grows with the WAL tail
+  length and is what snapshots exist to bound.
+
+This bench measures both: per-op insert latency for a bare ``DILI``, a
+``DurableDILI`` with batched syncs, and a ``DurableDILI`` with fsync
+per op; then recovery wall-clock at growing WAL lengths, with and
+without a snapshot covering the prefix.
+"""
+
+import time
+
+import numpy as np
+
+from repro import DILI
+from repro.bench import print_table
+from repro.data import split_initial
+from repro.durability import DurableDILI, recover
+
+
+def _time_inserts(index, keys) -> float:
+    """Mean microseconds per insert."""
+    t0 = time.perf_counter()
+    for key in keys:
+        index.insert(float(key), "w")
+    return (time.perf_counter() - t0) / len(keys) * 1e6
+
+
+def test_wal_overhead_per_op(cache, scale, benchmark, capsys, tmp_path):
+    keys = cache.keys("logn")
+    initial, pool = split_initial(keys, 0.5, seed=3)
+    batch = pool[: min(3_000, len(pool))]
+    fsync_batch = batch[:300]
+
+    plain = DILI()
+    plain.bulk_load(initial)
+    plain_us = _time_inserts(plain, batch)
+
+    buffered = DurableDILI(tmp_path / "buffered", sync=False)
+    buffered.bulk_load(initial)
+    buffered_us = _time_inserts(buffered, batch)
+    buffered.sync_wal()
+    wal_bytes_per_op = buffered.wal.size_bytes() / len(batch)
+    buffered.close()
+
+    strict = DurableDILI(tmp_path / "strict", sync=True)
+    strict.bulk_load(initial)
+    strict_us = _time_inserts(strict, fsync_batch)
+    strict.close()
+
+    with capsys.disabled():
+        print_table(
+            f"WAL overhead per insert, scale={scale.name}",
+            ["Mode", "us/op", "overhead", "WAL B/op"],
+            [
+                ["bare DILI", plain_us, 1.0, 0.0],
+                ["WAL (batched sync)", buffered_us,
+                 buffered_us / plain_us, wal_bytes_per_op],
+                ["WAL (fsync per op)", strict_us,
+                 strict_us / plain_us, wal_bytes_per_op],
+            ],
+            first_col_width=20,
+        )
+
+    # The log must cost something, but batched logging should stay
+    # within an order of magnitude of the bare index.
+    assert buffered_us < plain_us * 20
+    benchmark(plain.insert, float(pool[-1]), "b")
+
+
+def test_recovery_time_vs_log_length(cache, scale, benchmark, capsys,
+                                     tmp_path):
+    keys = cache.keys("logn")
+    initial, pool = split_initial(keys, 0.5, seed=3)
+    lengths = [500, 2_000, 8_000]
+    lengths = [n for n in lengths if n <= len(pool)]
+
+    rows = []
+    for n in lengths:
+        state = tmp_path / f"wal{n}"
+        d = DurableDILI(state, sync=False)
+        d.bulk_load(initial)
+        for key in pool[:n]:
+            d.insert(float(key), "w")
+        d.sync_wal()
+        d.close()
+        t0 = time.perf_counter()
+        result = recover(state, validate=False)
+        replay_s = time.perf_counter() - t0
+        assert result.replayed == n
+        assert len(result.index) == len(initial) + n
+
+        # Checkpointing folds the tail into the snapshot: replay -> 0.
+        d = DurableDILI(state, sync=False)
+        d.snapshot()
+        d.close()
+        t0 = time.perf_counter()
+        result = recover(state, validate=False)
+        snap_s = time.perf_counter() - t0
+        assert result.replayed == 0
+        rows.append([f"{n} records", replay_s * 1e3,
+                     replay_s / n * 1e6, snap_s * 1e3])
+
+    with capsys.disabled():
+        print_table(
+            f"Recovery time vs WAL length, scale={scale.name} "
+            f"({len(initial):,} snapshotted keys)",
+            ["WAL tail", "recover (ms)", "us/record",
+             "after snapshot (ms)"],
+            rows,
+        )
+
+    state = tmp_path / f"wal{lengths[0]}"
+    benchmark(lambda: recover(state, validate=False))

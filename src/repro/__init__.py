@@ -4,6 +4,8 @@ Public surface:
 
 * :class:`repro.DILI` / :class:`repro.DiliConfig` -- the paper's index.
 * :class:`repro.ConcurrentDILI` -- the Appendix A.8 thread-safe wrapper.
+* :class:`repro.DurableDILI` -- crash-safe persistence (WAL +
+  checksummed snapshots + recovery, see :mod:`repro.durability`).
 * :mod:`repro.baselines` -- every competitor of Section 7, from scratch.
 * :mod:`repro.data` -- SOSD-shaped synthetic datasets.
 * :mod:`repro.workloads` -- the paper's workload mixes and a runner.
@@ -15,6 +17,7 @@ Public surface:
 from repro.core.concurrent import ConcurrentDILI
 from repro.core.dili import DILI, DiliConfig
 from repro.core.mapping import DiliMap
+from repro.durability import DurableDILI
 from repro.core.stats import (
     MemoryBreakdown,
     TreeStats,
@@ -28,6 +31,7 @@ __all__ = [
     "DiliConfig",
     "DiliMap",
     "ConcurrentDILI",
+    "DurableDILI",
     "MemoryBreakdown",
     "TreeStats",
     "describe",

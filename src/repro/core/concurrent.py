@@ -7,11 +7,22 @@ degenerates to per-leaf locking.  This wrapper implements that: the
 internal descent is lock-free, then the operation holds the lock of the
 top leaf it reached.  Locks are striped so millions of leaves do not each
 carry a lock object.
+
+Lock-free descent admits one race: between reaching a leaf and
+acquiring its stripe, a whole-tree rebuild (``bulk_load`` or a large
+``bulk_insert``) can replace the leaf.  Acquisition therefore verifies:
+after taking the stripe lock it re-descends and checks the reached leaf
+still maps to the held stripe, retrying with exponential backoff (and
+falling back to fully exclusive locking) when it does not.  Tree
+rebuilds run under :meth:`exclusive`, which holds the global lock *and*
+every stripe, so they can never overlap a verified per-leaf operation.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from typing import Iterable
 
 import numpy as np
@@ -19,70 +30,161 @@ import numpy as np
 from repro.core.dili import DILI, DiliConfig
 from repro.core.nodes import InternalNode, Pair
 
+# Verified lock acquisition retries before escalating to exclusive mode.
+_MAX_LOCK_RETRIES = 8
+_BACKOFF_INITIAL_S = 1e-6
+_BACKOFF_MAX_S = 1e-3
+
 
 class ConcurrentDILI:
     """A DILI safe for concurrent readers and writers.
 
-    Point operations (get / insert / delete) serialize per top-level
-    leaf via striped locks; operations on different leaves proceed in
-    parallel.  Range queries take a coarse global lock because they
-    cross leaf boundaries.
+    Point operations (get / insert / delete / update) serialize per
+    top-level leaf via striped locks; operations on different leaves
+    proceed in parallel.  Range queries take a coarse global lock
+    because they cross leaf boundaries; bulk loads and rebuilds take
+    every lock (see :meth:`exclusive`).
 
     Args:
         config: Forwarded to the underlying :class:`DILI`.
         stripes: Number of leaf locks; must be positive.
+        index: Adopt an existing :class:`DILI` (e.g. one rebuilt by
+            crash recovery) instead of creating a fresh empty one;
+            ``config`` is ignored when given.
     """
 
     def __init__(
-        self, config: DiliConfig | None = None, stripes: int = 256
+        self,
+        config: DiliConfig | None = None,
+        stripes: int = 256,
+        *,
+        index: DILI | None = None,
     ) -> None:
         if stripes <= 0:
             raise ValueError("stripes must be positive")
-        self._index = DILI(config)
+        self._index = index if index is not None else DILI(config)
         self._locks = [threading.RLock() for _ in range(stripes)]
         self._global = threading.RLock()
 
-    def bulk_load(self, keys: np.ndarray, values: list | None = None) -> None:
-        """Build the index; must not race with other operations."""
-        with self._global:
-            self._index.bulk_load(keys, values)
+    # ------------------------------------------------------------------
+    # Locking protocol
+    # ------------------------------------------------------------------
 
-    def _leaf_lock(self, key: float) -> threading.RLock:
+    def _descend(self, key: float):
+        """Lock-free walk to the top-level leaf owning ``key``."""
         node = self._index.root
         while type(node) is InternalNode:
             node = node.children[node.child_index(key)]
-        return self._locks[id(node) % len(self._locks)]
+        return node
+
+    @contextmanager
+    def locked(self, key: float):
+        """Hold the stripe lock of the top-level leaf owning ``key``.
+
+        Verified acquisition: descend lock-free, take the stripe the
+        reached leaf hashes to, then re-descend and confirm the leaf
+        still maps to the held stripe.  A concurrent tree rebuild
+        between descent and acquisition fails the check; we release,
+        back off, and retry a bounded number of times before escalating
+        to :meth:`exclusive` (which cannot race with anything).
+
+        Reentrant: the stripe locks are RLocks, so a caller already
+        holding the stripe (e.g. :class:`repro.durability.DurableDILI`
+        logging then applying) can nest operations on the same key.
+        """
+        delay = _BACKOFF_INITIAL_S
+        for _ in range(_MAX_LOCK_RETRIES):
+            leaf = self._descend(key)
+            if leaf is None:  # empty tree: no leaf to lock
+                break
+            lock = self._locks[id(leaf) % len(self._locks)]
+            with lock:
+                current = self._descend(key)
+                if (
+                    current is not None
+                    and self._locks[id(current) % len(self._locks)] is lock
+                ):
+                    yield
+                    return
+            time.sleep(delay)
+            delay = min(delay * 2.0, _BACKOFF_MAX_S)
+        with self.exclusive():
+            yield
+
+    @contextmanager
+    def exclusive(self):
+        """Hold the global lock and every stripe (rebuilds, snapshots).
+
+        Point operations hold at most one stripe and never block on
+        another lock while doing so, so acquiring the stripes in index
+        order cannot deadlock against them.
+        """
+        with self._global:
+            acquired = 0
+            try:
+                for lock in self._locks:
+                    lock.acquire()
+                    acquired += 1
+                yield
+            finally:
+                for lock in reversed(self._locks[:acquired]):
+                    lock.release()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, keys: np.ndarray, values: list | None = None) -> None:
+        """Build the index; excludes every concurrent operation."""
+        with self.exclusive():
+            self._index.bulk_load(keys, values)
 
     def get(self, key: float) -> object | None:
         """Point lookup under the owning leaf's lock."""
         if self._index.root is None:
             return None
-        with self._leaf_lock(key):
+        with self.locked(key):
             return self._index.get(key)
 
     def insert(self, key: float, value: object) -> bool:
         """Insert under the owning leaf's lock (A.8 insertion protocol)."""
-        if self._index.root is None:
-            with self._global:
-                return self._index.insert(key, value)
-        with self._leaf_lock(key):
+        with self.locked(key):
             return self._index.insert(key, value)
 
     def delete(self, key: float) -> bool:
         """Delete under the owning leaf's lock (A.8 deletion protocol)."""
         if self._index.root is None:
             return False
-        with self._leaf_lock(key):
+        with self.locked(key):
             return self._index.delete(key)
+
+    def update(self, key: float, value: object) -> bool:
+        """Replace an existing key's value under the owning leaf's lock."""
+        if self._index.root is None:
+            return False
+        with self.locked(key):
+            return self._index.update(key, value)
 
     def range_query(self, lo: float, hi: float) -> list[Pair]:
         """Ordered scan under the coarse lock (crosses leaf boundaries)."""
         with self._global:
             return self._index.range_query(lo, hi)
 
+    def items(self) -> list[Pair]:
+        """Every pair in key order, as a consistent snapshot list."""
+        with self._global:
+            return list(self._index.items())
+
     def insert_many(self, pairs: Iterable[Pair]) -> int:
         """Insert pairs one by one; returns how many were new."""
         return sum(1 for k, v in pairs if self.insert(k, v))
+
+    def bulk_insert(
+        self, keys: np.ndarray | list, values: list | None = None, **kwargs
+    ) -> int:
+        """Batch insert; exclusive because it may rebuild the tree."""
+        with self.exclusive():
+            return self._index.bulk_insert(keys, values, **kwargs)
 
     def __len__(self) -> int:
         return len(self._index)

@@ -516,40 +516,95 @@ class DILI:
     # Persistence
     # ------------------------------------------------------------------
 
-    _PICKLE_VERSION = 1
+    _PICKLE_VERSION = 2
 
     def save(self, path) -> None:
-        """Serialize the index to ``path`` (pickle protocol).
+        """Serialize the index to ``path``, atomically and checksummed.
 
-        The saved file embeds a format version; :meth:`load` refuses
-        files written by incompatible versions.
+        The pickled index travels inside an envelope carrying a format
+        version and a CRC32 of the payload; :meth:`load` refuses files
+        written by incompatible versions or whose checksum does not
+        match.  The write goes to a temp file in the same directory,
+        is fsynced, then renamed over ``path`` -- a crash mid-save
+        leaves either the complete old file or the complete new one,
+        never a torn mix.
         """
+        import os
         import pickle
+        import zlib
 
-        payload = {
+        path = os.fspath(path)
+        index_bytes = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
             "format_version": self._PICKLE_VERSION,
-            "index": self,
+            "crc32": zlib.crc32(index_bytes),
+            "index_pickle": index_bytes,
         }
-        with open(path, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     @classmethod
-    def load(cls, path) -> "DILI":
-        """Deserialize an index written by :meth:`save`."""
-        import pickle
+    def load(cls, path, *, validate: bool = False) -> "DILI":
+        """Deserialize an index written by :meth:`save`.
 
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
-        if not isinstance(payload, dict) or "index" not in payload:
-            raise ValueError(f"{path} is not a saved DILI index")
-        if payload.get("format_version") != cls._PICKLE_VERSION:
+        Args:
+            path: File written by :meth:`save`.
+            validate: Also run :meth:`validate` on the loaded index,
+                turning silent structural damage into a hard error.
+
+        Raises:
+            ValueError: The file is truncated, corrupt (checksum
+                mismatch), from an incompatible version, or not a
+                saved DILI at all.
+        """
+        import pickle
+        import zlib
+
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except OSError:
+            raise
+        except Exception as exc:
+            # A truncated or bit-flipped pickle stream can raise nearly
+            # anything; surface it as one clear error, not a traceback
+            # from the pickle internals.
             raise ValueError(
-                f"unsupported DILI file version "
-                f"{payload.get('format_version')!r}"
+                f"{path} is truncated or not a saved DILI index: {exc}"
+            ) from exc
+        if not isinstance(envelope, dict) or "format_version" not in envelope:
+            raise ValueError(f"{path} is not a saved DILI index")
+        version = envelope.get("format_version")
+        if version == 1:
+            # Legacy format: the index was pickled inline, no checksum.
+            index = envelope.get("index")
+        elif version == cls._PICKLE_VERSION:
+            index_bytes = envelope.get("index_pickle")
+            if not isinstance(index_bytes, bytes):
+                raise ValueError(f"{path} is not a saved DILI index")
+            if zlib.crc32(index_bytes) != envelope.get("crc32"):
+                raise ValueError(
+                    f"{path}: payload checksum mismatch -- the file is "
+                    f"corrupt or was torn by an interrupted write"
+                )
+            index = pickle.loads(index_bytes)
+        else:
+            raise ValueError(
+                f"unsupported DILI file version {version!r}"
             )
-        index = payload["index"]
         if not isinstance(index, cls):
             raise ValueError(f"{path} does not contain a DILI index")
+        if validate:
+            index.validate()
         return index
 
     # ------------------------------------------------------------------

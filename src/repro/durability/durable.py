@@ -1,0 +1,234 @@
+"""``DurableDILI``: write-ahead logged, snapshot-checkpointed DILI.
+
+The wrapper keeps the paper's index untouched and adds the durability
+contract around it:
+
+* every mutation (``insert`` / ``delete`` / ``update`` /
+  ``bulk_insert``) is appended to the WAL -- CRC-framed and, by
+  default, fsynced -- *before* it is applied in memory.  An operation
+  is **acknowledged** when the call returns; by then its record is
+  durable, so an acknowledged write can never be lost.  An operation
+  interrupted mid-call may or may not have reached the log and is
+  recovered all-or-nothing.
+* :meth:`snapshot` checkpoints the full index atomically (temp +
+  fsync + rename) and then truncates the WAL, bounding recovery time.
+* opening a directory re-runs :func:`repro.durability.recovery.recover`
+  (snapshot + WAL-tail replay + ``validate()``) and trims any torn WAL
+  tail before accepting new appends.
+
+Composition: with ``concurrent=True`` the inner index is a
+:class:`~repro.core.concurrent.ConcurrentDILI` and each log+apply pair
+runs under the owning leaf's verified stripe lock, so per-key WAL order
+matches per-key apply order; operations on different keys commute, so
+global log order vs. apply order does not matter for replay.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import numpy as np
+
+from repro.core.concurrent import ConcurrentDILI
+from repro.core.dili import DILI, DiliConfig
+from repro.durability.faultpoints import NULL_FAULTS, FaultInjector
+from repro.durability.recovery import (
+    SNAPSHOT_NAME,
+    WAL_NAME,
+    RecoveryResult,
+    recover,
+)
+from repro.durability.snapshot import write_snapshot
+from repro.durability.wal import (
+    OP_BULK_INSERT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    WriteAheadLog,
+)
+
+
+def _encode(*args) -> bytes:
+    return pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class DurableDILI:
+    """A DILI whose acknowledged writes survive kill-9.
+
+    Typical use::
+
+        index = DurableDILI("/var/lib/dili")   # recovers if state exists
+        index.bulk_load(keys, values)          # checkpointed immediately
+        index.insert(k, v)                     # durable once it returns
+        index.snapshot()                       # truncate the WAL
+        index.close()
+
+    Args:
+        dirpath: State directory (created if missing) holding
+            ``snapshot.dili`` and ``wal.log``.
+        config: Config for a fresh index when no snapshot exists yet.
+        concurrent: Wrap the index in :class:`ConcurrentDILI` and
+            serialize each log+apply under the owning leaf's lock.
+        stripes: Stripe count for the concurrent wrapper.
+        sync: fsync the WAL on every append (the durability guarantee;
+            turn off only for benchmarks that batch with
+            :meth:`sync_wal`).
+        validate_on_open: Run ``validate()`` after recovery.
+        faults: Crash-point injector (tests only).
+    """
+
+    def __init__(
+        self,
+        dirpath,
+        *,
+        config: DiliConfig | None = None,
+        concurrent: bool = False,
+        stripes: int = 256,
+        sync: bool = True,
+        validate_on_open: bool = True,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.dirpath = os.fspath(dirpath)
+        os.makedirs(self.dirpath, exist_ok=True)
+        self._faults = faults if faults is not None else NULL_FAULTS
+        self.recovery: RecoveryResult = recover(
+            self.dirpath, config=config, validate=validate_on_open
+        )
+        self._snap_path = os.path.join(self.dirpath, SNAPSHOT_NAME)
+        self.wal = WriteAheadLog(
+            os.path.join(self.dirpath, WAL_NAME),
+            sync=sync,
+            min_next_seqno=self.recovery.next_seqno,
+            faults=self._faults,
+        )
+        self._concurrent = concurrent
+        if concurrent:
+            self._index: DILI | ConcurrentDILI = ConcurrentDILI(
+                stripes=stripes, index=self.recovery.index
+            )
+            self._plain = self.recovery.index
+        else:
+            self._index = self.recovery.index
+            self._plain = self.recovery.index
+            # Log+apply for a plain index still needs mutual exclusion
+            # against a concurrent snapshot() from another thread.
+            self._plain_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Lock plumbing
+    # ------------------------------------------------------------------
+
+    def _op_lock(self, key: float):
+        if self._concurrent:
+            return self._index.locked(key)
+        return self._plain_lock
+
+    def _exclusive(self):
+        if self._concurrent:
+            return self._index.exclusive()
+        return self._plain_lock
+
+    # ------------------------------------------------------------------
+    # Logged mutations (WAL first, then apply, then acknowledge)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        with self._op_lock(key):
+            self.wal.append(OP_INSERT, _encode(key, value))
+            return self._index.insert(key, value)
+
+    def delete(self, key: float) -> bool:
+        key = float(key)
+        with self._op_lock(key):
+            self.wal.append(OP_DELETE, _encode(key))
+            return self._index.delete(key)
+
+    def update(self, key: float, value: object) -> bool:
+        key = float(key)
+        with self._op_lock(key):
+            self.wal.append(OP_UPDATE, _encode(key, value))
+            return self._index.update(key, value)
+
+    def bulk_insert(
+        self, keys: np.ndarray | list, values: list | None = None
+    ) -> int:
+        keys = [float(k) for k in np.asarray(keys, dtype=np.float64)]
+        with self._exclusive():
+            self.wal.append(OP_BULK_INSERT, _encode(keys, values))
+            return self._index.bulk_insert(keys, values)
+
+    def bulk_load(
+        self, keys: np.ndarray, values: list | None = None
+    ) -> None:
+        """Build from scratch and checkpoint immediately.
+
+        Bulk loads are not logged (a 100M-key WAL record defeats the
+        point); durability comes from the snapshot written before the
+        call returns.
+        """
+        with self._exclusive():
+            self._index.bulk_load(keys, values)
+            self._snapshot_locked()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Atomically checkpoint the index and truncate the WAL."""
+        with self._exclusive():
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        write_snapshot(
+            self._plain,
+            self._snap_path,
+            last_seqno=self.wal.last_seqno,
+            faults=self._faults,
+        )
+        self._faults.fire("before_wal_truncate")
+        self.wal.truncate()
+        self._faults.fire("after_wal_truncate")
+
+    def sync_wal(self) -> None:
+        """fsync the WAL now (for ``sync=False`` batching)."""
+        self.wal.sync_now()
+
+    # ------------------------------------------------------------------
+    # Reads and plumbing (unlogged)
+    # ------------------------------------------------------------------
+
+    def get(self, key: float) -> object | None:
+        return self._index.get(float(key))
+
+    def range_query(self, lo: float, hi: float):
+        return self._index.range_query(lo, hi)
+
+    def items(self):
+        return self._index.items()
+
+    def validate(self) -> None:
+        self._plain.validate()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: float) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def index(self) -> DILI | ConcurrentDILI:
+        """The wrapped live index."""
+        return self._index
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableDILI":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

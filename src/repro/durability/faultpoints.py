@@ -1,0 +1,137 @@
+"""Named crash points for fault-injection testing.
+
+A durability layer is only as good as the crashes it has survived.  The
+WAL and snapshot writers call :meth:`FaultInjector.fire` (or
+:meth:`FaultInjector.torn` at mid-write points) at every instant where
+a real kill-9 could interrupt them; tests arm an injector at one of
+those points and assert that recovery still yields a validating index
+containing exactly the acknowledged operations.
+
+A fired point raises :class:`SimulatedCrash`, which the test catches in
+place of the process dying.  "Torn" points additionally write a prefix
+of the pending bytes before raising, simulating a partial page write.
+
+The default injector on every component is inert (never armed), so
+production paths pay one dict lookup per crash point and nothing else.
+"""
+
+from __future__ import annotations
+
+# Catalogue of every crash point the durability layer exposes, in the
+# order they occur along the write path.  Tests iterate this tuple so a
+# newly added point is automatically covered by the crash-storm suite.
+CRASH_POINTS: tuple[str, ...] = (
+    "before_wal_append",     # op not yet logged: must vanish on recovery
+    "mid_wal_append",        # torn record: replay must stop before it
+    "after_wal_append",      # logged but not applied: replay restores it
+    "before_snapshot_write", # snapshot skipped entirely; WAL intact
+    "mid_snapshot_write",    # torn temp file: must never be adopted
+    "before_rename",         # complete temp file, old snapshot still live
+    "after_rename",          # new snapshot live, WAL not yet truncated
+    "before_wal_truncate",   # same visible state as after_rename
+    "after_wal_truncate",    # snapshot + empty WAL, fully consistent
+)
+
+# Points that tear (partially write) rather than crash before/after.
+TORN_POINTS: frozenset[str] = frozenset(
+    {"mid_wal_append", "mid_snapshot_write"}
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised in place of the process dying at an armed crash point."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Arms named crash points; inert unless a test arms one.
+
+    Arming is one-shot: once a point fires it disarms itself, so
+    recovery code running after the simulated crash does not trip over
+    the same mine.  ``skip`` delays the trigger past the first ``skip``
+    hits, letting tests crash on the N-th operation instead of the
+    first.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, dict] = {}
+        self.fired: list[str] = []
+
+    def arm(
+        self, point: str, *, skip: int = 0, partial: float = 0.5
+    ) -> None:
+        """Arm ``point`` to crash on its ``skip+1``-th hit.
+
+        Args:
+            point: One of :data:`CRASH_POINTS`.
+            skip: Number of hits to let pass before crashing.
+            partial: For torn points, the fraction of the pending bytes
+                written before the crash (clamped to at least 1 byte).
+        """
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown fault point {point!r}")
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        if not 0.0 <= partial <= 1.0:
+            raise ValueError("partial must be in [0, 1]")
+        self._armed[point] = {"skip": skip, "partial": partial}
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one point, or every point when ``point`` is None."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def is_armed(self, point: str) -> bool:
+        return point in self._armed
+
+    def fire(self, point: str) -> None:
+        """Crash here if armed (and past its skip count)."""
+        state = self._armed.get(point)
+        if state is None:
+            return
+        if state["skip"] > 0:
+            state["skip"] -= 1
+            return
+        del self._armed[point]
+        self.fired.append(point)
+        raise SimulatedCrash(point)
+
+    def torn(self, point: str) -> float | None:
+        """Partial-write fraction if ``point`` should tear now, else None.
+
+        The caller is expected to write that fraction of its pending
+        bytes, flush them, and then raise :class:`SimulatedCrash` --
+        use :meth:`tear_and_crash` to do all three.
+        """
+        state = self._armed.get(point)
+        if state is None:
+            return None
+        if state["skip"] > 0:
+            state["skip"] -= 1
+            return None
+        del self._armed[point]
+        self.fired.append(point)
+        return state["partial"]
+
+    def tear_and_crash(self, point: str, fh, data: bytes, fraction: float):
+        """Write a prefix of ``data`` to ``fh``, make it durable, crash.
+
+        Simulates a torn write: at least one byte and at most
+        ``len(data) - 1`` bytes land on disk, then the "process" dies.
+        """
+        import os
+
+        cut = max(1, min(len(data) - 1, int(len(data) * fraction)))
+        fh.write(data[:cut])
+        fh.flush()
+        os.fsync(fh.fileno())
+        raise SimulatedCrash(point)
+
+
+# Shared inert injector used when a component is not handed one.
+NULL_FAULTS = FaultInjector()

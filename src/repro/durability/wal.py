@@ -1,0 +1,268 @@
+"""Append-only write-ahead log with CRC-framed, sequenced records.
+
+On-disk layout (little-endian, see docs/durability.md):
+
+* file header: the 8-byte magic ``DILIWAL1``;
+* then zero or more records, each::
+
+      u64 seqno | u8 opcode | u32 payload_len | payload | u32 crc32
+
+  where the CRC covers the header bytes and the payload.  Sequence
+  numbers are strictly consecutive within a file, so a skipped or
+  repeated seqno is treated as corruption just like a CRC mismatch.
+
+Replay (:func:`scan_wal`) stops at the first record that is torn
+(truncated mid-record), has a bad CRC, or breaks the seqno chain; the
+scan reports the byte offset of the last valid record so a reopened log
+can truncate the garbage tail before appending.  Acknowledged writes
+are exactly those whose record (including its CRC) was fsynced, so
+"stop at the first bad record" can only ever drop unacknowledged
+operations.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.durability.faultpoints import NULL_FAULTS, FaultInjector
+
+WAL_MAGIC = b"DILIWAL1"
+
+_REC_HEADER = struct.Struct("<QBI")  # seqno, opcode, payload length
+_REC_CRC = struct.Struct("<I")
+
+# A sanity cap on payload length: a length field corrupted into garbage
+# would otherwise make the scanner try to read gigabytes.
+MAX_PAYLOAD = 1 << 30
+
+# Operation codes (the payload is a pickled tuple, see durable.py).
+OP_INSERT = 1
+OP_DELETE = 2
+OP_UPDATE = 3
+OP_BULK_INSERT = 4
+
+VALID_OPCODES = frozenset({OP_INSERT, OP_DELETE, OP_UPDATE, OP_BULK_INSERT})
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durably logged operation."""
+
+    seqno: int
+    opcode: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Result of scanning a WAL file.
+
+    Attributes:
+        records: Every valid record, in log order.
+        valid_offset: Byte offset just past the last valid record;
+            truncating the file here removes any torn/corrupt tail.
+        truncated: True when the scan stopped before the end of file.
+        reason: Why the scan stopped early (None for a clean file).
+    """
+
+    records: list[WalRecord]
+    valid_offset: int
+    truncated: bool
+    reason: str | None
+
+    @property
+    def last_seqno(self) -> int:
+        return self.records[-1].seqno if self.records else 0
+
+
+def encode_record(seqno: int, opcode: int, payload: bytes) -> bytes:
+    """Frame one record: header + payload + CRC32 over both."""
+    head = _REC_HEADER.pack(seqno, opcode, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(head))
+    return head + payload + _REC_CRC.pack(crc)
+
+
+def scan_wal(path) -> WalScan:
+    """Read every valid record; stop cleanly at the first bad one.
+
+    A missing file scans as empty.  A file without the magic header is
+    rejected with ``ValueError`` -- that is a wrong file, not a torn
+    one.
+    """
+    records: list[WalRecord] = []
+    try:
+        fh = open(path, "rb")
+    except FileNotFoundError:
+        return WalScan(records, 0, False, None)
+    with fh:
+        magic = fh.read(len(WAL_MAGIC))
+        if len(magic) < len(WAL_MAGIC):
+            # A file this short cannot hold the header we always write
+            # (and fsync) at creation; treat it as an empty torn log.
+            return WalScan(records, 0, True, "short file header")
+        if magic != WAL_MAGIC:
+            raise ValueError(f"{path} is not a DILI write-ahead log")
+        offset = len(WAL_MAGIC)
+        expected_seqno: int | None = None
+        while True:
+            head = fh.read(_REC_HEADER.size)
+            if not head:
+                return WalScan(records, offset, False, None)
+            if len(head) < _REC_HEADER.size:
+                return WalScan(records, offset, True, "torn record header")
+            seqno, opcode, length = _REC_HEADER.unpack(head)
+            if opcode not in VALID_OPCODES or length > MAX_PAYLOAD:
+                return WalScan(records, offset, True, "corrupt record header")
+            if expected_seqno is not None and seqno != expected_seqno:
+                return WalScan(records, offset, True, "sequence break")
+            body = fh.read(length + _REC_CRC.size)
+            if len(body) < length + _REC_CRC.size:
+                return WalScan(records, offset, True, "torn record body")
+            payload, crc_bytes = body[:length], body[length:]
+            crc = zlib.crc32(payload, zlib.crc32(head))
+            if crc != _REC_CRC.unpack(crc_bytes)[0]:
+                return WalScan(records, offset, True, "CRC mismatch")
+            records.append(WalRecord(seqno, opcode, payload))
+            offset += _REC_HEADER.size + length + _REC_CRC.size
+            expected_seqno = seqno + 1
+
+
+class WriteAheadLog:
+    """An append-only operation log, safe to share across threads.
+
+    Opening an existing log scans it, truncates any torn tail (so new
+    appends are never hidden behind garbage), and continues the seqno
+    chain.  ``min_next_seqno`` lets recovery push the chain past the
+    seqno recorded in a snapshot even when the log itself was truncated
+    at that snapshot.
+
+    Args:
+        path: Log file location; created (with its magic header) if
+            missing.
+        sync: fsync after every append.  Turning this off trades the
+            durability of the last few records for speed; the file
+            still can never be *corrupt*, only short.
+        min_next_seqno: Lower bound for the next sequence number.
+        faults: Crash-point injector (tests only).
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        sync: bool = True,
+        min_next_seqno: int = 1,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.sync = sync
+        self._faults = faults if faults is not None else NULL_FAULTS
+        self._lock = threading.Lock()
+        scan = scan_wal(self.path)
+        if not os.path.exists(self.path) or scan.valid_offset == 0:
+            self._fh = open(self.path, "wb")
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            _fsync_dir(os.path.dirname(self.path))
+        else:
+            if scan.truncated:
+                with open(self.path, "r+b") as trunc:
+                    trunc.truncate(scan.valid_offset)
+                    trunc.flush()
+                    os.fsync(trunc.fileno())
+            self._fh = open(self.path, "ab")
+        self._next_seqno = max(min_next_seqno, scan.last_seqno + 1)
+        self._record_count = len(scan.records)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def next_seqno(self) -> int:
+        return self._next_seqno
+
+    @property
+    def last_seqno(self) -> int:
+        return self._next_seqno - 1
+
+    def __len__(self) -> int:
+        """Number of records appended and durable in this file."""
+        return self._record_count
+
+    def append(self, opcode: int, payload: bytes) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record is acknowledged (the seqno returned) only after the
+        bytes -- including the trailing CRC -- have been written and,
+        when ``sync`` is on, fsynced.
+        """
+        if opcode not in VALID_OPCODES:
+            raise ValueError(f"unknown opcode {opcode}")
+        with self._lock:
+            self._faults.fire("before_wal_append")
+            seqno = self._next_seqno
+            record = encode_record(seqno, opcode, payload)
+            fraction = self._faults.torn("mid_wal_append")
+            if fraction is not None:
+                self._faults.tear_and_crash(
+                    "mid_wal_append", self._fh, record, fraction
+                )
+            self._fh.write(record)
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self._next_seqno = seqno + 1
+            self._record_count += 1
+            self._faults.fire("after_wal_append")
+            return seqno
+
+    def truncate(self) -> None:
+        """Drop every record (after a successful snapshot).
+
+        Sequence numbers keep counting up -- replay filters on the
+        snapshot's last seqno, so a record logged after a truncation
+        must still sort after every snapshotted operation.
+        """
+        with self._lock:
+            self._fh.close()
+            self._fh = open(self.path, "wb")
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._record_count = 0
+
+    def sync_now(self) -> None:
+        """fsync the log (for ``sync=False`` batching callers)."""
+        with self._lock:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            self._fh.flush()
+            return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _fsync_dir(dirpath: str) -> None:
+    """fsync a directory so a freshly created file's entry is durable."""
+    fd = os.open(dirpath or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -50,6 +50,37 @@ class TestBasicOperations:
         with pytest.raises(ValueError):
             ConcurrentDILI(stripes=0)
 
+    def test_update(self):
+        index = ConcurrentDILI()
+        index.bulk_load(np.arange(0.0, 100.0))
+        assert index.update(5.0, "new")
+        assert index.get(5.0) == "new"
+        assert not index.update(1000.0, "absent")
+        assert ConcurrentDILI().update(1.0, "empty") is False
+
+    def test_bulk_insert(self):
+        index = ConcurrentDILI()
+        index.bulk_load(np.arange(0.0, 100.0))
+        added = index.bulk_insert([200.5, 201.5, 5.0], ["a", "b", "dup"])
+        assert added == 2
+        assert index.get(200.5) == "a"
+        assert len(index) == 102
+        index.index.validate()
+
+    def test_adopts_existing_index(self):
+        from repro import DILI
+
+        inner = DILI()
+        inner.bulk_load(np.arange(0.0, 50.0))
+        index = ConcurrentDILI(index=inner)
+        assert len(index) == 50
+        assert index.index is inner
+
+    def test_items_snapshot(self):
+        index = ConcurrentDILI()
+        index.bulk_load(np.arange(0.0, 10.0))
+        assert [k for k, _ in index.items()] == list(np.arange(0.0, 10.0))
+
 
 class TestConcurrency:
     def test_parallel_inserts_are_all_applied(self):
@@ -142,6 +173,86 @@ class TestConcurrency:
         assert sum(deleted) == len(victims)
         assert len(index) == len(base) - len(victims)
         index.index.validate()
+
+
+class TestVerifiedLocking:
+    def test_point_ops_race_whole_tree_rebuilds(self):
+        """The lock-verification protocol: bulk rebuilds swap the tree
+        out from under the lock-free descent, so the stripe computed
+        before acquisition can guard a dead leaf.  Verified acquisition
+        must re-descend and retry; no op may be lost or crash."""
+        base = _keys(1500, seed=20)
+        index = ConcurrentDILI(stripes=16)
+        index.bulk_load(base)
+        extra = np.setdiff1d(_keys(1500, seed=21), base)
+        stop = threading.Event()
+        errors = []
+
+        def rebuilder():
+            try:
+                # Large batches force the merge-and-rebulk-load path,
+                # replacing every node object in the tree.
+                batch = np.setdiff1d(_keys(4000, seed=22), base)
+                while not stop.is_set():
+                    index.bulk_insert(batch[:900], ["rb"] * 900)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def pointops(chunk):
+            try:
+                for k in chunk:
+                    assert index.insert(float(k), "p")
+                    assert index.get(float(k)) == "p"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        rb = threading.Thread(target=rebuilder)
+        workers = [
+            threading.Thread(target=pointops, args=(c,))
+            for c in np.array_split(extra, 3)
+        ]
+        rb.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        rb.join()
+        assert not errors
+        for k in extra[::53]:
+            assert index.get(float(k)) == "p"
+        index.index.validate()
+
+    def test_exclusive_blocks_point_ops(self):
+        index = ConcurrentDILI(stripes=8)
+        index.bulk_load(np.arange(0.0, 100.0))
+        entered = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def holder():
+            with index.exclusive():
+                entered.set()
+                release.wait(timeout=5)
+                order.append("exclusive-done")
+
+        def writer():
+            entered.wait(timeout=5)
+            index.insert(1000.5, "w")
+            order.append("write-done")
+
+        h = threading.Thread(target=holder)
+        w = threading.Thread(target=writer)
+        h.start()
+        w.start()
+        entered.wait(timeout=5)
+        import time as _time
+
+        _time.sleep(0.05)  # give the writer a chance to (wrongly) run
+        release.set()
+        h.join()
+        w.join()
+        assert order == ["exclusive-done", "write-done"]
 
 
 class TestConcurrentRangeAndMixedOps:

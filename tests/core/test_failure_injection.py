@@ -2,7 +2,13 @@
 
 A production index needs a checker that actually detects corruption;
 these tests break invariants on purpose and assert the checker trips.
+On-disk failure injection (torn WAL records, corrupt snapshots, kill-9
+crash storms) lives in the dedicated ``tests/durability/`` suite; the
+persistence tests here cover the plain ``DILI.save``/``load`` file
+format.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -94,6 +100,64 @@ class TestValidateCatchesCorruption:
         assert planted
         with pytest.raises(AssertionError):
             index.validate()
+
+
+class TestPersistenceCorruption:
+    """save()/load() must reject damaged files with clear ValueErrors."""
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "index.dili"
+        _built(500).save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(ValueError):
+            DILI.load(path)
+
+    def test_flipped_payload_byte_rejected(self, tmp_path):
+        path = tmp_path / "index.dili"
+        _built(500).save(path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError):
+            DILI.load(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "index.dili"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            DILI.load(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "index.dili"
+        path.write_bytes(pickle.dumps({"just": "a dict"}))
+        with pytest.raises(ValueError, match="not a saved DILI"):
+            DILI.load(path)
+
+    def test_save_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "index.dili"
+        _built(500).save(path)
+        _built(500).save(path)  # overwrite goes through rename too
+        assert os.listdir(tmp_path) == ["index.dili"]
+
+    def test_load_validate_flag_catches_planted_damage(self, tmp_path):
+        path = tmp_path / "index.dili"
+        index = _built(1_000)
+        leaf, i = _first_leaf_with_pair(index)
+        leaf.slots[i] = None  # structural damage validate() detects
+        index.save(path)
+        DILI.load(path)  # without the flag, damage loads silently
+        with pytest.raises(AssertionError):
+            DILI.load(path, validate=True)
+
+    def test_roundtrip_with_validate(self, tmp_path):
+        path = tmp_path / "index.dili"
+        index = _built(1_000)
+        index.save(path)
+        loaded = DILI.load(path, validate=True)
+        assert len(loaded) == len(index)
 
 
 class TestBPlusTreeValidator:

@@ -1,0 +1,149 @@
+"""Crash-storm fault injection: kill-9 at every point, recover, verify.
+
+The durability contract under test:
+
+* **No acknowledged write lost** -- an operation whose call returned
+  before the crash must be present (with its exact effect) after
+  recovery.
+* **No phantom write resurrected** -- no key/value the workload never
+  acknowledged (other than the single in-flight operation) may appear.
+* **In-flight atomicity** -- the one operation interrupted by the
+  crash is recovered all-or-nothing: the index equals either the
+  acknowledged state or the acknowledged state plus that whole
+  operation, never a partial mix.
+* The recovered index always passes ``validate()``.
+
+``test_kill_at_every_crash_point`` hits each registered point once,
+deterministically; ``test_crash_storm`` interleaves hundreds of random
+operations with crashes at random points across many rounds, carrying
+the surviving state from each crash into the next round.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DurableDILI
+from repro.durability import (
+    CRASH_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+    recover,
+)
+
+# Points that fire on the mutation path (triggered by insert/delete/...)
+WAL_POINTS = ("before_wal_append", "mid_wal_append", "after_wal_append")
+# Points that fire on the checkpoint path (triggered by snapshot()).
+SNAPSHOT_POINTS = tuple(p for p in CRASH_POINTS if p not in WAL_POINTS)
+
+
+def _model_apply(model, op):
+    """Apply one op to the dict model of acknowledged state."""
+    kind, key, value = op
+    if kind == "insert":
+        model.setdefault(key, value)
+    elif kind == "delete":
+        model.pop(key, None)
+    elif kind == "update":
+        if key in model:
+            model[key] = value
+    return model
+
+
+def _assert_recovered(tmp_path, model, inflight):
+    """Recovered state == acked state, modulo the one in-flight op."""
+    result = recover(tmp_path, validate=True)
+    recovered = dict(result.index.items())
+    if inflight is None:
+        assert recovered == model, "recovered state != acknowledged state"
+    else:
+        with_inflight = _model_apply(dict(model), inflight)
+        assert recovered in (model, with_inflight), (
+            f"in-flight {inflight} recovered non-atomically: "
+            f"{len(recovered)} keys vs acked {len(model)}"
+        )
+    return result.index, recovered
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_kill_at_every_crash_point(tmp_path, point):
+    faults = FaultInjector()
+    d = DurableDILI(tmp_path, faults=faults)
+    d.bulk_load(np.arange(0.0, 400.0))
+    model = dict(d.items())
+    # A few acknowledged operations before the crash.
+    for op in [
+        ("insert", 1000.5, "a"),
+        ("insert", 1001.5, "b"),
+        ("delete", 7.0, None),
+        ("update", 1000.5, "a2"),
+    ]:
+        kind, key, value = op
+        getattr(d, kind)(*((key,) if kind == "delete" else (key, value)))
+        _model_apply(model, op)
+
+    faults.arm(point)
+    inflight = None
+    with pytest.raises(SimulatedCrash):
+        if point in WAL_POINTS:
+            inflight = ("insert", 2000.5, "doomed")
+            d.insert(2000.5, "doomed")
+        else:
+            d.snapshot()  # checkpointing never changes logical state
+    d.wal.close()  # kill-9: the kernel reclaims the descriptor
+
+    index, recovered = _assert_recovered(tmp_path, model, inflight)
+    # Life goes on: reopening trims torn tails and accepts new writes.
+    d2 = DurableDILI(tmp_path, faults=FaultInjector())
+    assert d2.insert(3000.5, "after-recovery")
+    d2.validate()
+    d2.close()
+
+
+def test_crash_storm(tmp_path):
+    """Random ops x random crash points x many rounds, state carried over."""
+    rng = np.random.default_rng(2023)
+    key_pool = np.round(rng.uniform(0.0, 1e6, 160), 3)
+    faults = FaultInjector()
+    d = DurableDILI(tmp_path, faults=faults)
+    d.bulk_load(np.sort(np.unique(key_pool[:60])))
+    model = dict(d.items())
+    crashes = 0
+
+    for round_no in range(30):
+        point = str(rng.choice(CRASH_POINTS))
+        faults.arm(point, skip=int(rng.integers(0, 4)),
+                   partial=float(rng.uniform(0.05, 0.95)))
+        inflight = None
+        try:
+            for _ in range(int(rng.integers(5, 25))):
+                key = float(rng.choice(key_pool))
+                kind = str(rng.choice(
+                    ["insert", "insert", "update", "delete", "snapshot"]
+                ))
+                if kind == "snapshot":
+                    op = None
+                    d.snapshot()
+                elif kind == "delete":
+                    op = ("delete", key, None)
+                    inflight = op
+                    d.delete(key)
+                else:
+                    op = (kind, key, f"r{round_no}")
+                    inflight = op
+                    getattr(d, kind)(key, f"r{round_no}")
+                if op is not None:
+                    _model_apply(model, op)  # acknowledged: call returned
+                inflight = None
+        except SimulatedCrash:
+            crashes += 1
+            d.wal.close()
+            index, recovered = _assert_recovered(tmp_path, model, inflight)
+            model = recovered  # the survivors are the new ground truth
+            d = DurableDILI(tmp_path, faults=faults)
+        else:
+            faults.disarm()
+
+    assert crashes >= 10, "storm too tame: not enough crashes triggered"
+    d.close()
+    final = recover(tmp_path, validate=True)
+    assert dict(final.index.items()) == model

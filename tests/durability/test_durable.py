@@ -1,0 +1,166 @@
+"""DurableDILI: logged mutations survive reopen; checkpoints bound replay."""
+
+import threading
+
+import numpy as np
+
+from repro import DurableDILI
+from repro.durability import recover
+
+
+def _keys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.uniform(0, 1e9, n))
+
+
+class TestReopen:
+    def test_operations_survive_close_and_reopen(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            d.bulk_load(np.arange(0.0, 500.0))
+            assert d.insert(1000.5, "a")
+            assert d.delete(13.0)
+            assert d.update(1000.5, "b")
+            assert not d.update(99999.0, "absent")
+            expected = dict(d.items())
+        with DurableDILI(tmp_path) as d2:
+            assert dict(d2.items()) == expected
+            assert d2.get(1000.5) == "b"
+            d2.validate()
+
+    def test_kill_without_close_loses_nothing(self, tmp_path):
+        d = DurableDILI(tmp_path)
+        d.bulk_load(np.arange(0.0, 300.0))
+        for i in range(40):
+            assert d.insert(5000.0 + i, i)
+        expected = dict(d.items())
+        d.wal.close()  # simulate kill-9: no snapshot, no graceful close
+        result = recover(tmp_path)
+        assert dict(result.index.items()) == expected
+
+    def test_bulk_load_is_checkpointed_immediately(self, tmp_path):
+        d = DurableDILI(tmp_path)
+        d.bulk_load(_keys(2_000))
+        d.wal.close()  # kill before any explicit snapshot
+        result = recover(tmp_path)
+        assert len(result.index) == 2_000
+        assert result.replayed == 0  # all in the snapshot, none in WAL
+
+    def test_bulk_insert_is_logged(self, tmp_path):
+        d = DurableDILI(tmp_path)
+        d.bulk_load(np.arange(0.0, 100.0))
+        added = d.bulk_insert([200.5, 201.5, 50.0], ["x", "y", "dup"])
+        assert added == 2
+        d.wal.close()
+        result = recover(tmp_path)
+        assert len(result.index) == 102
+        assert result.index.get(200.5) == "x"
+        assert result.index.get(50.0) == 50  # existing key kept its value
+
+    def test_snapshot_truncates_wal(self, tmp_path):
+        d = DurableDILI(tmp_path)
+        d.bulk_load(np.arange(0.0, 100.0))
+        for i in range(20):
+            d.insert(1000.0 + i, i)
+        assert len(d.wal) == 20
+        d.snapshot()
+        assert len(d.wal) == 0
+        d.insert(2000.5, "after")
+        d.close()
+        result = recover(tmp_path)
+        assert result.replayed == 1  # only the post-snapshot insert
+        assert len(result.index) == 121
+
+    def test_seqnos_continue_across_reopen(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            d.insert(1.0, "a")
+            d.insert(2.0, "b")
+            first_last = d.wal.last_seqno
+        with DurableDILI(tmp_path) as d2:
+            d2.insert(3.0, "c")
+            assert d2.wal.last_seqno == first_last + 1
+
+    def test_empty_directory_starts_empty(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            assert len(d) == 0
+            assert d.get(1.0) is None
+            assert d.insert(1.0, "x")
+            assert 1.0 in d
+
+    def test_delete_of_absent_key_is_harmless(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            d.bulk_load(np.arange(0.0, 50.0))
+            assert not d.delete(999.0)
+        with DurableDILI(tmp_path) as d2:
+            assert len(d2) == 50
+            d2.validate()
+
+
+class TestConcurrentComposition:
+    def test_threaded_inserts_all_recovered(self, tmp_path):
+        base = _keys(1_000, seed=1)
+        d = DurableDILI(tmp_path, concurrent=True, sync=False)
+        d.bulk_load(base)
+        extra = np.setdiff1d(_keys(1_200, seed=2), base)
+        chunks = np.array_split(extra, 4)
+        errors = []
+
+        def worker(chunk):
+            try:
+                for k in chunk:
+                    assert d.insert(float(k), "t")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(c,)) for c in chunks
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(d) == len(base) + len(extra)
+        d.sync_wal()
+        d.validate()
+        d.wal.close()
+        result = recover(tmp_path)
+        assert len(result.index) == len(base) + len(extra)
+        for k in extra[::37]:
+            assert result.index.get(float(k)) == "t"
+
+    def test_snapshot_races_with_writers(self, tmp_path):
+        base = _keys(800, seed=3)
+        d = DurableDILI(tmp_path, concurrent=True, sync=False)
+        d.bulk_load(base)
+        extra = np.setdiff1d(_keys(900, seed=4), base)
+        errors = []
+
+        def writer(chunk):
+            try:
+                for k in chunk:
+                    d.insert(float(k), "w")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def snapshotter():
+            try:
+                for _ in range(5):
+                    d.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(c,))
+            for c in np.array_split(extra, 3)
+        ]
+        threads.append(threading.Thread(target=snapshotter))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        d.sync_wal()
+        d.wal.close()
+        result = recover(tmp_path)
+        assert len(result.index) == len(base) + len(extra)
+        result.index.validate()

@@ -1,0 +1,136 @@
+"""Snapshot atomicity and checksum verification."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import DILI
+from repro.durability.faultpoints import FaultInjector, SimulatedCrash
+from repro.durability.snapshot import (
+    HEADER_SIZE,
+    SnapshotError,
+    read_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+
+
+def _index(n=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.uniform(0, 1e9, n))
+    index = DILI()
+    index.bulk_load(keys)
+    return index
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        index = _index()
+        written = write_snapshot(index, path, last_seqno=42)
+        assert written == os.path.getsize(path)
+        loaded, last_seqno = read_snapshot(path)
+        assert last_seqno == 42
+        assert len(loaded) == len(index)
+        loaded.validate()
+
+    def test_header_parses_without_unpickling(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(500), path, last_seqno=7)
+        version, last_seqno, payload_len, _ = read_snapshot_header(path)
+        assert version == 1 and last_seqno == 7
+        assert payload_len == os.path.getsize(path) - HEADER_SIZE
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(500), path)
+        assert os.listdir(tmp_path) == ["snapshot.dili"]
+
+
+class TestCorruptionRejected:
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        path.write_bytes(b"DILISNP1\x01")
+        with pytest.raises(SnapshotError, match="truncated snapshot header"):
+            read_snapshot(path)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(), path)
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_SIZE + len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            read_snapshot(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(500), path)
+        with open(path, "ab") as fh:
+            fh.write(b"EXTRA")
+        with pytest.raises(SnapshotError, match="trailing garbage"):
+            read_snapshot(path)
+
+    def test_foreign_file(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        path.write_bytes(b"\x00" * 200)
+        with pytest.raises(SnapshotError, match="not a DILI snapshot"):
+            read_snapshot(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        write_snapshot(_index(500), path)
+        raw = bytearray(path.read_bytes())
+        raw[8] = 0xFE  # version field (little-endian u16 at offset 8)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="unsupported snapshot"):
+            read_snapshot(path)
+
+
+class TestAtomicity:
+    def test_crash_before_rename_keeps_old_snapshot(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        old = _index(500, seed=1)
+        write_snapshot(old, path, last_seqno=1)
+        faults = FaultInjector()
+        faults.arm("before_rename")
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(_index(800, seed=2), path,
+                           last_seqno=2, faults=faults)
+        loaded, last_seqno = read_snapshot(path)
+        assert last_seqno == 1 and len(loaded) == len(old)
+
+    def test_torn_temp_write_never_adopted(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        old = _index(500, seed=1)
+        write_snapshot(old, path, last_seqno=1)
+        faults = FaultInjector()
+        faults.arm("mid_snapshot_write", partial=0.5)
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(_index(800, seed=2), path,
+                           last_seqno=2, faults=faults)
+        # The live snapshot is still the old, complete one...
+        loaded, last_seqno = read_snapshot(path)
+        assert last_seqno == 1 and len(loaded) == len(old)
+        # ...and the torn temp file is itself rejected, not readable.
+        tmp_file = str(path) + ".tmp"
+        assert os.path.exists(tmp_file)
+        with pytest.raises(SnapshotError):
+            read_snapshot(tmp_file)
+
+    def test_crash_before_any_write_leaves_no_trace(self, tmp_path):
+        path = tmp_path / "snapshot.dili"
+        faults = FaultInjector()
+        faults.arm("before_snapshot_write")
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(_index(300), path, faults=faults)
+        assert os.listdir(tmp_path) == []

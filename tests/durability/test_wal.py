@@ -1,0 +1,141 @@
+"""WAL framing: CRC + seqno chains must catch every torn/corrupt tail."""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WAL_MAGIC,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+
+def _fill(path, payloads, **kwargs):
+    with WriteAheadLog(path, **kwargs) as wal:
+        for p in payloads:
+            wal.append(OP_INSERT, p)
+    return scan_wal(path)
+
+
+class TestAppendAndScan:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        payloads = [b"a", b"bb", b"", b"c" * 1000]
+        scan = _fill(path, payloads)
+        assert [r.payload for r in scan.records] == payloads
+        assert [r.seqno for r in scan.records] == [1, 2, 3, 4]
+        assert not scan.truncated
+        assert scan.valid_offset == os.path.getsize(path)
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_wal(tmp_path / "absent.log")
+        assert scan.records == [] and not scan.truncated
+
+    def test_reopen_continues_seqno_chain(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _fill(path, [b"x", b"y"])
+        with WriteAheadLog(path) as wal:
+            assert wal.next_seqno == 3
+            assert wal.append(OP_DELETE, b"z") == 3
+        assert [r.seqno for r in scan_wal(path).records] == [1, 2, 3]
+
+    def test_min_next_seqno_pushes_chain_forward(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, min_next_seqno=41) as wal:
+            assert wal.append(OP_INSERT, b"p") == 41
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not_a_wal"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="not a DILI write-ahead log"):
+            scan_wal(path)
+
+    def test_rejects_unknown_opcode_on_append(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            with pytest.raises(ValueError, match="unknown opcode"):
+                wal.append(99, b"")
+
+    def test_truncate_drops_records_but_not_seqnos(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(OP_INSERT, b"a")
+            wal.append(OP_INSERT, b"b")
+            wal.truncate()
+            assert len(wal) == 0
+            assert wal.append(OP_INSERT, b"c") == 3
+        scan = scan_wal(path)
+        assert [r.seqno for r in scan.records] == [3]
+
+    def test_sync_false_still_scans_clean(self, tmp_path):
+        path = tmp_path / "wal.log"
+        scan = _fill(path, [b"1", b"2"], sync=False)
+        assert len(scan.records) == 2 and not scan.truncated
+
+
+class TestCorruptionDetection:
+    def test_torn_final_record_stops_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _fill(path, [b"aaaa", b"bbbb", b"cccc"])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])  # tear the last record's CRC
+        scan = scan_wal(path)
+        assert [r.payload for r in scan.records] == [b"aaaa", b"bbbb"]
+        assert scan.truncated and "torn" in scan.reason
+
+    def test_torn_header_stops_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _fill(path, [b"aaaa"])
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<Q", 2))  # half a record header
+        scan = scan_wal(path)
+        assert len(scan.records) == 1
+        assert scan.truncated and scan.reason == "torn record header"
+
+    def test_corrupt_middle_record_stops_replay_there(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _fill(path, [b"first", b"second", b"third"])
+        # Flip one byte inside the *second* record's payload.
+        raw = bytearray(path.read_bytes())
+        rec1 = encode_record(1, OP_INSERT, b"first")
+        offset = len(WAL_MAGIC) + len(rec1) + 13  # into record 2 payload
+        raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        scan = scan_wal(path)
+        assert [r.payload for r in scan.records] == [b"first"]
+        assert scan.truncated and scan.reason == "CRC mismatch"
+
+    def test_sequence_break_treated_as_corruption(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with open(path, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            fh.write(encode_record(1, OP_INSERT, b"a"))
+            fh.write(encode_record(5, OP_INSERT, b"b"))  # gap
+        scan = scan_wal(path)
+        assert len(scan.records) == 1
+        assert scan.truncated and scan.reason == "sequence break"
+
+    def test_insane_length_field_rejected(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with open(path, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            fh.write(struct.pack("<QBI", 1, OP_INSERT, 1 << 31))
+        scan = scan_wal(path)
+        assert scan.records == []
+        assert scan.truncated and scan.reason == "corrupt record header"
+
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _fill(path, [b"keep", b"tear"])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-2])
+        with WriteAheadLog(path) as wal:
+            # The torn record is gone; new appends are reachable.
+            assert wal.append(OP_INSERT, b"new") == 2
+        scan = scan_wal(path)
+        assert [r.payload for r in scan.records] == [b"keep", b"new"]
+        assert not scan.truncated

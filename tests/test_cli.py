@@ -68,6 +68,61 @@ class TestCommands:
         assert "conflicts" in out
 
 
+class TestDurabilityCommands:
+    def test_snapshot_then_recover_roundtrip(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        code = main(
+            [
+                "snapshot",
+                "--dir", state,
+                "--dataset", "logn",
+                "--keys", "5000",
+                "--wal-tail", "200",
+                "--no-sync",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bulk-loaded 5,000" in out
+        assert "200 inserts in the WAL tail" in out
+
+        assert main(["recover", "--dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 5,200 keys" in out
+        assert "replayed 200 WAL records" in out
+        assert "validate() passed" in out
+
+    def test_snapshot_reopens_existing_state(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        args = ["snapshot", "--dir", state, "--keys", "2000", "--no-sync"]
+        assert main(args + ["--wal-tail", "50"]) == 0
+        capsys.readouterr()
+        # Second run folds the WAL tail into a fresh snapshot.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2,050 keys" in out
+        assert main(["recover", "--dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 0 WAL records" in out
+
+    def test_recover_rejects_corrupt_snapshot(self, capsys, tmp_path):
+        state = tmp_path / "state"
+        assert main(
+            ["snapshot", "--dir", str(state), "--keys", "1000", "--no-sync"]
+        ) == 0
+        capsys.readouterr()
+        snap = state / "snapshot.dili"
+        raw = bytearray(snap.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        assert main(["recover", "--dir", str(state)]) == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_recover_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+
+
 class TestReportCommand:
     def test_report_to_stdout(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "small")
