@@ -41,9 +41,10 @@ class ConcurrentDILI:
 
     Point operations (get / insert / delete / update) serialize per
     top-level leaf via striped locks; operations on different leaves
-    proceed in parallel.  Range queries take a coarse global lock
-    because they cross leaf boundaries; bulk loads and rebuilds take
-    every lock (see :meth:`exclusive`).
+    proceed in parallel.  Scans (``range_query`` / ``items``) cross
+    leaf boundaries, so they run under :meth:`exclusive` (global +
+    every stripe) -- as do bulk loads and rebuilds -- which keeps
+    every point writer out for the duration.
 
     Args:
         config: Forwarded to the underlying :class:`DILI`.
@@ -113,7 +114,8 @@ class ConcurrentDILI:
 
     @contextmanager
     def exclusive(self):
-        """Hold the global lock and every stripe (rebuilds, snapshots).
+        """Hold the global lock and every stripe (rebuilds, scans,
+        snapshots).
 
         Point operations hold at most one stripe and never block on
         another lock while doing so, so acquiring the stripes in index
@@ -166,13 +168,23 @@ class ConcurrentDILI:
             return self._index.update(key, value)
 
     def range_query(self, lo: float, hi: float) -> list[Pair]:
-        """Ordered scan under the coarse lock (crosses leaf boundaries)."""
-        with self._global:
+        """Ordered scan, exclusive of every writer.
+
+        Scans cross leaf boundaries while point writers hold only one
+        stripe, so the global lock alone would not keep a mid-scan leaf
+        mutation out; :meth:`exclusive` (global + every stripe) does.
+        """
+        with self.exclusive():
             return self._index.range_query(lo, hi)
 
     def items(self) -> list[Pair]:
-        """Every pair in key order, as a consistent snapshot list."""
-        with self._global:
+        """Every pair in key order, as a consistent snapshot list.
+
+        Exclusive for the same reason as :meth:`range_query`: holding
+        only the global lock would let a stripe-locked point writer
+        mutate a leaf mid-scan.
+        """
+        with self.exclusive():
             return list(self._index.items())
 
     def insert_many(self, pairs: Iterable[Pair]) -> int:

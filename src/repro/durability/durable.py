@@ -156,6 +156,13 @@ class DurableDILI:
         self, keys: np.ndarray | list, values: list | None = None
     ) -> int:
         keys = [float(k) for k in np.asarray(keys, dtype=np.float64)]
+        # A batch DILI.bulk_insert would reject must never reach the
+        # log: once appended the record is durable, and replay would
+        # fail on it the same way, leaving the directory unopenable.
+        if values is not None and len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        if len(set(keys)) != len(keys):
+            raise ValueError("batch keys must be unique")
         with self._exclusive():
             self.wal.append(OP_BULK_INSERT, _encode(keys, values))
             return self._index.bulk_insert(keys, values)

@@ -17,6 +17,8 @@ production paths pay one dict lookup per crash point and nothing else.
 
 from __future__ import annotations
 
+import os
+
 # Catalogue of every crash point the durability layer exposes, in the
 # order they occur along the write path.  Tests iterate this tuple so a
 # newly added point is automatically covered by the crash-storm suite.
@@ -119,17 +121,18 @@ class FaultInjector:
         return state["partial"]
 
     def tear_and_crash(self, point: str, fh, data: bytes, fraction: float):
-        """Write a prefix of ``data`` to ``fh``, make it durable, crash.
+        """Write a *proper* prefix of ``data`` to ``fh``, durably, then crash.
 
         Simulates a torn write: at least one byte and at most
         ``len(data) - 1`` bytes land on disk, then the "process" dies.
+        Data of one byte or less cannot tear, so nothing is written --
+        the crash must never persist the complete record.
         """
-        import os
-
-        cut = max(1, min(len(data) - 1, int(len(data) * fraction)))
-        fh.write(data[:cut])
-        fh.flush()
-        os.fsync(fh.fileno())
+        if len(data) > 1:
+            cut = max(1, min(len(data) - 1, int(len(data) * fraction)))
+            fh.write(data[:cut])
+            fh.flush()
+            os.fsync(fh.fileno())
         raise SimulatedCrash(point)
 
 

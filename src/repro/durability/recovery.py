@@ -50,6 +50,10 @@ class RecoveryResult:
         snapshot_seqno: ``last_seqno`` of the snapshot used (0 if none).
         replayed: WAL records applied on top of the snapshot.
         skipped: WAL records already covered by the snapshot.
+        failed: WAL records whose replay raised and was skipped.  The
+            live call raised the same error after logging, so the
+            operation never took effect and was not acknowledged as
+            applied; dropping it reproduces the pre-crash state.
         wal_truncated: True when the WAL had a torn/corrupt tail.
         wal_reason: Why the WAL scan stopped early (None when clean).
         next_seqno: First sequence number a reopened log should use.
@@ -65,6 +69,7 @@ class RecoveryResult:
     wal_reason: str | None
     next_seqno: int
     wal_valid_offset: int
+    failed: int = 0
 
 
 def apply_record(index: DILI, record: WalRecord) -> None:
@@ -118,12 +123,22 @@ def recover(
     else:
         index = DILI(config)
     scan = scan_wal(os.path.join(dirpath, WAL_NAME))
-    replayed = skipped = 0
+    replayed = skipped = failed = 0
     for record in scan.records:
         if record.seqno <= snapshot_seqno:
             skipped += 1
             continue
-        apply_record(index, record)
+        # DurableDILI validates operations before logging them, so a
+        # record that fails to apply is a logged-but-rejected op: the
+        # live call raised identically after the append, the op never
+        # took effect, and aborting recovery on it would make the
+        # directory permanently unopenable.  Skip it and keep replaying
+        # the (possibly acknowledged) records behind it.
+        try:
+            apply_record(index, record)
+        except Exception:
+            failed += 1
+            continue
         replayed += 1
     if validate:
         index.validate()
@@ -136,4 +151,5 @@ def recover(
         wal_reason=scan.reason,
         next_seqno=max(snapshot_seqno, scan.last_seqno) + 1,
         wal_valid_offset=scan.valid_offset,
+        failed=failed,
     )

@@ -36,7 +36,8 @@ _REC_HEADER = struct.Struct("<QBI")  # seqno, opcode, payload length
 _REC_CRC = struct.Struct("<I")
 
 # A sanity cap on payload length: a length field corrupted into garbage
-# would otherwise make the scanner try to read gigabytes.
+# would otherwise make the scanner try to read gigabytes.  Enforced on
+# append too, so every acknowledged record is one the scanner accepts.
 MAX_PAYLOAD = 1 << 30
 
 # Operation codes (the payload is a pickled tuple, see durable.py).
@@ -202,6 +203,14 @@ class WriteAheadLog:
         """
         if opcode not in VALID_OPCODES:
             raise ValueError(f"unknown opcode {opcode}")
+        if len(payload) > MAX_PAYLOAD:
+            # scan_wal treats a length above the cap as a corrupt
+            # header, so a larger record would be silently dropped on
+            # recovery (with everything after it) -- refuse to ack it.
+            raise ValueError(
+                f"WAL payload of {len(payload)} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte cap that recovery can replay"
+            )
         with self._lock:
             self._faults.fire("before_wal_append")
             seqno = self._next_seqno

@@ -257,23 +257,28 @@ class TestVerifiedLocking:
 
 class TestConcurrentRangeAndMixedOps:
     def test_range_queries_during_writes_are_consistent_snapshots(self):
-        """Ranges under the coarse lock must always see a sorted,
-        duplicate-free view even while writers run."""
+        """Scans run under exclusive() (stripe-locked point writers
+        would otherwise mutate a leaf mid-scan), so each one must see a
+        sorted, duplicate-free view containing every base key in range
+        even while writers run."""
         base = _keys(2000, seed=7)
         index = ConcurrentDILI()
         index.bulk_load(base)
         extra = np.setdiff1d(_keys(2000, seed=8), base)
         stop = threading.Event()
         errors = []
+        lo, hi = float(base[100]), float(base[900])
+        base_in_range = set(base[(base >= lo) & (base < hi)])  # [lo, hi)
 
         def scanner():
             try:
                 while not stop.is_set():
-                    lo = float(base[100])
-                    hi = float(base[900])
                     pairs = index.range_query(lo, hi)
                     keys_only = [k for k, _ in pairs]
                     assert keys_only == sorted(set(keys_only))
+                    # No writer deletes, so an exclusive scan can never
+                    # miss a base key that falls inside the range.
+                    assert base_in_range.issubset(keys_only)
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
 
@@ -297,6 +302,49 @@ class TestConcurrentRangeAndMixedOps:
         for t in scan_threads:
             t.join()
         assert not errors
+        index.index.validate()
+
+    def test_items_during_writes_is_consistent_snapshot(self):
+        """items() is exclusive too: every snapshot it returns must be
+        sorted, duplicate-free, and a superset of the base keys."""
+        base = _keys(1500, seed=9)
+        index = ConcurrentDILI()
+        index.bulk_load(base)
+        extra = np.setdiff1d(_keys(1500, seed=10), base)
+        stop = threading.Event()
+        errors = []
+        base_set = set(base)
+
+        def scanner():
+            try:
+                while not stop.is_set():
+                    keys_only = [k for k, _ in index.items()]
+                    assert keys_only == sorted(set(keys_only))
+                    assert base_set.issubset(keys_only)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer(chunk):
+            try:
+                for k in chunk:
+                    index.insert(float(k), "w")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        scan_thread = threading.Thread(target=scanner)
+        write_threads = [
+            threading.Thread(target=writer, args=(c,))
+            for c in np.array_split(extra, 3)
+        ]
+        scan_thread.start()
+        for t in write_threads:
+            t.start()
+        for t in write_threads:
+            t.join()
+        stop.set()
+        scan_thread.join()
+        assert not errors
+        assert len(index) == len(base) + len(extra)
         index.index.validate()
 
     def test_interleaved_insert_delete_get_across_threads(self):

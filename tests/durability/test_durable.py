@@ -3,6 +3,7 @@
 import threading
 
 import numpy as np
+import pytest
 
 from repro import DurableDILI
 from repro.durability import recover
@@ -90,6 +91,32 @@ class TestReopen:
         with DurableDILI(tmp_path) as d:
             d.bulk_load(np.arange(0.0, 50.0))
             assert not d.delete(999.0)
+        with DurableDILI(tmp_path) as d2:
+            assert len(d2) == 50
+            d2.validate()
+
+
+class TestRejectedBatches:
+    """A batch DILI would reject must never reach the WAL: a durably
+    logged poison record would fail replay identically on every reopen
+    and leave the state directory permanently unopenable."""
+
+    def test_duplicate_keys_rejected_before_logging(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            d.bulk_load(np.arange(0.0, 50.0))
+            with pytest.raises(ValueError, match="unique"):
+                d.bulk_insert([5.0, 5.0], ["a", "b"])
+            assert len(d.wal) == 0  # nothing was logged
+        with DurableDILI(tmp_path) as d2:  # directory still opens
+            assert len(d2) == 50
+            d2.validate()
+
+    def test_mismatched_values_rejected_before_logging(self, tmp_path):
+        with DurableDILI(tmp_path) as d:
+            d.bulk_load(np.arange(0.0, 50.0))
+            with pytest.raises(ValueError, match="length"):
+                d.bulk_insert([100.5, 200.5], ["only-one"])
+            assert len(d.wal) == 0
         with DurableDILI(tmp_path) as d2:
             assert len(d2) == 50
             d2.validate()

@@ -1,0 +1,65 @@
+"""FaultInjector unit contract: torn writes never persist a full record."""
+
+import io
+import os
+
+import pytest
+
+from repro.durability.faultpoints import FaultInjector, SimulatedCrash
+
+
+class _Filenoed:
+    """In-memory file with a fileno so tear_and_crash can fsync it."""
+
+    def __init__(self):
+        self.buf = io.BytesIO()
+
+    def write(self, data):
+        return self.buf.write(data)
+
+    def flush(self):
+        self.buf.flush()
+
+    def fileno(self):
+        return -1
+
+
+@pytest.fixture(autouse=True)
+def no_fsync(monkeypatch):
+    """fsync of the fake fileno would fail; the durability is simulated."""
+    monkeypatch.setattr(os, "fsync", lambda fd: None)
+
+
+def _tear(data: bytes, fraction: float) -> bytes:
+    """Run tear_and_crash over ``data`` and return what landed."""
+    inj = FaultInjector()
+    fh = _Filenoed()
+    with pytest.raises(SimulatedCrash):
+        inj.tear_and_crash("mid_wal_append", fh, data, fraction)
+    return fh.buf.getvalue()
+
+
+class TestTearContract:
+    def test_tear_writes_proper_prefix(self):
+        data = b"0123456789"
+        for fraction in (0.0, 0.3, 0.5, 0.9, 1.0):
+            landed = _tear(data, fraction)
+            assert 1 <= len(landed) <= len(data) - 1
+            assert data.startswith(landed)
+
+    def test_single_byte_record_never_persists(self):
+        """len(data) == 1 cannot tear: at most len-1 == 0 bytes may
+        land, so the crash must not write the (complete) record."""
+        assert _tear(b"x", 0.5) == b""
+        assert _tear(b"x", 1.0) == b""
+
+    def test_empty_data_never_persists(self):
+        assert _tear(b"", 0.5) == b""
+
+    def test_fire_is_one_shot(self):
+        inj = FaultInjector()
+        inj.arm("after_wal_append")
+        with pytest.raises(SimulatedCrash):
+            inj.fire("after_wal_append")
+        inj.fire("after_wal_append")  # disarmed: no raise
+        assert inj.fired == ["after_wal_append"]

@@ -13,7 +13,12 @@ from repro.durability.recovery import (
     recover,
 )
 from repro.durability.snapshot import SnapshotError, write_snapshot
-from repro.durability.wal import OP_DELETE, OP_INSERT, WriteAheadLog
+from repro.durability.wal import (
+    OP_BULK_INSERT,
+    OP_DELETE,
+    OP_INSERT,
+    WriteAheadLog,
+)
 
 
 def _args(*a):
@@ -81,6 +86,22 @@ class TestRecoverPaths:
         assert result.index.get(1000.5) == "ok"
         assert result.index.get(2000.5) is None
         assert result.wal_truncated and result.replayed == 1
+        result.index.validate()
+
+    def test_failing_record_is_skipped_not_fatal(self, tmp_path):
+        """A logged-but-rejected op (e.g. a duplicate-key bulk_insert
+        written by a pre-validation build) must not make the directory
+        unopenable; the records behind it still replay."""
+        with WriteAheadLog(tmp_path / WAL_NAME) as wal:
+            wal.append(OP_INSERT, _args(1.0, "a"))
+            wal.append(OP_BULK_INSERT, _args([5.0, 5.0], None))  # poison
+            wal.append(OP_INSERT, _args(2.0, "b"))
+        result = recover(tmp_path)
+        assert result.failed == 1
+        assert result.replayed == 2
+        assert result.index.get(1.0) == "a"
+        assert result.index.get(2.0) == "b"
+        assert result.index.get(5.0) is None
         result.index.validate()
 
     def test_corrupt_snapshot_refused(self, tmp_path):

@@ -60,6 +60,21 @@ class TestAppendAndScan:
             with pytest.raises(ValueError, match="unknown opcode"):
                 wal.append(99, b"")
 
+    def test_rejects_oversized_payload_on_append(self, tmp_path, monkeypatch):
+        """scan_wal drops records above MAX_PAYLOAD as corrupt, so
+        append must refuse them -- an acked-but-unscannable record
+        would be silently lost on recovery."""
+        import repro.durability.wal as walmod
+
+        monkeypatch.setattr(walmod, "MAX_PAYLOAD", 64)
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(OP_INSERT, b"x" * 64)  # at the cap: fine
+            with pytest.raises(ValueError, match="cap"):
+                wal.append(OP_INSERT, b"x" * 65)
+        scan = scan_wal(path)
+        assert len(scan.records) == 1 and not scan.truncated
+
     def test_truncate_drops_records_but_not_seqnos(self, tmp_path):
         path = tmp_path / "wal.log"
         with WriteAheadLog(path) as wal:
