@@ -1,0 +1,81 @@
+"""Batch read path: vectorized ``get_batch`` vs the scalar ``get`` loop.
+
+Not a paper table -- this benchmarks the repository's compiled flat
+read plan (``repro.core.flat``).  For each dataset it reports the
+simulated cost of the traced batch path (which must equal the scalar
+loop's, the replay charges identical events) next to the *measured*
+wall-clock of both paths, plus their ratio.  The regression gate lives
+in ``benchmarks/check_batch_baseline.py`` / ``BENCH_baseline.json``;
+here we assert the structural invariants at whatever scale is active.
+"""
+
+import numpy as np
+
+from repro.bench.harness import (
+    BATCH_COLUMNS,
+    DATASETS,
+    batch_lookup_rows,
+    measure_batch_lookup,
+)
+from repro.bench.reporting import format_table
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.tracer import CostTracer
+
+
+def test_batch_lookup_speedup(cache, scale, benchmark, capsys):
+    rows = batch_lookup_rows(cache)
+    with capsys.disabled():
+        print("\n" + format_table(
+            f"Batch vs scalar lookups ({scale.num_keys:,} keys, "
+            f"{scale.num_queries:,} queries)",
+            BATCH_COLUMNS,
+            rows,
+        ) + "\n")
+
+    # The batch path must beat the scalar loop comfortably everywhere.
+    for row in rows:
+        assert row[5] > 2.0, f"batch barely faster on {row[0]}: {row[5]:.1f}x"
+
+    # Wall-clock batch call for pytest-benchmark's own table.
+    index = cache.index("DILI", "fb")
+    queries = cache.queries("fb")
+    index.get_batch(queries)  # compile outside the timed region
+    benchmark(index.get_batch, queries)
+
+
+def test_batch_traced_cost_matches_scalar(cache, scale):
+    """The vectorized path's simulated cost is the scalar loop's, +-0."""
+    index = cache.index("DILI", "logn")
+    queries = cache.queries("logn")[:1500]
+
+    scalar_tracer = CostTracer(CacheSimulator(scale.cache_lines))
+    for key in queries:
+        index.get(float(key), scalar_tracer)
+
+    batch_tracer = CostTracer(CacheSimulator(scale.cache_lines))
+    index.get_batch(queries, batch_tracer)
+
+    assert batch_tracer.total_cycles == scalar_tracer.total_cycles
+    assert batch_tracer.cache_misses == scalar_tracer.cache_misses
+    assert batch_tracer.mem_accesses == scalar_tracer.mem_accesses
+
+
+def test_batch_results_match_scalar(cache, scale):
+    for dataset in DATASETS:
+        index = cache.index("DILI", dataset)
+        queries = cache.queries(dataset)
+        rng = np.random.default_rng(5)
+        missing = queries + rng.integers(1, 5, size=len(queries))
+        probe = np.concatenate([queries, missing])
+        batch = index.get_batch(probe)
+        scalar = [index.get(float(k)) for k in probe]
+        assert batch == scalar, dataset
+
+
+def test_measure_batch_lookup_consistency(cache, scale):
+    m = measure_batch_lookup(
+        cache.index("DILI", "wikits"), cache.queries("wikits"), scale
+    )
+    assert m.batch_s > 0 and m.scalar_s > 0
+    assert m.sim_ns_per_op > 0
+    assert m.speedup == m.scalar_s / m.batch_s

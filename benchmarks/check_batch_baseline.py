@@ -1,0 +1,108 @@
+"""Regression gate for the vectorized batch read path.
+
+Compares the current tree against ``BENCH_baseline.json`` (committed at
+the repository root) and exits non-zero when either
+
+* the *simulated* lookup cost of the traced batch path regresses by
+  more than 2% on any dataset (the simulation is deterministic, so this
+  catches real cost-model or descent changes, not machine noise), or
+* the wall-clock speedup of ``get_batch`` over the scalar ``get`` loop
+  drops below 5x at 10^5 keys on any dataset (generous against runner
+  jitter; the measured margin is typically >10x).
+
+Regenerate the baseline after an intentional cost change with::
+
+    PYTHONPATH=src python benchmarks/check_batch_baseline.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import SCALES, BuildCache, measure_batch_lookup
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_baseline.json"
+
+SCALE = "medium"  # 10^5 keys, the acceptance-criteria scale
+QUERIES = 100_000
+SIM_TOLERANCE = 0.02
+MIN_SPEEDUP = 5.0
+
+
+def measure() -> dict:
+    from repro.bench.harness import DATASETS, query_sample
+
+    scale = SCALES[SCALE]
+    cache = BuildCache(scale)
+    out: dict[str, dict] = {}
+    for dataset in DATASETS:
+        index = cache.index("DILI", dataset)
+        queries = query_sample(cache.keys(dataset), QUERIES)
+        m = measure_batch_lookup(index, queries, scale)
+        out[dataset] = {
+            "sim_ns_per_op": round(m.sim_ns_per_op, 4),
+            "sim_misses_per_op": round(m.sim_misses_per_op, 6),
+            "scalar_ms": round(m.scalar_s * 1e3, 2),
+            "batch_ms": round(m.batch_s * 1e3, 2),
+            "speedup": round(m.speedup, 2),
+        }
+    return {
+        "scale": SCALE,
+        "num_keys": scale.num_keys,
+        "num_queries": QUERIES,
+        "datasets": out,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="overwrite BENCH_baseline.json with current measurements",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures: list[str] = []
+    for dataset, want in baseline["datasets"].items():
+        got = current["datasets"][dataset]
+        limit = want["sim_ns_per_op"] * (1.0 + SIM_TOLERANCE)
+        if got["sim_ns_per_op"] > limit:
+            failures.append(
+                f"{dataset}: simulated cost regressed "
+                f"{want['sim_ns_per_op']:.1f} -> "
+                f"{got['sim_ns_per_op']:.1f} ns/op (>{SIM_TOLERANCE:.0%})"
+            )
+        if got["speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"{dataset}: batch speedup {got['speedup']:.1f}x "
+                f"below the {MIN_SPEEDUP:.0f}x floor "
+                f"(baseline {want['speedup']:.1f}x)"
+            )
+        print(
+            f"{dataset}: sim {got['sim_ns_per_op']:.1f} ns/op "
+            f"(baseline {want['sim_ns_per_op']:.1f}), "
+            f"speedup {got['speedup']:.1f}x "
+            f"(baseline {want['speedup']:.1f}x)"
+        )
+    if failures:
+        print("\nBATCH BASELINE CHECK FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("batch baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

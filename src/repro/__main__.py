@@ -4,6 +4,8 @@ Commands:
 
 * ``compare``   -- build the representative methods on one dataset and
   print a Table-4-style comparison.
+* ``batch``     -- compare DILI's vectorized ``get_batch`` against the
+  scalar ``get`` loop (wall-clock next to simulated cost).
 * ``workload``  -- run one of the paper's named workload mixes against
   a chosen method and report throughput.
 * ``datasets``  -- summarize the five synthetic datasets.
@@ -31,6 +33,7 @@ from repro.bench.harness import (
     DATASETS,
     current_scale,
     make_index,
+    measure_batch_lookup,
     measure_lookup,
     method_names,
     query_sample,
@@ -75,6 +78,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
         f"Point lookups on {args.dataset} ({args.keys:,} keys)",
         ["Method", "lookup (ns)", "LL misses", "memory (MB)"],
         rows,
+    )
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    queries = query_sample(keys, args.queries)
+    index = DILI()
+    index.bulk_load(keys)
+    m = measure_batch_lookup(index, queries, scale)
+    print_table(
+        f"Batch lookups on {args.dataset} "
+        f"({args.keys:,} keys, {args.queries:,} queries)",
+        ["Metric", "value"],
+        [
+            ["sim lookup (ns/op)", m.sim_ns_per_op],
+            ["sim LL misses/op", m.sim_misses_per_op],
+            ["scalar loop (ms)", m.scalar_s * 1e3],
+            ["batch call (ms)", m.batch_s * 1e3],
+            ["compile+first batch (ms)", m.compile_s * 1e3],
+            ["speedup (x)", m.speedup],
+        ],
+        first_col_width=26,
     )
     return 0
 
@@ -287,6 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(compare)
     compare.set_defaults(func=cmd_compare)
+
+    batch = sub.add_parser(
+        "batch", help="batch-vs-scalar lookup comparison on DILI"
+    )
+    _add_common(batch)
+    batch.add_argument(
+        "--queries",
+        type=int,
+        default=100_000,
+        help="point queries per measurement (default: 100000)",
+    )
+    batch.set_defaults(func=cmd_batch)
 
     workload = sub.add_parser(
         "workload", help="run a named workload mix"

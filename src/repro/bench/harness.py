@@ -21,8 +21,9 @@ ALEX's Gamma = 16 MB at 200M keys corresponds to node budgets around
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -209,6 +210,125 @@ class BuildCache:
                 self.scale,
             )
         return self._lookup[key]
+
+
+@dataclass(frozen=True)
+class BatchMeasurement:
+    """One batch-vs-scalar lookup measurement.
+
+    Attributes:
+        scalar_s: Wall-clock seconds of the per-key ``get`` loop.
+        batch_s: Wall-clock seconds of one ``get_batch`` call with the
+            flat plan already compiled (best of ``repeats``).
+        compile_s: Wall-clock seconds of the first ``get_batch`` call,
+            which includes compiling the plan.
+        sim_ns_per_op: Simulated nanoseconds per lookup from the traced
+            batch path (same cost model as :func:`measure_lookup`).
+        sim_misses_per_op: Simulated LL-cache misses per lookup.
+    """
+
+    scalar_s: float
+    batch_s: float
+    compile_s: float
+    sim_ns_per_op: float
+    sim_misses_per_op: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock scalar/batch ratio (plan warm)."""
+        return self.scalar_s / self.batch_s if self.batch_s > 0 else float("inf")
+
+
+def measure_batch_lookup(
+    index,
+    queries: np.ndarray,
+    scale: BenchScale,
+    *,
+    repeats: int = 3,
+) -> BatchMeasurement:
+    """Wall-clock batch-vs-scalar comparison plus simulated batch cost.
+
+    Runs the scalar ``get`` loop and the vectorized ``get_batch`` over
+    the same query batch, checks they return identical results, and
+    traces the batch path through the simulated cost model (the replay
+    charges exactly the scalar loop's events, so the simulated numbers
+    are directly comparable with :func:`measure_lookup`).
+    """
+    q = np.ascontiguousarray(queries, dtype=np.float64)
+    t0 = time.perf_counter()
+    batch_out = index.get_batch(q)
+    compile_s = time.perf_counter() - t0
+    batch_s = compile_s
+    for _ in range(max(repeats - 1, 0)):
+        t0 = time.perf_counter()
+        batch_out = index.get_batch(q)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    key_list = q.tolist()
+    get = index.get
+    t0 = time.perf_counter()
+    scalar_out = [get(k) for k in key_list]
+    scalar_s = time.perf_counter() - t0
+    if scalar_out != batch_out:
+        raise AssertionError("get_batch disagrees with the scalar get loop")
+
+    tracer = CostTracer(CacheSimulator(scale.cache_lines))
+    try:
+        index.get_batch(q, tracer)
+    except TypeError:
+        # Wrapper without a tracer-aware batch path (e.g. the
+        # concurrent one): trace through the wrapped plain index.
+        base = getattr(index, "index", index)
+        base = getattr(base, "index", base)
+        base.get_batch(q, tracer)
+    n = max(len(q), 1)
+    return BatchMeasurement(
+        scalar_s=scalar_s,
+        batch_s=batch_s,
+        compile_s=compile_s,
+        sim_ns_per_op=tracer.total_cycles / GHZ / n,
+        sim_misses_per_op=tracer.cache_misses / n,
+    )
+
+
+def batch_lookup_rows(
+    cache: "BuildCache",
+    datasets: Sequence[str] = DATASETS,
+    method: str = "DILI",
+) -> list[list[object]]:
+    """Batch-mode benchmark rows: simulated cost next to wall-clock.
+
+    One row per dataset: simulated ns and LL misses per lookup (from
+    the traced batch path), then the measured wall-clock of the scalar
+    loop and of the warm batch call, and their ratio.
+    """
+    rows: list[list[object]] = []
+    for dataset in datasets:
+        index = cache.index(method, dataset)
+        queries = cache.queries(dataset)
+        m = measure_batch_lookup(index, queries, cache.scale)
+        rows.append(
+            [
+                dataset,
+                m.sim_ns_per_op,
+                m.sim_misses_per_op,
+                m.scalar_s * 1e3,
+                m.batch_s * 1e3,
+                m.speedup,
+            ]
+        )
+    return rows
+
+
+BATCH_COLUMNS = [
+    "Dataset",
+    "sim ns/op",
+    "misses/op",
+    "scalar (ms)",
+    "batch (ms)",
+    "speedup x",
+]
+"""Column labels matching :func:`batch_lookup_rows`."""
 
 
 def measure_lookup(

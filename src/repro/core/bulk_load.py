@@ -183,10 +183,7 @@ class _Builder:
                 lb, ub, piece_keys.copy(), self.values[lo:hi], model
             )
         leaf = LeafNode(lb, ub)
-        pairs = [
-            (float(piece_keys[i]), self.values[lo + i])
-            for i in range(hi - lo)
-        ]
+        pairs = list(zip(piece_keys.tolist(), self.values[lo:hi]))
         if not pairs:
             local_opt(
                 leaf,
@@ -197,5 +194,11 @@ class _Builder:
                 stats=self.opt_stats,
             )
         else:
-            local_opt(leaf, pairs, enlarge=self.enlarge, stats=self.opt_stats)
+            local_opt(
+                leaf,
+                pairs,
+                enlarge=self.enlarge,
+                stats=self.opt_stats,
+                keys=piece_keys,
+            )
         return leaf

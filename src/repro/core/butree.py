@@ -271,7 +271,10 @@ class BUTree:
             tracer.compute(c.linear_model)
             hint = node.model.predict_int(key) - node.offset
             assert node.bounds is not None and node.children is not None
-            idx = exp_search_floor(node.bounds, key, hint, tracer, node.region)
+            idx = exp_search_floor(
+                node.bounds, key, hint, tracer, node.region,
+                mu_e=c.exp_search_step,
+            )
             if idx < 0:
                 idx = 0
             elif idx >= len(node.children):
@@ -282,7 +285,8 @@ class BUTree:
         tracer.compute(c.linear_model)
         hint = node.model.predict_int(key)
         pos = exp_search_lub(
-            self.keys, key, hint, tracer, self._keys_region
+            self.keys, key, hint, tracer, self._keys_region,
+            mu_e=c.exp_search_step,
         )
         tracer.phase("done")
         if pos < len(self.keys) and self.keys[pos] == key:

@@ -148,6 +148,33 @@ class ConcurrentDILI:
         with self.locked(key):
             return self._index.get(key)
 
+    def get_batch(self, keys: np.ndarray | list) -> list:
+        """Vectorized multi-key lookup, exclusive of every writer.
+
+        Batches cross leaf boundaries (and the first call after a write
+        compiles the flat plan), so like scans they need the global lock
+        plus every stripe rather than a single leaf's.
+        """
+        with self.exclusive():
+            return self._index.get_batch(keys)
+
+    def contains_batch(self, keys: np.ndarray | list) -> np.ndarray:
+        """Vectorized membership test; exclusive like :meth:`get_batch`."""
+        with self.exclusive():
+            return self._index.contains_batch(keys)
+
+    def count_range(self, lo: float, hi: float) -> int:
+        """Count keys in ``[lo, hi)``, exclusive like other scans."""
+        with self.exclusive():
+            return self._index.count_range(lo, hi)
+
+    def count_range_batch(
+        self, los: np.ndarray | list, his: np.ndarray | list
+    ) -> np.ndarray:
+        """Vectorized range counts; exclusive like :meth:`get_batch`."""
+        with self.exclusive():
+            return self._index.count_range_batch(los, his)
+
     def insert(self, key: float, value: object) -> bool:
         """Insert under the owning leaf's lock (A.8 insertion protocol)."""
         with self.locked(key):

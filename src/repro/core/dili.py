@@ -25,11 +25,12 @@ import numpy as np
 
 from repro.core.bulk_load import bulk_load
 from repro.core.cost import CostParams
+from repro.core.flat import FlatPlan, compile_plan
 from repro.core.linear_model import LinearModel
 from repro.core.local_opt import LocalOptStats, fit_leaf_model, local_opt
 from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode, Pair
 from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
-from repro.simulate.tracer import NULL_TRACER, Tracer
+from repro.simulate.tracer import NULL_TRACER, NullTracer, Tracer
 
 logger = logging.getLogger(__name__)
 
@@ -127,6 +128,7 @@ class DILI:
         self.moved_pairs = 0
         self._count = 0
         self._cycles = self.config.cycles
+        self._flat: FlatPlan | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -148,6 +150,7 @@ class DILI:
                 for breakdown experiments (Table 9); otherwise it is
                 dropped to free memory.
         """
+        self._invalidate_plan()
         keys = np.asarray(keys, dtype=np.float64)
         if keys.ndim != 1:
             raise ValueError("keys must be one-dimensional")
@@ -233,7 +236,10 @@ class DILI:
         tracer.mem(node.region)
         tracer.compute(self._cycles.linear_model)
         hint = node.predict_position(key)
-        pos = exp_search_lub(node.keys, key, hint, tracer, node.region)
+        pos = exp_search_lub(
+            node.keys, key, hint, tracer, node.region,
+            mu_e=self._cycles.exp_search_step,
+        )
         if pos < len(node.keys) and node.keys[pos] == key:
             return node.values[pos]
         return None
@@ -245,12 +251,83 @@ class DILI:
         return self._count
 
     # ------------------------------------------------------------------
+    # Vectorized batch reads (compiled flat plan)
+    # ------------------------------------------------------------------
+
+    def _invalidate_plan(self) -> None:
+        """Drop the compiled read plan; any mutation must call this."""
+        self._flat = None
+
+    def _plan(self) -> FlatPlan:
+        """The compiled flat read plan, building it on first use.
+
+        The plan is a structure-of-arrays snapshot of the node tree
+        (see :mod:`repro.core.flat`); it is compiled lazily on the
+        first batch read and dropped by every mutation, so batch reads
+        between mutations share one compilation.
+        """
+        plan = self._flat
+        if plan is None:
+            if self.root is None:
+                raise ValueError("cannot compile a plan for an empty index")
+            plan = compile_plan(self.root)
+            self._flat = plan
+        return plan
+
+    def get_batch(
+        self, keys: np.ndarray | list, tracer: Tracer = NULL_TRACER
+    ) -> list:
+        """Values for a whole key batch (``None`` where absent).
+
+        Semantically identical to ``[self.get(k) for k in keys]`` but
+        descends the compiled flat plan level-synchronously with numpy,
+        so the per-key cost is a handful of vectorized ops instead of a
+        Python pointer chase.  With a real ``tracer`` the recorded
+        descent is replayed per key in batch order, charging exactly
+        the events (and therefore the same simulated cycles and cache
+        misses) as the equivalent scalar loop.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if self.root is None:
+            return [None] * len(keys)
+        plan = self._plan()
+        record = not isinstance(tracer, NullTracer)
+        out, trace = plan.lookup_batch(keys, record=record)
+        if record:
+            plan.replay_trace(keys, trace, tracer, self._cycles)
+        return plan.gather_values(out)
+
+    def contains_batch(self, keys: np.ndarray | list) -> np.ndarray:
+        """Boolean membership for a key batch (vectorized ``in``)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if self.root is None:
+            return np.zeros(len(keys), dtype=bool)
+        return self._plan().contains_batch(keys)
+
+    def count_range_batch(
+        self, los: np.ndarray | list, his: np.ndarray | list
+    ) -> np.ndarray:
+        """Vectorized :meth:`count_range` over paired bound arrays."""
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if los.shape != his.shape:
+            raise ValueError("los and his must have the same shape")
+        if self.root is None:
+            return np.zeros(len(los), dtype=np.int64)
+        return self._plan().count_range_batch(los, his)
+
+    # ------------------------------------------------------------------
     # Insertion (Algorithm 7)
     # ------------------------------------------------------------------
 
     def insert(self, key: float, value: object) -> bool:
         """Insert a pair; returns False (and changes nothing) if present."""
         key = float(key)
+        self._invalidate_plan()
         if self.root is None:
             leaf = LeafNode(key, key + 1.0)
             local_opt(leaf, [(key, value)], enlarge=self.config.enlarge)
@@ -313,6 +390,7 @@ class DILI:
         ``phi(alpha)``, retrains the model stretched over the new fanout
         (Algorithm 7 lines 21-26) and redistributes with local opt.
         """
+        self._invalidate_plan()
         pairs = list(leaf.iter_pairs())
         self.moved_pairs += len(pairs)
         ratio = self.config.phi(leaf.alpha)
@@ -344,6 +422,7 @@ class DILI:
     def delete(self, key: float) -> bool:
         """Remove ``key``; returns False if it was not present."""
         key = float(key)
+        self._invalidate_plan()
         node = self.root
         if node is None:
             return False
@@ -410,6 +489,7 @@ class DILI:
             raise ValueError("values must match keys in length")
         if len(keys) == 0:
             return 0
+        self._invalidate_plan()
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         values = [values[int(i)] for i in order]
@@ -449,6 +529,7 @@ class DILI:
         and never restructure the tree.
         """
         key = float(key)
+        self._invalidate_plan()  # the plan caches value references
         node = self.root
         if node is None:
             return False
@@ -494,29 +575,49 @@ class DILI:
         return last
 
     def count_range(self, lo: float, hi: float) -> int:
-        """Number of keys in [lo, hi)."""
-        count = 0
-        for pair in self.iter_from(lo):
-            if pair[0] >= hi:
-                break
-            count += 1
-        return count
+        """Number of keys in [lo, hi).
+
+        Counts without materializing pairs: with a compiled flat plan
+        this is two binary searches over the sorted key array; without
+        one, the descent recurses only into the two boundary subtrees
+        and takes strictly-interior subtrees wholesale from their
+        ``num_pairs`` bookkeeping.
+        """
+        lo = float(lo)
+        hi = float(hi)
+        if self.root is None or hi <= lo:
+            return 0
+        if self._flat is not None:
+            return self._flat.count_range(lo, hi)
+        return _count_range_node(self.root, lo, hi)
 
     def keys(self) -> Iterator[float]:
-        """All keys in ascending order."""
-        for key, _ in self.items():
-            yield key
+        """All keys in ascending order (no pair tuples materialized)."""
+        if self.root is not None:
+            yield from _iter_node_keys(self.root)
 
     def values(self) -> Iterator[object]:
-        """All values in ascending key order."""
-        for _, value in self.items():
-            yield value
+        """All values in ascending key order (no pair tuples built)."""
+        if self.root is not None:
+            yield from _iter_node_values(self.root)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     _PICKLE_VERSION = 2
+
+    def __getstate__(self) -> dict:
+        """Pickle without the compiled plan (it is derived state)."""
+        state = dict(self.__dict__)
+        state["_flat"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Files written before the flat plan existed lack these fields.
+        self.__dict__.setdefault("_flat", None)
+        self.__dict__.setdefault("_cycles", self.config.cycles)
 
     def save(self, path) -> None:
         """Serialize the index to ``path``, atomically and checksummed.
@@ -739,6 +840,96 @@ class DILI:
         for key, _ in self.items():
             assert key > last, f"iteration order broken at {key}"
             last = key
+
+
+def _count_all(node) -> int:
+    """Pairs under a subtree, from per-node bookkeeping (no pair walk)."""
+    if type(node) is InternalNode:
+        return sum(_count_all(c) for c in node.children)
+    return node.num_pairs  # LeafNode counter / DenseLeafNode property
+
+
+def _count_range_node(node, lo: float, hi: float) -> int:
+    """Pairs with key in [lo, hi) under ``node``, counting interior
+    subtrees wholesale.
+
+    The key observation: a child strictly between the child owning
+    ``lo`` and the child owning ``hi`` can only hold keys inside
+    ``(lo, hi)`` -- the child mapping (``child_index`` for internals,
+    ``predict_slot`` for leaves) is monotone in the key, and a key
+    outside the range would have mapped to a boundary child or beyond.
+    Only the two boundary subtrees need recursive filtering.
+    """
+    if type(node) is InternalNode:
+        i_lo = node.child_index(lo)
+        i_hi = node.child_index(hi)
+        if i_lo == i_hi:
+            return _count_range_node(node.children[i_lo], lo, hi)
+        total = _count_range_node(node.children[i_lo], lo, hi)
+        total += _count_range_node(node.children[i_hi], lo, hi)
+        for i in range(i_lo + 1, i_hi):
+            total += _count_all(node.children[i])
+        return total
+    if type(node) is DenseLeafNode:
+        a = int(np.searchsorted(node.keys, lo, side="left"))
+        b = int(np.searchsorted(node.keys, hi, side="left"))
+        return b - a
+    p_lo = node.predict_slot(lo)
+    p_hi = node.predict_slot(hi)
+    if p_lo == p_hi:
+        return _count_slot(node.slots[p_lo], lo, hi)
+    total = _count_slot(node.slots[p_lo], lo, hi)
+    total += _count_slot(node.slots[p_hi], lo, hi)
+    slots = node.slots
+    for p in range(p_lo + 1, p_hi):
+        entry = slots[p]
+        if entry is None:
+            continue
+        total += 1 if type(entry) is tuple else entry.num_pairs
+    return total
+
+
+def _count_slot(entry, lo: float, hi: float) -> int:
+    """Count within one boundary slot of a leaf."""
+    if entry is None:
+        return 0
+    if type(entry) is tuple:
+        return 1 if lo <= entry[0] < hi else 0
+    return _count_range_node(entry, lo, hi)
+
+
+def _iter_node_keys(node) -> Iterator[float]:
+    """Keys in ascending order, straight off the node arrays."""
+    if type(node) is InternalNode:
+        for child in node.children:
+            yield from _iter_node_keys(child)
+    elif type(node) is DenseLeafNode:
+        yield from (float(k) for k in node.keys)
+    else:
+        for entry in node.slots:
+            if entry is None:
+                continue
+            if type(entry) is tuple:
+                yield entry[0]
+            else:
+                yield from _iter_node_keys(entry)
+
+
+def _iter_node_values(node) -> Iterator[object]:
+    """Values in ascending key order, straight off the node arrays."""
+    if type(node) is InternalNode:
+        for child in node.children:
+            yield from _iter_node_values(child)
+    elif type(node) is DenseLeafNode:
+        yield from node.values
+    else:
+        for entry in node.slots:
+            if entry is None:
+                continue
+            if type(entry) is tuple:
+                yield entry[1]
+            else:
+                yield from _iter_node_values(entry)
 
 
 def _memory_bytes(node) -> int:

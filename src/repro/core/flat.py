@@ -1,0 +1,465 @@
+"""Array-packed read plan for vectorized batch lookups.
+
+The DILI node tree is a pointer structure: every ``get`` chases
+``InternalNode`` / ``LeafNode`` objects one attribute at a time.  That is
+faithful to the paper's algorithms but leaves most of numpy's throughput
+on the table, because DILI's equal-width internal models make the entire
+descent a *data-parallel* computation: at every level the next hop is
+``floor(intercept + slope * key)`` clamped into the fanout -- the same
+multiply-add for every in-flight key.
+
+:func:`compile_plan` packs the tree into structure-of-arrays buffers
+(one row per node, one row per entry-array slot) and
+:class:`FlatPlan` descends a whole key batch level-synchronously with
+numpy ops -- no per-key Python in the loop.  The plan is a *read*
+acceleration structure only: it references the live tree's payload
+objects, is compiled lazily by :meth:`repro.core.dili.DILI.get_batch`,
+and is dropped by every mutation (see ``DILI._invalidate_plan``).
+
+Layout
+------
+Node table (row = one node, in DFS preorder; the root is row 0):
+
+========  =======  ====================================================
+array     dtype    meaning
+========  =======  ====================================================
+kind      int8     0 internal, 1 locally-optimized leaf, 2 dense leaf
+slope     float64  node model slope
+intercept float64  node model intercept
+size      int64    slot count (internal/leaf) or key count (dense)
+base      int64    first row in the slot table (internal/leaf) or the
+                   first index in ``dense_keys`` (dense)
+region    int64    tracer memory-region id of the original node
+========  =======  ====================================================
+
+Slot table (row = one child pointer or entry-array slot):
+
+=========  =====  =====================================================
+array      dtype  meaning
+=========  =====  =====================================================
+slot_kind  int8   0 empty, 1 pair, 2 child node
+slot_ref   int64  pair index (kind 1) or node row (kind 2)
+=========  =====  =====================================================
+
+``pair_keys`` / ``dense_keys`` hold the keys (both ascending -- a DFS of
+the tree visits keys in order) and ``values`` holds every payload, pair
+payloads first, so a lookup resolves to ``values[i]`` for a single flat
+index ``i``.
+
+Cost tracing
+------------
+``lookup_batch(..., record=True)`` additionally returns the per-level
+descent trace (which node each key visited and at which slot).  The
+tracer-aware callers replay that trace key by key, in batch order,
+through the ordinary :class:`~repro.simulate.tracer.Tracer` protocol --
+charging exactly the events the scalar ``get`` loop would have charged,
+in the same order, so the stateful LRU cache simulation produces
+identical totals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
+from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
+from repro.simulate.tracer import NULL_TRACER, Tracer
+
+KIND_INTERNAL = 0
+KIND_LEAF = 1
+KIND_DENSE = 2
+
+SLOT_EMPTY = 0
+SLOT_PAIR = 1
+SLOT_NODE = 2
+
+_MAX_DESCENT = 4096
+"""Hard cap on descent iterations; the deepest legal tree is the BU
+height plus ``MAX_NESTING_DEPTH``, orders of magnitude below this."""
+
+
+class FlatPlan:
+    """Structure-of-arrays snapshot of a DILI tree, for batch reads."""
+
+    __slots__ = (
+        "kind",
+        "slope",
+        "intercept",
+        "size",
+        "base",
+        "region",
+        "slot_kind",
+        "slot_ref",
+        "pair_keys",
+        "dense_keys",
+        "values",
+        "sorted_keys",
+        "num_pairs",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        kind: np.ndarray,
+        slope: np.ndarray,
+        intercept: np.ndarray,
+        size: np.ndarray,
+        base: np.ndarray,
+        region: np.ndarray,
+        slot_kind: np.ndarray,
+        slot_ref: np.ndarray,
+        pair_keys: np.ndarray,
+        dense_keys: np.ndarray,
+        values: list,
+        sorted_keys: np.ndarray,
+        depth: int,
+    ) -> None:
+        self.kind = kind
+        self.slope = slope
+        self.intercept = intercept
+        self.size = size
+        self.base = base
+        self.region = region
+        self.slot_kind = slot_kind
+        self.slot_ref = slot_ref
+        self.pair_keys = pair_keys
+        self.dense_keys = dense_keys
+        self.values = values
+        self.sorted_keys = sorted_keys
+        self.num_pairs = len(pair_keys)
+        self.depth = depth
+
+    # ------------------------------------------------------------------
+    # Batch descent
+    # ------------------------------------------------------------------
+
+    def lookup_batch(
+        self, keys: np.ndarray, record: bool = False
+    ) -> tuple[np.ndarray, list | None]:
+        """Resolve every key to a flat value index (-1 when absent).
+
+        Args:
+            keys: 1-D float64 key batch.
+            record: Also return the descent trace for tracer replay.
+
+        Returns:
+            ``(out, trace)``: ``out[i]`` indexes :attr:`values` or is -1;
+            ``trace`` is ``None`` unless ``record``, else a list of
+            per-level ``(idx, node, pos)`` arrays plus a final
+            ``(idx, node, None)`` entry for keys that ended in a dense
+            leaf.
+        """
+        q = np.ascontiguousarray(keys, dtype=np.float64)
+        n = len(q)
+        out = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return out, ([] if record else None)
+        idx = np.arange(n, dtype=np.int64)
+        node = np.zeros(n, dtype=np.int64)
+        trace: list | None = [] if record else None
+        dense_idx_parts: list[np.ndarray] = []
+        dense_node_parts: list[np.ndarray] = []
+        for _ in range(_MAX_DESCENT):
+            if idx.size == 0:
+                break
+            kinds = self.kind[node]
+            dense = kinds == KIND_DENSE
+            if dense.any():
+                dense_idx_parts.append(idx[dense])
+                dense_node_parts.append(node[dense])
+                keep = ~dense
+                idx = idx[keep]
+                node = node[keep]
+                if idx.size == 0:
+                    break
+            # One multiply-add per in-flight key locates the next slot
+            # (Eq. 1 / Algorithm 5 line 4), floored and clamped exactly
+            # like the scalar predict_slot/child_index.
+            pos = np.floor(
+                self.intercept[node] + self.slope[node] * q[idx]
+            ).astype(np.int64)
+            np.clip(pos, 0, self.size[node] - 1, out=pos)
+            if record:
+                trace.append((idx, node, pos))
+            ref = self.base[node] + pos
+            skind = self.slot_kind[ref]
+            sref = self.slot_ref[ref]
+            is_pair = skind == SLOT_PAIR
+            if is_pair.any():
+                pidx = idx[is_pair]
+                pref = sref[is_pair]
+                hit = self.pair_keys[pref] == q[pidx]
+                out[pidx[hit]] = pref[hit]
+            descend = skind == SLOT_NODE
+            idx = idx[descend]
+            node = sref[descend]
+        else:  # pragma: no cover - defended structural corruption
+            raise RuntimeError("flat plan descent did not terminate")
+        if dense_idx_parts:
+            didx = np.concatenate(dense_idx_parts)
+            dnode = np.concatenate(dense_node_parts)
+            if record:
+                trace.append((didx, dnode, None))
+            if len(self.dense_keys):
+                pos = np.searchsorted(self.dense_keys, q[didx])
+                np.clip(pos, 0, len(self.dense_keys) - 1, out=pos)
+                hit = self.dense_keys[pos] == q[didx]
+                out[didx[hit]] = self.num_pairs + pos[hit]
+        return out, trace
+
+    def get_batch(self, keys: np.ndarray) -> list:
+        """Values for every key, ``None`` where absent (batch ``get``)."""
+        out, _ = self.lookup_batch(keys)
+        return self.gather_values(out)
+
+    def gather_values(self, out: np.ndarray) -> list:
+        """Map flat value indices (-1 = miss) to payloads, vectorised."""
+        values_arr = np.empty(len(self.values), dtype=object)
+        if len(self.values):
+            values_arr[:] = self.values
+        picked = values_arr[np.maximum(out, 0)] if len(out) else values_arr[:0]
+        picked[out < 0] = None
+        return picked.tolist()
+
+    def contains_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership array for the key batch."""
+        out, _ = self.lookup_batch(keys)
+        return out >= 0
+
+    # ------------------------------------------------------------------
+    # Range counting
+    # ------------------------------------------------------------------
+
+    def count_range(self, lo: float, hi: float) -> int:
+        """Number of stored keys in ``[lo, hi)``, two binary searches."""
+        if hi <= lo:
+            return 0
+        sk = self.sorted_keys
+        return int(
+            np.searchsorted(sk, hi, side="left")
+            - np.searchsorted(sk, lo, side="left")
+        )
+
+    def count_range_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`count_range` over paired bound arrays."""
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if los.shape != his.shape:
+            raise ValueError("los and his must have the same shape")
+        sk = self.sorted_keys
+        counts = np.searchsorted(sk, his, side="left") - np.searchsorted(
+            sk, los, side="left"
+        )
+        return np.maximum(counts, 0)
+
+    # ------------------------------------------------------------------
+    # Tracer replay
+    # ------------------------------------------------------------------
+
+    def replay_trace(
+        self,
+        keys: np.ndarray,
+        trace: list,
+        tracer: Tracer,
+        cycles: CyclesPerOp = DEFAULT_CYCLES,
+    ) -> None:
+        """Charge the tracer exactly as per-key scalar ``get`` calls would.
+
+        The batch descent is level-synchronous, but the simulated cache
+        is a stateful LRU: event *order* changes hit/miss outcomes.  So
+        the recorded trace is transposed into per-key paths and replayed
+        key by key in batch order -- the same event stream, in the same
+        order, as ``for k in keys: index.get(k, tracer)``.
+        """
+        from repro.core.search_util import exp_search_lub
+
+        n = len(keys)
+        if n == 0:
+            return
+        depth = len(trace)
+        path_node = np.full((n, depth), -1, dtype=np.int64)
+        path_pos = np.full((n, depth), -1, dtype=np.int64)
+        for level, (idx, node, pos) in enumerate(trace):
+            path_node[idx, level] = node
+            if pos is None:  # dense terminals carry no slot position
+                path_pos[idx, level] = -2
+            else:
+                path_pos[idx, level] = pos
+        eta = cycles.linear_model
+        branch = cycles.branch
+        mu_e = cycles.exp_search_step
+        # Plain-python copies of the node table: the replay loop indexes
+        # them per event, and python ints compare/hash like the scalar
+        # path's attributes do.
+        kind = self.kind.tolist()
+        region = self.region.tolist()
+        slot_kind = self.slot_kind.tolist()
+        base = self.base.tolist()
+        slope = self.slope.tolist()
+        intercept = self.intercept.tolist()
+        size = self.size.tolist()
+        dense_keys = self.dense_keys
+        mem = tracer.mem
+        compute = tracer.compute
+        nodes_list = path_node.tolist()
+        pos_list = path_pos.tolist()
+        keys_list = np.ascontiguousarray(keys, dtype=np.float64).tolist()
+        for i in range(n):
+            key = keys_list[i]
+            row_nodes = nodes_list[i]
+            row_pos = pos_list[i]
+            tracer.phase("step1")
+            in_step2 = False
+            for level in range(depth):
+                v = row_nodes[level]
+                if v < 0:
+                    continue
+                k = kind[v]
+                if not in_step2 and k != KIND_INTERNAL:
+                    tracer.phase("step2")
+                    in_step2 = True
+                p = row_pos[level]
+                if p == -2:  # dense leaf: Algorithm 1's last mile
+                    m = size[v]
+                    if m == 0:
+                        break
+                    mem(region[v])
+                    compute(eta)
+                    hint = int(np.floor(intercept[v] + slope[v] * key))
+                    b = base[v]
+                    exp_search_lub(
+                        dense_keys[b:b + m], key, hint, tracer,
+                        region[v], mu_e=mu_e,
+                    )
+                    break
+                mem(region[v])
+                compute(eta)
+                if k == KIND_INTERNAL:
+                    mem(region[v], 64 + p * 8)
+                else:
+                    mem(region[v], 64 + p * 16)
+                    if slot_kind[base[v] + p] == SLOT_PAIR:
+                        compute(branch)
+            if not in_step2:
+                tracer.phase("step2")
+
+    def memory_bytes(self) -> int:
+        """Actual buffer footprint of the plan itself."""
+        arrays = (
+            self.kind, self.slope, self.intercept, self.size, self.base,
+            self.region, self.slot_kind, self.slot_ref, self.pair_keys,
+            self.dense_keys, self.sorted_keys,
+        )
+        return sum(a.nbytes for a in arrays) + 8 * len(self.values)
+
+
+def compile_plan(root) -> FlatPlan:
+    """Pack the node tree under ``root`` into a :class:`FlatPlan`.
+
+    One DFS over the tree; payload objects are shared with the live
+    tree, keys are copied into flat float64 buffers.  Slot/pair order
+    follows the in-tree order, so ``pair_keys`` and ``dense_keys`` come
+    out ascending (slot prediction is monotone in the key).
+    """
+    kind: list[int] = []
+    slope: list[float] = []
+    intercept: list[float] = []
+    size: list[int] = []
+    base: list[int] = []
+    region: list[int] = []
+    slot_kind: list[int] = []
+    slot_ref: list[int] = []
+    pair_keys: list[float] = []
+    pair_vals: list = []
+    dense_key_parts: list[np.ndarray] = []
+    dense_vals: list = []
+    dense_len = 0
+    max_depth = 0
+
+    def add_node(node, depth: int) -> int:
+        nonlocal dense_len, max_depth
+        if depth > max_depth:
+            max_depth = depth
+        nid = len(kind)
+        t = type(node)
+        if t is InternalNode:
+            children = node.children
+            kind.append(KIND_INTERNAL)
+            slope.append(node.slope)
+            intercept.append(node.intercept)
+            size.append(len(children))
+            b = len(slot_kind)
+            base.append(b)
+            region.append(node.region)
+            slot_kind.extend([SLOT_NODE] * len(children))
+            slot_ref.extend([0] * len(children))
+            for i, child in enumerate(children):
+                slot_ref[b + i] = add_node(child, depth + 1)
+        elif t is DenseLeafNode:
+            kind.append(KIND_DENSE)
+            slope.append(node.slope)
+            intercept.append(node.intercept)
+            size.append(len(node.keys))
+            base.append(dense_len)
+            region.append(node.region)
+            dense_key_parts.append(
+                np.asarray(node.keys, dtype=np.float64)
+            )
+            dense_vals.extend(node.values)
+            dense_len += len(node.keys)
+        else:
+            slots = node.slots
+            kind.append(KIND_LEAF)
+            slope.append(node.slope)
+            intercept.append(node.intercept)
+            size.append(len(slots))
+            b = len(slot_kind)
+            base.append(b)
+            region.append(node.region)
+            slot_kind.extend([SLOT_EMPTY] * len(slots))
+            slot_ref.extend([0] * len(slots))
+            for i, entry in enumerate(slots):
+                if entry is None:
+                    continue
+                if type(entry) is tuple:
+                    slot_kind[b + i] = SLOT_PAIR
+                    slot_ref[b + i] = len(pair_keys)
+                    pair_keys.append(entry[0])
+                    pair_vals.append(entry[1])
+                else:
+                    slot_kind[b + i] = SLOT_NODE
+                    slot_ref[b + i] = add_node(entry, depth + 1)
+        return nid
+
+    add_node(root, 1)
+    pair_arr = np.asarray(pair_keys, dtype=np.float64)
+    dense_arr = (
+        np.concatenate(dense_key_parts)
+        if dense_key_parts
+        else np.empty(0, dtype=np.float64)
+    )
+    if len(dense_arr) == 0:
+        sorted_keys = pair_arr
+    elif len(pair_arr) == 0:
+        sorted_keys = dense_arr
+    else:  # mixed trees cannot arise from bulk_load, but stay correct
+        sorted_keys = np.sort(np.concatenate([pair_arr, dense_arr]))
+    return FlatPlan(
+        kind=np.asarray(kind, dtype=np.int8),
+        slope=np.asarray(slope, dtype=np.float64),
+        intercept=np.asarray(intercept, dtype=np.float64),
+        size=np.asarray(size, dtype=np.int64),
+        base=np.asarray(base, dtype=np.int64),
+        region=np.asarray(region, dtype=np.int64),
+        slot_kind=np.asarray(slot_kind, dtype=np.int8),
+        slot_ref=np.asarray(slot_ref, dtype=np.int64),
+        pair_keys=pair_arr,
+        dense_keys=dense_arr,
+        values=pair_vals + dense_vals,
+        sorted_keys=sorted_keys,
+        depth=max_depth,
+    )

@@ -15,6 +15,19 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+# Centred ranks of a two-point fit (0..1 minus their mean 0.5); shared so
+# the hot two-point path below allocates one array instead of three.
+_DY2 = np.array([-0.5, 0.5])
+
+# Rank means and centred ranks for every size numpy sums sequentially
+# (n < 8): at those sizes ``x.mean()`` is a plain left fold, so a python
+# accumulator reproduces it bitwise and these constants replace the
+# arange / mean / subtract round trips in the small-fit fast path.
+_RANK_MEAN = {n: float(np.arange(n, dtype=np.float64).mean())
+              for n in range(3, 8)}
+_DY_SMALL = {n: np.arange(n, dtype=np.float64) - _RANK_MEAN[n]
+             for n in range(3, 8)}
+
 
 @dataclass(frozen=True)
 class LinearModel:
@@ -86,14 +99,43 @@ class LinearModel:
         A single point fits a constant model predicting its own y; an
         empty input fits the zero model.
         """
-        x = np.asarray(xs, dtype=np.float64)
+        n = len(xs)
         if ys is None:
-            y = np.arange(len(x), dtype=np.float64)
+            if n == 2:
+                # Two-point rank fits dominate nested-leaf construction.
+                # (x0+x1)/2 matches np.mean's pairwise sum bitwise for two
+                # elements, elementwise subtraction matches the scalar
+                # one, and the centred ranks are the constant
+                # [-0.5, 0.5]; np.dot stays because its kernel rounds
+                # differently from pure-python products.
+                x0 = float(xs[0])
+                x1 = float(xs[1])
+                mx = (x0 + x1) / 2.0
+                dx = np.array((x0 - mx, x1 - mx))
+                sxx = float(np.dot(dx, dx))
+                if sxx == 0.0:
+                    return cls(0.0, 0.5)
+                slope = float(np.dot(dx, _DY2)) / sxx
+                return cls(slope, 0.5 - slope * mx)
+            if 3 <= n <= 7:
+                s = 0.0
+                for v in xs:
+                    s += v
+                mx = float(s) / n
+                my = _RANK_MEAN[n]
+                dx = np.array([float(v) - mx for v in xs])
+                sxx = float(np.dot(dx, dx))
+                if sxx == 0.0:
+                    return cls(0.0, my)
+                slope = float(np.dot(dx, _DY_SMALL[n])) / sxx
+                return cls(slope, my - slope * mx)
+            x = np.asarray(xs, dtype=np.float64)
+            y = np.arange(n, dtype=np.float64)
         else:
+            x = np.asarray(xs, dtype=np.float64)
             y = np.asarray(ys, dtype=np.float64)
         if len(x) != len(y):
             raise ValueError("xs and ys must have equal length")
-        n = len(x)
         if n == 0:
             return cls(0.0, 0.0)
         if n == 1:

@@ -15,12 +15,18 @@ insertion path later compares against to trigger adjustments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.linear_model import LinearModel
 from repro.core.nodes import LeafNode, Pair
+
+# Scalar floor+int is only equivalent to numpy's floor/astype(int64) while
+# the prediction is far from the int64 edge; beyond this bound the slow
+# path reproduces the vectorised conversion exactly.
+_SAFE_PRED = 4.0e18
 
 MAX_NESTING_DEPTH = 64
 """Safety valve: with unique keys the model always separates the minimum
@@ -59,7 +65,8 @@ def fit_leaf_model(keys: list[float] | np.ndarray, fanout: int) -> LinearModel:
     model = LinearModel.fit(keys)
     if n == 0:
         return model
-    return model.scaled(fanout / n)
+    ratio = fanout / n
+    return LinearModel(model.slope * ratio, model.intercept * ratio)
 
 
 def local_opt(
@@ -72,6 +79,7 @@ def local_opt(
     stats: LocalOptStats | None = None,
     depth: int = 0,
     max_fanout: int | None = None,
+    keys: np.ndarray | None = None,
 ) -> None:
     """Distribute ``pairs`` into ``leaf``'s entry array (Algorithm 5).
 
@@ -87,6 +95,9 @@ def local_opt(
         max_fanout: Optional cap on the entry-array size, applied to
             this node and every nested conflict node (LIPP-style
             bounded allocation); None leaves fanouts unbounded.
+        keys: Optional float64 array holding exactly the keys of
+            ``pairs`` in order; callers that already have it (bulk
+            load) pass it to skip the per-pair re-extraction.
     """
     n = len(pairs)
     if fanout is None:
@@ -94,7 +105,9 @@ def local_opt(
     if max_fanout is not None:
         fanout = max(2, min(fanout, max_fanout))
     if model is None:
-        model = fit_leaf_model([p[0] for p in pairs], fanout)
+        model = fit_leaf_model(
+            keys if keys is not None else [p[0] for p in pairs], fanout
+        )
     leaf.set_model(model)
     leaf.num_pairs = n
     leaf.delta = 0
@@ -104,29 +117,91 @@ def local_opt(
         leaf.kappa = 1.0
         return
 
-    # Bucket pairs by predicted slot, vectorised: pairs arrive sorted by
-    # key and the prediction is monotone, so equal-slot pairs are
-    # contiguous and one diff pass finds the group boundaries.
-    keys_arr = np.fromiter((p[0] for p in pairs), dtype=np.float64,
-                           count=n)
-    predicted = np.floor(
-        leaf.intercept + leaf.slope * keys_arr
-    ).astype(np.int64)
-    np.clip(predicted, 0, fanout - 1, out=predicted)
-    starts = np.concatenate(
-        ([0], np.flatnonzero(np.diff(predicted)) + 1, [n])
-    )
-    groups: dict[int, list[Pair]] = {
-        int(predicted[starts[g]]): pairs[starts[g]:starts[g + 1]]
-        for g in range(len(starts) - 1)
-    }
+    # Two-pair groups dominate the recursion (most slot conflicts involve
+    # exactly two keys); handle them scalar instead of spinning up the
+    # vectorised bucketing below.  The arithmetic mirrors it exactly:
+    # same model, same floor, same clamp.
+    if n == 2:
+        a = leaf.intercept
+        b = leaf.slope
+        v0 = a + b * pairs[0][0]
+        v1 = a + b * pairs[1][0]
+        if -_SAFE_PRED < v0 < _SAFE_PRED and -_SAFE_PRED < v1 < _SAFE_PRED:
+            last = fanout - 1
+            p0 = int(math.floor(v0))
+            p0 = 0 if p0 < 0 else (last if p0 > last else p0)
+            p1 = int(math.floor(v1))
+            p1 = 0 if p1 < 0 else (last if p1 > last else p1)
+            if p0 != p1:
+                slots[p0] = pairs[0]
+                slots[p1] = pairs[1]
+                leaf.delta = 2
+                leaf.kappa = 1.0
+                return
+            # Both keys predict the same slot: one nested group with no
+            # separation progress, which always takes the fallback spread.
+            if stats is not None:
+                stats.conflicts += 2
+                stats.nested_leaves += 1
+                if depth + 1 > stats.max_depth:
+                    stats.max_depth = depth + 1
+            child = LeafNode(pairs[0][0], pairs[1][0])
+            _fallback_spread(child, pairs)
+            slots[p0] = child
+            leaf.delta = 2 + child.delta
+            leaf.kappa = leaf.delta / 2
+            return
 
-    progress = len(groups) > 1 or n == 1
-    for t, group in groups.items():
-        if len(group) == 1:
-            slots[t] = group[0]
-            leaf.delta += 1
+    # Bucket pairs by predicted slot: pairs arrive sorted by key and the
+    # prediction is monotone (least-squares slopes over ranks are
+    # non-negative), so equal-slot pairs are contiguous and one diff
+    # pass over the predictions finds the group boundaries.  Small
+    # groups (the nested-conflict recursion) predict scalar -- same
+    # model, same floor, same clamp as the vectorised form, with the
+    # int64 edge guarded -- to skip the numpy fixed costs.
+    pred_l: list[int] | np.ndarray | None = None
+    if n <= 32:
+        a = leaf.intercept
+        b = leaf.slope
+        last = fanout - 1
+        pred_l = []
+        for p in pairs:
+            v = a + b * p[0]
+            if not (-_SAFE_PRED < v < _SAFE_PRED):
+                pred_l = None
+                break
+            s = int(math.floor(v))
+            pred_l.append(0 if s < 0 else (last if s > last else s))
+    if pred_l is not None:
+        bounds = [0]
+        for i in range(1, n):
+            if pred_l[i] != pred_l[i - 1]:
+                bounds.append(i)
+        bounds.append(n)
+    else:
+        if keys is not None:
+            keys_arr = keys
         else:
+            keys_arr = np.fromiter((p[0] for p in pairs), dtype=np.float64,
+                                   count=n)
+        predicted = np.floor(
+            leaf.intercept + leaf.slope * keys_arr
+        ).astype(np.int64)
+        np.clip(predicted, 0, fanout - 1, out=predicted)
+        bounds = [0, *(np.flatnonzero(np.diff(predicted)) + 1).tolist(), n]
+        pred_l = predicted
+
+    num_groups = len(bounds) - 1
+    progress = num_groups > 1 or n == 1
+    delta_acc = 0
+    for g in range(num_groups):
+        s = bounds[g]
+        e = bounds[g + 1]
+        if e - s == 1:
+            slots[int(pred_l[s])] = pairs[s]
+            delta_acc += 1
+        else:
+            group = pairs[s:e]
             if stats is not None:
                 stats.conflicts += len(group)
                 stats.nested_leaves += 1
@@ -144,9 +219,10 @@ def local_opt(
                     depth=depth + 1,
                     max_fanout=max_fanout,
                 )
-            slots[t] = child
-            leaf.delta += len(group) + child.delta
-    leaf.kappa = leaf.delta / leaf.num_pairs
+            slots[int(pred_l[s])] = child
+            delta_acc += len(group) + child.delta
+    leaf.delta = delta_acc
+    leaf.kappa = delta_acc / leaf.num_pairs
 
 
 def _fallback_spread(leaf: LeafNode, pairs: list[Pair]) -> None:

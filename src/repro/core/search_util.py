@@ -5,15 +5,24 @@ exponential search: double the step until the target is bracketed, then
 binary-search the bracket.  Every probe of the underlying array is a
 potential cache miss, so both helpers report each touched element to the
 tracer along with the per-iteration arithmetic charge ``mu_E``.
+
+``mu_E`` defaults to the paper's calibrated constant but is a parameter:
+configurations that re-price the charge table (e.g.
+``DiliConfig.for_disk``) pass their own value instead of silently
+falling back to the Section 7.1 machine.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.simulate.latency import DEFAULT_CYCLES
 from repro.simulate.tracer import NULL_TRACER, Tracer
 
 _KEY_BYTES = 8
+
+MU_E = DEFAULT_CYCLES.exp_search_step
+"""Default per-iteration arithmetic charge (``mu_E``, Section 7.1)."""
 
 
 def exp_search_lub(
@@ -22,6 +31,7 @@ def exp_search_lub(
     hint: int,
     tracer: Tracer = NULL_TRACER,
     region: int = 0,
+    mu_e: float = MU_E,
 ) -> int:
     """Smallest index ``i`` with ``keys[i] >= x`` (``len(keys)`` if none).
 
@@ -30,8 +40,10 @@ def exp_search_lub(
         x: Search key.
         hint: Predicted position to start from (clamped into range).
         tracer: Cost tracer; each key probe is one memory touch plus
-            ``mu_E`` cycles.
+            ``mu_e`` cycles.
         region: Memory-region id of ``keys`` for the tracer.
+        mu_e: Arithmetic cycles charged per probe; thread the active
+            ``CyclesPerOp.exp_search_step`` through here.
     """
     n = len(keys)
     if n == 0:
@@ -44,7 +56,7 @@ def exp_search_lub(
     elif pos >= n:
         pos = n - 1
     mem(region, pos * _KEY_BYTES)
-    mu(17.0)
+    mu(mu_e)
     if keys[pos] >= x:
         # Gallop left: find lo with keys[lo] < x.
         step = 1
@@ -52,7 +64,7 @@ def exp_search_lub(
         lo = pos - step
         while lo >= 0:
             mem(region, lo * _KEY_BYTES)
-            mu(17.0)
+            mu(mu_e)
             if keys[lo] < x:
                 break
             hi = lo
@@ -67,7 +79,7 @@ def exp_search_lub(
         hi = pos + step
         while hi < n:
             mem(region, hi * _KEY_BYTES)
-            mu(17.0)
+            mu(mu_e)
             if keys[hi] >= x:
                 break
             lo = hi
@@ -79,7 +91,7 @@ def exp_search_lub(
     while hi - lo > 1:
         mid = (lo + hi) // 2
         mem(region, mid * _KEY_BYTES)
-        mu(17.0)
+        mu(mu_e)
         if keys[mid] >= x:
             hi = mid
         else:
@@ -93,13 +105,14 @@ def exp_search_floor(
     hint: int,
     tracer: Tracer = NULL_TRACER,
     region: int = 0,
+    mu_e: float = MU_E,
 ) -> int:
     """Largest index ``i`` with ``keys[i] <= x`` (-1 if none).
 
     This is the child-locating search over a BU internal node's bounds
     array ``B`` (Section 4.1): find ``i`` with ``B[i] <= x < B[i+1]``.
     """
-    lub = exp_search_lub(keys, x, hint, tracer, region)
+    lub = exp_search_lub(keys, x, hint, tracer, region, mu_e)
     if lub < len(keys) and keys[lub] == x:
         return lub
     return lub - 1

@@ -211,6 +211,20 @@ class DurableDILI:
     def get(self, key: float) -> object | None:
         return self._index.get(float(key))
 
+    def get_batch(self, keys) -> list:
+        """Vectorized lookups; reads are never logged."""
+        return self._index.get_batch(keys)
+
+    def contains_batch(self, keys):
+        """Vectorized membership tests; reads are never logged."""
+        return self._index.contains_batch(keys)
+
+    def count_range(self, lo: float, hi: float) -> int:
+        return self._index.count_range(lo, hi)
+
+    def count_range_batch(self, los, his):
+        return self._index.count_range_batch(los, his)
+
     def range_query(self, lo: float, hi: float):
         return self._index.range_query(lo, hi)
 

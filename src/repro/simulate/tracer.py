@@ -12,6 +12,13 @@ Every index in this repository implements its lookup as
 Production-path calls (``index.get``) pass :data:`NULL_TRACER`, whose
 methods are no-ops, so correctness tests and real-time benchmarks pay only
 an attribute lookup.  Cost benchmarks pass a :class:`CostTracer`.
+
+The vectorized batch read path (:mod:`repro.core.flat`) also speaks
+this protocol: it records the batch descent and replays it per key, so
+one tracer sees the identical event stream -- and therefore produces
+identical totals -- whether lookups went through ``get`` or
+``get_batch``.  Event *order* is part of that contract (the LRU cache
+simulation is stateful); replayers must emit events in batch order.
 """
 
 from __future__ import annotations
@@ -111,8 +118,11 @@ class CostTracer(Tracer):
         self._charge(cycles)
 
     def phase(self, name: str) -> None:
+        # Hot in batch replay (two calls per key): skip the setdefault
+        # machinery once the phase bucket exists.
         self._phase = name
-        self.phase_cycles.setdefault(name, 0.0)
+        if name not in self.phase_cycles:
+            self.phase_cycles[name] = 0.0
 
     def _charge(self, cycles: float) -> None:
         self.total_cycles += cycles
