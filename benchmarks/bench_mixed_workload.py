@@ -1,0 +1,89 @@
+"""Mixed read/write workloads on the batched write path.
+
+Not a paper table -- this benchmarks the repository's vectorized write
+path (``DILI.insert_batch`` / ``delete_batch``) and the incremental
+maintenance of the compiled flat read plan (``repro.core.flat``) under
+the paper's Fig. 7 / Table 10 mixed-workload setting: batched reads
+interleaved with batched writes against one serving index.
+
+Two tables:
+
+* batch-vs-scalar *writes*, in serving state (plan compiled and kept
+  consistent per operation vs per batch) and tree-only;
+* YCSB-style mixes (95/5, 80/20, 50/50) reporting wall-clock Mops and
+  the plan-maintenance counters.  The key invariant -- asserted here
+  and gated in CI (``benchmarks/check_batch_baseline.py``) -- is that
+  the flat plan survives every write batch via patches and subtree
+  splices: zero full recompiles between structural changes.
+
+Indexes are built fresh from the cached datasets: write benchmarks
+mutate their index, and the session-scoped ``BuildCache`` shares built
+trees with the read benchmarks, so mutating those would poison them.
+"""
+
+from repro.bench.harness import (
+    MAIN_DATASETS,
+    measure_batch_write,
+    measure_mixed_workload,
+)
+from repro.bench.reporting import format_table
+
+MIXES = [("95/5", 0.05), ("80/20", 0.20), ("50/50", 0.50)]
+
+
+def test_batch_write_speedup(cache, scale, benchmark, capsys):
+    rows = []
+    for dataset in MAIN_DATASETS:
+        m = measure_batch_write(cache.keys(dataset), scale)
+        rows.append([
+            dataset,
+            m.scalar_s * 1e3,
+            m.batch_s * 1e3,
+            m.speedup,
+            m.tree_speedup,
+            "yes" if m.sim_parity else "NO",
+        ])
+        # Serving state: per-op plan maintenance vs one amortized pass.
+        assert m.speedup > 5.0, f"{dataset}: {m.speedup:.1f}x"
+        # The traced batch path charges exactly the scalar loop's events.
+        assert m.sim_parity, f"{dataset}: simulated cost diverged"
+    with capsys.disabled():
+        print("\n" + format_table(
+            f"Batch vs scalar inserts ({scale.num_keys:,} keys, "
+            "serving state)",
+            ["Dataset", "scalar (ms)", "batch (ms)", "speedup x",
+             "tree-only x", "sim parity"],
+            rows,
+        ) + "\n")
+
+    keys = cache.keys("logn")
+    benchmark(measure_batch_write, keys, scale, writes=64,
+              parity_keys=5_000, parity_writes=200)
+
+
+def test_mixed_workload_counters(cache, scale, capsys):
+    rows = []
+    for name, frac in MIXES:
+        m = measure_mixed_workload(cache.keys("logn"), write_fraction=frac)
+        rows.append([
+            name,
+            float(m.ops),
+            m.wall_mops,
+            float(m.patches),
+            float(m.subtree_recompiles),
+            float(m.full_recompiles),
+        ])
+        assert m.plan_alive, f"{name}: a write dropped the plan"
+        # Zero full recompiles between structural changes: every write
+        # batch kept the plan alive with patches + subtree splices.
+        assert m.full_recompiles == 0, (
+            f"{name}: {m.full_recompiles} full plan recompiles"
+        )
+    with capsys.disabled():
+        print("\n" + format_table(
+            f"Mixed workloads on logn ({scale.num_keys:,} keys, "
+            "batched reads+writes)",
+            ["Mix", "ops", "wall Mops", "patches", "subtree rec",
+             "full rec"],
+            rows,
+        ) + "\n")

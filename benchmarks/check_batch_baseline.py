@@ -1,14 +1,21 @@
-"""Regression gate for the vectorized batch read path.
+"""Regression gate for the vectorized batch read and write paths.
 
 Compares the current tree against ``BENCH_baseline.json`` (committed at
-the repository root) and exits non-zero when either
+the repository root) and exits non-zero when any of
 
 * the *simulated* lookup cost of the traced batch path regresses by
   more than 2% on any dataset (the simulation is deterministic, so this
-  catches real cost-model or descent changes, not machine noise), or
+  catches real cost-model or descent changes, not machine noise),
 * the wall-clock speedup of ``get_batch`` over the scalar ``get`` loop
   drops below 5x at 10^5 keys on any dataset (generous against runner
-  jitter; the measured margin is typically >10x).
+  jitter; the measured margin is typically >10x),
+* the serving-state speedup of ``insert_batch`` over the scalar
+  ``insert`` loop (both keeping the compiled flat plan consistent)
+  drops below 5x, or its traced simulated cost diverges by even one
+  cycle from the scalar loop's, or
+* a mixed read/write workload performs *any* full plan recompile --
+  the incremental-maintenance invariant: every write batch must keep
+  the plan alive through patches and subtree splices alone.
 
 Regenerate the baseline after an intentional cost change with::
 
@@ -22,7 +29,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.bench.harness import SCALES, BuildCache, measure_batch_lookup
+from repro.bench.harness import (
+    MAIN_DATASETS,
+    SCALES,
+    BuildCache,
+    measure_batch_lookup,
+    measure_batch_write,
+    measure_mixed_workload,
+)
 
 BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_baseline.json"
 
@@ -30,6 +44,9 @@ SCALE = "medium"  # 10^5 keys, the acceptance-criteria scale
 QUERIES = 100_000
 SIM_TOLERANCE = 0.02
 MIN_SPEEDUP = 5.0
+MIN_WRITE_SPEEDUP = 5.0
+MAX_FULL_RECOMPILES = 0
+MIXES = [("95/5", 0.05), ("80/20", 0.20), ("50/50", 0.50)]
 
 
 def measure() -> dict:
@@ -49,11 +66,34 @@ def measure() -> dict:
             "batch_ms": round(m.batch_s * 1e3, 2),
             "speedup": round(m.speedup, 2),
         }
+    writes: dict[str, dict] = {}
+    for dataset in MAIN_DATASETS:
+        w = measure_batch_write(cache.keys(dataset), scale)
+        writes[dataset] = {
+            "scalar_ms": round(w.scalar_s * 1e3, 2),
+            "batch_ms": round(w.batch_s * 1e3, 2),
+            "speedup": round(w.speedup, 2),
+            "tree_speedup": round(w.tree_speedup, 2),
+            "sim_parity": bool(w.sim_parity),
+        }
+    mixed: dict[str, dict] = {}
+    for name, frac in MIXES:
+        x = measure_mixed_workload(cache.keys("logn"), write_fraction=frac)
+        mixed[name] = {
+            "ops": x.ops,
+            "wall_mops": round(x.wall_mops, 3),
+            "patches": x.patches,
+            "subtree_recompiles": x.subtree_recompiles,
+            "full_recompiles": x.full_recompiles,
+            "plan_alive": bool(x.plan_alive),
+        }
     return {
         "scale": SCALE,
         "num_keys": scale.num_keys,
         "num_queries": QUERIES,
         "datasets": out,
+        "batch_write": writes,
+        "mixed": mixed,
     }
 
 
@@ -94,6 +134,40 @@ def main(argv: list[str] | None = None) -> int:
             f"(baseline {want['sim_ns_per_op']:.1f}), "
             f"speedup {got['speedup']:.1f}x "
             f"(baseline {want['speedup']:.1f}x)"
+        )
+    for dataset, want in baseline.get("batch_write", {}).items():
+        got = current["batch_write"][dataset]
+        if got["speedup"] < MIN_WRITE_SPEEDUP:
+            failures.append(
+                f"{dataset}: batch write speedup {got['speedup']:.1f}x "
+                f"below the {MIN_WRITE_SPEEDUP:.0f}x floor "
+                f"(baseline {want['speedup']:.1f}x)"
+            )
+        if not got["sim_parity"]:
+            failures.append(
+                f"{dataset}: traced insert_batch cost diverged from "
+                "the scalar loop (must match cycle-for-cycle)"
+            )
+        print(
+            f"{dataset}: write speedup {got['speedup']:.1f}x "
+            f"(baseline {want['speedup']:.1f}x), "
+            f"sim parity {'yes' if got['sim_parity'] else 'NO'}"
+        )
+    for mix, want in baseline.get("mixed", {}).items():
+        got = current["mixed"][mix]
+        if got["full_recompiles"] > MAX_FULL_RECOMPILES:
+            failures.append(
+                f"{mix}: {got['full_recompiles']} full plan recompiles "
+                f"(ceiling {MAX_FULL_RECOMPILES}; every write batch "
+                "must keep the plan alive via patches/splices)"
+            )
+        if not got["plan_alive"]:
+            failures.append(f"{mix}: a write batch dropped the plan")
+        print(
+            f"{mix}: full recompiles {got['full_recompiles']} "
+            f"(ceiling {MAX_FULL_RECOMPILES}), "
+            f"patches {got['patches']}, "
+            f"subtree splices {got['subtree_recompiles']}"
         )
     if failures:
         print("\nBATCH BASELINE CHECK FAILED:", file=sys.stderr)

@@ -8,6 +8,9 @@ Commands:
   scalar ``get`` loop (wall-clock next to simulated cost).
 * ``workload``  -- run one of the paper's named workload mixes against
   a chosen method and report throughput.
+* ``mixed``     -- batched reads interleaved with batched writes on one
+  serving DILI; reports write speedup and the plan-maintenance
+  counters (patches / subtree splices / full recompiles).
 * ``datasets``  -- summarize the five synthetic datasets.
 * ``structure`` -- build a DILI and print its Table-6 statistics.
 * ``bench``     -- run the paper's table/figure benchmarks (pytest
@@ -100,6 +103,49 @@ def cmd_batch(args: argparse.Namespace) -> int:
             ["batch call (ms)", m.batch_s * 1e3],
             ["compile+first batch (ms)", m.compile_s * 1e3],
             ["speedup (x)", m.speedup],
+        ],
+        first_col_width=26,
+    )
+    return 0
+
+
+def cmd_mixed(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        measure_batch_write,
+        measure_mixed_workload,
+    )
+
+    scale = current_scale()
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    w = measure_batch_write(keys, scale, writes=args.writes)
+    print_table(
+        f"Batch vs scalar inserts on {args.dataset} "
+        f"({args.keys:,} keys, {w.writes:,} writes, serving state)",
+        ["Metric", "value"],
+        [
+            ["scalar loop (ms)", w.scalar_s * 1e3],
+            ["batch call (ms)", w.batch_s * 1e3],
+            ["speedup (x)", w.speedup],
+            ["tree-only speedup (x)", w.tree_speedup],
+            ["sim parity", 1.0 if w.sim_parity else 0.0],
+        ],
+        first_col_width=26,
+    )
+    m = measure_mixed_workload(
+        keys, write_fraction=args.write_fraction
+    )
+    print_table(
+        f"Mixed workload on {args.dataset} "
+        f"({m.ops:,} ops, {args.write_fraction:.0%} writes)",
+        ["Metric", "value"],
+        [
+            ["reads", float(m.reads)],
+            ["writes", float(m.writes)],
+            ["wall Mops", m.wall_mops],
+            ["plan patches", float(m.patches)],
+            ["subtree splices", float(m.subtree_recompiles)],
+            ["full recompiles", float(m.full_recompiles)],
+            ["plan alive", 1.0 if m.plan_alive else 0.0],
         ],
         first_col_width=26,
     )
@@ -326,6 +372,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="point queries per measurement (default: 100000)",
     )
     batch.set_defaults(func=cmd_batch)
+
+    mixed = sub.add_parser(
+        "mixed",
+        help="batched mixed read/write workload with plan counters",
+    )
+    _add_common(mixed)
+    mixed.add_argument(
+        "--writes",
+        type=int,
+        default=256,
+        help="fresh keys per write batch (default: 256)",
+    )
+    mixed.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.05,
+        help="write share of the mixed workload (default: 0.05)",
+    )
+    mixed.set_defaults(func=cmd_mixed)
 
     workload = sub.add_parser(
         "workload", help="run a named workload mix"

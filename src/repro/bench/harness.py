@@ -331,6 +331,245 @@ BATCH_COLUMNS = [
 """Column labels matching :func:`batch_lookup_rows`."""
 
 
+@dataclass(frozen=True)
+class WriteBatchMeasurement:
+    """One batch-vs-scalar write measurement.
+
+    Two comparisons at the same tree size, both against the identical
+    scalar ``insert`` loop semantics:
+
+    * *serving state* (the mixed-workload scenario of Fig. 7 /
+      Table 10): the flat read plan is compiled and must stay usable,
+      so every scalar insert patches or splices the plan per operation
+      while ``insert_batch`` maintains it once per batch.
+    * *tree only*: no plan exists; the comparison isolates the batched
+      descent and grouped slot prediction from plan maintenance.
+
+    Attributes:
+        scalar_s / batch_s: Serving-state wall-clock seconds.
+        tree_scalar_s / tree_batch_s: Tree-only wall-clock seconds.
+        writes: Operations per measured run.
+        sim_parity: True when a :class:`CostTracer` charged bit-equal
+            totals (cycles, memory accesses, cache misses) to the
+            scalar loop and the batch call on twin trees.
+        plan_patches / plan_subtree_recompiles / plan_recompiles:
+            Counter values of the serving-state batch index afterwards.
+    """
+
+    scalar_s: float
+    batch_s: float
+    tree_scalar_s: float
+    tree_batch_s: float
+    writes: int
+    sim_parity: bool
+    plan_patches: int
+    plan_subtree_recompiles: int
+    plan_recompiles: int
+
+    @property
+    def speedup(self) -> float:
+        """Serving-state scalar/batch wall-clock ratio."""
+        return self.scalar_s / self.batch_s if self.batch_s > 0 else float("inf")
+
+    @property
+    def tree_speedup(self) -> float:
+        """Tree-only scalar/batch wall-clock ratio."""
+        if self.tree_batch_s <= 0:
+            return float("inf")
+        return self.tree_scalar_s / self.tree_batch_s
+
+
+def _fresh_keys(keys: np.ndarray, count: int, seed: int) -> np.ndarray:
+    """``count`` keys inside the data range but absent from ``keys``."""
+    rng = np.random.default_rng(seed)
+    lo, hi = float(keys[0]), float(keys[-1])
+    out = np.empty(0, dtype=np.float64)
+    while len(out) < count:
+        cand = np.unique(rng.uniform(lo, hi, 2 * count))
+        cand = cand[~np.isin(cand, keys)]
+        out = np.unique(np.concatenate([out, cand]))
+    rng.shuffle(out)
+    return out[:count]
+
+
+def measure_batch_write(
+    keys: np.ndarray,
+    scale: BenchScale,
+    *,
+    writes: int = 256,
+    parity_keys: int = 20_000,
+    parity_writes: int = 2_000,
+    seed: int = 23,
+) -> WriteBatchMeasurement:
+    """Wall-clock batch-vs-scalar insert comparison plus trace parity.
+
+    Builds twin DILI trees from ``keys`` and inserts the same fresh
+    keys into each -- a scalar ``insert`` loop on one, one
+    ``insert_batch`` call on the other -- first in serving state (flat
+    plan compiled and kept consistent throughout) and then tree-only.
+    Twin results are verified identical.  A separate pair of smaller
+    twins is traced through the simulated cost model to check the
+    batch path charges exactly the scalar loop's events.
+    """
+    new = _fresh_keys(keys, writes, seed)
+    vals = [None] * writes
+
+    def build(compile_plan: bool) -> DILI:
+        index = DILI()
+        index.bulk_load(keys, [None] * len(keys))
+        if compile_plan:
+            index.get_batch(keys[:16])
+        return index
+
+    # Serving state: plan alive, every write keeps it consistent.
+    a, b = build(True), build(True)
+    t0 = time.perf_counter()
+    for k, v in zip(new.tolist(), vals):
+        a.insert(k, v)
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    b.insert_batch(new, vals)
+    batch_s = time.perf_counter() - t0
+    if list(a.items()) != list(b.items()):
+        raise AssertionError("insert_batch disagrees with the scalar loop")
+    if a._flat is None or b._flat is None:
+        raise AssertionError("a write dropped the compiled plan")
+    stats = (b.plan_patches, b.plan_subtree_recompiles, b.plan_recompiles)
+
+    # Tree only: no plan, no maintenance on either side.
+    a, b = build(False), build(False)
+    t0 = time.perf_counter()
+    for k, v in zip(new.tolist(), vals):
+        a.insert(k, v)
+    tree_scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    b.insert_batch(new, vals)
+    tree_batch_s = time.perf_counter() - t0
+    if list(a.items()) != list(b.items()):
+        raise AssertionError("insert_batch disagrees with the scalar loop")
+
+    # Simulated-cost parity on smaller twins (trace replay is per key,
+    # so the subset keeps the check fast without weakening it).
+    pk = keys[:: max(1, len(keys) // parity_keys)]
+    pnew = _fresh_keys(pk, parity_writes, seed + 1)
+    ta = CostTracer(CacheSimulator(scale.cache_lines))
+    tb = CostTracer(CacheSimulator(scale.cache_lines))
+    a = DILI()
+    a.bulk_load(pk, [None] * len(pk))
+    b = DILI()
+    b.bulk_load(pk, [None] * len(pk))
+    for k in pnew.tolist():
+        a.insert(k, None, tracer=ta)
+    b.insert_batch(pnew, [None] * len(pnew), tracer=tb)
+    sim_parity = (
+        ta.total_cycles == tb.total_cycles
+        and ta.mem_accesses == tb.mem_accesses
+        and ta.cache_misses == tb.cache_misses
+        and ta.phase_cycles == tb.phase_cycles
+        and list(a.items()) == list(b.items())
+    )
+    return WriteBatchMeasurement(
+        scalar_s=scalar_s,
+        batch_s=batch_s,
+        tree_scalar_s=tree_scalar_s,
+        tree_batch_s=tree_batch_s,
+        writes=writes,
+        sim_parity=sim_parity,
+        plan_patches=stats[0],
+        plan_subtree_recompiles=stats[1],
+        plan_recompiles=stats[2],
+    )
+
+
+@dataclass(frozen=True)
+class MixedWorkloadMeasurement:
+    """One YCSB-style batched read/write mixed-workload run.
+
+    Attributes:
+        ops: Total operations executed.
+        reads / writes: Read and write operation counts.
+        wall_s: Total wall-clock seconds across all rounds.
+        full_recompiles: Full plan recompiles *during* the workload
+            (beyond the initial lazy compile) -- the CI gate requires 0.
+        subtree_recompiles / patches: Incremental-maintenance counters.
+        plan_alive: True when the flat plan survived every round.
+    """
+
+    ops: int
+    reads: int
+    writes: int
+    wall_s: float
+    full_recompiles: int
+    subtree_recompiles: int
+    patches: int
+    plan_alive: bool
+
+    @property
+    def wall_mops(self) -> float:
+        return self.ops / self.wall_s / 1e6 if self.wall_s > 0 else 0.0
+
+
+def measure_mixed_workload(
+    keys: np.ndarray,
+    *,
+    rounds: int = 20,
+    ops_per_round: int = 1024,
+    write_fraction: float = 0.05,
+    seed: int = 29,
+) -> MixedWorkloadMeasurement:
+    """Run a batched read/write mix against one DILI in serving state.
+
+    Each round issues one ``get_batch`` over existing keys and one
+    write batch sized by ``write_fraction`` -- rounds alternate between
+    ``insert_batch`` of fresh keys and ``delete_batch`` of keys a
+    previous round inserted, so the tree stays near its initial size.
+    The flat plan is compiled before the first round and must survive
+    the whole run via patches and subtree splices; the lazy-recompile
+    counter is read before and after to prove no full recompile
+    happened between structural changes.
+    """
+    rng = np.random.default_rng(seed)
+    per_round_writes = max(1, int(round(ops_per_round * write_fraction)))
+    per_round_reads = ops_per_round - per_round_writes
+    index = DILI()
+    index.bulk_load(keys, [None] * len(keys))
+    index.get_batch(keys[:16])  # compile the plan: serving state
+    base_recompiles = index.plan_recompiles
+    pool = _fresh_keys(keys, per_round_writes * rounds, seed + 1)
+    inserted: list[np.ndarray] = []
+    reads = writes = 0
+    wall = 0.0
+    for r in range(rounds):
+        qs = keys[rng.integers(0, len(keys), per_round_reads)]
+        if r % 2 == 0 or not inserted:
+            chunk = pool[:per_round_writes]
+            pool = pool[per_round_writes:]
+            t0 = time.perf_counter()
+            index.get_batch(qs)
+            index.insert_batch(chunk, [None] * len(chunk))
+            wall += time.perf_counter() - t0
+            inserted.append(chunk)
+        else:
+            chunk = inserted.pop(0)
+            t0 = time.perf_counter()
+            index.get_batch(qs)
+            index.delete_batch(chunk)
+            wall += time.perf_counter() - t0
+        reads += per_round_reads
+        writes += len(chunk)
+    index.validate()
+    return MixedWorkloadMeasurement(
+        ops=reads + writes,
+        reads=reads,
+        writes=writes,
+        wall_s=wall,
+        full_recompiles=index.plan_recompiles - base_recompiles,
+        subtree_recompiles=index.plan_subtree_recompiles,
+        patches=index.plan_patches,
+        plan_alive=index._flat is not None,
+    )
+
+
 def measure_lookup(
     index,
     queries: np.ndarray,

@@ -214,6 +214,34 @@ class ConcurrentDILI:
         with self.exclusive():
             return list(self._index.items())
 
+    def insert_batch(
+        self, keys: np.ndarray | list, values: list | None = None
+    ) -> np.ndarray:
+        """Vectorized multi-key insert, exclusive of every other writer.
+
+        A batch crosses top-level leaf boundaries (its keys group onto
+        many leaves), so like scans it takes the global lock plus every
+        stripe rather than a single leaf's.
+        """
+        with self.exclusive():
+            return self._index.insert_batch(keys, values)
+
+    def delete_batch(self, keys: np.ndarray | list) -> np.ndarray:
+        """Vectorized multi-key delete; exclusive like :meth:`insert_batch`."""
+        if self._index.root is None:
+            return np.zeros(len(keys), dtype=bool)
+        with self.exclusive():
+            return self._index.delete_batch(keys)
+
+    def update_batch(
+        self, keys: np.ndarray | list, values: list
+    ) -> np.ndarray:
+        """Vectorized multi-key update; exclusive like :meth:`insert_batch`."""
+        if self._index.root is None:
+            return np.zeros(len(keys), dtype=bool)
+        with self.exclusive():
+            return self._index.update_batch(keys, values)
+
     def insert_many(self, pairs: Iterable[Pair]) -> int:
         """Insert pairs one by one; returns how many were new."""
         return sum(1 for k, v in pairs if self.insert(k, v))

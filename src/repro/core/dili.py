@@ -25,12 +25,23 @@ import numpy as np
 
 from repro.core.bulk_load import bulk_load
 from repro.core.cost import CostParams
-from repro.core.flat import FlatPlan, compile_plan
+from repro.core.flat import FlatPlan, InternalRouter, compile_plan
 from repro.core.linear_model import LinearModel
-from repro.core.local_opt import LocalOptStats, fit_leaf_model, local_opt
+from repro.core.local_opt import (
+    LocalOptStats,
+    fit_leaf_model,
+    local_opt,
+    predict_slots,
+    spawn_two,
+)
 from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode, Pair
 from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
-from repro.simulate.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.simulate.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -126,9 +137,20 @@ class DILI:
         self.adjustment_count = 0
         self.insert_count = 0
         self.moved_pairs = 0
+        # Plan-maintenance counters: full lazy compiles, single-leaf
+        # subtree recompiles after structural changes, and in-place
+        # buffer patches (see docs/performance.md).
+        self.plan_recompiles = 0
+        self.plan_subtree_recompiles = 0
+        self.plan_patches = 0
         self._count = 0
         self._cycles = self.config.cycles
         self._flat: FlatPlan | None = None
+        self._router: InternalRouter | None = None
+        # Set by _insert_to_leaf/_delete_from_leaf/_adjust when an op
+        # changes the tree *shape* (spawn / adjust / collapse), not just
+        # a slot's contents; decides patch vs subtree recompile.
+        self._op_structural = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -151,6 +173,7 @@ class DILI:
                 dropped to free memory.
         """
         self._invalidate_plan()
+        self._router = None  # the root object is being replaced
         keys = np.asarray(keys, dtype=np.float64)
         if keys.ndim != 1:
             raise ValueError("keys must be one-dimensional")
@@ -255,7 +278,8 @@ class DILI:
     # ------------------------------------------------------------------
 
     def _invalidate_plan(self) -> None:
-        """Drop the compiled read plan; any mutation must call this."""
+        """Drop the compiled read plan (the incremental-maintenance
+        fallback for mutations no patch or subtree recompile covers)."""
         self._flat = None
 
     def _plan(self) -> FlatPlan:
@@ -263,8 +287,11 @@ class DILI:
 
         The plan is a structure-of-arrays snapshot of the node tree
         (see :mod:`repro.core.flat`); it is compiled lazily on the
-        first batch read and dropped by every mutation, so batch reads
-        between mutations share one compilation.
+        first batch read and then *maintained incrementally* across
+        mutations: slot-level changes patch the buffers in place and
+        structural changes recompile only the affected top-level leaf's
+        subtree, so mixed read/write workloads do not pay an O(n)
+        recompile per write.
         """
         plan = self._flat
         if plan is None:
@@ -272,7 +299,60 @@ class DILI:
                 raise ValueError("cannot compile a plan for an empty index")
             plan = compile_plan(self.root)
             self._flat = plan
+            self.plan_recompiles += 1
         return plan
+
+    def _get_router(self) -> InternalRouter:
+        """Cached write-batch router; rebuilt when the root is replaced.
+
+        Internal nodes are immutable after bulk load, so the router
+        survives every insert/delete/adjust and is rebuilt only when
+        ``self.root`` is a different object (bulk load, first insert).
+        """
+        router = self._router
+        if router is None or router.root is not self.root:
+            router = self._router = InternalRouter(self.root)
+        return router
+
+    def _plan_note_insert(self, key: float, value: object, leaf) -> None:
+        """Maintain the plan after one successful scalar insert."""
+        plan = self._flat
+        if plan is None:
+            return
+        if self._op_structural:
+            if plan.recompile_subtree(key, leaf):
+                self.plan_subtree_recompiles += 1
+            else:
+                self._invalidate_plan()
+        elif plan.patch_insert(key, value):
+            self.plan_patches += 1
+        else:
+            self._invalidate_plan()
+
+    def _plan_note_delete(self, key: float, leaf) -> None:
+        """Maintain the plan after one successful scalar delete."""
+        plan = self._flat
+        if plan is None:
+            return
+        if self._op_structural:
+            if plan.recompile_subtree(key, leaf):
+                self.plan_subtree_recompiles += 1
+            else:
+                self._invalidate_plan()
+        elif plan.patch_delete(key):
+            self.plan_patches += 1
+        else:
+            self._invalidate_plan()
+
+    def _plan_note_update(self, key: float, value: object) -> None:
+        """Maintain the plan after one successful value update."""
+        plan = self._flat
+        if plan is None:
+            return
+        if plan.patch_value(key, value):
+            self.plan_patches += 1
+        else:
+            self._invalidate_plan()
 
     def get_batch(
         self, keys: np.ndarray | list, tracer: Tracer = NULL_TRACER
@@ -324,10 +404,20 @@ class DILI:
     # Insertion (Algorithm 7)
     # ------------------------------------------------------------------
 
-    def insert(self, key: float, value: object) -> bool:
-        """Insert a pair; returns False (and changes nothing) if present."""
+    def insert(
+        self, key: float, value: object, tracer: Tracer = NULL_TRACER
+    ) -> bool:
+        """Insert a pair; returns False (and changes nothing) if present.
+
+        With a real ``tracer`` the descent and slot probes charge the
+        same events a ``get`` of the same key would (the probe cost of
+        Algorithm 7); structural work (``local_opt`` during spawns and
+        adjustments) charges nothing, matching the paper's cost model.
+        The compiled read plan, if present, is patched or
+        subtree-recompiled in place -- and left untouched entirely when
+        the key already exists.
+        """
         key = float(key)
-        self._invalidate_plan()
         if self.root is None:
             leaf = LeafNode(key, key + 1.0)
             local_opt(leaf, [(key, value)], enlarge=self.config.enlarge)
@@ -339,24 +429,40 @@ class DILI:
             raise NotImplementedError(
                 "the DILI-LO ablation is lookup-only (paper Section 7.2)"
             )
+        c = self._cycles
+        tracer.phase("step1")
         node = self.root
         while type(node) is InternalNode:
-            node = node.children[node.child_index(key)]
-        inserted = self._insert_to_leaf(node, (key, value))
+            tracer.mem(node.region)
+            tracer.compute(c.linear_model)
+            idx = node.child_index(key)
+            tracer.mem(node.region, 64 + idx * 8)
+            node = node.children[idx]
+        tracer.phase("step2")
+        self._op_structural = False
+        inserted = self._insert_to_leaf(node, (key, value), tracer)
         if inserted:
             self._count += 1
             self.insert_count += 1
+            self._plan_note_insert(key, value, node)
         return inserted
 
-    def _insert_to_leaf(self, leaf: LeafNode, pair: Pair) -> bool:
+    def _insert_to_leaf(
+        self, leaf: LeafNode, pair: Pair, tracer: Tracer = NULL_TRACER
+    ) -> bool:
         """insertToLeafNode of Algorithm 7, including the adjust check."""
+        c = self._cycles
+        tracer.mem(leaf.region)
+        tracer.compute(c.linear_model)
         pos = leaf.predict_slot(pair[0])
+        tracer.mem(leaf.region, 64 + pos * 16)
         entry = leaf.slots[pos]
         if entry is None:
             leaf.slots[pos] = pair
             leaf.delta += 1
             not_exist = True
         elif type(entry) is tuple:
+            tracer.compute(c.branch)
             if entry[0] == pair[0]:
                 not_exist = False
             else:
@@ -368,10 +474,11 @@ class DILI:
                 leaf.slots[pos] = child
                 leaf.delta += 1 + child.delta
                 self.moved_pairs += 2
+                self._op_structural = True
                 not_exist = True
         else:
             delta_before = entry.delta
-            not_exist = self._insert_to_leaf(entry, pair)
+            not_exist = self._insert_to_leaf(entry, pair, tracer)
             leaf.delta += 1 + entry.delta - delta_before
         if not_exist:
             leaf.num_pairs += 1
@@ -390,7 +497,7 @@ class DILI:
         ``phi(alpha)``, retrains the model stretched over the new fanout
         (Algorithm 7 lines 21-26) and redistributes with local opt.
         """
-        self._invalidate_plan()
+        self._op_structural = True
         pairs = list(leaf.iter_pairs())
         self.moved_pairs += len(pairs)
         ratio = self.config.phi(leaf.alpha)
@@ -419,10 +526,15 @@ class DILI:
     # Deletion (Algorithm 8)
     # ------------------------------------------------------------------
 
-    def delete(self, key: float) -> bool:
-        """Remove ``key``; returns False if it was not present."""
+    def delete(self, key: float, tracer: Tracer = NULL_TRACER) -> bool:
+        """Remove ``key``; returns False if it was not present.
+
+        Tracer semantics match :meth:`insert`: probes charge ``get``-like
+        events, structural trimming charges nothing.  A miss leaves the
+        compiled read plan untouched; a hit patches it (or recompiles
+        the affected leaf's subtree after a nested-leaf collapse).
+        """
         key = float(key)
-        self._invalidate_plan()
         node = self.root
         if node is None:
             return False
@@ -430,20 +542,36 @@ class DILI:
             raise NotImplementedError(
                 "the DILI-LO ablation is lookup-only (paper Section 7.2)"
             )
+        c = self._cycles
+        tracer.phase("step1")
         while type(node) is InternalNode:
-            node = node.children[node.child_index(key)]
-        existed = self._delete_from_leaf(node, key)
+            tracer.mem(node.region)
+            tracer.compute(c.linear_model)
+            idx = node.child_index(key)
+            tracer.mem(node.region, 64 + idx * 8)
+            node = node.children[idx]
+        tracer.phase("step2")
+        self._op_structural = False
+        existed = self._delete_from_leaf(node, key, tracer)
         if existed:
             self._count -= 1
+            self._plan_note_delete(key, node)
         return existed
 
-    def _delete_from_leaf(self, leaf: LeafNode, key: float) -> bool:
+    def _delete_from_leaf(
+        self, leaf: LeafNode, key: float, tracer: Tracer = NULL_TRACER
+    ) -> bool:
         """deleteFromLeafNode of Algorithm 8, with single-pair trimming."""
+        c = self._cycles
+        tracer.mem(leaf.region)
+        tracer.compute(c.linear_model)
         pos = leaf.predict_slot(key)
+        tracer.mem(leaf.region, 64 + pos * 16)
         entry = leaf.slots[pos]
         if entry is None:
             existed = False
         elif type(entry) is tuple:
+            tracer.compute(c.branch)
             if entry[0] == key:
                 leaf.slots[pos] = None
                 leaf.delta -= 1
@@ -452,12 +580,13 @@ class DILI:
                 existed = False
         else:
             delta_before = entry.delta
-            existed = self._delete_from_leaf(entry, key)
+            existed = self._delete_from_leaf(entry, key, tracer)
             leaf.delta -= 1 + delta_before - entry.delta
             if existed and entry.num_pairs == 1:
                 remaining = next(entry.iter_pairs())
                 leaf.slots[pos] = remaining
                 leaf.delta -= 1
+                self._op_structural = True
         if existed:
             leaf.num_pairs -= 1
             leaf.kappa = (
@@ -474,13 +603,13 @@ class DILI:
     ) -> int:
         """Insert many pairs at once; returns how many were new.
 
-        Small batches are applied through the normal insertion path
-        (Algorithm 7).  When the batch exceeds ``rebuild_ratio`` of the
-        current size, it is cheaper -- and yields a distribution-aware
-        layout for the *combined* data -- to merge and re-run bulk
-        loading, the strategy the paper's construction-cost discussion
-        implies for large ingests.  Existing keys keep their old values
-        (insert semantics).
+        Small batches route through :meth:`insert_batch` (the vectorized
+        Algorithm 7 path).  When the batch exceeds ``rebuild_ratio`` of
+        the current size, it is cheaper -- and yields a
+        distribution-aware layout for the *combined* data -- to merge
+        and re-run bulk loading, the strategy the paper's
+        construction-cost discussion implies for large ingests.
+        Existing keys keep their old values (insert semantics).
         """
         keys = np.asarray(keys, dtype=np.float64)
         if values is None:
@@ -489,18 +618,13 @@ class DILI:
             raise ValueError("values must match keys in length")
         if len(keys) == 0:
             return 0
-        self._invalidate_plan()
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         values = [values[int(i)] for i in order]
         if np.any(np.diff(keys) <= 0):
             raise ValueError("batch keys must be unique")
         if len(self) == 0 or len(keys) < rebuild_ratio * len(self):
-            return sum(
-                1
-                for i in range(len(keys))
-                if self.insert(float(keys[i]), values[i])
-            )
+            return int(np.count_nonzero(self.insert_batch(keys, values)))
         merged: dict[float, object] = {
             float(keys[i]): values[i] for i in range(len(keys))
         }
@@ -518,6 +642,485 @@ class DILI:
         return batch_new
 
     # ------------------------------------------------------------------
+    # Vectorized batch writes
+    # ------------------------------------------------------------------
+    #
+    # The batch write path mirrors get_batch's structure: the whole
+    # batch descends the cached InternalRouter level-synchronously
+    # (internal nodes never change after bulk load), keys are grouped
+    # by target top-level leaf, slot prediction is vectorized per group,
+    # and only conflict resolution, nested-leaf spawning and _adjust
+    # fall back to the scalar Algorithm 7/8 code.  Results, tree
+    # structure, counters, and -- under a real tracer -- the simulated
+    # cost trace are identical to the equivalent scalar loop: keys
+    # within one leaf keep their batch order (stable sort) and
+    # operations on different top-level leaves commute.
+
+    def insert_batch(
+        self,
+        keys: np.ndarray | list,
+        values: list | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> np.ndarray:
+        """Insert many pairs; boolean array, True where newly inserted.
+
+        Semantically identical to
+        ``[self.insert(k, v) for k, v in zip(keys, values)]`` --
+        including duplicate handling, adjustment triggers, counters and
+        (with a real ``tracer``) the exact simulated cost trace, which
+        is recorded per key during grouped execution and replayed in
+        batch order.  ``values`` defaults to ``"inserted"`` payloads,
+        like :meth:`bulk_insert`.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        n = len(keys)
+        if values is None:
+            values = ["inserted"] * n
+        elif len(values) != n:
+            raise ValueError("values must match keys in length")
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        start = 0
+        if self.root is None:
+            # The first key builds the root exactly like scalar insert.
+            out[0] = self.insert(float(keys[0]), values[0], tracer)
+            if n == 1:
+                return out
+            start = 1
+        if not self.config.local_optimization:
+            raise NotImplementedError(
+                "the DILI-LO ablation is lookup-only (paper Section 7.2)"
+            )
+        record = not isinstance(tracer, NullTracer)
+        router = self._get_router()
+        sub = keys[start:]
+        leaf_of, rtrace = router.route(sub, record=record)
+        recorders = (
+            self._descent_recorders(router, len(sub), rtrace)
+            if record
+            else None
+        )
+        order = np.argsort(leaf_of, kind="stable")
+        sorted_leaf = leaf_of[order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_leaf)) + 1).tolist(),
+            len(order),
+        ]
+        leaves = router.leaves
+        all_patches: list = []
+        dirty: list = []
+        for g in range(len(bounds) - 1):
+            members = order[bounds[g]:bounds[g + 1]]
+            leaf = leaves[int(sorted_leaf[bounds[g]])]
+            structural, patches = self._insert_group(
+                leaf, members, sub, values, start, out, recorders
+            )
+            if structural:
+                dirty.append((leaf, float(sub[members[0]])))
+            else:
+                all_patches.extend(patches)
+        newly = int(np.count_nonzero(out[start:]))
+        self._count += newly
+        self.insert_count += newly
+        self._plan_note_batch(all_patches, dirty, deletes=False)
+        if record:
+            for rec in recorders:
+                rec.replay(tracer)
+        return out
+
+    def _insert_group(
+        self, leaf, members, keys_sub, values, offset, out, recorders
+    ):
+        """Apply one leaf's batch inserts in batch order.
+
+        The leaf's bookkeeping (delta/num_pairs/kappa) lives in locals
+        across the loop -- nothing below the top frame reads the parent
+        leaf's attributes -- and is written back before any `_adjust`
+        (which rebuilds the leaf in place) and at the end.  Returns
+        ``(structural, patches)`` where ``patches`` are the (key, value)
+        pairs that landed in empty slots (plan-patchable) -- discarded
+        by the caller when the leaf changed structurally, because the
+        subtree recompile covers them wholesale.
+        """
+        cfg = self.config
+        adjust_on = cfg.adjust
+        lam = cfg.lambda_adjust
+        enlarge = cfg.enlarge
+        # Same fanout expression local_opt evaluates for a 2-pair group.
+        fanout2 = max(2, int(np.ceil(enlarge * 2)))
+        c = self._cycles
+        eta = c.linear_model
+        br = c.branch
+        members_list = members.tolist()
+        mkeys = keys_sub[members]
+        pos_arr = predict_slots(leaf, mkeys)
+        if pos_arr is None:
+            pos_list = [leaf.predict_slot(float(k)) for k in mkeys]
+        else:
+            pos_list = pos_arr.tolist()
+        keys_list = mkeys.tolist()
+        slots = leaf.slots
+        delta = leaf.delta
+        npairs = leaf.num_pairs
+        kappa = leaf.kappa
+        region = leaf.region
+        structural = False
+        patches: list = []
+        m = len(members_list)
+        for t in range(m):
+            j = members_list[t]
+            k = keys_list[t]
+            p = pos_list[t]
+            rec = recorders[j] if recorders is not None else None
+            if rec is not None:
+                rec.mem(region)
+                rec.compute(eta)
+                rec.mem(region, 64 + p * 16)
+            entry = slots[p]
+            if entry is None:
+                pair = (k, values[offset + j])
+                slots[p] = pair
+                delta += 1
+                not_exist = True
+                patches.append(pair)
+            elif type(entry) is tuple:
+                if rec is not None:
+                    rec.compute(br)
+                if entry[0] == k:
+                    not_exist = False
+                else:
+                    pair = (k, values[offset + j])
+                    child = spawn_two(entry, pair, fanout2)
+                    if child is None:
+                        child = LeafNode(
+                            min(entry[0], k), max(entry[0], k)
+                        )
+                        group = sorted([entry, pair])
+                        local_opt(child, group, enlarge=enlarge)
+                    slots[p] = child
+                    delta += 1 + child.delta
+                    self.moved_pairs += 2
+                    structural = True
+                    not_exist = True
+            else:
+                delta_before = entry.delta
+                self._op_structural = False
+                not_exist = self._insert_to_leaf(
+                    entry,
+                    (k, values[offset + j]),
+                    rec if rec is not None else NULL_TRACER,
+                )
+                delta += 1 + entry.delta - delta_before
+                if self._op_structural:
+                    structural = True
+                elif not_exist:
+                    patches.append((k, values[offset + j]))
+            if not_exist:
+                out[offset + j] = True
+                npairs += 1
+                # Same float expression as the scalar adjust check --
+                # not algebraically rearranged, so it fires on exactly
+                # the same ops.
+                if adjust_on and delta / npairs > lam * kappa:
+                    leaf.delta = delta
+                    leaf.num_pairs = npairs
+                    self._adjust(leaf)
+                    structural = True
+                    slots = leaf.slots
+                    delta = leaf.delta
+                    npairs = leaf.num_pairs
+                    kappa = leaf.kappa
+                    if t + 1 < m:
+                        rest = np.asarray(
+                            keys_list[t + 1:], dtype=np.float64
+                        )
+                        pa = predict_slots(leaf, rest)
+                        if pa is None:
+                            pos_list[t + 1:] = [
+                                leaf.predict_slot(kk)
+                                for kk in keys_list[t + 1:]
+                            ]
+                        else:
+                            pos_list[t + 1:] = pa.tolist()
+        leaf.delta = delta
+        leaf.num_pairs = npairs
+        return structural, patches
+
+    def delete_batch(
+        self, keys: np.ndarray | list, tracer: Tracer = NULL_TRACER
+    ) -> np.ndarray:
+        """Remove many keys; boolean array, True where a key existed.
+
+        Semantically identical to ``[self.delete(k) for k in keys]``,
+        with the same grouped vectorized execution, plan maintenance,
+        and batch-order trace replay as :meth:`insert_batch`.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if self.root is None or n == 0:
+            return out
+        if not self.config.local_optimization:
+            raise NotImplementedError(
+                "the DILI-LO ablation is lookup-only (paper Section 7.2)"
+            )
+        record = not isinstance(tracer, NullTracer)
+        router = self._get_router()
+        leaf_of, rtrace = router.route(keys, record=record)
+        recorders = (
+            self._descent_recorders(router, n, rtrace) if record else None
+        )
+        order = np.argsort(leaf_of, kind="stable")
+        sorted_leaf = leaf_of[order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_leaf)) + 1).tolist(),
+            len(order),
+        ]
+        leaves = router.leaves
+        all_removed: list = []
+        dirty: list = []
+        for g in range(len(bounds) - 1):
+            members = order[bounds[g]:bounds[g + 1]]
+            leaf = leaves[int(sorted_leaf[bounds[g]])]
+            structural, removed = self._delete_group(
+                leaf, members, keys, out, recorders
+            )
+            if structural:
+                dirty.append((leaf, float(keys[members[0]])))
+            else:
+                all_removed.extend(removed)
+        self._count -= int(np.count_nonzero(out))
+        self._plan_note_batch(all_removed, dirty, deletes=True)
+        if record:
+            for rec in recorders:
+                rec.replay(tracer)
+        return out
+
+    def _delete_group(self, leaf, members, keys_arr, out, recorders):
+        """Apply one leaf's batch deletes in batch order.
+
+        Returns ``(structural, removed_keys)``; ``removed_keys`` are the
+        top-frame pair deletions (plan-patchable).
+        """
+        c = self._cycles
+        eta = c.linear_model
+        br = c.branch
+        members_list = members.tolist()
+        mkeys = keys_arr[members]
+        pos_arr = predict_slots(leaf, mkeys)
+        if pos_arr is None:
+            pos_list = [leaf.predict_slot(float(k)) for k in mkeys]
+        else:
+            pos_list = pos_arr.tolist()
+        keys_list = mkeys.tolist()
+        slots = leaf.slots
+        delta = leaf.delta
+        npairs = leaf.num_pairs
+        kappa = leaf.kappa
+        region = leaf.region
+        structural = False
+        removed: list = []
+        for t in range(len(members_list)):
+            j = members_list[t]
+            k = keys_list[t]
+            p = pos_list[t]
+            rec = recorders[j] if recorders is not None else None
+            if rec is not None:
+                rec.mem(region)
+                rec.compute(eta)
+                rec.mem(region, 64 + p * 16)
+            entry = slots[p]
+            if entry is None:
+                existed = False
+            elif type(entry) is tuple:
+                if rec is not None:
+                    rec.compute(br)
+                if entry[0] == k:
+                    slots[p] = None
+                    delta -= 1
+                    existed = True
+                    removed.append(k)
+                else:
+                    existed = False
+            else:
+                delta_before = entry.delta
+                self._op_structural = False
+                existed = self._delete_from_leaf(
+                    entry, k, rec if rec is not None else NULL_TRACER
+                )
+                delta -= 1 + delta_before - entry.delta
+                if existed and entry.num_pairs == 1:
+                    remaining = next(entry.iter_pairs())
+                    slots[p] = remaining
+                    delta -= 1
+                    structural = True
+                elif self._op_structural:
+                    structural = True
+                elif existed:
+                    removed.append(k)
+            if existed:
+                out[j] = True
+                npairs -= 1
+                kappa = delta / npairs if npairs > 0 else 1.0
+        leaf.delta = delta
+        leaf.num_pairs = npairs
+        leaf.kappa = kappa
+        return structural, removed
+
+    def update_batch(
+        self, keys: np.ndarray | list, values: list
+    ) -> np.ndarray:
+        """Replace values for many existing keys; True where updated.
+
+        Semantically identical to
+        ``[self.update(k, v) for k, v in zip(keys, values)]``.  Updates
+        never restructure the tree, so the plan maintenance is pure
+        value-table patching.  (Like ``update``, this charges no
+        simulated cost, so it takes no tracer.)
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        n = len(keys)
+        if len(values) != n:
+            raise ValueError("values must match keys in length")
+        out = np.zeros(n, dtype=bool)
+        if self.root is None or n == 0:
+            return out
+        router = self._get_router()
+        leaf_of, _ = router.route(keys)
+        order = np.argsort(leaf_of, kind="stable")
+        sorted_leaf = leaf_of[order]
+        bounds = [
+            0,
+            *(np.flatnonzero(np.diff(sorted_leaf)) + 1).tolist(),
+            len(order),
+        ]
+        leaves = router.leaves
+        updated: list = []
+        for g in range(len(bounds) - 1):
+            members = order[bounds[g]:bounds[g + 1]].tolist()
+            leaf = leaves[int(sorted_leaf[bounds[g]])]
+            group_keys = keys[members].tolist()
+            if type(leaf) is DenseLeafNode:
+                for t, j in enumerate(members):
+                    k = group_keys[t]
+                    idx = int(np.searchsorted(leaf.keys, k, side="left"))
+                    if idx < len(leaf.keys) and leaf.keys[idx] == k:
+                        leaf.values[idx] = values[j]
+                        out[j] = True
+                        updated.append((k, values[j]))
+                continue
+            garr = np.asarray(group_keys, dtype=np.float64)
+            pos_arr = predict_slots(leaf, garr)
+            if pos_arr is None:
+                pos_list = [leaf.predict_slot(k) for k in group_keys]
+            else:
+                pos_list = pos_arr.tolist()
+            for t, j in enumerate(members):
+                k = group_keys[t]
+                node = leaf
+                p = pos_list[t]
+                while True:
+                    entry = node.slots[p]
+                    if entry is None:
+                        break
+                    if type(entry) is tuple:
+                        if entry[0] == k:
+                            node.slots[p] = (k, values[j])
+                            out[j] = True
+                            updated.append((k, values[j]))
+                        break
+                    node = entry
+                    p = node.predict_slot(k)
+        plan = self._flat
+        if plan is not None:
+            for k, v in updated:
+                if plan.patch_value(k, v):
+                    self.plan_patches += 1
+                else:
+                    self._invalidate_plan()
+                    break
+        return out
+
+    def _descent_recorders(
+        self, router: InternalRouter, n: int, trace: list
+    ) -> list[RecordingTracer]:
+        """Per-key recorders pre-loaded with the routing descent events.
+
+        Synthesizes, for every key, exactly the events the scalar
+        insert/delete descent charges (phase step1, then per internal
+        level: node header read, model evaluation, child-pointer read,
+        then phase step2).  Group execution appends the leaf-probe
+        events; the caller replays every recorder in batch order.
+        """
+        recs = [RecordingTracer() for _ in range(n)]
+        eta = self._cycles.linear_model
+        region = router.region.tolist()
+        depth = len(trace)
+        if depth:
+            path_node = np.full((n, depth), -1, dtype=np.int64)
+            path_pos = np.full((n, depth), -1, dtype=np.int64)
+            for level, (idx, node, pos) in enumerate(trace):
+                path_node[idx, level] = node
+                path_pos[idx, level] = pos
+            nodes_list = path_node.tolist()
+            pos_list = path_pos.tolist()
+        else:
+            nodes_list = [[] for _ in range(n)]
+            pos_list = nodes_list
+        for i in range(n):
+            rec = recs[i]
+            rec.phase("step1")
+            rn = nodes_list[i]
+            rp = pos_list[i]
+            for level in range(len(rn)):
+                v = rn[level]
+                if v < 0:
+                    break  # resolved at the previous level
+                rec.mem(region[v])
+                rec.compute(eta)
+                rec.mem(region[v], 64 + rp[level] * 8)
+            rec.phase("step2")
+        return recs
+
+    def _plan_note_batch(
+        self, slot_keys: list, dirty: list, *, deletes: bool
+    ) -> None:
+        """Maintain the plan after a write batch.
+
+        ``slot_keys`` are the patchable slot-level mutations (pairs for
+        inserts, keys for deletes) from non-structural groups;
+        ``dirty`` holds ``(leaf, key)`` for structurally changed
+        top-level leaves, each recompiled as one subtree splice.
+        """
+        plan = self._flat
+        if plan is None:
+            return
+        ok = True
+        if slot_keys:
+            if deletes:
+                ok = plan.patch_delete_many(slot_keys)
+            else:
+                ok = plan.patch_insert_many(slot_keys)
+            if ok:
+                self.plan_patches += len(slot_keys)
+        if ok and dirty:
+            if plan.recompile_subtrees([(key, leaf) for leaf, key in dirty]):
+                self.plan_subtree_recompiles += len(dirty)
+            else:
+                ok = False
+        if not ok:
+            self._invalidate_plan()
+
+    # ------------------------------------------------------------------
     # Value updates and convenience accessors
     # ------------------------------------------------------------------
 
@@ -526,10 +1129,10 @@ class DILI:
 
         Returns False (and stores nothing) when the key is absent; use
         :meth:`insert` to add new keys.  Updates touch exactly one slot
-        and never restructure the tree.
+        and never restructure the tree, so the compiled read plan is
+        patched in place (one ``values`` entry) rather than dropped.
         """
         key = float(key)
-        self._invalidate_plan()  # the plan caches value references
         node = self.root
         if node is None:
             return False
@@ -539,6 +1142,7 @@ class DILI:
             idx = int(np.searchsorted(node.keys, key, side="left"))
             if idx < len(node.keys) and node.keys[idx] == key:
                 node.values[idx] = value
+                self._plan_note_update(key, value)
                 return True
             return False
         while True:
@@ -549,6 +1153,7 @@ class DILI:
             if type(entry) is tuple:
                 if entry[0] == key:
                     node.slots[pos] = (key, value)
+                    self._plan_note_update(key, value)
                     return True
                 return False
             node = entry
@@ -608,16 +1213,23 @@ class DILI:
     _PICKLE_VERSION = 2
 
     def __getstate__(self) -> dict:
-        """Pickle without the compiled plan (it is derived state)."""
+        """Pickle without the compiled plan/router (derived state)."""
         state = dict(self.__dict__)
         state["_flat"] = None
+        state["_router"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        # Files written before the flat plan existed lack these fields.
+        # Files written before the flat plan / batch write path existed
+        # lack these fields.
         self.__dict__.setdefault("_flat", None)
         self.__dict__.setdefault("_cycles", self.config.cycles)
+        self.__dict__.setdefault("_router", None)
+        self.__dict__.setdefault("_op_structural", False)
+        self.__dict__.setdefault("plan_recompiles", 0)
+        self.__dict__.setdefault("plan_subtree_recompiles", 0)
+        self.__dict__.setdefault("plan_patches", 0)
 
     def save(self, path) -> None:
         """Serialize the index to ``path``, atomically and checksummed.

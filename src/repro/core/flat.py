@@ -11,10 +11,22 @@ multiply-add for every in-flight key.
 :func:`compile_plan` packs the tree into structure-of-arrays buffers
 (one row per node, one row per entry-array slot) and
 :class:`FlatPlan` descends a whole key batch level-synchronously with
-numpy ops -- no per-key Python in the loop.  The plan is a *read*
-acceleration structure only: it references the live tree's payload
-objects, is compiled lazily by :meth:`repro.core.dili.DILI.get_batch`,
-and is dropped by every mutation (see ``DILI._invalidate_plan``).
+numpy ops -- no per-key Python in the loop.  The plan references the
+live tree's payload objects and is compiled lazily by
+:meth:`repro.core.dili.DILI.get_batch`.  It *survives* mutations:
+slot-level changes (insert into an empty slot, delete of a top-frame
+pair, value update) patch the buffers in place (``patch_insert_many`` /
+``patch_delete_many`` / ``patch_value``), structural changes (nested
+leaf spawn, ``_adjust``, single-pair collapse) recompile only the
+affected top-level leaf's subtree (``recompile_subtree``), and a full
+recompile is the last resort (see ``DILI._invalidate_plan`` and the
+``plan_patches`` / ``plan_subtree_recompiles`` / ``plan_recompiles``
+counters).
+
+:class:`InternalRouter` is the write-path sibling: internal nodes are
+immutable after bulk load, so a cached array-packed skeleton of just
+the internals routes whole write batches to their target top-level
+leaves level-synchronously.
 
 Layout
 ------
@@ -59,10 +71,12 @@ identical totals.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.local_opt import _SAFE_PRED
 from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
 from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
 from repro.simulate.tracer import NULL_TRACER, Tracer
@@ -257,6 +271,433 @@ class FlatPlan:
         return np.maximum(counts, 0)
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    #
+    # All patch methods return False (leaving the plan untouched or --
+    # for recompile_subtree -- only consistently updated) when they
+    # cannot prove the in-place edit is equivalent to a fresh
+    # compile_plan(root); callers then fall back to full invalidation.
+    # On success, the patched arrays are *identical* to what a fresh
+    # compile of the mutated tree would produce (asserted by the
+    # equivalence tests), so reads cannot tell the difference.
+
+    def _locate(self, key: float) -> tuple[int, int] | None:
+        """Scalar descent to ``key``'s terminal ``(node row, slot pos)``.
+
+        Uses the same scalar ``int(math.floor(...))`` arithmetic as the
+        live tree's ``child_index``/``predict_slot``, so the located
+        slot is exactly the one the scalar operation touched.  Returns
+        ``(row, -1)`` for a dense-leaf terminal, ``None`` if the
+        descent does not terminate.
+        """
+        kind = self.kind
+        slope = self.slope
+        intercept = self.intercept
+        size = self.size
+        base = self.base
+        slot_kind = self.slot_kind
+        slot_ref = self.slot_ref
+        row = 0
+        for _ in range(_MAX_DESCENT):
+            if kind[row] == KIND_DENSE:
+                return row, -1
+            pos = int(math.floor(intercept[row] + slope[row] * key))
+            last = int(size[row]) - 1
+            if pos < 0:
+                pos = 0
+            elif pos > last:
+                pos = last
+            ref = int(base[row]) + pos
+            if slot_kind[ref] == SLOT_NODE:
+                row = int(slot_ref[ref])
+                continue
+            return row, pos
+        return None
+
+    def patch_value(self, key: float, value) -> bool:
+        """Replace ``key``'s payload in the flat value table in place.
+
+        Value updates never restructure the tree, so the plan's only
+        stale state is one ``values`` entry.  Works on pair and dense
+        terminals alike.
+        """
+        loc = self._locate(key)
+        if loc is None:
+            return False
+        row, pos = loc
+        if pos < 0:  # dense terminal
+            b = int(self.base[row])
+            m = int(self.size[row])
+            block = self.dense_keys[b:b + m]
+            i = int(np.searchsorted(block, key))
+            if i >= m or block[i] != key:
+                return False
+            self.values[self.num_pairs + b + i] = value
+            return True
+        ref = int(self.base[row]) + pos
+        if self.slot_kind[ref] != SLOT_PAIR:
+            return False
+        p = int(self.slot_ref[ref])
+        if self.pair_keys[p] != key:
+            return False
+        self.values[p] = value
+        return True
+
+    def patch_insert(self, key: float, value) -> bool:
+        """Single-pair form of :meth:`patch_insert_many`."""
+        return self.patch_insert_many([(key, value)])
+
+    def patch_insert_many(self, pairs: list) -> bool:
+        """Splice newly inserted pairs into the buffers in place.
+
+        ``pairs`` are ``(key, value)`` tuples the live tree just placed
+        into previously *empty* slots (no spawn, no adjust).  Slot
+        positions come from re-running the descent on the plan itself;
+        the flat key/value arrays grow by one vectorized ``np.insert``
+        with the existing pair references shifted in bulk.
+        """
+        if len(self.dense_keys):
+            return False  # dense/mixed plans: patching keys not supported
+        k = len(pairs)
+        if k == 0:
+            return True
+        refs = []
+        for key, _ in pairs:
+            loc = self._locate(key)
+            if loc is None or loc[1] < 0:
+                return False
+            row, pos = loc
+            ref = int(self.base[row]) + pos
+            if self.slot_kind[ref] != SLOT_EMPTY:
+                return False
+            refs.append(ref)
+        keys_arr = np.fromiter(
+            (p[0] for p in pairs), dtype=np.float64, count=k
+        )
+        order = np.argsort(keys_arr, kind="stable")
+        keys_sorted = keys_arr[order]
+        if k > 1 and not np.all(keys_sorted[1:] > keys_sorted[:-1]):
+            return False  # duplicate keys in one patch batch
+        old = self.pair_keys
+        ins = np.searchsorted(old, keys_sorted)
+        # Existing pair index i moves up by the number of new keys
+        # landing at or before it.
+        pair_mask = self.slot_kind == SLOT_PAIR
+        prefs = self.slot_ref[pair_mask]
+        self.slot_ref[pair_mask] = prefs + np.searchsorted(
+            ins, prefs, side="right"
+        )
+        self.pair_keys = np.insert(old, ins, keys_sorted)
+        self.sorted_keys = self.pair_keys
+        final = ins + np.arange(k, dtype=np.int64)
+        slot_kind = self.slot_kind
+        slot_ref = self.slot_ref
+        for t in range(k):
+            ref = refs[int(order[t])]
+            slot_kind[ref] = SLOT_PAIR
+            slot_ref[ref] = final[t]
+        vals = self.values
+        out_vals: list = []
+        prev = 0
+        for t in range(k):
+            cut = int(ins[t])
+            out_vals.extend(vals[prev:cut])
+            out_vals.append(pairs[int(order[t])][1])
+            prev = cut
+        out_vals.extend(vals[prev:])
+        self.values = out_vals
+        self.num_pairs += k
+        return True
+
+    def patch_delete(self, key: float) -> bool:
+        """Single-key form of :meth:`patch_delete_many`."""
+        return self.patch_delete_many([key])
+
+    def patch_delete_many(self, keys: Sequence[float]) -> bool:
+        """Remove deleted top-frame pairs from the buffers in place.
+
+        ``keys`` were just deleted from pair slots without any
+        structural change (no nested-leaf collapse).  The vacated slots
+        become ``SLOT_EMPTY`` with a zeroed ref -- exactly what a fresh
+        compile of the mutated tree would emit.
+        """
+        if len(self.dense_keys):
+            return False
+        k = len(keys)
+        if k == 0:
+            return True
+        drop = np.empty(k, dtype=np.int64)
+        slot_refs = []
+        pair_keys = self.pair_keys
+        for t, key in enumerate(keys):
+            loc = self._locate(key)
+            if loc is None or loc[1] < 0:
+                return False
+            row, pos = loc
+            ref = int(self.base[row]) + pos
+            if self.slot_kind[ref] != SLOT_PAIR:
+                return False
+            p = int(self.slot_ref[ref])
+            if pair_keys[p] != key:
+                return False
+            drop[t] = p
+            slot_refs.append(ref)
+        drop.sort()
+        if k > 1 and not np.all(drop[1:] > drop[:-1]):
+            return False  # duplicate keys in one patch batch
+        for ref in slot_refs:
+            self.slot_kind[ref] = SLOT_EMPTY
+            self.slot_ref[ref] = 0
+        pair_mask = self.slot_kind == SLOT_PAIR
+        prefs = self.slot_ref[pair_mask]
+        self.slot_ref[pair_mask] = prefs - np.searchsorted(drop, prefs)
+        self.pair_keys = np.delete(pair_keys, drop)
+        self.sorted_keys = self.pair_keys
+        vals = self.values
+        out_vals = []
+        prev = 0
+        for p in drop.tolist():
+            out_vals.extend(vals[prev:p])
+            prev = p + 1
+        out_vals.extend(vals[prev:])
+        self.values = out_vals
+        self.num_pairs -= k
+        return True
+
+    def recompile_subtree(self, key: float, top_leaf) -> bool:
+        """Single-leaf form of :meth:`recompile_subtrees`."""
+        return self.recompile_subtrees([(key, top_leaf)])
+
+    def recompile_subtrees(self, items: list) -> bool:
+        """Recompile structurally changed top-level leaves, one splice.
+
+        ``items`` holds ``(key, top_leaf)`` pairs: each ``top_leaf`` is
+        a live-tree top-level leaf that just changed *structurally*
+        (spawn / adjust / collapse) and ``key`` is any key routing to
+        it.  DFS-preorder construction makes each top-level leaf's plan
+        footprint contiguous in all three tables (node rows, slot rows,
+        pair indices), so every stale extent is cut out, the freshly
+        built arrays spliced in, and all references outside the extents
+        shifted by cumulative size deltas -- a single pass over the
+        buffers no matter how many leaves changed, which is what makes
+        write batches with many structural groups affordable.
+        """
+        if len(self.dense_keys):
+            return False
+        if not items:
+            return True
+        kind = self.kind
+        segs = []
+        for key, top_leaf in items:
+            row = 0
+            hops = 0
+            for _ in range(_MAX_DESCENT):
+                if kind[row] != KIND_INTERNAL:
+                    break
+                pos = int(
+                    math.floor(
+                        self.intercept[row] + self.slope[row] * key
+                    )
+                )
+                last = int(self.size[row]) - 1
+                if pos < 0:
+                    pos = 0
+                elif pos > last:
+                    pos = last
+                row = int(self.slot_ref[int(self.base[row]) + pos])
+                hops += 1
+            else:
+                return False
+            if int(self.region[row]) != top_leaf.region:
+                return False  # plan out of sync with the live tree
+            ext = self._subtree_extent(row)
+            if ext is None:
+                return False
+            node_end, slot_end, pair_lo, pair_count = ext
+            b = _PlanBuilder()
+            b.add_node(top_leaf, 1)
+            if b.dense_len:
+                return False
+            if pair_count == 0:
+                # Empty footprint (e.g. a previously empty leaf whose
+                # batch inserts were all structural, so none were
+                # patched in): no pair anchors the splice.  The pair
+                # table is globally key-ordered, so the insertion point
+                # of the rebuilt subtree's first key (or of the routing
+                # key, when it stays empty) is the anchor.
+                anchor = b.pair_keys[0] if b.pair_keys else key
+                pair_lo = int(np.searchsorted(self.pair_keys, anchor))
+            segs.append((
+                row, node_end, int(self.base[row]), slot_end,
+                pair_lo, pair_lo + pair_count, b, hops,
+            ))
+        segs.sort(key=lambda s: s[0])
+        k = len(segs)
+        # Disjointness guard: distinct top-level leaves always yield
+        # ordered, non-overlapping extents in all three tables.
+        for i in range(1, k):
+            if (
+                segs[i - 1][1] > segs[i][0]
+                or segs[i - 1][3] > segs[i][2]
+                or segs[i - 1][5] > segs[i][4]
+            ):
+                return False
+        # Cumulative deltas before each segment (and after the last).
+        dn = [0] * (k + 1)
+        ds = [0] * (k + 1)
+        dp = [0] * (k + 1)
+        for i, (r, ne, sl, se, pl, pe, b, _h) in enumerate(segs):
+            dn[i + 1] = dn[i] + len(b.kind) - (ne - r)
+            ds[i + 1] = ds[i] + len(b.slot_kind) - (se - sl)
+            dp[i + 1] = dp[i] + len(b.pair_keys) - (pe - pl)
+        node_ends = np.asarray([s[1] for s in segs], dtype=np.int64)
+        slot_ends = np.asarray([s[3] for s in segs], dtype=np.int64)
+        pair_ends = np.asarray([s[5] for s in segs], dtype=np.int64)
+        dn_arr = np.asarray(dn, dtype=np.int64)
+        ds_arr = np.asarray(ds, dtype=np.int64)
+        dp_arr = np.asarray(dp, dtype=np.int64)
+        # Fix references in the slot rows *outside* every extent.  An
+        # outside ref to old node x (or pair y) shifts by the cumulative
+        # delta of the segments that end at or before it; a parent's
+        # pointer to a segment root r_i lands on new_r_i the same way.
+        old_sk = self.slot_kind
+        old_sr = self.slot_ref.copy()
+        outside = np.ones(len(old_sk), dtype=bool)
+        for r, ne, sl, se, pl, pe, b, _h in segs:
+            outside[sl:se] = False
+        nmask = outside & (old_sk == SLOT_NODE)
+        old_sr[nmask] += dn_arr[
+            np.searchsorted(node_ends, old_sr[nmask], side="right")
+        ]
+        pmask = outside & (old_sk == SLOT_PAIR)
+        old_sr[pmask] += dp_arr[
+            np.searchsorted(pair_ends, old_sr[pmask], side="right")
+        ]
+        # Outside node rows keep their slot blocks; the block start
+        # shifts by the cumulative slot delta before it.
+        new_node_base = self.base + ds_arr[
+            np.searchsorted(slot_ends, self.base, side="right")
+        ]
+        # Assemble every table as alternating [unchanged | rebuilt]
+        # chunks -- one concatenate per array.
+        kind_parts = []
+        slope_parts = []
+        intercept_parts = []
+        size_parts = []
+        region_parts = []
+        base_parts = []
+        sk_parts = []
+        sr_parts = []
+        pk_parts = []
+        out_vals: list = []
+        prev_n = 0
+        prev_s = 0
+        prev_p = 0
+        vals = self.values
+        max_new_depth = self.depth
+        for i, (r, ne, sl, se, pl, pe, b, hops) in enumerate(segs):
+            new_sk = np.asarray(b.slot_kind, dtype=np.int8)
+            new_sr = np.asarray(b.slot_ref, dtype=np.int64)
+            new_sr[new_sk == SLOT_NODE] += r + dn[i]
+            new_sr[new_sk == SLOT_PAIR] += pl + dp[i]
+            kind_parts += [kind[prev_n:r], np.asarray(b.kind, dtype=np.int8)]
+            slope_parts += [
+                self.slope[prev_n:r],
+                np.asarray(b.slope, dtype=np.float64),
+            ]
+            intercept_parts += [
+                self.intercept[prev_n:r],
+                np.asarray(b.intercept, dtype=np.float64),
+            ]
+            size_parts += [
+                self.size[prev_n:r],
+                np.asarray(b.size, dtype=np.int64),
+            ]
+            region_parts += [
+                self.region[prev_n:r],
+                np.asarray(b.region, dtype=np.int64),
+            ]
+            base_parts += [
+                new_node_base[prev_n:r],
+                np.asarray(b.base, dtype=np.int64) + sl + ds[i],
+            ]
+            sk_parts += [old_sk[prev_s:sl], new_sk]
+            sr_parts += [old_sr[prev_s:sl], new_sr]
+            pk_parts += [
+                self.pair_keys[prev_p:pl],
+                np.asarray(b.pair_keys, dtype=np.float64),
+            ]
+            out_vals.extend(vals[prev_p:pl])
+            out_vals.extend(b.pair_vals)
+            prev_n, prev_s, prev_p = ne, se, pe
+            if hops + b.max_depth > max_new_depth:
+                max_new_depth = hops + b.max_depth
+        kind_parts.append(kind[prev_n:])
+        slope_parts.append(self.slope[prev_n:])
+        intercept_parts.append(self.intercept[prev_n:])
+        size_parts.append(self.size[prev_n:])
+        region_parts.append(self.region[prev_n:])
+        base_parts.append(new_node_base[prev_n:])
+        sk_parts.append(old_sk[prev_s:])
+        sr_parts.append(old_sr[prev_s:])
+        pk_parts.append(self.pair_keys[prev_p:])
+        out_vals.extend(vals[prev_p:])
+        self.kind = np.concatenate(kind_parts)
+        self.slope = np.concatenate(slope_parts)
+        self.intercept = np.concatenate(intercept_parts)
+        self.size = np.concatenate(size_parts)
+        self.region = np.concatenate(region_parts)
+        self.base = np.concatenate(base_parts)
+        self.slot_kind = np.concatenate(sk_parts)
+        self.slot_ref = np.concatenate(sr_parts)
+        self.pair_keys = np.concatenate(pk_parts)
+        self.sorted_keys = self.pair_keys
+        self.values = out_vals
+        self.num_pairs += dp[k]
+        # Upper bound: nesting may have shrunk elsewhere, but depth is
+        # informational (the descent loops run until resolution).
+        self.depth = max_new_depth
+        return True
+
+    def _subtree_extent(self, row: int) -> tuple[int, int, int, int] | None:
+        """Extent of ``row``'s subtree: (node_end, slot_end, pair_lo, n).
+
+        Walks the subtree's slot rows; returns ``None`` when it reaches
+        a dense leaf (those interleave a fourth table).
+        """
+        kind = self.kind
+        base = self.base
+        size = self.size
+        slot_kind = self.slot_kind
+        slot_ref = self.slot_ref
+        node_end = row + 1
+        slot_end = int(base[row])
+        pair_lo = -1
+        pair_count = 0
+        stack = [row]
+        while stack:
+            v = stack.pop()
+            if kind[v] == KIND_DENSE:
+                return None
+            if v + 1 > node_end:
+                node_end = v + 1
+            b = int(base[v])
+            e = b + int(size[v])
+            if e > slot_end:
+                slot_end = e
+            for j in range(b, e):
+                sk = slot_kind[j]
+                if sk == SLOT_NODE:
+                    stack.append(int(slot_ref[j]))
+                elif sk == SLOT_PAIR:
+                    p = int(slot_ref[j])
+                    pair_count += 1
+                    if pair_lo < 0 or p < pair_lo:
+                        pair_lo = p
+        return node_end, slot_end, pair_lo, pair_count
+
+    # ------------------------------------------------------------------
     # Tracer replay
     # ------------------------------------------------------------------
 
@@ -357,71 +798,82 @@ class FlatPlan:
         return sum(a.nbytes for a in arrays) + 8 * len(self.values)
 
 
-def compile_plan(root) -> FlatPlan:
-    """Pack the node tree under ``root`` into a :class:`FlatPlan`.
+class _PlanBuilder:
+    """Accumulates SoA rows for a (sub)tree in DFS preorder.
 
-    One DFS over the tree; payload objects are shared with the live
-    tree, keys are copied into flat float64 buffers.  Slot/pair order
-    follows the in-tree order, so ``pair_keys`` and ``dense_keys`` come
-    out ascending (slot prediction is monotone in the key).
+    Shared by :func:`compile_plan` (whole tree) and
+    :meth:`FlatPlan.recompile_subtree` (one top-level leaf's subtree,
+    whose locally 0-based references the caller offsets into place).
     """
-    kind: list[int] = []
-    slope: list[float] = []
-    intercept: list[float] = []
-    size: list[int] = []
-    base: list[int] = []
-    region: list[int] = []
-    slot_kind: list[int] = []
-    slot_ref: list[int] = []
-    pair_keys: list[float] = []
-    pair_vals: list = []
-    dense_key_parts: list[np.ndarray] = []
-    dense_vals: list = []
-    dense_len = 0
-    max_depth = 0
 
-    def add_node(node, depth: int) -> int:
-        nonlocal dense_len, max_depth
-        if depth > max_depth:
-            max_depth = depth
+    __slots__ = (
+        "kind", "slope", "intercept", "size", "base", "region",
+        "slot_kind", "slot_ref", "pair_keys", "pair_vals",
+        "dense_key_parts", "dense_vals", "dense_len", "max_depth",
+    )
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.slope: list[float] = []
+        self.intercept: list[float] = []
+        self.size: list[int] = []
+        self.base: list[int] = []
+        self.region: list[int] = []
+        self.slot_kind: list[int] = []
+        self.slot_ref: list[int] = []
+        self.pair_keys: list[float] = []
+        self.pair_vals: list = []
+        self.dense_key_parts: list[np.ndarray] = []
+        self.dense_vals: list = []
+        self.dense_len = 0
+        self.max_depth = 0
+
+    def add_node(self, node, depth: int) -> int:
+        if depth > self.max_depth:
+            self.max_depth = depth
+        kind = self.kind
+        slot_kind = self.slot_kind
+        slot_ref = self.slot_ref
         nid = len(kind)
         t = type(node)
         if t is InternalNode:
             children = node.children
             kind.append(KIND_INTERNAL)
-            slope.append(node.slope)
-            intercept.append(node.intercept)
-            size.append(len(children))
+            self.slope.append(node.slope)
+            self.intercept.append(node.intercept)
+            self.size.append(len(children))
             b = len(slot_kind)
-            base.append(b)
-            region.append(node.region)
+            self.base.append(b)
+            self.region.append(node.region)
             slot_kind.extend([SLOT_NODE] * len(children))
             slot_ref.extend([0] * len(children))
             for i, child in enumerate(children):
-                slot_ref[b + i] = add_node(child, depth + 1)
+                slot_ref[b + i] = self.add_node(child, depth + 1)
         elif t is DenseLeafNode:
             kind.append(KIND_DENSE)
-            slope.append(node.slope)
-            intercept.append(node.intercept)
-            size.append(len(node.keys))
-            base.append(dense_len)
-            region.append(node.region)
-            dense_key_parts.append(
+            self.slope.append(node.slope)
+            self.intercept.append(node.intercept)
+            self.size.append(len(node.keys))
+            self.base.append(self.dense_len)
+            self.region.append(node.region)
+            self.dense_key_parts.append(
                 np.asarray(node.keys, dtype=np.float64)
             )
-            dense_vals.extend(node.values)
-            dense_len += len(node.keys)
+            self.dense_vals.extend(node.values)
+            self.dense_len += len(node.keys)
         else:
             slots = node.slots
             kind.append(KIND_LEAF)
-            slope.append(node.slope)
-            intercept.append(node.intercept)
-            size.append(len(slots))
+            self.slope.append(node.slope)
+            self.intercept.append(node.intercept)
+            self.size.append(len(slots))
             b = len(slot_kind)
-            base.append(b)
-            region.append(node.region)
+            self.base.append(b)
+            self.region.append(node.region)
             slot_kind.extend([SLOT_EMPTY] * len(slots))
             slot_ref.extend([0] * len(slots))
+            pair_keys = self.pair_keys
+            pair_vals = self.pair_vals
             for i, entry in enumerate(slots):
                 if entry is None:
                     continue
@@ -432,14 +884,24 @@ def compile_plan(root) -> FlatPlan:
                     pair_vals.append(entry[1])
                 else:
                     slot_kind[b + i] = SLOT_NODE
-                    slot_ref[b + i] = add_node(entry, depth + 1)
+                    slot_ref[b + i] = self.add_node(entry, depth + 1)
         return nid
 
-    add_node(root, 1)
-    pair_arr = np.asarray(pair_keys, dtype=np.float64)
+
+def compile_plan(root) -> FlatPlan:
+    """Pack the node tree under ``root`` into a :class:`FlatPlan`.
+
+    One DFS over the tree; payload objects are shared with the live
+    tree, keys are copied into flat float64 buffers.  Slot/pair order
+    follows the in-tree order, so ``pair_keys`` and ``dense_keys`` come
+    out ascending (slot prediction is monotone in the key).
+    """
+    b = _PlanBuilder()
+    b.add_node(root, 1)
+    pair_arr = np.asarray(b.pair_keys, dtype=np.float64)
     dense_arr = (
-        np.concatenate(dense_key_parts)
-        if dense_key_parts
+        np.concatenate(b.dense_key_parts)
+        if b.dense_key_parts
         else np.empty(0, dtype=np.float64)
     )
     if len(dense_arr) == 0:
@@ -449,17 +911,127 @@ def compile_plan(root) -> FlatPlan:
     else:  # mixed trees cannot arise from bulk_load, but stay correct
         sorted_keys = np.sort(np.concatenate([pair_arr, dense_arr]))
     return FlatPlan(
-        kind=np.asarray(kind, dtype=np.int8),
-        slope=np.asarray(slope, dtype=np.float64),
-        intercept=np.asarray(intercept, dtype=np.float64),
-        size=np.asarray(size, dtype=np.int64),
-        base=np.asarray(base, dtype=np.int64),
-        region=np.asarray(region, dtype=np.int64),
-        slot_kind=np.asarray(slot_kind, dtype=np.int8),
-        slot_ref=np.asarray(slot_ref, dtype=np.int64),
+        kind=np.asarray(b.kind, dtype=np.int8),
+        slope=np.asarray(b.slope, dtype=np.float64),
+        intercept=np.asarray(b.intercept, dtype=np.float64),
+        size=np.asarray(b.size, dtype=np.int64),
+        base=np.asarray(b.base, dtype=np.int64),
+        region=np.asarray(b.region, dtype=np.int64),
+        slot_kind=np.asarray(b.slot_kind, dtype=np.int8),
+        slot_ref=np.asarray(b.slot_ref, dtype=np.int64),
         pair_keys=pair_arr,
         dense_keys=dense_arr,
-        values=pair_vals + dense_vals,
+        values=b.pair_vals + b.dense_vals,
         sorted_keys=sorted_keys,
-        depth=max_depth,
+        depth=b.max_depth,
     )
+
+
+class InternalRouter:
+    """Array-packed internal skeleton for routing whole write batches.
+
+    Internal nodes are immutable after bulk load -- inserts, deletes and
+    leaf adjustments only ever replace slots *inside* top-level leaves --
+    so this skeleton stays valid for the lifetime of a root.  ``DILI``
+    caches one per tree and rebuilds it only when the root object is
+    replaced.  :meth:`route` descends a key batch level-synchronously
+    (the same multiply-add as the flat plan) and returns each key's
+    target top-level leaf; with ``record=True`` it also returns the
+    per-level trace from which the batch write path synthesizes the
+    scalar descent's tracer events.
+    """
+
+    __slots__ = (
+        "root", "slope", "intercept", "size", "base", "region",
+        "child_is_leaf", "child_ref", "leaves",
+    )
+
+    def __init__(self, root) -> None:
+        self.root = root
+        slope: list[float] = []
+        intercept: list[float] = []
+        size: list[int] = []
+        base: list[int] = []
+        region: list[int] = []
+        child_is_leaf: list[bool] = []
+        child_ref: list[int] = []
+        leaves: list = []
+
+        def add(node) -> int:
+            nid = len(slope)
+            children = node.children
+            slope.append(node.slope)
+            intercept.append(node.intercept)
+            size.append(len(children))
+            b = len(child_is_leaf)
+            base.append(b)
+            region.append(node.region)
+            child_is_leaf.extend([False] * len(children))
+            child_ref.extend([0] * len(children))
+            for i, child in enumerate(children):
+                if type(child) is InternalNode:
+                    child_ref[b + i] = add(child)
+                else:
+                    child_is_leaf[b + i] = True
+                    child_ref[b + i] = len(leaves)
+                    leaves.append(child)
+            return nid
+
+        if type(root) is InternalNode:
+            add(root)
+        else:
+            leaves.append(root)
+        self.slope = np.asarray(slope, dtype=np.float64)
+        self.intercept = np.asarray(intercept, dtype=np.float64)
+        self.size = np.asarray(size, dtype=np.int64)
+        self.base = np.asarray(base, dtype=np.int64)
+        self.region = np.asarray(region, dtype=np.int64)
+        self.child_is_leaf = np.asarray(child_is_leaf, dtype=bool)
+        self.child_ref = np.asarray(child_ref, dtype=np.int64)
+        self.leaves = leaves
+
+    def route(
+        self, keys: np.ndarray, record: bool = False
+    ) -> tuple[np.ndarray, list | None]:
+        """Target leaf index (into :attr:`leaves`) for every key.
+
+        Returns ``(out, trace)``; ``trace`` is ``None`` unless
+        ``record``, else per-level ``(idx, node, pos)`` arrays matching
+        the flat plan's trace format (internal levels only).
+        """
+        n = len(keys)
+        out = np.zeros(n, dtype=np.int64)
+        trace: list | None = [] if record else None
+        if len(self.slope) == 0 or n == 0:
+            return out, trace
+        idx = np.arange(n, dtype=np.int64)
+        node = np.zeros(n, dtype=np.int64)
+        for _ in range(_MAX_DESCENT):
+            if idx.size == 0:
+                break
+            v = self.intercept[node] + self.slope[node] * keys[idx]
+            unsafe = ~((v > -_SAFE_PRED) & (v < _SAFE_PRED))
+            if unsafe.any():
+                vs = np.where(unsafe, 0.0, v)
+                pos = np.floor(vs).astype(np.int64)
+                # Slow path reproduces the scalar child_index exactly,
+                # including its exceptions for non-finite keys.
+                for j in np.flatnonzero(unsafe):
+                    p = int(math.floor(float(v[j])))
+                    last = int(self.size[node[j]]) - 1
+                    pos[j] = 0 if p < 0 else (last if p > last else p)
+            else:
+                pos = np.floor(v).astype(np.int64)
+            np.clip(pos, 0, self.size[node] - 1, out=pos)
+            if record:
+                trace.append((idx, node, pos))
+            ref = self.base[node] + pos
+            leafy = self.child_is_leaf[ref]
+            tgt = self.child_ref[ref]
+            out[idx[leafy]] = tgt[leafy]
+            keep = ~leafy
+            idx = idx[keep]
+            node = tgt[keep]
+        else:  # pragma: no cover - defended structural corruption
+            raise RuntimeError("router descent did not terminate")
+        return out, trace

@@ -4,7 +4,9 @@ The wrapper keeps the paper's index untouched and adds the durability
 contract around it:
 
 * every mutation (``insert`` / ``delete`` / ``update`` /
-  ``bulk_insert``) is appended to the WAL -- CRC-framed and, by
+  ``bulk_insert``, and the vectorized ``insert_batch`` /
+  ``delete_batch`` / ``update_batch``, each logged as a single framed
+  batch record) is appended to the WAL -- CRC-framed and, by
   default, fsynced -- *before* it is applied in memory.  An operation
   is **acknowledged** when the call returns; by then its record is
   durable, so an acknowledged write can never be lost.  An operation
@@ -44,8 +46,11 @@ from repro.durability.snapshot import write_snapshot
 from repro.durability.wal import (
     OP_BULK_INSERT,
     OP_DELETE,
+    OP_DELETE_BATCH,
     OP_INSERT,
+    OP_INSERT_BATCH,
     OP_UPDATE,
+    OP_UPDATE_BATCH,
     WriteAheadLog,
 )
 
@@ -151,6 +156,55 @@ class DurableDILI:
         with self._op_lock(key):
             self.wal.append(OP_UPDATE, _encode(key, value))
             return self._index.update(key, value)
+
+    def insert_batch(
+        self, keys: np.ndarray | list, values: list | None = None
+    ) -> np.ndarray:
+        """Vectorized insert, logged as one framed batch record.
+
+        The whole batch is one WAL append (one frame, one fsync) and is
+        acknowledged atomically: after a crash either every operation
+        of the batch replays or none does.
+        """
+        keys = self._check_batch_keys(keys)
+        if values is not None and len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        with self._exclusive():
+            self.wal.append(OP_INSERT_BATCH, _encode(keys.tolist(), values))
+            return self._index.insert_batch(keys, values)
+
+    def delete_batch(self, keys: np.ndarray | list) -> np.ndarray:
+        """Vectorized delete, logged as one framed batch record."""
+        keys = self._check_batch_keys(keys)
+        with self._exclusive():
+            self.wal.append(OP_DELETE_BATCH, _encode(keys.tolist()))
+            return self._index.delete_batch(keys)
+
+    def update_batch(
+        self, keys: np.ndarray | list, values: list
+    ) -> np.ndarray:
+        """Vectorized value update, logged as one framed batch record."""
+        keys = self._check_batch_keys(keys)
+        if len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        with self._exclusive():
+            self.wal.append(OP_UPDATE_BATCH, _encode(keys.tolist(), values))
+            return self._index.update_batch(keys, values)
+
+    @staticmethod
+    def _check_batch_keys(keys) -> np.ndarray:
+        """Validate batch keys *before* logging.
+
+        A batch the index would reject mid-application must never reach
+        the log: the record is durable once appended, and replay would
+        raise on it at every reopen.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if len(keys) and not np.isfinite(keys).all():
+            raise ValueError("batch keys must be finite")
+        return keys
 
     def bulk_insert(
         self, keys: np.ndarray | list, values: list | None = None

@@ -31,8 +31,11 @@ from repro.durability.snapshot import read_snapshot
 from repro.durability.wal import (
     OP_BULK_INSERT,
     OP_DELETE,
+    OP_DELETE_BATCH,
     OP_INSERT,
+    OP_INSERT_BATCH,
     OP_UPDATE,
+    OP_UPDATE_BATCH,
     WalRecord,
     scan_wal,
 )
@@ -83,6 +86,12 @@ def apply_record(index: DILI, record: WalRecord) -> None:
         index.update(args[0], args[1])
     elif record.opcode == OP_BULK_INSERT:
         index.bulk_insert(args[0], args[1])
+    elif record.opcode == OP_INSERT_BATCH:
+        index.insert_batch(args[0], args[1])
+    elif record.opcode == OP_DELETE_BATCH:
+        index.delete_batch(args[0])
+    elif record.opcode == OP_UPDATE_BATCH:
+        index.update_batch(args[0], args[1])
     else:  # scan_wal only yields known opcodes; guard anyway
         raise ValueError(f"unknown WAL opcode {record.opcode}")
 

@@ -45,8 +45,19 @@ OP_INSERT = 1
 OP_DELETE = 2
 OP_UPDATE = 3
 OP_BULK_INSERT = 4
+OP_INSERT_BATCH = 5
+OP_DELETE_BATCH = 6
+OP_UPDATE_BATCH = 7
 
-VALID_OPCODES = frozenset({OP_INSERT, OP_DELETE, OP_UPDATE, OP_BULK_INSERT})
+VALID_OPCODES = frozenset({
+    OP_INSERT,
+    OP_DELETE,
+    OP_UPDATE,
+    OP_BULK_INSERT,
+    OP_INSERT_BATCH,
+    OP_DELETE_BATCH,
+    OP_UPDATE_BATCH,
+})
 
 
 @dataclass(frozen=True)

@@ -66,6 +66,54 @@ class NullTracer(Tracer):
 NULL_TRACER = NullTracer()
 
 
+class RecordingTracer(Tracer):
+    """Tracer that buffers events for later replay into a real tracer.
+
+    The batched write path processes keys grouped by target leaf, but
+    the simulated LRU cache is stateful: event *order* changes hit/miss
+    outcomes, and the contract is that batch operations charge exactly
+    what the equivalent scalar loop would have charged, in the same
+    order.  So each key's events are recorded into one of these while
+    the batch executes in group order, then :meth:`replay` emits the
+    per-key streams back in original batch order.
+
+    Per-key event streams are identical under both execution orders
+    because operations on different top-level leaves touch disjoint
+    state and keys within one leaf keep their relative order.
+    """
+
+    __slots__ = ("events",)
+
+    _MEM = 0
+    _COMPUTE = 1
+    _PHASE = 2
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def mem(self, region: int, offset: int = 0) -> None:
+        self.events.append((self._MEM, region, offset))
+
+    def compute(self, cycles: float) -> None:
+        self.events.append((self._COMPUTE, cycles, 0))
+
+    def phase(self, name: str) -> None:
+        self.events.append((self._PHASE, name, 0))
+
+    def replay(self, tracer: Tracer) -> None:
+        """Emit every buffered event into ``tracer``, in order."""
+        mem = tracer.mem
+        compute = tracer.compute
+        phase = tracer.phase
+        for kind, a, b in self.events:
+            if kind == self._MEM:
+                mem(a, b)
+            elif kind == self._COMPUTE:
+                compute(a)
+            else:
+                phase(a)
+
+
 class CostTracer(Tracer):
     """Tracer that accumulates simulated cycles and cache misses.
 

@@ -66,10 +66,10 @@ class TestCompile:
         assert plan.memory_bytes() > 0
 
 
-class TestInvalidation:
+class TestIncrementalMaintenance:
     @pytest.mark.parametrize("mutate", ["insert", "delete", "update",
                                         "bulk_insert"])
-    def test_mutations_drop_the_plan(self, mutate):
+    def test_mutations_keep_the_plan_consistent(self, mutate):
         keys = _dataset(800, seed=11)
         index = DILI()
         index.bulk_load(keys)
@@ -84,7 +84,28 @@ class TestInvalidation:
         else:
             extra = np.array([float(keys[-1]) + k for k in (3.0, 9.0, 15.0)])
             index.bulk_insert(extra)
-        assert index._flat is None, mutate
+        # Mutations patch/splice the plan in place instead of dropping
+        # it; the maintained plan must equal a fresh compile.
+        plan = index._flat
+        assert plan is not None, mutate
+        fresh = compile_plan(index.root)
+        assert np.array_equal(plan.pair_keys, fresh.pair_keys), mutate
+        assert plan.values == fresh.values, mutate
+
+    @pytest.mark.parametrize("mutate", ["insert", "delete"])
+    def test_noop_mutations_leave_the_plan_untouched(self, mutate):
+        keys = _dataset(800, seed=11)
+        index = DILI()
+        index.bulk_load(keys)
+        index.get_batch(keys[:4])
+        plan = index._flat
+        if mutate == "insert":
+            assert not index.insert(float(keys[3]), "dup")
+        else:
+            assert not index.delete(float(keys[3]) + 0.5)
+        assert index._flat is plan, mutate
+        assert index.plan_patches == 0
+        assert index.plan_subtree_recompiles == 0
 
     def test_batch_sees_mutations(self):
         keys = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
