@@ -21,6 +21,11 @@ Commands:
   and optionally leave fresh inserts in the WAL tail.
 * ``recover``   -- replay snapshot + WAL from a durable directory and
   report what survived.
+* ``check``     -- static analysis and sanitizers: ``check lint`` runs
+  the CHK rule set over source trees, ``check sanitize`` measures a
+  mixed workload with the tree sanitizer on vs off, and
+  ``check audit-wal`` scans a durability directory for frame/CRC/LSN
+  damage without replaying it.
 """
 
 from __future__ import annotations
@@ -251,6 +256,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "-m",
         "pytest",
         str(bench_dir),
+        # Plain pytest collection is scoped to tests/ (pyproject keeps
+        # python_files at test_*.py); benchmarks opt back in here.
+        "-o",
+        "python_files=bench_*.py",
         "--benchmark-only",
         "-q",
     ]
@@ -344,6 +353,98 @@ def cmd_recover(args: argparse.Namespace) -> int:
             f"(valid prefix {result.wal_valid_offset} bytes)"
         )
     print("validate() passed")
+    return 0
+
+
+def cmd_check_lint(args: argparse.Namespace) -> int:
+    from repro.check.lint import lint_paths
+
+    paths = args.paths or ["src", "benchmarks"]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint clean ({', '.join(str(p) for p in paths)})")
+    return 0
+
+
+def cmd_check_sanitize(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.check import SanitizerViolation, TreeSanitizer, verify_tree
+
+    keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+    initial, extra = split_initial(keys, 0.8)
+    rng = np.random.default_rng(args.seed + 1)
+    rounds = max(1, args.rounds)
+    chunks = np.array_split(extra, rounds)
+
+    def run(sanitizer: TreeSanitizer | None):
+        index = DILI()
+        index.sanitizer = sanitizer
+        start = time.perf_counter()
+        index.bulk_load(initial)
+        for chunk in chunks:
+            if len(chunk):
+                index.insert_batch(chunk, [f"v{k}" for k in chunk])
+            sample = rng.choice(initial, size=min(2048, len(initial)),
+                                replace=False)
+            index.get_batch(sample)
+            victims = sample[: len(sample) // 8]
+            index.update_batch(victims, ["updated"] * len(victims))
+            index.delete_batch(victims)
+            index.insert_batch(victims, ["restored"] * len(victims))
+        elapsed = time.perf_counter() - start
+        return elapsed, index
+
+    try:
+        base_elapsed, _ = run(None)
+        sanitizer = TreeSanitizer()
+        san_elapsed, index = run(sanitizer)
+        verify_tree(index)
+    except SanitizerViolation as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 1
+    ratio = san_elapsed / base_elapsed if base_elapsed > 0 else float("inf")
+    print(
+        f"mixed workload on {len(initial):,} {args.dataset} keys, "
+        f"{rounds} rounds of batched insert/read/update/delete"
+    )
+    print(f"  baseline      : {base_elapsed * 1e3:10.1f} ms")
+    print(f"  sanitized     : {san_elapsed * 1e3:10.1f} ms")
+    print(
+        f"  overhead      : {ratio:10.2f}x  "
+        f"({sanitizer.checks} checks, {sanitizer.full_checks} deep verifies)"
+    )
+    print("final verify_tree() passed")
+    return 0
+
+
+def cmd_check_audit_wal(args: argparse.Namespace) -> int:
+    from repro.check import audit_directory
+
+    try:
+        report = audit_directory(args.dir)
+    except FileNotFoundError as exc:
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{report.directory}: snapshot seqno {report.snapshot_seqno}, "
+        f"{report.wal_records} WAL records "
+        f"({report.wal_valid_bytes:,} valid bytes)"
+    )
+    for finding in report.findings:
+        print(f"  {finding.format()}")
+    if report.clean:
+        print("clean")
+        return 0
+    if report.damaged:
+        print("damage found (not recoverable by WAL replay)",
+              file=sys.stderr)
+        return 1
+    print("recoverable findings only (torn tail); recovery will truncate")
     return 0
 
 
@@ -492,6 +593,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", required=True, help="durable state directory"
     )
     recover_p.set_defaults(func=cmd_recover)
+
+    check = sub.add_parser(
+        "check", help="static analysis and runtime sanitizers"
+    )
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+
+    lint = check_sub.add_parser(
+        "lint", help="run the CHK lint rules over source trees"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint.set_defaults(func=cmd_check_lint)
+
+    sanitize = check_sub.add_parser(
+        "sanitize",
+        help="run a mixed workload with the tree sanitizer on vs off",
+    )
+    _add_common(sanitize)
+    sanitize.add_argument(
+        "--rounds",
+        type=int,
+        default=8,
+        help="batched insert/read/update/delete rounds (default: 8)",
+    )
+    sanitize.set_defaults(func=cmd_check_sanitize)
+
+    audit = check_sub.add_parser(
+        "audit-wal",
+        help="scan a durability directory for frame/CRC/LSN damage",
+    )
+    audit.add_argument(
+        "--dir", required=True, help="durable state directory"
+    )
+    audit.set_defaults(func=cmd_check_audit_wal)
 
     return parser
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair
 from repro.core.linear_model import LinearModel
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 _MAX_FANOUT_PER_NODE = 256
@@ -188,7 +189,7 @@ class _Leaf:
                 self.keys[i] = self.keys[i - 1]
                 self.values[i] = self.values[i - 1]
                 self.occupied[i] = self.occupied[i - 1]
-            tracer.compute(5.0 * (right - p))
+            tracer.compute(_C.linear_search_step * (right - p))
             self.keys[p] = key
             self.values[p] = value
             self.occupied[p] = True
@@ -204,7 +205,7 @@ class _Leaf:
             self.keys[i] = self.keys[i + 1]
             self.values[i] = self.values[i + 1]
             self.occupied[i] = self.occupied[i + 1]
-        tracer.compute(5.0 * (p - 1 - left))
+        tracer.compute(_C.linear_search_step * (p - 1 - left))
         self.keys[p - 1] = key
         self.values[p - 1] = value
         self.occupied[p - 1] = True
@@ -343,12 +344,12 @@ class AlexIndex(BaseIndex):
             return None
         while type(node) is _Internal:
             tracer.mem(node.region)
-            tracer.compute(25.0)
+            tracer.compute(_C.linear_model)
             idx = node.child_index(key)
             tracer.mem(node.region, 64 + idx * 8)
             node = node.children[idx]
         tracer.mem(node.region)
-        tracer.compute(25.0)
+        tracer.compute(_C.linear_model)
         pos = node.find(key, tracer)
         if pos < 0:
             return None

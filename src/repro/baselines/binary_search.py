@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 
@@ -35,7 +36,7 @@ class BinarySearchIndex(BaseIndex):
         while lo <= hi:
             mid = (lo + hi) // 2
             mem(self._region, mid * 8)
-            compute(17.0)
+            compute(_C.exp_search_step)
             k = keys[mid]
             if k == key:
                 mem(self._region, mid * 8 + len(keys) * 8)  # value fetch

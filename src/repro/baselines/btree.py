@@ -17,6 +17,8 @@ from bisect import bisect_left, bisect_right
 import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair
+from repro.check.errors import InvariantError
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 _EXISTS = object()  # sentinel: insertion found a duplicate
@@ -149,7 +151,7 @@ class BPlusTree(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             mem(node.region, 8 + mid * 8)
-            compute(17.0)
+            compute(_C.exp_search_step)
             if node.keys[mid] <= key:
                 lo = mid
             else:
@@ -168,7 +170,7 @@ class BPlusTree(BaseIndex):
         while lo < hi:
             mid = (lo + hi) // 2
             tracer.mem(region, 8 + mid * 8)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if key < keys[mid]:
                 hi = mid
             else:
@@ -414,31 +416,36 @@ class BPlusTree(BaseIndex):
     def validate(self) -> None:
         """Check ordering and fill invariants (test helper)."""
         pairs = self.range_query(-np.inf, np.inf)
-        assert len(pairs) == self._count, (len(pairs), self._count)
+        if len(pairs) != self._count:
+            raise InvariantError(
+                f"walked {len(pairs)} pairs, tracked {self._count}"
+            )
         keys = [k for k, _ in pairs]
-        assert keys == sorted(keys)
+        if keys != sorted(keys):
+            raise InvariantError("range scan out of key order")
         self._validate_node(self._root, is_root=True)
 
     def _validate_node(self, node: _Node, is_root: bool) -> None:
         if node.is_leaf:
-            if not is_root:
-                assert len(node.keys) >= self._min_keys
-            assert len(node.keys) <= self.order
+            if not is_root and len(node.keys) < self._min_keys:
+                raise InvariantError("underfull leaf")
+            if len(node.keys) > self.order:
+                raise InvariantError("overfull leaf")
             return
-        assert len(node.children) == len(node.keys) + 1
-        assert len(node.children) <= self.order
-        if not is_root:
-            assert len(node.children) >= self._min_keys
+        if len(node.children) != len(node.keys) + 1:
+            raise InvariantError("children/separator count mismatch")
+        if len(node.children) > self.order:
+            raise InvariantError("overfull internal node")
+        if not is_root and len(node.children) < self._min_keys:
+            raise InvariantError("underfull internal node")
         # Separators are routing values: they need not equal a live key
         # (deletions leave them stale) but must still partition the
         # subtrees: max(left) < sep <= min(right).
         for i, sep in enumerate(node.keys):
-            assert self._subtree_min(node.children[i + 1]) >= sep, (
-                "separator exceeds right subtree minimum"
-            )
-            assert self._subtree_max(node.children[i]) < sep, (
-                "separator not above left subtree maximum"
-            )
+            if self._subtree_min(node.children[i + 1]) < sep:
+                raise InvariantError("separator exceeds right subtree minimum")
+            if self._subtree_max(node.children[i]) >= sep:
+                raise InvariantError("separator not above left subtree maximum")
         for child in node.children:
             self._validate_node(child, is_root=False)
 

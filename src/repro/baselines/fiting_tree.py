@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines.base import BaseIndex, Pair
 from repro.baselines.btree import BPlusTree
 from repro.baselines.pgm import build_pla
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 
@@ -159,14 +160,14 @@ class FITingTree(BaseIndex):
         idx = bisect_left(segment.buf_keys, key)
         if idx < len(segment.buf_keys) and segment.buf_keys[idx] == key:
             tracer.mem(segment.region, 0)
-            tracer.compute(17.0 * max(len(segment.buf_keys).bit_length(), 1))
+            tracer.compute(_C.exp_search_step * max(len(segment.buf_keys).bit_length(), 1))
             return segment.buf_values[idx]
         keys = segment.keys
         n = len(keys)
         if n == 0:
             return None
         tracer.mem(segment.region, 0)
-        tracer.compute(25.0)
+        tracer.compute(_C.linear_model)
         # The PLA prediction targets the build-time rank; subtracting
         # the segment's base rank yields the local array position.
         pos = int(segment.intercept + segment.slope * key)
@@ -178,7 +179,7 @@ class FITingTree(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             tracer.mem(segment.region, 64 + mid * 8)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if keys[mid] <= key:
                 lo = mid
             else:

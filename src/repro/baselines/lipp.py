@@ -23,6 +23,7 @@ import numpy as np
 from repro.baselines.base import BaseIndex, Pair
 from repro.core.local_opt import LocalOptStats, fit_leaf_model, local_opt
 from repro.core.nodes import LeafNode
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer
 
 _LIPP_ENLARGE = 5.0
@@ -92,7 +93,7 @@ class LippIndex(BaseIndex):
             return None
         while True:
             tracer.mem(node.region)
-            tracer.compute(25.0)
+            tracer.compute(_C.linear_model)
             pos = node.predict_slot(key)
             # Real LIPP checks the node's type bitmap before the entry
             # array (BITMAP_GET on typeBitmap); the bitmap vector lives
@@ -103,7 +104,7 @@ class LippIndex(BaseIndex):
             if entry is None:
                 return None
             if type(entry) is tuple:
-                tracer.compute(2.0)
+                tracer.compute(_C.branch)
                 return entry[1] if entry[0] == key else None
             node = entry
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair, UnsupportedOperation
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 _TOMBSTONE = object()
@@ -127,7 +128,7 @@ class PGMIndex(BaseIndex):
             firsts, slopes, intercepts, starts = self._levels[depth]
             region = self._level_regions[depth]
             tracer.mem(region, idx * 24)
-            tracer.compute(25.0)
+            tracer.compute(_C.linear_model)
             pred = intercepts[idx] + slopes[idx] * key
             # Ranks covered by this segment at the level below.
             size_below = (
@@ -150,7 +151,7 @@ class PGMIndex(BaseIndex):
             while hi - lo > 1:
                 mid = (lo + hi) // 2
                 tracer.mem(below_region, mid * 24)
-                tracer.compute(17.0)
+                tracer.compute(_C.exp_search_step)
                 if below_firsts[mid] <= key:
                     lo = mid
                 else:
@@ -165,7 +166,7 @@ class PGMIndex(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             tracer.mem(self._keys_region, mid * 8)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if keys[mid] <= key:
                 lo = mid
             else:

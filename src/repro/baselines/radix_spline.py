@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 _KEY_BITS = 53  # keys are integer-valued float64 below 2**53
@@ -90,7 +91,7 @@ class RadixSplineIndex(BaseIndex):
             return None
         tracer.phase("step1")
         prefix = (int(key) - self._min_key) >> self._shift
-        tracer.compute(4.0)
+        tracer.compute(2 * _C.branch)  # prefix shift + mask
         tracer.mem(self._table_region, prefix * 4)
         lo_idx = int(self._table[prefix])
         tracer.mem(self._table_region, (prefix + 1) * 4)
@@ -105,7 +106,7 @@ class RadixSplineIndex(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             tracer.mem(self._spline_region, mid * 16)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if sk[mid] <= key:
                 lo = mid
             else:
@@ -116,7 +117,7 @@ class RadixSplineIndex(BaseIndex):
         seg = min(seg, len(sk) - 2)
         x0, x1 = sk[seg], sk[seg + 1]
         y0, y1 = self._spline_ranks[seg], self._spline_ranks[seg + 1]
-        tracer.compute(25.0)  # interpolation
+        tracer.compute(_C.linear_model)  # interpolation
         if x1 > x0:
             pos = y0 + (y1 - y0) * (key - x0) / (x1 - x0)
         else:
@@ -132,7 +133,7 @@ class RadixSplineIndex(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             tracer.mem(self._keys_region, mid * 8)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if keys[mid] <= key:
                 lo = mid
             else:

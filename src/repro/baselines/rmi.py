@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaseIndex, Pair
+from repro.check.errors import InvariantError
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import NULL_TRACER, Tracer, region_id
 
 
@@ -140,7 +142,8 @@ class RMIIndex(BaseIndex):
             )
             if best_window is None or window < best_window:
                 best, best_window = candidate, window
-        assert best is not None
+        if best is None:
+            raise InvariantError("auto root selection tried no candidate")
         self.root_kind = best.root_kind
         self.name = f"RMI(auto->{best.root_kind},{self.branching})"
         for attr in (
@@ -175,9 +178,9 @@ class RMIIndex(BaseIndex):
         x = self._transform(key)
         # Root model evaluation: one multiply-add per polynomial degree
         # (a log transform costs about one more).
-        tracer.compute(25.0 * (len(self._root_coeffs) - 1))
+        tracer.compute(_C.linear_model * (len(self._root_coeffs) - 1))
         if self.root_kind == "loglinear":
-            tracer.compute(25.0)
+            tracer.compute(_C.linear_model)
         pred = float(np.polyval(self._root_coeffs, x))
         bucket = int(pred * self.branching / n)
         if bucket < 0:
@@ -186,7 +189,7 @@ class RMIIndex(BaseIndex):
             bucket = self.branching - 1
         # Fetch the second-stage model (4 doubles = half a cache line).
         tracer.mem(self._stage2_region, bucket * 32)
-        tracer.compute(25.0)
+        tracer.compute(_C.linear_model)
         pos = self._intercepts[bucket] + self._slopes[bucket] * key
         lo = int(pos) + int(self._err_lo[bucket])
         hi = int(pos) + int(self._err_hi[bucket]) + 1
@@ -199,7 +202,7 @@ class RMIIndex(BaseIndex):
         while hi - lo > 1:
             mid = (lo + hi) // 2
             tracer.mem(self._keys_region, mid * 8)
-            tracer.compute(17.0)
+            tracer.compute(_C.exp_search_step)
             if keys[mid] <= key:
                 lo = mid
             else:

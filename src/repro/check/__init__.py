@@ -1,0 +1,47 @@
+"""Correctness tooling: runtime sanitizers, WAL auditing, and AST lint.
+
+Three pillars (see ``docs/static_analysis.md``):
+
+* :mod:`repro.check.invariants` -- :class:`TreeSanitizer` /
+  :func:`verify_tree`: deep structural + flat-plan cross-validation,
+  amortized for online use via ``DILI.sanitizer``.
+* :mod:`repro.check.locks` -- :class:`LockSanitizer`: lock-order
+  inversion and lock-discipline detection for ``ConcurrentDILI``.
+* :mod:`repro.check.wal_audit` -- :class:`WalAuditor`: offline
+  durability-directory framing audit.
+* :mod:`repro.check.lint` -- rules CHK001-CHK005 over the repo's own
+  source (``repro check lint ...``).
+
+Submodules import the core back (the sanitizers wrap live indexes), so
+everything here is exported lazily; ``repro.check.errors`` stays
+dependency-free for hot-path imports.
+"""
+
+from __future__ import annotations
+
+from repro.check.errors import InvariantError, SanitizerViolation
+
+_LAZY = {
+    "TreeSanitizer": ("repro.check.invariants", "TreeSanitizer"),
+    "verify_tree": ("repro.check.invariants", "verify_tree"),
+    "LockSanitizer": ("repro.check.locks", "LockSanitizer"),
+    "LockViolation": ("repro.check.locks", "LockViolation"),
+    "WalAuditor": ("repro.check.wal_audit", "WalAuditor"),
+    "AuditReport": ("repro.check.wal_audit", "AuditReport"),
+    "audit_directory": ("repro.check.wal_audit", "audit_directory"),
+    "LintFinding": ("repro.check.lint", "LintFinding"),
+    "lint_paths": ("repro.check.lint", "lint_paths"),
+    "RULES": ("repro.check.lint", "RULES"),
+}
+
+__all__ = ["InvariantError", "SanitizerViolation", *_LAZY]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.check' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

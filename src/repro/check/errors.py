@@ -1,0 +1,24 @@
+"""Exception types for the correctness-tooling layer.
+
+Kept dependency-free so hot-path modules (``repro.core.dili``) can raise
+:class:`InvariantError` without importing the rest of ``repro.check``
+(whose sanitizers import the core back).
+"""
+
+from __future__ import annotations
+
+
+class InvariantError(AssertionError):
+    """A structural invariant of the index (or its derived state) broke.
+
+    Subclasses :class:`AssertionError` so existing callers that treat
+    validation failures as assertion failures (crash-recovery triage,
+    fault-injection tests) keep working -- but unlike a bare ``assert``
+    statement, raising it survives ``python -O``.  Lint rule CHK002
+    enforces that runtime invariants in ``src/`` use this instead of
+    ``assert``.
+    """
+
+
+class SanitizerViolation(InvariantError):
+    """A runtime sanitizer (tree or lock) observed an inconsistency."""

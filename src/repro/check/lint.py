@@ -1,0 +1,416 @@
+"""Custom AST lint for the repro codebase (rules CHK001-CHK005).
+
+Pure stdlib-``ast`` analysis -- no third-party linter frameworks.  Each
+rule encodes an invariant of this codebase that a generic linter cannot
+know:
+
+* **CHK001** -- the flat plan's structure-of-arrays buffers may only be
+  mutated by the sanctioned ``patch_*`` / ``recompile_*`` APIs (plus
+  ``FlatPlan.__init__``).  Any other store, subscript-store, or mutating
+  method call on a plan SoA attribute corrupts the read path silently.
+* **CHK002** -- no bare ``assert`` for runtime invariants inside
+  ``src/``: ``python -O`` strips them.  Raise
+  :class:`repro.check.errors.InvariantError` instead.  Test, example and
+  benchmark trees are exempt (pytest rewrites their asserts).
+* **CHK003** -- no hardcoded cost-model cycle literals (the paper's
+  theta/eta/mu values).  They must come from
+  ``repro.simulate.latency`` so recalibration changes one file.
+  ``latency.py`` itself and test trees are exempt.
+* **CHK004** -- no ``==`` / ``!=`` against non-zero float literals in
+  ``core/``.  Exact comparison against a computed float is almost
+  always a bug; comparisons against literal ``0.0`` (exact-arithmetic
+  guards) are allowed.
+* **CHK005** -- traced probes must use a shared ``Tracer`` constant: a
+  ``tracer`` parameter's default must be ``NULL_TRACER`` (never ``None``
+  or a fresh instance), and ``NullTracer()`` / ``Tracer()`` may only be
+  instantiated inside ``repro/simulate/tracer.py``.
+
+Any finding can be locally waived with a pragma comment on (any line
+of) the offending statement::
+
+    assert fast_path  # repro-check: allow CHK002 -- type narrowing only
+
+See ``docs/static_analysis.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Iterable, Sequence
+
+RULES: dict[str, str] = {
+    "CHK001": "flat-plan SoA buffers mutated outside patch_*/recompile_*",
+    "CHK002": "bare assert used for a runtime invariant in src/",
+    "CHK003": "hardcoded cost-model cycle literal",
+    "CHK004": "float-literal equality comparison in core/",
+    "CHK005": "traced probe without a shared Tracer constant",
+}
+
+# FlatPlan's structure-of-arrays attributes (mirrors FlatPlan.__slots__).
+SOA_ATTRS = frozenset(
+    {
+        "kind", "slope", "intercept", "size", "base", "region",
+        "slot_kind", "slot_ref", "pair_keys", "dense_keys", "values",
+        "sorted_keys", "num_pairs", "depth",
+    }
+)
+
+# Methods allowed to mutate the SoA buffers from inside FlatPlan.
+_PLAN_MUTATOR_METHODS = frozenset(
+    {
+        "__init__",
+        "patch_value", "patch_insert", "patch_insert_many",
+        "patch_delete", "patch_delete_many",
+        "recompile_subtree", "recompile_subtrees",
+    }
+)
+
+# In-place container mutators that corrupt an SoA buffer just as surely
+# as a store does.
+_MUTATING_CALLS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort",
+     "reverse", "fill", "resize", "put"}
+)
+
+# The Section 7.1 calibration values (theta, eta, mu_L, mu_E, cache hit,
+# branch).  Re-typing any of them as a literal is what CHK003 flags.
+COST_LITERALS = frozenset({130.0, 25.0, 17.0, 5.0, 4.0, 2.0})
+
+_PRAGMA_RE = re.compile(r"#\s*repro-check:\s*allow\s+([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rules waived on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if m:
+            out[i] = frozenset(re.findall(r"CHK\d{3}", m.group(1)))
+    return out
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """Trailing name of a call target (``foo`` or ``obj.foo``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_cost_literal(node: ast.expr) -> bool:
+    # Only float literals: the calibration constants are written as
+    # floats (130.0, 25.0, ...); integer 2s and 4s in index arithmetic
+    # are not cost charges.
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is float
+        and node.value in COST_LITERALS
+    )
+
+
+def _is_null_tracer_ref(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "NULL_TRACER"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "NULL_TRACER"
+    return False
+
+
+class _FileContext:
+    """Which rules apply to this file, from its path alone."""
+
+    def __init__(self, path: str) -> None:
+        parts = PurePath(path).parts
+        name = parts[-1] if parts else path
+        in_tests = any(p in ("tests", "test", "examples") for p in parts)
+        in_benchmarks = "benchmarks" in parts
+        self.check_asserts = not (in_tests or in_benchmarks)
+        self.check_cost = not in_tests and name != "latency.py"
+        self.check_float_eq = "core" in parts
+        self.check_tracer = name != "tracer.py"
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file rule engine; collects findings with pragma filtering."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.ctx = _FileContext(path)
+        self.pragmas = _pragma_lines(source)
+        self.findings: list[LintFinding] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
+        # Per-scope sets of local names bound to a flat plan.
+        self._alias_stack: list[set[str]] = [set()]
+        self.visit(tree)
+
+    # -- reporting ----------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        for line in range(first, last + 1):
+            if rule in self.pragmas.get(line, ()):  # waived
+                return
+        self.findings.append(
+            LintFinding(self.path, first, getattr(node, "col_offset", 0),
+                        rule, message)
+        )
+
+    # -- scope bookkeeping --------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._check_tracer_defaults(node)
+        self._func_stack.append(node.name)
+        self._alias_stack.append(set())
+        self.generic_visit(node)
+        self._alias_stack.pop()
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- CHK002: bare asserts -----------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self.ctx.check_asserts:
+            self._report(
+                node, "CHK002",
+                "bare assert is stripped under python -O; raise "
+                "repro.check.errors.InvariantError instead",
+            )
+        self.generic_visit(node)
+
+    # -- CHK004: float equality ---------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.ctx.check_float_eq:
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (operands[i], operands[i + 1]):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and type(side.value) is float
+                        and side.value != 0.0
+                    ):
+                        self._report(
+                            node, "CHK004",
+                            f"exact comparison against float literal "
+                            f"{side.value!r}; use a tolerance (or a pragma "
+                            f"if bit-exactness is intended)",
+                        )
+                        break
+        self.generic_visit(node)
+
+    # -- calls: CHK003 cost literals, CHK005 tracer instantiation,
+    #    CHK001 mutating calls ----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        if self.ctx.check_cost:
+            if name == "compute":
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if _is_cost_literal(sub):
+                            self._report(
+                                node, "CHK003",
+                                f"cycle literal {sub.value!r} in a "
+                                f"tracer.compute() charge; use "
+                                f"repro.simulate.latency.DEFAULT_CYCLES",
+                            )
+                            break
+            elif name == "CyclesPerOp":
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    if _is_cost_literal(arg):
+                        self._report(
+                            node, "CHK003",
+                            f"CyclesPerOp re-types default {arg.value!r}; "
+                            f"use dataclasses.replace(DEFAULT_CYCLES, ...)",
+                        )
+                        break
+            for kw in node.keywords:
+                if kw.arg == "mu_e" and _is_cost_literal(kw.value):
+                    self._report(
+                        node, "CHK003",
+                        f"cycle literal {kw.value.value!r} passed as mu_e; "
+                        f"use DEFAULT_CYCLES.exp_search_step",
+                    )
+        if self.ctx.check_tracer and name in ("NullTracer", "Tracer"):
+            self._report(
+                node, "CHK005",
+                f"{name}() instantiated outside repro/simulate/tracer.py; "
+                f"use the shared NULL_TRACER constant",
+            )
+        if name in _MUTATING_CALLS and isinstance(node.func, ast.Attribute):
+            self._check_soa_mutation(node, node.func.value, is_call=True)
+        self.generic_visit(node)
+
+    # -- CHK005: tracer parameter defaults ----------------------------
+
+    def _check_tracer_defaults(self, node) -> None:
+        if not self.ctx.check_tracer:
+            return
+        a = node.args
+        positional = [*a.posonlyargs, *a.args]
+        pairs = list(zip(positional[len(positional) - len(a.defaults):],
+                         a.defaults))
+        pairs += [
+            (arg, d)
+            for arg, d in zip(a.kwonlyargs, a.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            if arg.arg == "tracer" and not _is_null_tracer_ref(default):
+                self._report(
+                    default, "CHK005",
+                    "tracer parameter must default to the shared "
+                    "NULL_TRACER constant",
+                )
+
+    # -- CHK001: SoA mutation tracking --------------------------------
+
+    def _is_plan_expr(self, node: ast.expr) -> bool:
+        """Does this expression evaluate to a FlatPlan?"""
+        if isinstance(node, ast.Name):
+            return any(node.id in s for s in self._alias_stack)
+        if isinstance(node, ast.Attribute):
+            return node.attr == "_flat"
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            return name in ("compile_plan", "_plan")
+        return False
+
+    def _soa_attr_of(self, node: ast.expr) -> ast.Attribute | None:
+        """``<plan>.<soa_attr>`` if that's what ``node`` is."""
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in SOA_ATTRS
+            and self._is_plan_expr(node.value)
+        ):
+            return node
+        return None
+
+    def _in_sanctioned_plan_method(self) -> bool:
+        return (
+            bool(self._class_stack)
+            and self._class_stack[-1] == "FlatPlan"
+            and bool(self._func_stack)
+            and self._func_stack[-1] in _PLAN_MUTATOR_METHODS
+        )
+
+    def _check_soa_mutation(
+        self, stmt: ast.AST, target: ast.expr, *, is_call: bool = False
+    ) -> None:
+        # `self.<soa> = ...` inside FlatPlan methods.
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in SOA_ATTRS
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class_stack
+            and self._class_stack[-1] == "FlatPlan"
+        ):
+            if not self._in_sanctioned_plan_method():
+                verb = "mutated by" if is_call else "assigned in"
+                self._report(
+                    stmt, "CHK001",
+                    f"FlatPlan SoA buffer '{target.attr}' {verb} "
+                    f"'{self._func_stack[-1] if self._func_stack else '?'}'; "
+                    f"only __init__/patch_*/recompile_* may write it",
+                )
+            return
+        # `<plan expr>.<soa> = ...` anywhere else.
+        attr = self._soa_attr_of(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = self._soa_attr_of(target.value)
+        if attr is not None and not self._in_sanctioned_plan_method():
+            self._report(
+                stmt, "CHK001",
+                f"flat-plan SoA buffer '{attr.attr}' mutated outside the "
+                f"patch_*/recompile_* APIs",
+            )
+
+    def _note_aliases(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        if self._is_plan_expr(value):
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    self._alias_stack[-1].add(t.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_aliases(node.targets, node.value)
+        for t in node.targets:
+            self._check_soa_mutation(node, t)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_aliases([node.target], node.value)
+        self._check_soa_mutation(node, node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_soa_mutation(node, node.target)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; returns findings (possibly empty)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # surfaced as a finding, not a crash
+        return [
+            LintFinding(path, exc.lineno or 1, exc.offset or 0, "PARSE",
+                        f"syntax error: {exc.msg}")
+        ]
+    return _Linter(path, source, tree).findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    """Lint every .py file under ``paths``; findings in stable order."""
+    findings: list[LintFinding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

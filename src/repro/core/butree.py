@@ -270,7 +270,9 @@ class BUTree:
             tracer.mem(node.region)
             tracer.compute(c.linear_model)
             hint = node.model.predict_int(key) - node.offset
-            assert node.bounds is not None and node.children is not None
+            assert (  # repro-check: allow CHK002 -- type narrowing only
+                node.bounds is not None and node.children is not None
+            )
             idx = exp_search_floor(
                 node.bounds, key, hint, tracer, node.region,
                 mu_e=c.exp_search_step,

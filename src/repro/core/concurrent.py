@@ -112,6 +112,24 @@ class ConcurrentDILI:
         with self.exclusive():
             yield
 
+    def instrument_locks(self, wrap, index_proxy=None) -> None:
+        """Hook point for :class:`repro.check.locks.LockSanitizer`.
+
+        Maps every stripe lock and the global lock through ``wrap(lock,
+        name)`` (which must return a lock-compatible object) and, when
+        ``index_proxy`` is given, replaces the wrapped index with
+        ``index_proxy(index)``.  :meth:`locked`'s verified acquisition
+        compares lock objects by identity against ``self._locks``, so
+        wrappers installed here participate in the protocol unchanged.
+        The sanitizer keeps the originals and restores them on detach.
+        """
+        self._locks = [
+            wrap(lock, f"stripe[{i}]") for i, lock in enumerate(self._locks)
+        ]
+        self._global = wrap(self._global, "global")
+        if index_proxy is not None:
+            self._index = index_proxy(self._index)
+
     @contextmanager
     def exclusive(self):
         """Hold the global lock and every stripe (rebuilds, scans,

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import logging
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 import numpy as np
 
+from repro.check.errors import InvariantError
 from repro.core.bulk_load import bulk_load
 from repro.core.cost import CostParams
 from repro.core.flat import FlatPlan, InternalRouter, compile_plan
@@ -102,14 +103,7 @@ class DiliConfig:
             io_cycles: Cost of one block read in cycles (default ~10us
                 at 2.5 GHz, an NVMe-class random read).
         """
-        io = CyclesPerOp(
-            cache_miss=io_cycles,
-            cache_hit=4.0,
-            linear_model=25.0,
-            linear_search_step=5.0,
-            exp_search_step=17.0,
-            branch=2.0,
-        )
+        io = replace(DEFAULT_CYCLES, cache_miss=io_cycles)
         return cls(local_optimization=False, cycles=io)
 
 
@@ -151,6 +145,9 @@ class DILI:
         # changes the tree *shape* (spawn / adjust / collapse), not just
         # a slot's contents; decides patch vs subtree recompile.
         self._op_structural = False
+        # Optional repro.check.invariants.TreeSanitizer; every mutating
+        # operation reports the keys it touched (zero cost when None).
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -202,6 +199,8 @@ class DILI:
         self.opt_stats = result.opt_stats
         self.butree = result.butree if keep_butree else None
         self._count = len(keys)
+        if self.sanitizer is not None:
+            self.sanitizer.after_bulk(self)
 
     @classmethod
     def from_pairs(cls, pairs: list[Pair], config: DiliConfig | None = None) -> "DILI":
@@ -281,6 +280,17 @@ class DILI:
         """Drop the compiled read plan (the incremental-maintenance
         fallback for mutations no patch or subtree recompile covers)."""
         self._flat = None
+
+    def _sanitize_after(self, keys) -> None:
+        """TreeSanitizer hook: report a completed mutation.
+
+        ``keys`` are the keys the operation touched (hit or miss --
+        coherence of a miss is worth checking too).  A ``None``
+        sanitizer costs one attribute load and a branch.
+        """
+        san = self.sanitizer
+        if san is not None:
+            san.after_write(self, keys)
 
     def _plan(self) -> FlatPlan:
         """The compiled flat read plan, building it on first use.
@@ -424,6 +434,7 @@ class DILI:
             self.root = leaf
             self._count = 1
             self.insert_count += 1
+            self._sanitize_after((key,))
             return True
         if not self.config.local_optimization:
             raise NotImplementedError(
@@ -445,6 +456,7 @@ class DILI:
             self._count += 1
             self.insert_count += 1
             self._plan_note_insert(key, value, node)
+        self._sanitize_after((key,))
         return inserted
 
     def _insert_to_leaf(
@@ -556,6 +568,7 @@ class DILI:
         if existed:
             self._count -= 1
             self._plan_note_delete(key, node)
+        self._sanitize_after((key,))
         return existed
 
     def _delete_from_leaf(
@@ -730,6 +743,7 @@ class DILI:
         if record:
             for rec in recorders:
                 rec.replay(tracer)
+        self._sanitize_after(keys)
         return out
 
     def _insert_group(
@@ -901,6 +915,7 @@ class DILI:
         if record:
             for rec in recorders:
                 rec.replay(tracer)
+        self._sanitize_after(keys)
         return out
 
     def _delete_group(self, leaf, members, keys_arr, out, recorders):
@@ -1048,6 +1063,7 @@ class DILI:
                 else:
                     self._invalidate_plan()
                     break
+        self._sanitize_after(keys)
         return out
 
     def _descent_recorders(
@@ -1143,6 +1159,7 @@ class DILI:
             if idx < len(node.keys) and node.keys[idx] == key:
                 node.values[idx] = value
                 self._plan_note_update(key, value)
+                self._sanitize_after((key,))
                 return True
             return False
         while True:
@@ -1154,6 +1171,7 @@ class DILI:
                 if entry[0] == key:
                     node.slots[pos] = (key, value)
                     self._plan_note_update(key, value)
+                    self._sanitize_after((key,))
                     return True
                 return False
             node = entry
@@ -1217,6 +1235,7 @@ class DILI:
         state = dict(self.__dict__)
         state["_flat"] = None
         state["_router"] = None
+        state["sanitizer"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -1230,6 +1249,7 @@ class DILI:
         self.__dict__.setdefault("plan_recompiles", 0)
         self.__dict__.setdefault("plan_subtree_recompiles", 0)
         self.__dict__.setdefault("plan_patches", 0)
+        self.__dict__.setdefault("sanitizer", None)
 
     def save(self, path) -> None:
         """Serialize the index to ``path``, atomically and checksummed.
@@ -1435,22 +1455,27 @@ class DILI:
         return _memory_bytes(self.root)
 
     def validate(self) -> None:
-        """Check structural invariants; raises AssertionError on damage.
+        """Check structural invariants; raises InvariantError on damage.
 
         Verifies that every stored pair is found at exactly its predicted
         slot, that per-leaf pair counts match, and that in-order
-        iteration yields strictly increasing keys.
+        iteration yields strictly increasing keys.  The raised
+        :class:`repro.check.errors.InvariantError` subclasses
+        ``AssertionError`` but survives ``python -O``.
         """
         if self.root is None:
-            assert self._count == 0, "empty tree with nonzero count"
+            if self._count != 0:
+                raise InvariantError("empty tree with nonzero count")
             return
         total = _validate_node(self.root)
-        assert total == self._count, (
-            f"pair count mismatch: walked {total}, tracked {self._count}"
-        )
+        if total != self._count:
+            raise InvariantError(
+                f"pair count mismatch: walked {total}, tracked {self._count}"
+            )
         last = -math.inf
         for key, _ in self.items():
-            assert key > last, f"iteration order broken at {key}"
+            if key <= last:
+                raise InvariantError(f"iteration order broken at {key}")
             last = key
 
 
@@ -1563,12 +1588,14 @@ def _memory_bytes(node) -> int:
 def _validate_node(node) -> int:
     """Recursively verify a subtree; returns the number of pairs in it."""
     if type(node) is InternalNode:
-        assert len(node.children) >= 1, "internal node without children"
+        if len(node.children) < 1:
+            raise InvariantError("internal node without children")
         return sum(_validate_node(c) for c in node.children)
     if type(node) is DenseLeafNode:
-        assert len(node.keys) == len(node.values)
-        if len(node.keys) > 1:
-            assert bool(np.all(np.diff(node.keys) > 0)), "dense leaf unsorted"
+        if len(node.keys) != len(node.values):
+            raise InvariantError("dense leaf keys/values length mismatch")
+        if len(node.keys) > 1 and not bool(np.all(np.diff(node.keys) > 0)):
+            raise InvariantError("dense leaf unsorted")
         return len(node.keys)
     count = 0
     for i, entry in enumerate(node.slots):
@@ -1576,13 +1603,17 @@ def _validate_node(node) -> int:
             continue
         if type(entry) is tuple:
             predicted = node.predict_slot(entry[0])
-            assert predicted == i, (
-                f"pair {entry[0]} stored at slot {i}, predicted {predicted}"
-            )
+            if predicted != i:
+                raise InvariantError(
+                    f"pair {entry[0]} stored at slot {i}, "
+                    f"predicted {predicted}"
+                )
             count += 1
         else:
             count += _validate_node(entry)
-    assert count == node.num_pairs, (
-        f"leaf pair count mismatch: walked {count}, tracked {node.num_pairs}"
-    )
+    if count != node.num_pairs:
+        raise InvariantError(
+            f"leaf pair count mismatch: walked {count}, "
+            f"tracked {node.num_pairs}"
+        )
     return count

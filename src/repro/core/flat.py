@@ -797,6 +797,81 @@ class FlatPlan:
         )
         return sum(a.nbytes for a in arrays) + 8 * len(self.values)
 
+    def self_check(self) -> None:
+        """Verify SoA cross-reference integrity after patches/splices.
+
+        The sanitizer hook point (:mod:`repro.check.invariants` calls
+        this during deep verification): every table length, slot
+        reference, dense block, and sorted-key ordering the patch and
+        recompile paths maintain incrementally is re-checked from
+        scratch.  Raises
+        :class:`repro.check.errors.InvariantError` on the first
+        inconsistency.
+        """
+        from repro.check.errors import InvariantError
+
+        rows = len(self.kind)
+        for name in ("slope", "intercept", "size", "base", "region"):
+            if len(getattr(self, name)) != rows:
+                raise InvariantError(
+                    f"plan table '{name}' has {len(getattr(self, name))} "
+                    f"rows, kind has {rows}"
+                )
+        if len(self.slot_kind) != len(self.slot_ref):
+            raise InvariantError(
+                f"slot tables diverge: {len(self.slot_kind)} kinds vs "
+                f"{len(self.slot_ref)} refs"
+            )
+        if self.num_pairs != len(self.pair_keys):
+            raise InvariantError(
+                f"num_pairs {self.num_pairs} != pair table length "
+                f"{len(self.pair_keys)}"
+            )
+        if len(self.values) != self.num_pairs + len(self.dense_keys):
+            raise InvariantError(
+                f"value table holds {len(self.values)} entries for "
+                f"{self.num_pairs} pairs + {len(self.dense_keys)} dense keys"
+            )
+        for name in ("pair_keys", "sorted_keys"):
+            arr = getattr(self, name)
+            if len(arr) > 1 and not bool(np.all(arr[1:] > arr[:-1])):
+                raise InvariantError(f"plan '{name}' not strictly ascending")
+        n_slots = len(self.slot_kind)
+        for row in range(rows):
+            b = int(self.base[row])
+            m = int(self.size[row])
+            if self.kind[row] == KIND_DENSE:
+                if b < 0 or b + m > len(self.dense_keys):
+                    raise InvariantError(
+                        f"dense row {row} block [{b}, {b + m}) outside "
+                        f"dense_keys[0, {len(self.dense_keys)})"
+                    )
+                block = self.dense_keys[b:b + m]
+                if len(block) > 1 and not bool(np.all(block[1:] > block[:-1])):
+                    raise InvariantError(f"dense row {row} block unsorted")
+            elif b < 0 or m < 1 or b + m > n_slots:
+                raise InvariantError(
+                    f"row {row} slots [{b}, {b + m}) outside the slot "
+                    f"table [0, {n_slots})"
+                )
+        bad_kind = ~np.isin(self.slot_kind, (SLOT_EMPTY, SLOT_PAIR, SLOT_NODE))
+        if bool(np.any(bad_kind)):
+            raise InvariantError("slot table holds an unknown slot kind")
+        pair_refs = self.slot_ref[self.slot_kind == SLOT_PAIR]
+        if len(pair_refs) != self.num_pairs or not bool(
+            np.array_equal(np.sort(pair_refs), np.arange(self.num_pairs))
+        ):
+            raise InvariantError(
+                f"{len(pair_refs)} pair slots do not reference the "
+                f"{self.num_pairs} pair-table entries exactly once"
+            )
+        node_refs = self.slot_ref[self.slot_kind == SLOT_NODE]
+        if len(node_refs) and (
+            int(node_refs.min()) < 1 or int(node_refs.max()) >= rows
+        ):
+            raise InvariantError("slot table references a node row "
+                                 "outside the node table")
+
 
 class _PlanBuilder:
     """Accumulates SoA rows for a (sub)tree in DFS preorder.

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.baselines.base import UnsupportedOperation
 from repro.simulate.cache import CacheSimulator
+from repro.simulate.latency import DEFAULT_CYCLES as _C
 from repro.simulate.tracer import CostTracer
 from repro.workloads.generator import Operation
 
@@ -99,7 +100,7 @@ def run_workload(
     # is charged per moved pair: ~5 cycles of copy work plus one cache
     # line load per 8 pairs moved.
     moved = getattr(index, "moved_pairs", 0) - moved_before
-    tracer.compute(moved * (5.0 + 130.0 / 8.0))
+    tracer.compute(moved * (_C.linear_search_step + _C.cache_miss / 8.0))
     sim_seconds = tracer.total_cycles / (ghz * 1e9)
     return WorkloadResult(
         name=name,
@@ -122,13 +123,13 @@ def _apply(index, op: Operation, key: float, tracer: CostTracer) -> int:
         # then the store itself.
         index.get(key, tracer)
         ok = index.insert(key, "w")
-        tracer.compute(25.0)
+        tracer.compute(_C.linear_model)
         if ok:
             return 1
         return 0
     if op is Operation.DELETE:
         index.get(key, tracer)
         ok = index.delete(key)
-        tracer.compute(25.0)
+        tracer.compute(_C.linear_model)
         return 1 if ok else 0
     raise ValueError(f"unknown operation {op!r}")  # pragma: no cover

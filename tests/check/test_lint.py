@@ -1,0 +1,178 @@
+"""The CHK lint rules: each must fire on a seeded violation, stay quiet
+on the sanctioned pattern, honor pragmas -- and the repo must be clean."""
+
+from pathlib import Path
+
+from repro.check.lint import RULES, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parents[2]
+
+# Path contexts: CORE enables every src rule incl. CHK004; PLAIN is src/
+# but outside core/; TESTS is exempt from CHK002/CHK003.
+CORE = "src/repro/core/example.py"
+PLAIN = "src/repro/workloads/example.py"
+TESTS = "tests/core/test_example.py"
+
+
+def rules(source, path=PLAIN):
+    return [f.rule for f in lint_source(source, path)]
+
+
+class TestChk001FlatPlanMutation:
+    def test_unsanctioned_method_store(self):
+        src = (
+            "class FlatPlan:\n"
+            "    def rebalance(self):\n"
+            "        self.slot_ref = []\n"
+        )
+        assert rules(src, CORE) == ["CHK001"]
+
+    def test_patch_method_is_sanctioned(self):
+        src = (
+            "class FlatPlan:\n"
+            "    def patch_insert(self):\n"
+            "        self.slot_ref = []\n"
+            "    def recompile_subtree(self):\n"
+            "        self.pair_keys = []\n"
+        )
+        assert rules(src, CORE) == []
+
+    def test_alias_subscript_store(self):
+        src = (
+            "def corrupt(index):\n"
+            "    plan = compile_plan(index)\n"
+            "    plan.pair_keys[0] = 1.0\n"
+        )
+        assert rules(src) == ["CHK001"]
+
+    def test_flat_attribute_mutating_call(self):
+        src = "def corrupt(index):\n    index._flat.values.append(None)\n"
+        assert rules(src) == ["CHK001"]
+
+    def test_plain_local_list_is_not_a_plan(self):
+        src = (
+            "def build():\n"
+            "    values = []\n"
+            "    values.append(1)\n"
+            "    values[0] = 2\n"
+        )
+        assert rules(src) == []
+
+
+class TestChk002BareAssert:
+    SRC = "def f(x):\n    assert x > 0\n"
+
+    def test_flagged_in_src(self):
+        assert rules(self.SRC) == ["CHK002"]
+
+    def test_exempt_in_tests_and_benchmarks(self):
+        assert rules(self.SRC, TESTS) == []
+        assert rules(self.SRC, "benchmarks/bench_example.py") == []
+
+    def test_pragma_waives(self):
+        src = (
+            "def f(x):\n"
+            "    assert x > 0  # repro-check: allow CHK002 -- narrowing\n"
+        )
+        assert rules(src) == []
+
+    def test_pragma_for_other_rule_does_not_waive(self):
+        src = (
+            "def f(x):\n"
+            "    assert x > 0  # repro-check: allow CHK004 -- wrong rule\n"
+        )
+        assert rules(src) == ["CHK002"]
+
+    def test_pragma_anywhere_on_multiline_statement(self):
+        src = (
+            "def f(x):\n"
+            "    assert (\n"
+            "        x > 0  # repro-check: allow CHK002 -- narrowing\n"
+            "    )\n"
+        )
+        assert rules(src) == []
+
+
+class TestChk003CostLiterals:
+    def test_compute_with_cycle_literal(self):
+        assert rules("tracer.compute(17.0)") == ["CHK003"]
+
+    def test_literal_inside_expression(self):
+        assert rules("tracer.compute(130.0 / 8.0)") == ["CHK003"]
+
+    def test_non_calibration_float_ok(self):
+        assert rules("tracer.compute(3.0)") == []
+
+    def test_integer_literals_are_not_cost_charges(self):
+        assert rules("tracer.compute(2 * step)") == []
+
+    def test_cycles_per_op_retyping(self):
+        assert rules("c = CyclesPerOp(cache_miss=130.0)") == ["CHK003"]
+
+    def test_mu_e_keyword(self):
+        assert rules("model_cost(n, mu_e=17.0)") == ["CHK003"]
+
+    def test_exempt_in_tests_and_latency(self):
+        assert rules("tracer.compute(17.0)", TESTS) == []
+        assert rules(
+            "tracer.compute(17.0)", "src/repro/simulate/latency.py"
+        ) == []
+
+
+class TestChk004FloatEquality:
+    def test_flagged_in_core(self):
+        assert rules("ok = x == 2.5", CORE) == ["CHK004"]
+        assert rules("ok = 0.1 != y", CORE) == ["CHK004"]
+
+    def test_zero_guard_allowed(self):
+        assert rules("ok = span == 0.0", CORE) == []
+
+    def test_only_core_is_checked(self):
+        assert rules("ok = x == 2.5", PLAIN) == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert rules("ok = x >= 2.5", CORE) == []
+
+
+class TestChk005TracerDiscipline:
+    def test_none_default_flagged(self):
+        assert rules("def get(key, tracer=None):\n    pass\n") == ["CHK005"]
+
+    def test_null_tracer_default_ok(self):
+        assert rules("def get(key, tracer=NULL_TRACER):\n    pass\n") == []
+        assert rules(
+            "def get(key, *, tracer=tracer_mod.NULL_TRACER):\n    pass\n"
+        ) == []
+
+    def test_instantiation_outside_tracer_module(self):
+        assert rules("t = NullTracer()") == ["CHK005"]
+        assert rules("t = Tracer()") == ["CHK005"]
+
+    def test_tracer_module_is_exempt(self):
+        assert rules(
+            "NULL_TRACER = NullTracer()", "src/repro/simulate/tracer.py"
+        ) == []
+
+
+class TestEngine:
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n", PLAIN)
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_finding_format(self):
+        (finding,) = lint_source("assert x\n", PLAIN)
+        text = finding.format()
+        assert text.startswith(f"{PLAIN}:1:")
+        assert "CHK002" in text
+
+    def test_every_rule_has_a_description(self):
+        assert sorted(RULES) == [
+            "CHK001", "CHK002", "CHK003", "CHK004", "CHK005",
+        ]
+        assert all(RULES.values())
+
+
+class TestRepositoryIsClean:
+    def test_src_and_benchmarks_lint_clean(self):
+        findings = lint_paths([REPO / "src", REPO / "benchmarks"])
+        assert findings == [], "\n".join(f.format() for f in findings)

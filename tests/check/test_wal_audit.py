@@ -1,0 +1,140 @@
+"""WalAuditor: a healthy durability directory audits clean; every
+damage category (torn tail, CRC, LSN gap, foreign file) is classified
+with the right recoverability."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.check import AuditReport, WalAuditor, audit_directory
+from repro.durability import DurableDILI
+from repro.durability.recovery import SNAPSHOT_NAME, WAL_NAME
+from repro.durability.snapshot import HEADER_SIZE
+from repro.durability.wal import OP_INSERT, WAL_MAGIC, encode_record
+
+
+def _keys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.uniform(0, 1e9, n))
+
+
+def _make_dir(tmp_path, tail=20):
+    """Snapshot + a WAL tail of ``tail`` fresh inserts."""
+    index = DurableDILI(tmp_path, sync=False)
+    index.bulk_load(_keys(300))
+    index.snapshot()
+    for i in range(tail):
+        index.insert(2e9 + i, f"tail{i}")
+    index.close()
+    return tmp_path
+
+
+def kinds(report):
+    return sorted(f.kind for f in report.findings)
+
+
+class TestCleanDirectories:
+    def test_snapshot_plus_tail(self, tmp_path):
+        report = audit_directory(_make_dir(tmp_path))
+        assert report.clean and not report.damaged
+        assert report.wal_records == 20
+        assert report.snapshot_seqno is not None
+        assert report.wal_valid_bytes > len(WAL_MAGIC)
+
+    def test_empty_directory(self, tmp_path):
+        report = WalAuditor(tmp_path).audit()
+        assert report.clean
+        assert report.snapshot_seqno is None
+        assert report.wal_records == 0
+
+
+class TestWalDamage:
+    def test_torn_tail_is_recoverable(self, tmp_path):
+        _make_dir(tmp_path)
+        wal = tmp_path / WAL_NAME
+        wal.write_bytes(wal.read_bytes()[:-5])
+        report = audit_directory(tmp_path)
+        assert kinds(report) == ["wal-torn-tail"]
+        assert not report.damaged
+        assert report.wal_records == 19
+
+    def test_mid_log_crc_flip_is_damage(self, tmp_path):
+        _make_dir(tmp_path)
+        wal = tmp_path / WAL_NAME
+        raw = bytearray(wal.read_bytes())
+        # Flip one payload byte of the first record (header is
+        # magic + 13 frame bytes).
+        raw[len(WAL_MAGIC) + 14] ^= 0xFF
+        wal.write_bytes(bytes(raw))
+        report = audit_directory(tmp_path)
+        assert "wal-damage" in kinds(report)
+        assert report.damaged
+        assert report.wal_records == 0
+
+    def test_foreign_file(self, tmp_path):
+        (tmp_path / WAL_NAME).write_bytes(b"NOTAWAL!" + b"\0" * 32)
+        report = audit_directory(tmp_path)
+        assert kinds(report) == ["wal-foreign"]
+        assert report.damaged
+
+    def test_lsn_gap_after_snapshot(self, tmp_path):
+        _make_dir(tmp_path, tail=5)
+        snap_seqno = audit_directory(tmp_path).snapshot_seqno
+        # Rewrite the WAL so its first surviving record skips ahead of
+        # the snapshot's last seqno, losing the records in between.
+        gap_start = snap_seqno + 3
+        frames = b"".join(
+            encode_record(gap_start + i, OP_INSERT, b"payload")
+            for i in range(2)
+        )
+        (tmp_path / WAL_NAME).write_bytes(WAL_MAGIC + frames)
+        report = audit_directory(tmp_path)
+        assert kinds(report) == ["lsn-gap"]
+        assert report.damaged
+        assert f"{snap_seqno + 1}..{gap_start - 1}" in \
+            report.findings[0].detail
+
+    def test_wal_without_snapshot_must_start_at_one(self, tmp_path):
+        frames = encode_record(4, OP_INSERT, b"payload")
+        (tmp_path / WAL_NAME).write_bytes(WAL_MAGIC + frames)
+        report = audit_directory(tmp_path)
+        assert kinds(report) == ["lsn-gap"]
+
+
+class TestSnapshotDamage:
+    def test_payload_crc_flip(self, tmp_path):
+        _make_dir(tmp_path)
+        snap = tmp_path / SNAPSHOT_NAME
+        raw = bytearray(snap.read_bytes())
+        raw[HEADER_SIZE + 1] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        report = audit_directory(tmp_path)
+        assert "snapshot-crc" in kinds(report)
+        assert report.damaged
+
+    def test_truncated_payload(self, tmp_path):
+        _make_dir(tmp_path)
+        snap = tmp_path / SNAPSHOT_NAME
+        snap.write_bytes(snap.read_bytes()[:-10])
+        report = audit_directory(tmp_path)
+        assert "snapshot-length" in kinds(report)
+        assert report.damaged
+
+    def test_foreign_snapshot_header(self, tmp_path):
+        _make_dir(tmp_path)
+        (tmp_path / SNAPSHOT_NAME).write_bytes(b"JUNKJUNKJUNKJUNK" * 4)
+        report = audit_directory(tmp_path)
+        assert "snapshot-header" in kinds(report)
+        assert report.damaged
+
+
+class TestReportShape:
+    def test_format_tags(self, tmp_path):
+        _make_dir(tmp_path)
+        wal = tmp_path / WAL_NAME
+        wal.write_bytes(wal.read_bytes()[:-5])
+        report = audit_directory(tmp_path)
+        assert isinstance(report, AuditReport)
+        (finding,) = report.findings
+        assert finding.format().startswith("[recoverable]")

@@ -1,0 +1,42 @@
+"""Suite-wide fixtures: the ``--sanitize`` invariant-checking mode.
+
+``pytest --sanitize`` attaches a :class:`repro.check.TreeSanitizer` to
+every :class:`repro.core.dili.DILI` the tests construct, so each
+mutating operation is spot-checked against the compiled flat plan and
+the whole tree is deep-verified on an amortized schedule.  The CI
+``check`` job runs the core and durability suites this way; locally it
+is off by default because deep verification is O(n) per trigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="attach a TreeSanitizer to every DILI built by the tests",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_all_trees(request, monkeypatch):
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.check import TreeSanitizer
+    from repro.core.dili import DILI
+
+    original_init = DILI.__init__
+
+    def init_with_sanitizer(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        # full_every stays None: the amortized policy keeps overhead
+        # bounded even for the suite's pathological churn tests.
+        self.sanitizer = TreeSanitizer()
+
+    monkeypatch.setattr(DILI, "__init__", init_with_sanitizer)
+    yield
