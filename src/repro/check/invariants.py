@@ -182,6 +182,27 @@ def _check_router(index) -> None:
             _fail(f"router leaf {i} is not the tree's top-level leaf {i}")
 
 
+def verify_subtree(node) -> int:
+    """Deep-verify one subtree (any node kind); returns its pair count.
+
+    The scoped form of :func:`verify_tree` used by the online repair
+    engine (:mod:`repro.resilience.repair`) to re-check just a
+    quarantined subtree after rebuilding it.  Raises
+    :class:`SanitizerViolation` on the first broken invariant.
+    """
+    return _check_node(node)
+
+
+def verify_internal(node: InternalNode) -> None:
+    """Verify one internal node's Eq. 1 model and child array.
+
+    Raises :class:`SanitizerViolation` when the stored model is not
+    exactly the equal-width model of its ``[lb, ub)`` range and fanout
+    -- the check that makes linear-model poisoning detectable.
+    """
+    _check_internal(node)
+
+
 def verify_tree(index, *, check_plan: bool = True,
                 check_router: bool = True) -> None:
     """Deep-verify ``index``; raises :class:`SanitizerViolation` on damage.

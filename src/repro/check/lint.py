@@ -24,6 +24,11 @@ know:
   ``tracer`` parameter's default must be ``NULL_TRACER`` (never ``None``
   or a fresh instance), and ``NullTracer()`` / ``Tracer()`` may only be
   instantiated inside ``repro/simulate/tracer.py``.
+* **CHK006** -- ``FaultInjector`` may only be constructed inside the
+  durability module that defines it and the resilience fault registry
+  (``FaultRegistry.durability()`` memoizes named injectors).  A stray
+  injector elsewhere in ``src/`` means crash points can be armed that
+  no registry knows about.  Test trees are exempt.
 
 Any finding can be locally waived with a pragma comment on (any line
 of) the offending statement::
@@ -47,6 +52,7 @@ RULES: dict[str, str] = {
     "CHK003": "hardcoded cost-model cycle literal",
     "CHK004": "float-literal equality comparison in core/",
     "CHK005": "traced probe without a shared Tracer constant",
+    "CHK006": "FaultInjector constructed outside the fault registry",
 }
 
 # FlatPlan's structure-of-arrays attributes (mirrors FlatPlan.__slots__).
@@ -146,6 +152,12 @@ class _FileContext:
         self.check_cost = not in_tests and name != "latency.py"
         self.check_float_eq = "core" in parts
         self.check_tracer = name != "tracer.py"
+        # faultpoints.py defines FaultInjector; faults.py (the
+        # resilience registry and its repro.faults alias) memoizes the
+        # sanctioned instances.
+        self.check_fault_ctor = not in_tests and name not in (
+            "faultpoints.py", "faults.py",
+        )
 
 
 class _Linter(ast.NodeVisitor):
@@ -265,6 +277,14 @@ class _Linter(ast.NodeVisitor):
                 node, "CHK005",
                 f"{name}() instantiated outside repro/simulate/tracer.py; "
                 f"use the shared NULL_TRACER constant",
+            )
+        if self.ctx.check_fault_ctor and name == "FaultInjector":
+            self._report(
+                node, "CHK006",
+                "FaultInjector() constructed outside the fault registry; "
+                "use repro.faults.FaultRegistry.durability() (or "
+                "durability's NULL_FAULTS) so armed crash points stay "
+                "attributable",
             )
         if name in _MUTATING_CALLS and isinstance(node.func, ast.Attribute):
             self._check_soa_mutation(node, node.func.value, is_call=True)

@@ -66,6 +66,13 @@ class ConcurrentDILI:
         self._index = index if index is not None else DILI(config)
         self._locks = [threading.RLock() for _ in range(stripes)]
         self._global = threading.RLock()
+        self._stats_lock = threading.Lock()
+        #: Verified-acquisition telemetry: ``acquisitions`` (successful
+        #: per-leaf lock grabs), ``retries`` (failed verification
+        #: rounds before success or escalation), and ``escalations``
+        #: (silent fallbacks to :meth:`exclusive` -- empty tree, or the
+        #: retry budget exhausted under rebuild pressure).
+        self.lock_stats = {"acquisitions": 0, "retries": 0, "escalations": 0}
 
     # ------------------------------------------------------------------
     # Locking protocol
@@ -92,8 +99,12 @@ class ConcurrentDILI:
         Reentrant: the stripe locks are RLocks, so a caller already
         holding the stripe (e.g. :class:`repro.durability.DurableDILI`
         logging then applying) can nest operations on the same key.
+
+        Every outcome is counted in :attr:`lock_stats`, so the
+        escalation path -- previously silent -- is observable.
         """
         delay = _BACKOFF_INITIAL_S
+        retries = 0
         for _ in range(_MAX_LOCK_RETRIES):
             leaf = self._descend(key)
             if leaf is None:  # empty tree: no leaf to lock
@@ -105,10 +116,17 @@ class ConcurrentDILI:
                     current is not None
                     and self._locks[id(current) % len(self._locks)] is lock
                 ):
+                    with self._stats_lock:
+                        self.lock_stats["acquisitions"] += 1
+                        self.lock_stats["retries"] += retries
                     yield
                     return
+            retries += 1
             time.sleep(delay)
             delay = min(delay * 2.0, _BACKOFF_MAX_S)
+        with self._stats_lock:
+            self.lock_stats["escalations"] += 1
+            self.lock_stats["retries"] += retries
         with self.exclusive():
             yield
 

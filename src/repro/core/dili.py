@@ -24,7 +24,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.check.errors import InvariantError
-from repro.core.bulk_load import bulk_load
+from repro.core.bulk_load import _EMPTY_LEAF_FANOUT, bulk_load
 from repro.core.cost import CostParams
 from repro.core.flat import FlatPlan, InternalRouter, compile_plan
 from repro.core.linear_model import LinearModel
@@ -212,6 +212,62 @@ class DILI:
             values = [p[1] for p in pairs]
             index.bulk_load(keys, values)
         return index
+
+    def rebuild_leaf(self, leaf: LeafNode, pairs: list[Pair]) -> None:
+        """Rebuild one leaf in place, bulk-load-identically.
+
+        Replaces ``leaf``'s model, slot array and bookkeeping with
+        exactly what ``bulk_load`` would construct for ``pairs`` over
+        the same ``[lb, ub)`` range -- the repair engine's primitive for
+        restoring a corrupted subtree from the authoritative pair table
+        (see :mod:`repro.resilience.repair`).  ``pairs`` must be sorted
+        by key.  The leaf *object* is preserved, so the cached router
+        and the flat plan's region cross-check stay valid; the caller
+        owns plan maintenance (splice or invalidate) and the tree-wide
+        pair count.
+        """
+        if pairs:
+            keys = np.fromiter(
+                (p[0] for p in pairs), dtype=np.float64, count=len(pairs)
+            )
+            local_opt(
+                leaf,
+                pairs,
+                enlarge=self.config.enlarge,
+                stats=self.opt_stats,
+                keys=keys,
+            )
+        else:
+            local_opt(
+                leaf,
+                [],
+                enlarge=self.config.enlarge,
+                fanout=_EMPTY_LEAF_FANOUT,
+                model=LinearModel.from_range(
+                    leaf.lb, leaf.ub, _EMPTY_LEAF_FANOUT
+                ),
+                stats=self.opt_stats,
+            )
+        # local_opt resets delta/kappa but not the adjustment counter; a
+        # freshly bulk-loaded leaf starts at zero.
+        leaf.alpha = 0
+
+    def rebuild_dense_leaf(
+        self, leaf: DenseLeafNode, keys: np.ndarray, values: list
+    ) -> None:
+        """Rebuild one dense (DILI-LO) leaf in place, bulk-load-identically.
+
+        Same contract as :meth:`rebuild_leaf` for the ablation's packed
+        leaves: parallel sorted arrays plus a least-squares model, built
+        exactly as bulk loading builds them, with the leaf object (and
+        its tracer region) preserved.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        model = LinearModel.fit(keys)
+        leaf.keys = keys.copy()
+        leaf.values = list(values)
+        leaf.slope = model.slope
+        leaf.intercept = model.intercept
 
     # ------------------------------------------------------------------
     # Lookup (Algorithms 1 and 6)

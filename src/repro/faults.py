@@ -1,0 +1,21 @@
+"""Process-wide fault injection -- alias for :mod:`repro.resilience.faults`.
+
+The durability subsystem grew the first injector
+(:class:`repro.durability.faultpoints.FaultInjector`, WAL/snapshot
+crash points only); the resilience layer generalized fault injection
+to every serving structure.  This module is the stable import path:
+
+    from repro import faults
+    registry = faults.FaultRegistry()
+    registry.inject(faults.FAULT_LEAF_MODEL, index, rng)
+    wal_faults = registry.durability()   # memoized FaultInjector
+
+Lint rule CHK006 forbids constructing ``FaultInjector`` directly
+anywhere else -- go through :meth:`FaultRegistry.durability` so every
+armed crash point in a process is attributable to one registry.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import *  # noqa: F401,F403
+from repro.resilience.faults import __all__  # noqa: F401

@@ -1,0 +1,79 @@
+"""Serving health state machine (HEALTHY -> DEGRADED -> REPAIRING).
+
+The resilience layer's contract is that the *read path knows how much
+to trust each structure*: the compiled flat plan is only used while the
+index is HEALTHY; DEGRADED/REPAIRING reads fall back to the scalar tree
+and, inside quarantined subtrees, to a binary search of the
+authoritative pair table (see :mod:`repro.resilience.serving`).  The
+state machine makes the trust level explicit and its transitions
+auditable:
+
+* ``HEALTHY -> DEGRADED``   -- a scan found at least one violation.
+* ``DEGRADED -> REPAIRING`` -- the repair engine started working.
+* ``REPAIRING -> DEGRADED`` -- a repaired subtree failed re-verification
+  (the ticket reopens and will be rebuilt again).
+* ``REPAIRING -> HEALTHY``  -- every ticket closed and re-verified.
+
+Any other transition is a bug in the caller and raises
+:class:`~repro.check.errors.InvariantError`; same-state transitions are
+no-ops so scans may re-report damage idempotently.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.check.errors import InvariantError
+
+
+class Health(enum.Enum):
+    """Trust level of the serving structures."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    REPAIRING = "repairing"
+
+
+_ALLOWED: frozenset[tuple[Health, Health]] = frozenset(
+    {
+        (Health.HEALTHY, Health.DEGRADED),
+        (Health.DEGRADED, Health.REPAIRING),
+        (Health.REPAIRING, Health.DEGRADED),
+        (Health.REPAIRING, Health.HEALTHY),
+    }
+)
+
+
+class HealthMonitor:
+    """Tracks the health state and its full transition history."""
+
+    def __init__(self) -> None:
+        self._state = Health.HEALTHY
+        #: Every committed transition, oldest first.
+        self.history: list[tuple[Health, Health]] = []
+
+    @property
+    def state(self) -> Health:
+        return self._state
+
+    @property
+    def healthy(self) -> bool:
+        return self._state is Health.HEALTHY
+
+    def to(self, new: Health) -> None:
+        """Transition to ``new``; same-state is a no-op.
+
+        Raises:
+            InvariantError: The transition is not in the state machine
+                (e.g. HEALTHY -> REPAIRING without a DEGRADED scan, or
+                DEGRADED -> HEALTHY without a repair pass).
+        """
+        old = self._state
+        if new is old:
+            return
+        if (old, new) not in _ALLOWED:
+            raise InvariantError(
+                f"illegal health transition {old.name} -> {new.name}"
+            )
+        self._state = new
+        self.history.append((old, new))

@@ -1,0 +1,122 @@
+"""Repair-identity oracle: a repaired tree must equal a fresh bulk load.
+
+The repair engine's central claim is that rebuilding a quarantined
+subtree from the authoritative pairs is *indistinguishable* from never
+having been corrupted: same models, same slot layout, same bookkeeping,
+and therefore the same simulated lookup cost.  This module turns that
+claim into a checkable oracle:
+
+* :func:`tree_signature` -- a nested-tuple fingerprint of a node tree
+  covering every field that affects behaviour (bounds, model
+  coefficients, slot contents, bookkeeping counters, dense arrays).
+  Tracer region ids are deliberately excluded: they are allocation
+  order, not behaviour.
+* :func:`trees_identical` / :func:`diff_trees` -- structural equality
+  and a human-readable first divergence for test failure messages.
+* :func:`simulated_cost` -- the behavioural check: replay a key batch
+  through the cost model and return (cycles, cache misses), which must
+  match between a repaired index and a freshly bulk-loaded one.
+
+Used by the Hypothesis property test (any injected corruption, once
+repaired, restores bit-identity) and by the chaos harness's final
+convergence assertions.
+"""
+
+from __future__ import annotations
+
+from repro.core.nodes import DenseLeafNode, InternalNode
+from repro.simulate.tracer import CostTracer
+
+__all__ = [
+    "tree_signature",
+    "trees_identical",
+    "diff_trees",
+    "simulated_cost",
+]
+
+
+def tree_signature(node) -> tuple | None:
+    """Nested-tuple fingerprint of a subtree (behavioural fields only)."""
+    if node is None:
+        return None
+    if type(node) is InternalNode:
+        return (
+            "I",
+            node.lb,
+            node.ub,
+            node.slope,
+            node.intercept,
+            tuple(tree_signature(c) for c in node.children),
+        )
+    if type(node) is DenseLeafNode:
+        return (
+            "D",
+            node.lb,
+            node.ub,
+            node.slope,
+            node.intercept,
+            tuple(float(k) for k in node.keys),
+            tuple(node.values),
+        )
+    slots = tuple(
+        ("P", entry[0], entry[1])
+        if type(entry) is tuple
+        else (None if entry is None else tree_signature(entry))
+        for entry in node.slots
+    )
+    return (
+        "L",
+        node.lb,
+        node.ub,
+        node.slope,
+        node.intercept,
+        node.num_pairs,
+        node.delta,
+        node.kappa,
+        node.alpha,
+        slots,
+    )
+
+
+def trees_identical(a, b) -> bool:
+    """True when two indexes' node trees are structurally bit-identical."""
+    return tree_signature(a.root) == tree_signature(b.root)
+
+
+def diff_trees(a, b) -> str | None:
+    """Path to the first divergence between two trees, or ``None``.
+
+    Walks both signatures in lockstep and reports a ``/``-separated
+    path of child positions plus the two differing components -- small
+    enough to drop into an assertion message.
+    """
+    return _diff(tree_signature(a.root), tree_signature(b.root), "root")
+
+
+def _diff(sa, sb, path: str) -> str | None:
+    if sa == sb:
+        return None
+    if (
+        isinstance(sa, tuple)
+        and isinstance(sb, tuple)
+        and len(sa) == len(sb)
+        and sa[:1] == sb[:1]
+    ):
+        for i, (ca, cb) in enumerate(zip(sa, sb)):
+            sub = _diff(ca, cb, f"{path}/{i}")
+            if sub is not None:
+                return sub
+    return f"{path}: {sa!r} != {sb!r}"
+
+
+def simulated_cost(index, keys) -> tuple[float, int]:
+    """(simulated cycles, cache misses) for scalar gets of ``keys``.
+
+    A fresh :class:`CostTracer` (and therefore a cold simulated cache)
+    each call, so two structurally identical indexes produce exactly
+    equal numbers.
+    """
+    tracer = CostTracer()
+    for key in keys:
+        index.get(float(key), tracer)
+    return tracer.total_cycles, tracer.cache_misses

@@ -1,0 +1,333 @@
+"""Degraded-mode serving: never answer wrong, even mid-repair.
+
+:class:`ResilientDILI` wraps a :class:`repro.core.dili.DILI` together
+with an authoritative :class:`PairTable` (sorted key array + parallel
+values -- the same ground truth a rebuild would bulk-load from) and the
+repair machinery of :mod:`repro.resilience.repair`.  The read path is a
+fallback chain keyed on health:
+
+* **HEALTHY** -- serve normally: scalar gets descend the tree, batch
+  gets use the compiled flat plan.
+* **DEGRADED / REPAIRING** -- the flat plan is never consulted.
+  Keys outside every quarantined subtree descend the scalar tree
+  (trusted: damage is localized and quarantine membership is decided
+  by the same descent); keys inside fall back to binary search of the
+  authoritative table, which is correct by construction.
+
+Writes follow the same split: quarantined keys are applied to the
+authoritative table only (and recorded on their ticket -- the rebuild
+pulls them in for free, since it rebuilds from authority), everything
+else goes through the index normally and is mirrored into the table.
+The table is therefore always the union of every committed write, which
+is what makes "zero wrong reads" checkable against a model dict in the
+chaos harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.check import verify_tree
+from repro.check.errors import InvariantError
+from repro.core.dili import DILI, DiliConfig
+from repro.resilience.health import Health, HealthMonitor
+from repro.resilience.repair import RepairEngine
+
+__all__ = ["PairTable", "ResilientDILI"]
+
+
+class PairTable:
+    """Authoritative sorted pair storage (binary-search read path).
+
+    The last rung of the degraded-read fallback chain and the source
+    rebuilds restore from.  Deliberately the simplest structure that
+    can be correct: one sorted float64 key array plus a parallel value
+    list, updated with ``searchsorted`` + O(n) splices.  It holds no
+    models, no slots and no compiled state, so no index fault can
+    damage it.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.float64)
+        self._values: list = []
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The sorted key array (not a copy; treat as read-only)."""
+        return self._keys
+
+    @property
+    def values(self) -> list:
+        """Values parallel to :attr:`keys` (not a copy)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _locate(self, key: float) -> int:
+        """Index of ``key`` in the table, or -1."""
+        pos = int(np.searchsorted(self._keys, key, side="left"))
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return pos
+        return -1
+
+    def get(self, key: float) -> object | None:
+        pos = self._locate(float(key))
+        return None if pos < 0 else self._values[pos]
+
+    def __contains__(self, key: float) -> bool:
+        return self._locate(float(key)) >= 0
+
+    def items(self) -> list:
+        return list(zip(self._keys.tolist(), self._values))
+
+    # -- writes --------------------------------------------------------
+
+    def bulk_set(self, keys: np.ndarray, values: list) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        if len(keys) and np.any(np.diff(keys) <= 0):
+            raise ValueError("keys must be sorted and strictly increasing")
+        if len(values) != len(keys):
+            raise ValueError("values must match keys in length")
+        self._keys = keys.copy()
+        self._values = list(values)
+
+    def apply_insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        pos = int(np.searchsorted(self._keys, key, side="left"))
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return False
+        self._keys = np.insert(self._keys, pos, key)
+        self._values.insert(pos, value)
+        return True
+
+    def apply_delete(self, key: float) -> bool:
+        pos = self._locate(float(key))
+        if pos < 0:
+            return False
+        self._keys = np.delete(self._keys, pos)
+        del self._values[pos]
+        return True
+
+    def apply_update(self, key: float, value: object) -> bool:
+        pos = self._locate(float(key))
+        if pos < 0:
+            return False
+        self._values[pos] = value
+        return True
+
+
+class ResilientDILI:
+    """A DILI that detects, routes around, and repairs its own damage.
+
+    Typical use::
+
+        index = ResilientDILI()
+        index.bulk_load(keys, values)
+        ...                      # faults happen (or are injected)
+        index.detect()           # -> number of opened repair tickets
+        index.get(key)           # correct even while DEGRADED
+        index.repair_all()       # back to HEALTHY, no full rebuild
+        index.verify()           # deep check: tree, plan, authority
+
+    See the module docstring for the serving contract.  The wrapper is
+    single-threaded like :class:`DILI` itself; wrap it the way
+    :class:`repro.ConcurrentDILI` wraps a plain index if you need
+    concurrent chaos (the harness drives that combination directly).
+    """
+
+    def __init__(self, config: DiliConfig | None = None) -> None:
+        self.index = DILI(config)
+        self.auth = PairTable()
+        self.monitor = HealthMonitor()
+        self.engine = RepairEngine(self.index, self.auth, self.monitor)
+
+    # ------------------------------------------------------------------
+    # Health and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def health(self) -> Health:
+        return self.monitor.state
+
+    def detect(self) -> int:
+        """Scan for damage; opens tickets and degrades when found."""
+        return self.engine.scan()
+
+    def repair_step(self) -> bool:
+        """One bounded unit of repair work; True while work remains."""
+        return self.engine.repair_step()
+
+    def repair_all(self, max_steps: int = 1000) -> int:
+        """Repair to quiescence; returns the number of steps taken."""
+        return self.engine.repair_all(max_steps)
+
+    def verify(self) -> None:
+        """Deep-verify tree, plan, router, and tree/authority agreement.
+
+        Raises :class:`~repro.check.errors.SanitizerViolation` or
+        :class:`~repro.check.errors.InvariantError` on any divergence.
+        """
+        verify_tree(self.index)
+        expected = self.auth.items()
+        actual = list(self.index.items())
+        if len(actual) != len(expected):
+            raise InvariantError(
+                f"index holds {len(actual)} pairs, authority "
+                f"{len(expected)}"
+            )
+        for (ak, av), (ek, ev) in zip(actual, expected):
+            if ak != ek or (av is not ev and av != ev):
+                raise InvariantError(
+                    f"index pair ({ak!r}, {av!r}) diverged from "
+                    f"authority ({ek!r}, {ev!r})"
+                )
+
+    def stats(self) -> dict:
+        """Engine counters + plan-maintenance counters + health."""
+        index = self.index
+        return {
+            "health": self.monitor.state.value,
+            "open_tickets": len(self.engine.tickets),
+            "plan_patches": index.plan_patches,
+            "plan_subtree_recompiles": index.plan_subtree_recompiles,
+            "plan_recompiles": index.plan_recompiles,
+            **{
+                k: (dict(v) if isinstance(v, dict) else v)
+                for k, v in self.engine.counters.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(
+        self, keys: np.ndarray, values: list | np.ndarray | None = None
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        if values is None:
+            values = list(range(len(keys)))
+        else:
+            values = list(values)
+        self.index.bulk_load(keys, values)
+        self.auth.bulk_set(keys, values)
+
+    def __len__(self) -> int:
+        return len(self.auth)
+
+    # ------------------------------------------------------------------
+    # Reads (fallback chain)
+    # ------------------------------------------------------------------
+
+    def get(self, key: float) -> object | None:
+        key = float(key)
+        if self.monitor.healthy:
+            return self.index.get(key)
+        if self.engine.is_quarantined(key):
+            return self.auth.get(key)
+        return self.index.get(key)
+
+    def get_batch(self, keys: np.ndarray | list) -> list:
+        keys = np.asarray(keys, dtype=np.float64)
+        if self.monitor.healthy:
+            return self.index.get_batch(keys)
+        # Degraded: the flat plan is off limits; split per key between
+        # the scalar tree and the authoritative table.
+        engine = self.engine
+        auth = self.auth
+        index = self.index
+        return [
+            auth.get(k) if engine.is_quarantined(k) else index.get(k)
+            for k in keys.tolist()
+        ]
+
+    def __contains__(self, key: float) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Writes (quarantined keys redirect to authority)
+    # ------------------------------------------------------------------
+
+    def _redirect(self, key: float) -> bool:
+        return not self.monitor.healthy and self.engine.is_quarantined(key)
+
+    def insert(self, key: float, value: object) -> bool:
+        key = float(key)
+        if self._redirect(key):
+            ok = self.auth.apply_insert(key, value)
+            if ok:
+                self.engine.note_buffered(key, "insert")
+            return ok
+        ok = self.index.insert(key, value)
+        if ok:
+            self.auth.apply_insert(key, value)
+        return ok
+
+    def delete(self, key: float) -> bool:
+        key = float(key)
+        if self._redirect(key):
+            ok = self.auth.apply_delete(key)
+            if ok:
+                self.engine.note_buffered(key, "delete")
+            return ok
+        ok = self.index.delete(key)
+        if ok:
+            self.auth.apply_delete(key)
+        return ok
+
+    def update(self, key: float, value: object) -> bool:
+        key = float(key)
+        if self._redirect(key):
+            ok = self.auth.apply_update(key, value)
+            if ok:
+                self.engine.note_buffered(key, "update")
+            return ok
+        ok = self.index.update(key, value)
+        if ok:
+            self.auth.apply_update(key, value)
+        return ok
+
+    def insert_batch(
+        self, keys: np.ndarray | list, values: list | None = None
+    ) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        if values is None:
+            values = ["inserted"] * len(keys)
+        if self.monitor.healthy:
+            out = self.index.insert_batch(keys, values)
+            for i in np.flatnonzero(out):
+                self.auth.apply_insert(float(keys[i]), values[int(i)])
+            return out
+        out = np.zeros(len(keys), dtype=bool)
+        for i, k in enumerate(keys.tolist()):
+            out[i] = self.insert(k, values[i])
+        return out
+
+    def delete_batch(self, keys: np.ndarray | list) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        if self.monitor.healthy:
+            out = self.index.delete_batch(keys)
+            for i in np.flatnonzero(out):
+                self.auth.apply_delete(float(keys[i]))
+            return out
+        out = np.zeros(len(keys), dtype=bool)
+        for i, k in enumerate(keys.tolist()):
+            out[i] = self.delete(k)
+        return out
+
+    def update_batch(
+        self, keys: np.ndarray | list, values: list
+    ) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        if self.monitor.healthy:
+            out = self.index.update_batch(keys, values)
+            for i in np.flatnonzero(out):
+                self.auth.apply_update(float(keys[i]), values[int(i)])
+            return out
+        out = np.zeros(len(keys), dtype=bool)
+        for i, k in enumerate(keys.tolist()):
+            out[i] = self.update(k, values[i])
+        return out

@@ -154,6 +154,32 @@ class TestChk005TracerDiscipline:
         ) == []
 
 
+class TestChk006FaultInjectorCtor:
+    def test_flagged_in_plain_source(self):
+        assert rules("inj = FaultInjector()") == ["CHK006"]
+
+    def test_tests_are_exempt(self):
+        assert rules("inj = FaultInjector()", TESTS) == []
+
+    def test_faultpoints_module_is_exempt(self):
+        assert rules(
+            "NULL_FAULTS = FaultInjector()",
+            "src/repro/durability/faultpoints.py",
+        ) == []
+
+    def test_fault_registry_module_is_exempt(self):
+        assert rules(
+            "injector = FaultInjector()",
+            "src/repro/resilience/faults.py",
+        ) == []
+
+    def test_pragma_waives(self):
+        assert rules(
+            "inj = FaultInjector()"
+            "  # repro-check: allow CHK006 -- bespoke crash rig\n"
+        ) == []
+
+
 class TestEngine:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", PLAIN)
@@ -167,7 +193,7 @@ class TestEngine:
 
     def test_every_rule_has_a_description(self):
         assert sorted(RULES) == [
-            "CHK001", "CHK002", "CHK003", "CHK004", "CHK005",
+            "CHK001", "CHK002", "CHK003", "CHK004", "CHK005", "CHK006",
         ]
         assert all(RULES.values())
 

@@ -1,0 +1,27 @@
+"""Shared fixtures for the resilience suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.resilience import ResilientDILI
+
+
+@pytest.fixture
+def keys():
+    """A small, memoized key set (read-only -- copy before mutating)."""
+    return load_dataset("logn", 4_000, seed=0)
+
+
+@pytest.fixture
+def loaded(keys):
+    """A ResilientDILI over ``keys`` with a warm flat plan."""
+    index = ResilientDILI()
+    index.bulk_load(keys, list(range(len(keys))))
+    index.get_batch(keys[:64])  # compile the plan
+    return index
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

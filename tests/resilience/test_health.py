@@ -1,0 +1,58 @@
+"""Health state machine: legal cycle, illegal shortcuts, audit trail."""
+
+import pytest
+
+from repro.check.errors import InvariantError
+from repro.resilience import Health, HealthMonitor
+
+
+class TestTransitions:
+    def test_starts_healthy(self):
+        monitor = HealthMonitor()
+        assert monitor.state is Health.HEALTHY
+        assert monitor.healthy
+        assert monitor.history == []
+
+    def test_full_legal_cycle(self):
+        monitor = HealthMonitor()
+        monitor.to(Health.DEGRADED)
+        monitor.to(Health.REPAIRING)
+        monitor.to(Health.DEGRADED)   # re-verification failed
+        monitor.to(Health.REPAIRING)
+        monitor.to(Health.HEALTHY)
+        assert monitor.healthy
+        assert monitor.history == [
+            (Health.HEALTHY, Health.DEGRADED),
+            (Health.DEGRADED, Health.REPAIRING),
+            (Health.REPAIRING, Health.DEGRADED),
+            (Health.DEGRADED, Health.REPAIRING),
+            (Health.REPAIRING, Health.HEALTHY),
+        ]
+
+    def test_same_state_is_a_noop(self):
+        monitor = HealthMonitor()
+        monitor.to(Health.HEALTHY)
+        monitor.to(Health.DEGRADED)
+        monitor.to(Health.DEGRADED)  # idempotent re-report
+        assert monitor.state is Health.DEGRADED
+        assert len(monitor.history) == 1
+
+    @pytest.mark.parametrize(
+        "path, bad",
+        [
+            ([], Health.REPAIRING),                  # repair without a scan
+            ([Health.DEGRADED], Health.HEALTHY),     # heal without repair
+            (
+                [Health.DEGRADED, Health.REPAIRING, Health.HEALTHY],
+                Health.REPAIRING,                    # repair while clean
+            ),
+        ],
+    )
+    def test_illegal_transitions_raise(self, path, bad):
+        monitor = HealthMonitor()
+        for state in path:
+            monitor.to(state)
+        before = monitor.state
+        with pytest.raises(InvariantError):
+            monitor.to(bad)
+        assert monitor.state is before  # failed transition commits nothing

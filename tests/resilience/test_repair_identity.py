@@ -1,0 +1,89 @@
+"""Property: a repaired tree is bit-identical to a fresh bulk load.
+
+The repair engine rebuilds quarantined leaves with the exact bulk-load
+construction path, so for *any* injected corruption it fixes, the
+repaired index must be structurally indistinguishable -- models, slot
+layout, bookkeeping, and therefore simulated lookup cost -- from a
+``bulk_load`` of the surviving pairs into a fresh index.  (Updates may
+land mid-quarantine: they change values, not structure, and reach both
+trees through the authoritative table.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DILI
+from repro.data import load_dataset
+from repro.resilience import (
+    FaultRegistry,
+    Health,
+    ResilientDILI,
+    TREE_FAULT_KINDS,
+    diff_trees,
+    simulated_cost,
+    trees_identical,
+)
+
+KEYS = load_dataset("logn", 2_000, seed=0)
+
+
+def _fresh_copy(resilient):
+    """A brand-new DILI bulk-loaded from the authoritative pairs."""
+    fresh = DILI()
+    fresh.bulk_load(resilient.auth.keys.copy(), list(resilient.auth.values))
+    return fresh
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(TREE_FAULT_KINDS),
+    seed=st.integers(min_value=0, max_value=2**16),
+    update_stride=st.sampled_from([0, 173, 311]),
+)
+def test_repair_restores_bulk_load_identity(kind, seed, update_stride):
+    rng = np.random.default_rng(seed)
+    index = ResilientDILI()
+    index.bulk_load(KEYS, list(range(len(KEYS))))
+    index.get_batch(KEYS[:64])  # warm the flat plan
+
+    fault = FaultRegistry().inject(kind, index.index, rng)
+    assert fault is not None, "injector declined on a standard tree"
+    assert index.detect() >= 1
+
+    if update_stride:
+        for k in KEYS[::update_stride].tolist():
+            assert index.update(k, f"u{k}")
+
+    index.repair_all()
+    assert index.health is Health.HEALTHY
+    assert index.stats()["full_rebuilds"] == 0
+    index.verify()
+
+    fresh = _fresh_copy(index)
+    assert trees_identical(index.index, fresh), diff_trees(
+        index.index, fresh
+    )
+    probe = KEYS[::97]
+    assert simulated_cost(index.index, probe) == simulated_cost(fresh, probe)
+
+
+def test_identity_also_holds_for_dense_repair():
+    """The DILI-LO leg: a repaired dense leaf equals its fresh rebuild."""
+    from repro import DiliConfig
+    from repro.resilience.faults import FAULT_DENSE_FLIP
+
+    rng = np.random.default_rng(5)
+    index = ResilientDILI(DiliConfig(local_optimization=False))
+    index.bulk_load(KEYS, list(range(len(KEYS))))
+    fault = FaultRegistry().inject(FAULT_DENSE_FLIP, index.index, rng)
+    assert fault is not None
+    assert index.detect() >= 1
+    index.repair_all()
+    assert index.health is Health.HEALTHY
+
+    fresh = DILI(DiliConfig(local_optimization=False))
+    fresh.bulk_load(index.auth.keys.copy(), list(index.auth.values))
+    assert trees_identical(index.index, fresh), diff_trees(
+        index.index, fresh
+    )

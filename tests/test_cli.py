@@ -122,6 +122,33 @@ class TestDurabilityCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["recover"])
 
+    def test_recover_with_skipped_records_exits_3(self, capsys, tmp_path):
+        """Lossy recovery (replay skipped a poisoned WAL record) must
+        not masquerade as success: distinct exit code, loud warning."""
+        import pickle
+
+        from repro.durability.recovery import WAL_NAME
+        from repro.durability.wal import (
+            OP_BULK_INSERT,
+            OP_INSERT,
+            WriteAheadLog,
+        )
+
+        def _args(*a):
+            return pickle.dumps(a, protocol=pickle.HIGHEST_PROTOCOL)
+
+        with WriteAheadLog(tmp_path / WAL_NAME) as wal:
+            wal.append(OP_INSERT, _args(1.0, "a"))
+            # Duplicate-key bulk insert: logged but rejected on replay.
+            wal.append(OP_BULK_INSERT, _args([5.0, 5.0], None))
+            wal.append(OP_INSERT, _args(2.0, "b"))
+
+        assert main(["recover", "--dir", str(tmp_path)]) == 3
+        captured = capsys.readouterr()
+        assert "recovered 2 keys" in captured.out
+        assert "1 WAL record(s) failed to replay" in captured.err
+        assert "incomplete" in captured.err
+
 
 class TestReportCommand:
     def test_report_to_stdout(self, capsys, monkeypatch):
