@@ -5,11 +5,23 @@ block IOs in the BU cost model and disable the local optimization.
 This bench builds both configurations and compares (a) the layouts the
 two cost models choose and (b) simulated block reads per lookup when
 every node/pair fetch is an IO.
+
+The second test is the *actual* disk mode this repo implements: the
+crash-safe plan store (:mod:`repro.planstore`).  It publishes the
+compiled flat plan at several key counts and measures open latency --
+``MmapDILI.open`` verifies a framed header and memory-maps the buffers,
+so it must be O(1) in the key count -- then checks the mapped store
+serves the same answers as the live index it was published from.
 """
+
+import time
+
+import numpy as np
 
 from repro import DILI, DiliConfig
 from repro.bench import print_table
 from repro.core.stats import tree_stats
+from repro.durability.durable import DurableDILI
 from repro.simulate.cache import CacheSimulator
 from repro.simulate.tracer import CostTracer
 
@@ -70,3 +82,61 @@ def test_disk_mode_layout_and_ios(cache, scale, benchmark, capsys):
     index = DILI(DiliConfig.for_disk())
     index.bulk_load(cache.keys("logn"))
     benchmark(index.get, float(cache.keys("logn")[31]))
+
+
+def test_plan_store_open_latency_and_serving(scale, tmp_path, capsys):
+    """Plan-store disk mode: O(1) open, answers identical to the live index."""
+    rng = np.random.default_rng(7)
+    counts = [1_000, 10_000, min(scale.num_keys, 100_000)]
+    rows = []
+    open_ms = {}
+    for n in counts:
+        keys = np.unique(rng.uniform(0.0, 1e9, size=n))
+        state = tmp_path / f"state-{len(keys)}"
+        durable = DurableDILI(state, sync=False)
+        durable.bulk_load(keys)
+        # A small WAL tail past the published plan: the open must also
+        # pay (bounded) replay, as it would in production.
+        tail = rng.uniform(0.0, 1e9, size=32)
+        t0 = time.perf_counter()
+        durable.publish_plan()
+        publish_ms = (time.perf_counter() - t0) * 1e3
+        for key in tail:
+            durable.insert(float(key), float(key))
+        durable.sync_wal()
+
+        best = float("inf")
+        served = None
+        for _ in range(3):
+            if served is not None:
+                served.close()
+            t0 = time.perf_counter()
+            served = durable.serve_mmap()
+            best = min(best, (time.perf_counter() - t0) * 1e3)
+            assert served.rung == 1, served.events
+        open_ms[len(keys)] = best
+
+        probe = np.concatenate(
+            [rng.choice(keys, size=min(len(keys), 2048)), tail,
+             rng.uniform(0.0, 1e9, size=256)]
+        )
+        t0 = time.perf_counter()
+        got = served.get_batch(probe)
+        batch_ms = (time.perf_counter() - t0) * 1e3
+        assert got == durable.get_batch(probe)
+        served.close()
+        durable.close()
+        rows.append(
+            [f"{len(keys):,}", round(publish_ms, 2), round(best, 3),
+             round(batch_ms, 2)]
+        )
+    with capsys.disabled():
+        print_table(
+            f"Plan-store serving (mmap disk mode), scale={scale.name}",
+            ["keys", "publish ms", "open ms (best of 3)", "batch read ms"],
+            rows,
+        )
+    # O(1) open: latency must not scale with key count.  5x headroom
+    # plus an absolute floor absorbs wall-clock jitter on tiny times.
+    small, large = open_ms[min(open_ms)], open_ms[max(open_ms)]
+    assert large <= max(small * 5.0, 5.0), open_ms

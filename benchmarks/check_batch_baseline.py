@@ -15,7 +15,12 @@ the repository root) and exits non-zero when any of
   cycle from the scalar loop's, or
 * a mixed read/write workload performs *any* full plan recompile --
   the incremental-maintenance invariant: every write batch must keep
-  the plan alive through patches and subtree splices alone.
+  the plan alive through patches and subtree splices alone, or
+* ``MmapDILI`` open latency over a published plan of 10^5 keys exceeds
+  5x the committed ``open_ms`` baseline (with an absolute 25 ms floor
+  against runner jitter) -- the O(1)-open invariant: opening a plan
+  verifies a framed header and memory-maps buffers, it never
+  deserializes them.
 
 Regenerate the baseline after an intentional cost change with::
 
@@ -47,6 +52,39 @@ MIN_SPEEDUP = 5.0
 MIN_WRITE_SPEEDUP = 5.0
 MAX_FULL_RECOMPILES = 0
 MIXES = [("95/5", 0.05), ("80/20", 0.20), ("50/50", 0.50)]
+OPEN_FACTOR = 5.0
+OPEN_FLOOR_MS = 25.0
+
+
+def measure_plan_store(cache: BuildCache) -> dict:
+    """Publish the logn plan and time ``MmapDILI`` open (best of 5)."""
+    import tempfile
+    import time
+
+    from repro.durability.durable import DurableDILI
+
+    keys = cache.keys("logn")
+    with tempfile.TemporaryDirectory() as tmp:
+        durable = DurableDILI(tmp, sync=False)
+        durable.bulk_load(keys)
+        t0 = time.perf_counter()
+        durable.publish_plan()
+        publish_ms = (time.perf_counter() - t0) * 1e3
+        open_ms = float("inf")
+        rung = None
+        for _ in range(5):
+            t0 = time.perf_counter()
+            served = durable.serve_mmap()
+            open_ms = min(open_ms, (time.perf_counter() - t0) * 1e3)
+            rung = served.rung
+            served.close()
+        durable.close()
+    return {
+        "keys": len(keys),
+        "publish_ms": round(publish_ms, 2),
+        "open_ms": round(open_ms, 3),
+        "rung": rung,
+    }
 
 
 def measure() -> dict:
@@ -94,6 +132,7 @@ def measure() -> dict:
         "datasets": out,
         "batch_write": writes,
         "mixed": mixed,
+        "plan_store": measure_plan_store(cache),
     }
 
 
@@ -168,6 +207,28 @@ def main(argv: list[str] | None = None) -> int:
             f"(ceiling {MAX_FULL_RECOMPILES}), "
             f"patches {got['patches']}, "
             f"subtree splices {got['subtree_recompiles']}"
+        )
+    want_plan = baseline.get("plan_store")
+    if want_plan is not None:
+        got = current["plan_store"]
+        limit = max(want_plan["open_ms"] * OPEN_FACTOR, OPEN_FLOOR_MS)
+        if got["open_ms"] > limit:
+            failures.append(
+                f"plan_store: open latency {got['open_ms']:.2f} ms over a "
+                f"{got['keys']:,}-key plan exceeds {limit:.1f} ms "
+                f"(baseline {want_plan['open_ms']:.2f} ms; open must stay "
+                f"O(1) -- header verify + mmap, no deserialization)"
+            )
+        if got["rung"] != 1:
+            failures.append(
+                f"plan_store: freshly published plan served from rung "
+                f"{got['rung']}, not rung 1 (the mmap fast path)"
+            )
+        print(
+            f"plan_store: open {got['open_ms']:.2f} ms at "
+            f"{got['keys']:,} keys (baseline {want_plan['open_ms']:.2f}, "
+            f"limit {limit:.1f}), publish {got['publish_ms']:.1f} ms, "
+            f"rung {got['rung']}"
         )
     if failures:
         print("\nBATCH BASELINE CHECK FAILED:", file=sys.stderr)

@@ -24,6 +24,15 @@ Commands:
 * ``chaos``     -- run the seeded resilience chaos harness: mixed
   workload under scheduled fault injection, asserting zero wrong
   reads, online repair, and convergence back to HEALTHY.
+* ``plan``      -- the memory-mapped plan store: ``plan write``
+  publishes the compiled flat plan (and optionally a WAL-tail delta),
+  ``plan open`` opens the serving ladder and reports which rung
+  serves, ``plan audit`` eagerly verifies every plan artifact, and
+  ``plan chaos`` runs the corruption sweep (zero wrong reads on every
+  rung).
+* ``audit``     -- one-shot offline integrity sweep of a whole state
+  directory: snapshot header + WAL framing + plan files and delta
+  chains.  Exit 0 clean / 3 recoverable damage / 4 unrecoverable.
 * ``check``     -- static analysis and sanitizers: ``check lint`` runs
   the CHK rule set over source trees, ``check sanitize`` measures a
   mixed workload with the tree sanitizer on vs off, and
@@ -422,6 +431,168 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan_write(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.durability import DurableDILI
+    from repro.planstore import PlanDirectory
+
+    index = DurableDILI(args.dir)
+    if len(index) == 0:
+        keys = load_dataset(args.dataset, args.keys, seed=args.seed)
+        index.bulk_load(keys)
+        print(
+            f"bulk-loaded {len(index):,} {args.dataset} keys into "
+            f"{args.dir}"
+        )
+    start = time.perf_counter()
+    generation = index.publish_plan()
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    path = PlanDirectory.for_state_dir(args.dir).base_path(generation)
+    print(
+        f"published generation {generation} at LSN "
+        f"{index.wal.last_seqno} ({os.path.getsize(path):,} bytes, "
+        f"{elapsed_ms:.1f} ms): {path}"
+    )
+    if args.tail:
+        delta = index.publish_tail()
+        if delta is None:
+            print("WAL tail already covered; no delta written")
+        else:
+            print(f"published delta: {delta}")
+    index.close()
+    return 0
+
+
+def cmd_plan_open(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.planstore import MmapDILI
+
+    start = time.perf_counter()
+    served = MmapDILI(args.dir)
+    open_ms = (time.perf_counter() - start) * 1e3
+    rung_names = {1: "newest plan", 2: "older generation",
+                  3: "recovery rebuild", 4: "DEGRADED"}
+    print(
+        f"{args.dir}: rung {served.rung} ({rung_names[served.rung]}), "
+        f"open {open_ms:.2f} ms"
+    )
+    if served.generation is not None:
+        print(
+            f"  generation {served.generation} at LSN {served.wal_lsn}, "
+            f"{len(served):,} keys"
+        )
+    for event in served.events:
+        print(f"  {event}")
+    if args.verify and served.rung <= 2:
+        start = time.perf_counter()
+        served.verify()
+        print(
+            f"  buffers verified in "
+            f"{(time.perf_counter() - start) * 1e3:.1f} ms "
+            f"(now serving rung {served.rung})"
+        )
+    served.close()
+    return 0 if served.rung < 4 else 1
+
+
+def cmd_plan_audit(args: argparse.Namespace) -> int:
+    from repro.check import audit_plans
+
+    report = audit_plans(args.dir)
+    print(
+        f"{report.directory}: {report.generations} generation(s) "
+        f"({report.verified_generations} verified clean), "
+        f"{report.deltas} delta(s), {report.quarantined} quarantined"
+    )
+    for finding in report.findings:
+        print(f"  {finding.format()}")
+    if report.clean:
+        print("clean")
+        return 0
+    if report.damaged:
+        print("unrecoverable plan damage", file=sys.stderr)
+        return 4
+    print("recoverable findings only; the serving ladder falls back")
+    return 3
+
+
+def cmd_plan_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.bench.reporting import format_table
+    from repro.planstore import run_plan_chaos
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-plan-chaos-")
+    result = run_plan_chaos(workdir, seed=args.seed, n_keys=args.keys)
+    rows = [
+        [run.kind, float(run.rung), float(run.expected_rung),
+         float(run.wrong_reads), float(len(run.quarantined))]
+        for run in result.runs
+    ]
+    print(
+        format_table(
+            f"Plan corruption sweep: seed {result.seed}, "
+            f"{args.keys:,} keys per round",
+            ["fault kind", "rung", "expected", "wrong", "quarantined"],
+            rows,
+            first_col_width=22,
+        )
+    )
+    print(f"probes: {sum(run.probes for run in result.runs):,}, "
+          f"wrong reads: {result.wrong_reads}")
+    if not result.ok:
+        print("plan chaos contract VIOLATED", file=sys.stderr)
+        return 1
+    print("plan chaos contract held: every rung correct, zero wrong reads")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.check import audit_directory, audit_plans
+
+    if not os.path.isdir(args.dir):
+        print(f"audit failed: {args.dir} is not a directory",
+              file=sys.stderr)
+        return 2
+    try:
+        wal_report = audit_directory(args.dir)
+        plan_report = audit_plans(args.dir)
+    except FileNotFoundError as exc:
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{wal_report.directory}: snapshot seqno "
+        f"{wal_report.snapshot_seqno}, {wal_report.wal_records} WAL "
+        f"records ({wal_report.wal_valid_bytes:,} valid bytes)"
+    )
+    print(
+        f"plans: {plan_report.generations} generation(s) "
+        f"({plan_report.verified_generations} verified clean), "
+        f"{plan_report.deltas} delta(s), "
+        f"{plan_report.quarantined} quarantined"
+    )
+    findings = list(wal_report.findings) + list(plan_report.findings)
+    for finding in findings:
+        print(f"  {finding.format()}")
+    if not findings:
+        print("clean")
+        return 0
+    if wal_report.damaged or plan_report.damaged:
+        print(
+            "unrecoverable damage: some acknowledged state cannot be "
+            "reconstructed",
+            file=sys.stderr,
+        )
+        return 4
+    print(
+        "recoverable damage only: recovery/the serving ladder will "
+        "route around it"
+    )
+    return 3
+
+
 def cmd_check_lint(args: argparse.Namespace) -> int:
     from repro.check.lint import lint_paths
 
@@ -694,6 +865,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-injection progress lines",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    plan = sub.add_parser(
+        "plan", help="memory-mapped plan store (publish / serve / audit)"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    plan_write = plan_sub.add_parser(
+        "write",
+        help="publish the compiled flat plan as a new base generation",
+    )
+    _add_common(plan_write)
+    plan_write.add_argument(
+        "--dir", required=True, help="durable state directory"
+    )
+    plan_write.add_argument(
+        "--tail",
+        action="store_true",
+        help="also publish the WAL tail as a delta file",
+    )
+    plan_write.set_defaults(func=cmd_plan_write)
+
+    plan_open = plan_sub.add_parser(
+        "open",
+        help="open the serving ladder and report which rung serves",
+    )
+    plan_open.add_argument(
+        "--dir", required=True, help="durable state directory"
+    )
+    plan_open.add_argument(
+        "--verify",
+        action="store_true",
+        help="eagerly CRC-verify the served plan's buffers",
+    )
+    plan_open.set_defaults(func=cmd_plan_open)
+
+    plan_audit = plan_sub.add_parser(
+        "audit",
+        help="eagerly verify every plan file and delta chain",
+    )
+    plan_audit.add_argument(
+        "--dir", required=True, help="durable state directory"
+    )
+    plan_audit.set_defaults(func=cmd_plan_audit)
+
+    plan_chaos = plan_sub.add_parser(
+        "chaos",
+        help="corruption sweep: every fault kind, zero wrong reads",
+    )
+    plan_chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    plan_chaos.add_argument("--seed", type=int, default=7, help="sweep seed")
+    plan_chaos.add_argument(
+        "--keys", type=int, default=400,
+        help="keys per fault round (default: 400)",
+    )
+    plan_chaos.set_defaults(func=cmd_plan_chaos)
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="one-shot integrity sweep: snapshot + WAL + plan store",
+    )
+    audit_p.add_argument("dir", help="durable state directory")
+    audit_p.set_defaults(func=cmd_audit)
 
     check = sub.add_parser(
         "check", help="static analysis and runtime sanitizers"

@@ -9,7 +9,10 @@ Three pillars (see ``docs/static_analysis.md``):
   inversion and lock-discipline detection for ``ConcurrentDILI``.
 * :mod:`repro.check.wal_audit` -- :class:`WalAuditor`: offline
   durability-directory framing audit.
-* :mod:`repro.check.lint` -- rules CHK001-CHK005 over the repo's own
+* :mod:`repro.check.plan_audit` -- :class:`PlanAuditor`: offline
+  plan-store audit (base CRCs, delta chains, staleness); ``repro
+  audit DIR`` combines it with the WAL audit.
+* :mod:`repro.check.lint` -- rules CHK001-CHK007 over the repo's own
   source (``repro check lint ...``).
 
 Submodules import the core back (the sanitizers wrap live indexes), so
@@ -31,6 +34,9 @@ _LAZY = {
     "WalAuditor": ("repro.check.wal_audit", "WalAuditor"),
     "AuditReport": ("repro.check.wal_audit", "AuditReport"),
     "audit_directory": ("repro.check.wal_audit", "audit_directory"),
+    "PlanAuditor": ("repro.check.plan_audit", "PlanAuditor"),
+    "PlanAuditReport": ("repro.check.plan_audit", "PlanAuditReport"),
+    "audit_plans": ("repro.check.plan_audit", "audit_plans"),
     "LintFinding": ("repro.check.lint", "LintFinding"),
     "lint_paths": ("repro.check.lint", "lint_paths"),
     "RULES": ("repro.check.lint", "RULES"),

@@ -29,6 +29,12 @@ know:
   (``FaultRegistry.durability()`` memoizes named injectors).  A stray
   injector elsewhere in ``src/`` means crash points can be armed that
   no registry knows about.  Test trees are exempt.
+* **CHK007** -- untrusted-bytes discipline: ``pickle.load`` /
+  ``pickle.loads``, ``np.memmap``, and raw ``mmap`` may only appear
+  inside ``repro/durability`` and ``repro/planstore``, the two modules
+  whose formats checksum every byte before trusting it.  Anywhere else
+  they deserialize (or map) bytes nothing has verified.  Test,
+  example and benchmark trees are exempt.
 
 Any finding can be locally waived with a pragma comment on (any line
 of) the offending statement::
@@ -53,6 +59,7 @@ RULES: dict[str, str] = {
     "CHK004": "float-literal equality comparison in core/",
     "CHK005": "traced probe without a shared Tracer constant",
     "CHK006": "FaultInjector constructed outside the fault registry",
+    "CHK007": "untrusted-bytes primitive outside durability/planstore",
 }
 
 # FlatPlan's structure-of-arrays attributes (mirrors FlatPlan.__slots__).
@@ -158,6 +165,12 @@ class _FileContext:
         self.check_fault_ctor = not in_tests and name not in (
             "faultpoints.py", "faults.py",
         )
+        # durability and planstore checksum bytes before trusting them;
+        # everywhere else pickle.load / np.memmap / raw mmap would
+        # deserialize unverified data.
+        self.check_untrusted = not (in_tests or in_benchmarks) and not any(
+            p in ("durability", "planstore") for p in parts
+        )
 
 
 class _Linter(ast.NodeVisitor):
@@ -172,6 +185,21 @@ class _Linter(ast.NodeVisitor):
         self._func_stack: list[str] = []
         # Per-scope sets of local names bound to a flat plan.
         self._alias_stack: list[set[str]] = [set()]
+        # Names bound directly to an untrusted-bytes primitive via
+        # ``from pickle import load`` / ``from mmap import mmap`` /
+        # ``from numpy import memmap`` (CHK007); collected up front so
+        # call sites before a late import are still caught.
+        self._untrusted_imports: set[str] = set()
+        _FROM_IMPORTS = {
+            "pickle": ("load", "loads"),
+            "mmap": ("mmap",),
+            "numpy": ("memmap",),
+        }
+        for n in ast.walk(tree):
+            if isinstance(n, ast.ImportFrom) and n.module in _FROM_IMPORTS:
+                for alias in n.names:
+                    if alias.name in _FROM_IMPORTS[n.module]:
+                        self._untrusted_imports.add(alias.asname or alias.name)
         self.visit(tree)
 
     # -- reporting ----------------------------------------------------
@@ -286,9 +314,34 @@ class _Linter(ast.NodeVisitor):
                 "durability's NULL_FAULTS) so armed crash points stay "
                 "attributable",
             )
+        if self.ctx.check_untrusted:
+            self._check_untrusted_bytes(node)
         if name in _MUTATING_CALLS and isinstance(node.func, ast.Attribute):
             self._check_soa_mutation(node, node.func.value, is_call=True)
         self.generic_visit(node)
+
+    # -- CHK007: untrusted-bytes primitives ----------------------------
+
+    def _check_untrusted_bytes(self, node: ast.Call) -> None:
+        func = node.func
+        flagged: str | None = None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            recv, attr = func.value.id, func.attr
+            if recv == "pickle" and attr in ("load", "loads"):
+                flagged = f"pickle.{attr}"
+            elif attr == "memmap" and recv in ("np", "numpy"):
+                flagged = f"{recv}.memmap"
+            elif recv == "mmap" and attr == "mmap":
+                flagged = "mmap.mmap"
+        elif isinstance(func, ast.Name) and func.id in self._untrusted_imports:
+            flagged = func.id
+        if flagged is not None:
+            self._report(
+                node, "CHK007",
+                f"{flagged} outside repro/durability and repro/planstore "
+                f"deserializes bytes nothing has checksummed; route the "
+                f"read through those modules' verified formats",
+            )
 
     # -- CHK005: tracer parameter defaults ----------------------------
 

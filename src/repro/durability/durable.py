@@ -259,6 +259,76 @@ class DurableDILI:
         self.wal.sync_now()
 
     # ------------------------------------------------------------------
+    # Plan publishing (repro.planstore)
+    # ------------------------------------------------------------------
+
+    def publish_plan(self) -> int:
+        """Publish the compiled flat plan as a new base generation.
+
+        Serializes the plan's SoA buffers into ``plans/`` (see
+        :mod:`repro.planstore`) stamped with the current WAL LSN, so an
+        :class:`~repro.planstore.serve.MmapDILI` can serve it zero-copy
+        and bring it exactly current by tail replay.  Returns the new
+        generation number.
+
+        Raises:
+            ValueError: The index is empty (nothing to compile).
+        """
+        from repro.planstore.serve import PlanDirectory
+
+        with self._exclusive():
+            if self._plain.root is None:
+                raise ValueError("cannot publish a plan of an empty index")
+            plan = self._plain._plan()
+            return PlanDirectory.for_state_dir(self.dirpath).publish_base(
+                plan, wal_lsn=self.wal.last_seqno, faults=self._faults
+            )
+
+    def publish_tail(self) -> str | None:
+        """Publish WAL records past the newest plan chain as one delta.
+
+        Lets a writer keep published plans current without rewriting
+        the base file: the delta carries the raw WAL op frames, which
+        readers replay into their overlay.  Returns the delta path, or
+        ``None`` when the chain is already at the WAL's LSN.
+
+        Raises:
+            ValueError: No base generation has been published yet.
+        """
+        from repro.durability.wal import scan_wal
+        from repro.planstore.serve import PlanDirectory
+
+        with self._exclusive():
+            plans = PlanDirectory.for_state_dir(self.dirpath)
+            generations = plans.generations()
+            if not generations:
+                raise ValueError("no plan generation published yet")
+            generation = generations[-1]
+            chain_lsn, next_seq = plans.chain_state(generation)
+            scan = scan_wal(self.wal.path)
+            ops = [
+                (record.opcode, record.payload)
+                for record in scan.records
+                if record.seqno > chain_lsn
+            ]
+            if not ops:
+                return None
+            return plans.publish_delta(
+                generation,
+                ops,
+                seq=next_seq,
+                wal_lsn=scan.last_seqno,
+                faults=self._faults,
+            )
+
+    def serve_mmap(self, **kwargs):
+        """Open a read-only :class:`~repro.planstore.serve.MmapDILI`
+        over this directory (the fallback-ladder serving handle)."""
+        from repro.planstore.serve import MmapDILI
+
+        return MmapDILI(self.dirpath, **kwargs)
+
+    # ------------------------------------------------------------------
     # Reads and plumbing (unlogged)
     # ------------------------------------------------------------------
 

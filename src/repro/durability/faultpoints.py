@@ -34,9 +34,26 @@ CRASH_POINTS: tuple[str, ...] = (
     "after_wal_truncate",    # snapshot + empty WAL, fully consistent
 )
 
+# Crash points along the plan-store publish path (repro.planstore).
+# Kept separate from CRASH_POINTS so the durability crash-storm suite,
+# which drives WAL/snapshot traffic only, keeps firing every point it
+# arms; the plan-store sweep iterates this tuple the same way.
+PLAN_CRASH_POINTS: tuple[str, ...] = (
+    "before_plan_write",   # publish skipped entirely; old generation live
+    "mid_plan_write",      # torn temp file: must never be adopted
+    "before_plan_rename",  # complete temp file, not yet visible
+    "after_plan_rename",   # new generation durable and visible
+    "before_delta_write",  # delta skipped; chain ends at previous file
+    "mid_delta_write",     # torn delta temp file: must never be adopted
+    "after_delta_write",   # delta durable and visible
+)
+
+ALL_CRASH_POINTS: tuple[str, ...] = CRASH_POINTS + PLAN_CRASH_POINTS
+
 # Points that tear (partially write) rather than crash before/after.
 TORN_POINTS: frozenset[str] = frozenset(
-    {"mid_wal_append", "mid_snapshot_write"}
+    {"mid_wal_append", "mid_snapshot_write", "mid_plan_write",
+     "mid_delta_write"}
 )
 
 
@@ -68,12 +85,12 @@ class FaultInjector:
         """Arm ``point`` to crash on its ``skip+1``-th hit.
 
         Args:
-            point: One of :data:`CRASH_POINTS`.
+            point: One of :data:`ALL_CRASH_POINTS`.
             skip: Number of hits to let pass before crashing.
             partial: For torn points, the fraction of the pending bytes
                 written before the crash (clamped to at least 1 byte).
         """
-        if point not in CRASH_POINTS:
+        if point not in ALL_CRASH_POINTS:
             raise ValueError(f"unknown fault point {point!r}")
         if skip < 0:
             raise ValueError("skip must be >= 0")

@@ -1,0 +1,196 @@
+"""Byte-surgery fault injectors for plan-store artifacts.
+
+Sibling of :mod:`repro.resilience.faults`' tree corruptors, but aimed
+at the *files*: each injector damages an on-disk plan base or delta in
+a way the serving ladder must catch (at open, at lazy read-verify, or
+via the staleness rule) and reports what it did.  The chaos harness
+(:mod:`repro.planstore.chaos`) drives these through
+:meth:`repro.faults.FaultRegistry.inject_plan` and asserts zero wrong
+reads afterwards.
+
+=====================  ===============================================
+kind                   damage (and where the ladder catches it)
+=====================  ===============================================
+``plan_torn_header``   file truncated inside the header frame
+                       (``read_plan_header`` at open)
+``plan_trunc_buffer``  file truncated inside the buffer region
+                       (file-size / commit-marker check at open)
+``plan_flip_byte``     one byte XOR-flipped inside a live buffer
+                       extent (lazy CRC verify at first read)
+``plan_stale_lsn``     header ``wal_lsn`` rewritten to an older value,
+                       header CRC recomputed -- a *valid but stale*
+                       file (the staleness rule at open)
+``plan_missing_delta`` a delta file renamed away mid-chain (chain-gap
+                       detection; WAL tail replay heals it when the
+                       records are still in the log)
+=====================  ===============================================
+
+``plan_stale_lsn`` is the subtle one: every other kind leaves a file
+that fails a checksum, but this file re-verifies perfectly and must be
+rejected on *metadata* alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.planstore.format import (
+    COMMIT_MARKER,
+    PLAN_MAGIC,
+    read_plan_header,
+)
+
+FAULT_PLAN_TORN_HEADER = "plan_torn_header"
+FAULT_PLAN_TRUNCATED_BUFFER = "plan_trunc_buffer"
+FAULT_PLAN_FLIPPED_BYTE = "plan_flip_byte"
+FAULT_PLAN_STALE_LSN = "plan_stale_lsn"
+FAULT_PLAN_MISSING_DELTA = "plan_missing_delta"
+
+#: Every plan-file fault kind, in ladder-severity order.
+PLAN_FAULT_KINDS: tuple[str, ...] = (
+    FAULT_PLAN_TORN_HEADER,
+    FAULT_PLAN_TRUNCATED_BUFFER,
+    FAULT_PLAN_FLIPPED_BYTE,
+    FAULT_PLAN_STALE_LSN,
+    FAULT_PLAN_MISSING_DELTA,
+)
+
+_FRAME = struct.Struct("<II")
+_PREFIX_SIZE = 8 + _FRAME.size
+
+
+@dataclass(frozen=True)
+class PlanFaultReport:
+    """One successfully injected plan-file fault.
+
+    Attributes:
+        kind: One of the ``plan_*`` kind constants.
+        path: The damaged (or renamed-away) artifact.
+        message: Human-readable description of the byte surgery.
+    """
+
+    kind: str
+    path: str
+    message: str
+
+
+def _torn_header(path: str, rng) -> PlanFaultReport:
+    with open(path, "rb") as fh:
+        prefix = fh.read(_PREFIX_SIZE)
+    header_len = _FRAME.unpack(prefix[8:_PREFIX_SIZE])[0]
+    cut = int(rng.integers(1, _PREFIX_SIZE + header_len))
+    with open(path, "r+b") as fh:
+        fh.truncate(cut)
+    return PlanFaultReport(
+        FAULT_PLAN_TORN_HEADER, path, f"truncated to {cut} header bytes"
+    )
+
+
+def _truncated_buffer(path: str, rng) -> PlanFaultReport:
+    header = read_plan_header(path)
+    size = header["file_size"]
+    lo = header["data_start"] + 1
+    cut = int(rng.integers(lo, size - len(COMMIT_MARKER)))
+    with open(path, "r+b") as fh:
+        fh.truncate(cut)
+    return PlanFaultReport(
+        FAULT_PLAN_TRUNCATED_BUFFER,
+        path,
+        f"truncated mid-buffer at byte {cut} of {size}",
+    )
+
+
+def _flipped_byte(path: str, rng) -> PlanFaultReport | None:
+    header = read_plan_header(path)
+    live = [d for d in header["buffers"] if d["nbytes"] > 0]
+    if not live:
+        return None  # nothing but empty buffers: nothing to flip
+    desc = live[int(rng.integers(len(live)))]
+    offset = header["data_start"] + desc["offset"] + int(
+        rng.integers(desc["nbytes"])
+    )
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        original = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([original[0] ^ 0xFF]))
+    return PlanFaultReport(
+        FAULT_PLAN_FLIPPED_BYTE,
+        path,
+        f"flipped byte {offset} inside buffer {desc['name']!r}",
+    )
+
+
+def _stale_lsn(path: str, rng, *, lsn: int = 0) -> PlanFaultReport | None:
+    """Rewrite ``wal_lsn`` to ``lsn`` and re-checksum: valid but stale.
+
+    The header JSON length can change, but buffer offsets are relative
+    to the header's end, so shifting the buffer block wholesale keeps
+    every descriptor -- and every buffer CRC -- valid.
+    """
+    header = read_plan_header(path)
+    if header["wal_lsn"] <= lsn:
+        return None  # already at or below the target: not an injection
+    with open(path, "rb") as fh:
+        data = fh.read()
+    body = data[header["data_start"]:]  # buffers + commit marker
+    header = {
+        k: v for k, v in header.items() if k != "data_start"
+    }
+    header["wal_lsn"] = int(lsn)
+    for _ in range(3):
+        blob = json.dumps(header, sort_keys=True).encode("ascii")
+        file_size = _PREFIX_SIZE + len(blob) + len(body)
+        if header.get("file_size") == file_size:
+            break
+        header["file_size"] = file_size
+    blob = json.dumps(header, sort_keys=True).encode("ascii")
+    rebuilt = (
+        PLAN_MAGIC + _FRAME.pack(len(blob), zlib.crc32(blob)) + blob + body
+    )
+    with open(path, "wb") as fh:
+        fh.write(rebuilt)
+    return PlanFaultReport(
+        FAULT_PLAN_STALE_LSN, path, f"wal_lsn rewritten to {lsn}"
+    )
+
+
+def _missing_delta(path: str, rng) -> PlanFaultReport:
+    # Renamed, not deleted: the harness simulates an operator losing
+    # the file, the suffix keeps it recoverable for forensics.
+    os.replace(path, path + ".lost")
+    return PlanFaultReport(
+        FAULT_PLAN_MISSING_DELTA, path, "delta renamed away mid-chain"
+    )
+
+
+_INJECTORS = {
+    FAULT_PLAN_TORN_HEADER: _torn_header,
+    FAULT_PLAN_TRUNCATED_BUFFER: _truncated_buffer,
+    FAULT_PLAN_FLIPPED_BYTE: _flipped_byte,
+    FAULT_PLAN_STALE_LSN: _stale_lsn,
+    FAULT_PLAN_MISSING_DELTA: _missing_delta,
+}
+
+
+def inject_plan_fault(kind: str, path, rng) -> PlanFaultReport | None:
+    """Apply one ``kind`` of byte surgery to the artifact at ``path``.
+
+    Returns the report, or ``None`` when the injection is not
+    applicable (the file is then guaranteed unmodified).
+
+    Args:
+        kind: One of :data:`PLAN_FAULT_KINDS`.
+        path: A plan base file (or, for ``plan_missing_delta``, a delta
+            file).
+        rng: ``numpy.random.Generator`` choosing cut points / offsets.
+    """
+    try:
+        injector = _INJECTORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown plan fault kind {kind!r}") from None
+    return injector(os.fspath(path), rng)

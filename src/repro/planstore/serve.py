@@ -1,0 +1,470 @@
+"""Plan publishing, quarantine, and the serving fallback ladder.
+
+:class:`PlanDirectory` owns the ``plans/`` subdirectory of a durable
+state directory: generation-numbered base files (``plan-00000001.plan``)
+with sequence-numbered delta chains (``plan-00000001.0001.delta``),
+published atomically and *quarantined* -- renamed aside, never deleted
+-- when they fail verification, so every corrupt artifact stays
+available for forensics.
+
+:class:`MmapDILI` is the read-only serving handle.  Opening one walks a
+fallback ladder until something serves:
+
+1. newest plan generation: header-verified base + its delta chain +
+   the live WAL tail replayed into the overlay;
+2. on any checksum / version / staleness failure: quarantine the bad
+   file and try the previous generation the same way;
+3. no generation survives: rebuild in memory from snapshot + WAL via
+   the existing recovery path;
+4. even recovery fails: transition :class:`HealthMonitor` to DEGRADED
+   and raise :class:`ServingUnavailable` on every read.
+
+Buffer contents are CRC-verified lazily (first read), so a flipped
+byte that slips past the O(1) open is still caught before an answer is
+served: the read quarantines the file, re-descends the ladder, and
+retries -- the zero-wrong-reads contract the chaos harness asserts.
+
+Staleness rule: a generation is servable only if its effective LSN
+(base ``wal_lsn`` advanced by its delta chain) is at least the
+snapshot's ``last_seqno``.  The WAL holds every record past the
+snapshot seqno, so a non-stale generation can always be brought exactly
+current by tail replay; a stale one is missing records that were
+truncated away and can never be repaired -- it is quarantined.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+
+from repro.core.dili import DiliConfig
+from repro.durability.faultpoints import FaultInjector
+from repro.durability.recovery import SNAPSHOT_NAME, WAL_NAME, recover
+from repro.durability.snapshot import read_snapshot_header
+from repro.durability.wal import WalScan, scan_wal
+from repro.planstore.format import (
+    PlanFormatError,
+    PlanStaleError,
+    PlanStoreError,
+    read_delta_file,
+    read_plan_header,
+    write_delta_file,
+    write_plan_file,
+)
+from repro.planstore.store import PlanStore
+from repro.resilience.health import Health, HealthMonitor
+from repro.simulate.latency import DEFAULT_CYCLES, CyclesPerOp
+from repro.simulate.tracer import NULL_TRACER, Tracer
+
+PLANS_SUBDIR = "plans"
+QUARANTINE_SUFFIX = ".quarantined"
+
+_BASE_RE = re.compile(r"^plan-(\d{8})\.plan$")
+_DELTA_RE = re.compile(r"^plan-(\d{8})\.(\d{4})\.delta$")
+
+
+class ServingUnavailable(RuntimeError):
+    """Every rung of the fallback ladder failed; reads cannot be served."""
+
+
+def _fsync_dir(dirpath: str) -> None:
+    fd = os.open(dirpath or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class PlanDirectory:
+    """Generation-numbered plan files under one ``plans/`` directory.
+
+    Base files are ``plan-<gen:08d>.plan``; deltas extend a base as
+    ``plan-<gen:08d>.<seq:04d>.delta`` with ``seq`` starting at 1.
+    Nothing here is ever deleted: failed verification renames the file
+    aside with a ``.quarantined`` suffix.
+    """
+
+    def __init__(self, dirpath) -> None:
+        self.dirpath = os.fspath(dirpath)
+
+    @classmethod
+    def for_state_dir(cls, state_dir) -> "PlanDirectory":
+        return cls(os.path.join(os.fspath(state_dir), PLANS_SUBDIR))
+
+    # -- naming --------------------------------------------------------
+
+    def base_path(self, generation: int) -> str:
+        return os.path.join(self.dirpath, f"plan-{generation:08d}.plan")
+
+    def delta_path(self, generation: int, seq: int) -> str:
+        return os.path.join(
+            self.dirpath, f"plan-{generation:08d}.{seq:04d}.delta"
+        )
+
+    def generations(self) -> list[int]:
+        """Generation numbers with a (non-quarantined) base file, sorted."""
+        if not os.path.isdir(self.dirpath):
+            return []
+        gens = []
+        for name in os.listdir(self.dirpath):
+            m = _BASE_RE.match(name)
+            if m:
+                gens.append(int(m.group(1)))
+        return sorted(gens)
+
+    def delta_seqs(self, generation: int) -> list[tuple[int, str]]:
+        """``(seq, path)`` for the generation's delta files, seq-sorted."""
+        if not os.path.isdir(self.dirpath):
+            return []
+        out = []
+        for name in os.listdir(self.dirpath):
+            m = _DELTA_RE.match(name)
+            if m and int(m.group(1)) == generation:
+                out.append(
+                    (int(m.group(2)), os.path.join(self.dirpath, name))
+                )
+        return sorted(out)
+
+    def quarantined(self) -> list[str]:
+        """Every quarantined artifact in the directory, sorted."""
+        if not os.path.isdir(self.dirpath):
+            return []
+        return sorted(
+            os.path.join(self.dirpath, name)
+            for name in os.listdir(self.dirpath)
+            if QUARANTINE_SUFFIX in name
+        )
+
+    # -- publishing ----------------------------------------------------
+
+    def publish_base(
+        self,
+        plan,
+        *,
+        wal_lsn: int,
+        faults: FaultInjector | None = None,
+    ) -> int:
+        """Write ``plan`` as a new base generation; returns its number."""
+        os.makedirs(self.dirpath, exist_ok=True)
+        gens = self.generations()
+        generation = (gens[-1] + 1) if gens else 1
+        write_plan_file(
+            self.base_path(generation),
+            plan,
+            wal_lsn=wal_lsn,
+            generation=generation,
+            faults=faults,
+        )
+        return generation
+
+    def publish_delta(
+        self,
+        generation: int,
+        ops,
+        *,
+        seq: int,
+        wal_lsn: int,
+        faults: FaultInjector | None = None,
+    ) -> str:
+        """Append one delta to ``generation``'s chain; returns its path."""
+        path = self.delta_path(generation, seq)
+        if os.path.exists(path):
+            raise PlanFormatError(f"{path}: delta seq {seq} already exists")
+        write_delta_file(
+            path,
+            ops,
+            base_generation=generation,
+            seq=seq,
+            wal_lsn=wal_lsn,
+            faults=faults,
+        )
+        return path
+
+    def chain_state(self, generation: int) -> tuple[int, int]:
+        """``(effective_lsn, next_seq)`` of a generation's verified chain.
+
+        Walks the base header and each consecutive, verifiable delta;
+        stops (without raising) at the first gap or bad file, because a
+        publisher must only extend the prefix a reader will accept.
+        """
+        header = read_plan_header(self.base_path(generation))
+        lsn = int(header["wal_lsn"])
+        next_seq = 1
+        for seq, path in self.delta_seqs(generation):
+            if seq != next_seq:
+                break
+            try:
+                delta = read_delta_file(path)
+            except PlanStoreError:
+                break
+            if delta["base_generation"] != generation:
+                break
+            lsn = max(lsn, int(delta["wal_lsn"]))
+            next_seq += 1
+        return lsn, next_seq
+
+    # -- quarantine ----------------------------------------------------
+
+    def quarantine(self, path) -> str:
+        """Rename a failed artifact aside (never delete); returns new path.
+
+        A vanished file (the torn-rename race) is a no-op returning the
+        original path.
+        """
+        path = os.fspath(path)
+        target = path + QUARANTINE_SUFFIX
+        n = 0
+        while os.path.exists(target):
+            n += 1
+            target = f"{path}{QUARANTINE_SUFFIX}.{n}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return path
+        _fsync_dir(os.path.dirname(path))
+        return target
+
+
+class MmapDILI:
+    """Read-only serving handle over a durable state directory.
+
+    Descends the fallback ladder at construction and re-descends
+    whenever a lazily verified read fails, so a successfully
+    constructed handle keeps serving correct answers (or raises
+    :class:`ServingUnavailable`) no matter which file rots underneath
+    it.
+
+    Attributes:
+        rung: Ladder rung currently serving (1 newest plan, 2 older
+            generation, 3 recovery rebuild, 4 degraded).
+        generation: Served plan generation (None on rungs 3-4).
+        health: The :class:`HealthMonitor` (DEGRADED on rung 4).
+        events: Human-readable log of every fallback decision.
+        quarantined: Paths this handle moved aside, in order.
+    """
+
+    def __init__(
+        self,
+        dirpath,
+        *,
+        config: DiliConfig | None = None,
+        cycles: CyclesPerOp = DEFAULT_CYCLES,
+        health: HealthMonitor | None = None,
+    ) -> None:
+        self.dirpath = os.fspath(dirpath)
+        self.plans = PlanDirectory.for_state_dir(self.dirpath)
+        self.health = health if health is not None else HealthMonitor()
+        self._config = config
+        self._cycles = cycles
+        self.events: list[str] = []
+        self.quarantined: list[str] = []
+        self.rung = 0
+        self.generation: int | None = None
+        self._max_gen_seen = 0
+        self._store: PlanStore | None = None
+        self._fallback = None
+        self._lock = threading.Lock()
+        with self._lock:
+            self._descend()
+
+    # ------------------------------------------------------------------
+    # The ladder
+    # ------------------------------------------------------------------
+
+    def _snapshot_seqno(self) -> int:
+        snap = os.path.join(self.dirpath, SNAPSHOT_NAME)
+        if not os.path.exists(snap):
+            return 0
+        try:
+            _, last_seqno, _, _ = read_snapshot_header(snap)
+        except ValueError as exc:
+            # A corrupt snapshot is rung 3's problem; for staleness
+            # purposes an unreadable header bounds nothing.
+            self.events.append(f"snapshot header unreadable: {exc}")
+            return 0
+        return last_seqno
+
+    def _descend(self) -> None:
+        """Walk the ladder until a rung serves.  Caller holds the lock."""
+        self._store = None
+        self._fallback = None
+        self.generation = None
+        snapshot_seqno = self._snapshot_seqno()
+        scan = scan_wal(os.path.join(self.dirpath, WAL_NAME))
+        candidates = list(reversed(self.plans.generations()))
+        # Rung 1 means the newest base this handle has *ever* seen --
+        # falling back past a generation quarantined mid-read is rung 2
+        # even though the re-descend no longer lists the damaged file.
+        if candidates:
+            self._max_gen_seen = max(self._max_gen_seen, candidates[0])
+        for gen in candidates:
+            store = self._try_generation(gen, snapshot_seqno, scan)
+            if store is not None:
+                self._store = store
+                self.generation = gen
+                self.rung = 1 if gen == self._max_gen_seen else 2
+                self.events.append(
+                    f"serving generation {gen} at LSN {store.wal_lsn} "
+                    f"(rung {self.rung})"
+                )
+                return
+        try:
+            result = recover(self.dirpath, config=self._config)
+        except Exception as exc:
+            self.events.append(f"recovery rebuild failed: {exc}")
+            self.rung = 4
+            self.health.to(Health.DEGRADED)
+            self.events.append("no rung can serve: DEGRADED")
+            return
+        self._fallback = result.index
+        self.rung = 3
+        self.events.append(
+            f"serving recovery rebuild at seqno {result.next_seqno - 1} "
+            f"(rung 3)"
+        )
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        self.events.append(f"quarantining {os.path.basename(path)}: {reason}")
+        moved = self.plans.quarantine(path)
+        if moved != path:
+            self.quarantined.append(moved)
+
+    def _try_generation(
+        self, gen: int, snapshot_seqno: int, scan: WalScan
+    ) -> PlanStore | None:
+        base = self.plans.base_path(gen)
+        try:
+            store = PlanStore.open(base, cycles=self._cycles)
+        except PlanStoreError as exc:
+            self._quarantine(base, str(exc))
+            return None
+        try:
+            # Delta chain: each file is individually verified so a bad
+            # delta quarantines only itself; the chain simply ends early
+            # and tail replay (or the staleness check) takes over.
+            next_seq = 1
+            for seq, dpath in self.plans.delta_seqs(gen):
+                if seq != next_seq:
+                    self.events.append(
+                        f"generation {gen}: delta chain gap at seq "
+                        f"{next_seq} (found {seq})"
+                    )
+                    break
+                try:
+                    delta = read_delta_file(dpath)
+                except PlanStoreError as exc:
+                    self._quarantine(dpath, str(exc))
+                    break
+                if delta["base_generation"] != gen:
+                    self._quarantine(
+                        dpath,
+                        f"targets generation {delta['base_generation']}",
+                    )
+                    break
+                store.apply_ops(delta["ops"], wal_lsn=delta["wal_lsn"])
+                next_seq += 1
+            if store.wal_lsn < snapshot_seqno:
+                raise PlanStaleError(
+                    f"{base}: plan LSN {store.wal_lsn} predates snapshot "
+                    f"seqno {snapshot_seqno}; the gap was truncated away"
+                )
+            tail = [
+                (r.opcode, r.payload)
+                for r in scan.records
+                if r.seqno > store.wal_lsn
+            ]
+            if tail:
+                store.apply_ops(tail, wal_lsn=scan.last_seqno)
+        except PlanStoreError as exc:
+            # Includes lazy buffer verification tripped by overlay
+            # replay and the staleness check above.
+            store.close()
+            self._quarantine(base, str(exc))
+            return None
+        return store
+
+    # ------------------------------------------------------------------
+    # Reads (retry down the ladder on lazy-verify failure)
+    # ------------------------------------------------------------------
+
+    def _read(self, method: str, *args, **kwargs):
+        # Bounded by the artifacts that can fail: each retry quarantines
+        # at least one file, so the ladder strictly shrinks.
+        attempts = len(self.plans.generations()) + 2
+        for _ in range(attempts):
+            with self._lock:
+                store, fallback, rung = self._store, self._fallback, self.rung
+            if rung == 4:
+                raise ServingUnavailable(
+                    f"{self.dirpath}: no plan, no snapshot+WAL rebuild; "
+                    f"serving is DEGRADED"
+                )
+            target = store if store is not None else fallback
+            try:
+                return getattr(target, method)(*args, **kwargs)
+            except PlanStoreError as exc:
+                with self._lock:
+                    if self._store is store and store is not None:
+                        store.close()
+                        self._quarantine(store.path, str(exc))
+                        self._descend()
+        raise ServingUnavailable(
+            f"{self.dirpath}: fallback ladder exhausted"
+        )
+
+    def get_batch(self, keys, tracer: Tracer = NULL_TRACER) -> list:
+        """Values for a key batch, ``None`` where absent."""
+        return self._read("get_batch", keys, tracer)
+
+    def contains_batch(self, keys):
+        """Boolean membership for a key batch."""
+        return self._read("contains_batch", keys)
+
+    def count_range_batch(self, los, his):
+        """Vectorized count of stored keys in ``[lo, hi)`` per pair."""
+        return self._read("count_range_batch", los, his)
+
+    def verify(self) -> None:
+        """Eagerly verify the served plan's buffers (re-descending on
+        failure), or no-op on rungs 3-4."""
+        # Not routed through _read: a retry that lands on the rung-3
+        # rebuild has nothing left to verify and must no-op, not
+        # forward "verify" to the live DILI.
+        attempts = len(self.plans.generations()) + 2
+        for _ in range(attempts):
+            with self._lock:
+                store = self._store
+            if store is None:
+                return
+            try:
+                store.verify()
+                return
+            except PlanStoreError as exc:
+                with self._lock:
+                    if self._store is store:
+                        store.close()
+                        self._quarantine(store.path, str(exc))
+                        self._descend()
+        raise ServingUnavailable(
+            f"{self.dirpath}: fallback ladder exhausted"
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._store is not None:
+                return len(self._store)
+            if self._fallback is not None:
+                return len(self._fallback)
+        raise ServingUnavailable(f"{self.dirpath}: serving is DEGRADED")
+
+    @property
+    def wal_lsn(self) -> int | None:
+        with self._lock:
+            return self._store.wal_lsn if self._store is not None else None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._store is not None:
+                self._store.close()
+                self._store = None

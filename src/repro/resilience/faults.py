@@ -402,6 +402,23 @@ class FaultRegistry:
             injector = self._durability[name] = FaultInjector()
         return injector
 
+    def inject_plan(self, kind: str, path, rng):
+        """Apply one plan-store file fault (``repro.planstore.corrupt``).
+
+        The on-disk sibling of :meth:`inject`: damages a published plan
+        base or delta file instead of a live index.  Returns the
+        :class:`~repro.planstore.corrupt.PlanFaultReport` (recorded in
+        :attr:`reports`), or ``None`` when not applicable.
+        """
+        # Imported lazily: planstore pulls in the serving ladder, which
+        # imports back into resilience for the health monitor.
+        from repro.planstore.corrupt import inject_plan_fault
+
+        report = inject_plan_fault(kind, path, rng)
+        if report is not None:
+            self.reports.append(report)
+        return report
+
     def inject(self, kind: str, index, rng) -> FaultReport | None:
         """Apply one fault of ``kind`` to ``index``.
 

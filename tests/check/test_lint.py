@@ -180,6 +180,55 @@ class TestChk006FaultInjectorCtor:
         ) == []
 
 
+class TestChk007UntrustedBytes:
+    def test_pickle_load_and_loads_flagged(self):
+        src = (
+            "def bad(fh, blob):\n"
+            "    a = pickle.load(fh)\n"
+            "    b = pickle.loads(blob)\n"
+        )
+        assert rules(src) == ["CHK007", "CHK007"]
+
+    def test_memmap_and_raw_mmap_flagged(self):
+        src = (
+            "def bad(path, fh):\n"
+            "    a = np.memmap(path, dtype='f8')\n"
+            "    b = numpy.memmap(path, dtype='f8')\n"
+            "    c = mmap.mmap(fh.fileno(), 0)\n"
+        )
+        assert rules(src) == ["CHK007", "CHK007", "CHK007"]
+
+    def test_aliased_from_import_flagged(self):
+        src = (
+            "from pickle import loads as unfreeze\n"
+            "def bad(blob):\n"
+            "    return unfreeze(blob)\n"
+        )
+        assert rules(src) == ["CHK007"]
+
+    def test_json_loads_is_not_flagged(self):
+        src = (
+            "from json import loads\n"
+            "def fine(text):\n"
+            "    return json.loads(text) or loads(text)\n"
+        )
+        assert rules(src) == []
+
+    def test_durability_and_planstore_are_exempt(self):
+        src = "def load(fh):\n    return pickle.load(fh)\n"
+        assert rules(src, "src/repro/durability/snapshot.py") == []
+        assert rules(src, "src/repro/planstore/store.py") == []
+
+    def test_tests_are_exempt(self):
+        assert rules("x = pickle.loads(blob)", TESTS) == []
+
+    def test_pragma_waives(self):
+        assert rules(
+            "x = pickle.loads(blob)"
+            "  # repro-check: allow CHK007 -- payload CRC-checked above\n"
+        ) == []
+
+
 class TestEngine:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", PLAIN)
@@ -194,6 +243,7 @@ class TestEngine:
     def test_every_rule_has_a_description(self):
         assert sorted(RULES) == [
             "CHK001", "CHK002", "CHK003", "CHK004", "CHK005", "CHK006",
+            "CHK007",
         ]
         assert all(RULES.values())
 

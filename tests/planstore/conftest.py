@@ -1,0 +1,28 @@
+"""Shared fixtures for the plan-store tests: one small built index."""
+
+import numpy as np
+import pytest
+
+from repro import DILI
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(41)
+
+
+@pytest.fixture(scope="module")
+def keys(rng):
+    return np.unique(rng.uniform(0.0, 1e6, 3000))
+
+
+@pytest.fixture(scope="module")
+def index(keys):
+    idx = DILI()
+    idx.bulk_load(keys, [f"v{i}" for i in range(len(keys))])
+    return idx
+
+
+@pytest.fixture(scope="module")
+def plan(index):
+    return index._plan()

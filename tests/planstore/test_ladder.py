@@ -1,0 +1,167 @@
+"""The fallback ladder under fire: corruption sweep and crash points.
+
+Zero wrong reads is the contract: a damaged artifact may cost a rung
+(older generation, rebuild, or -- at the bottom -- an explicit refusal),
+but a served answer must always match the snapshot+WAL oracle, and
+damaged files are quarantined for forensics, never deleted.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.durability.durable import DurableDILI
+from repro.durability.faultpoints import (
+    PLAN_CRASH_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.planstore.chaos import EXPECTED_RUNG, run_plan_chaos
+from repro.planstore.corrupt import (
+    FAULT_PLAN_FLIPPED_BYTE,
+    FAULT_PLAN_MISSING_DELTA,
+    PLAN_FAULT_KINDS,
+    inject_plan_fault,
+)
+from repro.planstore.serve import MmapDILI, PlanDirectory
+
+
+class TestCorruptionSweep:
+    @pytest.mark.parametrize("kind", PLAN_FAULT_KINDS)
+    def test_fault_lands_on_expected_rung_with_zero_wrong_reads(
+        self, tmp_path, kind
+    ):
+        result = run_plan_chaos(tmp_path, seed=3, n_keys=250, kinds=(kind,))
+        (run,) = result.runs
+        assert run.wrong_reads == 0
+        assert run.rung == EXPECTED_RUNG[kind], run.report
+        assert run.ok
+        if kind != FAULT_PLAN_MISSING_DELTA:
+            assert len(run.quarantined) >= 1
+
+    def test_full_sweep_is_clean(self, tmp_path):
+        result = run_plan_chaos(tmp_path, seed=11, n_keys=200)
+        assert result.ok, [r.report for r in result.runs]
+        assert result.wrong_reads == 0
+        assert len(result.runs) == len(PLAN_FAULT_KINDS)
+
+
+class TestQuarantine:
+    def test_corrupt_base_is_renamed_never_deleted(self, tmp_path):
+        rng = np.random.default_rng(5)
+        keys = np.unique(rng.uniform(0.0, 1e6, 300))
+        durable = DurableDILI(tmp_path, sync=False)
+        durable.bulk_load(keys)
+        durable.publish_plan()
+        oracle = durable.get_batch(keys)
+
+        plans = PlanDirectory.for_state_dir(tmp_path)
+        base = plans.base_path(plans.generations()[0])
+        original = os.path.getsize(base)
+        inject_plan_fault(FAULT_PLAN_FLIPPED_BYTE, base, rng)
+
+        served = MmapDILI(tmp_path)
+        assert served.rung == 1  # lazy open cannot see a buffer flip yet
+        assert served.get_batch(keys) == oracle  # read-verify + fallback
+        assert served.rung == 3, served.events
+
+        # The damaged file survives, bytes intact, under a new name.
+        assert not os.path.exists(base)
+        (moved,) = plans.quarantined()
+        assert moved.endswith(".quarantined")
+        assert os.path.getsize(moved) == original
+        served.close()
+        durable.close()
+
+    def test_verify_descends_to_rebuild_without_raising(self, tmp_path):
+        # With no WAL tail, open stays lazily at rung 1; verify() itself
+        # must discover the flip, quarantine, and land on the rung-3
+        # rebuild as a no-op — never forward "verify" to the live DILI.
+        rng = np.random.default_rng(9)
+        keys = np.unique(rng.uniform(0.0, 1e6, 300))
+        durable = DurableDILI(tmp_path, sync=False)
+        durable.bulk_load(keys)
+        durable.publish_plan()
+        oracle = durable.get_batch(keys)
+
+        plans = PlanDirectory.for_state_dir(tmp_path)
+        inject_plan_fault(
+            FAULT_PLAN_FLIPPED_BYTE, plans.base_path(plans.generations()[0]), rng
+        )
+
+        served = MmapDILI(tmp_path)
+        assert served.rung == 1
+        served.verify()  # trips the CRC, re-descends, then no-ops
+        assert served.rung == 3, served.events
+        assert len(plans.quarantined()) == 1
+        assert served.get_batch(keys) == oracle
+        served.verify()  # already on the rebuild: still a no-op
+        served.close()
+        durable.close()
+
+    def test_older_generation_takes_over(self, tmp_path):
+        rng = np.random.default_rng(6)
+        keys = np.unique(rng.uniform(0.0, 1e6, 300))
+        durable = DurableDILI(tmp_path, sync=False)
+        durable.bulk_load(keys[:200])
+        durable.publish_plan()
+        for key in keys[200:]:
+            durable.insert(float(key), float(key))
+        durable.publish_plan()
+        durable.sync_wal()
+        oracle = durable.get_batch(keys)
+
+        plans = PlanDirectory.for_state_dir(tmp_path)
+        newest = plans.base_path(plans.generations()[-1])
+        inject_plan_fault(FAULT_PLAN_FLIPPED_BYTE, newest, rng)
+
+        served = MmapDILI(tmp_path)
+        assert served.get_batch(keys) == oracle
+        # Rung 2: generation 1 plus WAL-tail replay covers the gap.
+        assert served.rung == 2, served.events
+        assert served.generation == 1
+        served.close()
+        durable.close()
+
+
+class TestCrashPoints:
+    @pytest.mark.parametrize("point", PLAN_CRASH_POINTS)
+    def test_publish_crash_never_costs_a_read(self, tmp_path, point):
+        rng = np.random.default_rng(9)
+        keys = np.unique(rng.uniform(0.0, 1e6, 300))
+        faults = FaultInjector()
+        durable = DurableDILI(tmp_path, sync=False, faults=faults)
+        durable.bulk_load(keys[:250])
+        if point.endswith("delta_write"):
+            durable.publish_plan()  # deltas need a base to extend
+        for key in keys[250:]:
+            durable.insert(float(key), float(key))
+        durable.sync_wal()
+        oracle = durable.get_batch(keys)
+
+        faults.arm(point)
+        with pytest.raises(SimulatedCrash):
+            if point.endswith("delta_write"):
+                durable.publish_tail()
+            else:
+                durable.publish_plan()
+        faults.disarm()
+
+        served = MmapDILI(tmp_path)
+        assert served.get_batch(keys) == oracle, point
+        assert served.rung in (1, 2, 3), served.events
+        # A crash may leave a temp file behind (kill-9 cannot clean up),
+        # but the generation listing must never adopt it.
+        plans_dir = tmp_path / "plans"
+        if plans_dir.exists():
+            plans = PlanDirectory.for_state_dir(tmp_path)
+            listed = {
+                os.path.basename(plans.base_path(g))
+                for g in plans.generations()
+            }
+            for p in plans_dir.iterdir():
+                if p.name.endswith(".tmp"):
+                    assert p.name not in listed
+        served.close()
+        durable.close()

@@ -1,0 +1,156 @@
+"""PlanStore vs the live index: identical answers, lazy verification."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.durability.wal import (
+    OP_DELETE,
+    OP_DELETE_BATCH,
+    OP_INSERT,
+    OP_INSERT_BATCH,
+    OP_UPDATE,
+)
+from repro.planstore.format import (
+    PlanFormatError,
+    PlanStoreError,
+    write_delta_file,
+    write_plan_file,
+)
+from repro.planstore.store import PlanStore
+
+
+def _enc(*args):
+    return pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@pytest.fixture()
+def plan_path(tmp_path, plan):
+    path = tmp_path / "plan-00000001.plan"
+    write_plan_file(path, plan, wal_lsn=0, generation=1)
+    return path
+
+
+class TestBaseEquality:
+    def test_get_contains_count_match_the_live_index(
+        self, plan_path, index, keys, rng
+    ):
+        store = PlanStore.open(plan_path)
+        probe = np.concatenate(
+            [keys[::7], rng.uniform(0.0, 1e6, 500)]  # hits and misses
+        )
+        assert store.get_batch(probe) == index.get_batch(probe)
+        assert (
+            store.contains_batch(probe) == index.contains_batch(probe)
+        ).all()
+        los = rng.uniform(0.0, 1e6, 64)
+        his = los + rng.uniform(0.0, 2e5, 64)
+        assert (
+            store.count_range_batch(los, his)
+            == index.count_range_batch(los, his)
+        ).all()
+        assert len(store) == len(index)
+        store.close()
+
+    def test_open_does_not_read_buffers(self, plan_path):
+        # Lazy verification: corrupt a buffer byte *after* the header;
+        # open must still succeed (it maps, it does not read) ...
+        raw = bytearray(plan_path.read_bytes())
+        raw[len(raw) - 100] ^= 0xFF
+        plan_path.write_bytes(raw)
+        store = PlanStore.open(plan_path)
+        # ... and the first verified read must catch the lie.
+        with pytest.raises(PlanFormatError, match="checksum"):
+            store.verify()
+
+    def test_read_verifies_and_raises_on_corruption(
+        self, plan_path, keys
+    ):
+        raw = bytearray(plan_path.read_bytes())
+        raw[len(raw) - 100] ^= 0xFF
+        plan_path.write_bytes(raw)
+        store = PlanStore.open(plan_path)
+        with pytest.raises(PlanStoreError):
+            store.get_batch(keys[:32])
+
+
+class TestOverlay:
+    def test_ops_shadow_the_base(self, plan_path, index, keys):
+        store = PlanStore.open(plan_path)
+        k_new, k_del, k_upd = 1e6 + 3.5, float(keys[10]), float(keys[20])
+        store.apply_ops(
+            [
+                (OP_INSERT, _enc(k_new, "fresh")),
+                (OP_DELETE, _enc(k_del)),
+                (OP_UPDATE, _enc(k_upd, "bumped")),
+            ]
+        )
+        probe = [k_new, k_del, k_upd, float(keys[30])]
+        assert store.get_batch(probe) == [
+            "fresh", None, "bumped", index.get_batch([keys[30]])[0]
+        ]
+        assert list(store.contains_batch(probe)) == [
+            True, False, True, True
+        ]
+        assert len(store) == len(index)  # +1 insert, -1 delete
+
+    def test_batch_opcodes_and_range_counts(self, plan_path, index, keys):
+        store = PlanStore.open(plan_path)
+        added = [2e6 + i for i in range(8)]
+        removed = [float(k) for k in keys[40:44]]
+        store.apply_ops(
+            [
+                (OP_INSERT_BATCH, _enc(added, ["x"] * len(added))),
+                (OP_DELETE_BATCH, _enc(removed)),
+            ]
+        )
+        los = np.array([0.0, 2e6, float(keys[35])])
+        his = np.array([3e6, 2e6 + 100.0, float(keys[50])])
+        base = index.count_range_batch(los, his)
+        got = store.count_range_batch(los, his)
+        assert got[0] == base[0] + len(added) - len(removed)
+        assert got[1] == base[1] + len(added)
+        assert got[2] == base[2] - len(removed)
+
+    def test_overlay_only_insert_then_delete_vanishes(self, plan_path):
+        store = PlanStore.open(plan_path)
+        store.apply_ops(
+            [(OP_INSERT, _enc(5e6, "temp")), (OP_DELETE, _enc(5e6))]
+        )
+        assert store.get_batch([5e6]) == [None]
+        assert not store.contains_batch([5e6])[0]
+        assert store.overlay_size == 0
+
+
+class TestDeltaChain:
+    def _delta(self, tmp_path, seq, ops, *, generation=1, lsn=None):
+        path = tmp_path / f"plan-00000001.{seq:04d}.delta"
+        write_delta_file(
+            path, ops, base_generation=generation, seq=seq,
+            wal_lsn=lsn if lsn is not None else seq,
+        )
+        return path
+
+    def test_chain_replays_in_order(self, tmp_path, plan_path, index, keys):
+        d1 = self._delta(
+            tmp_path, 1, [(OP_INSERT, _enc(7e6, "a"))]
+        )
+        d2 = self._delta(
+            tmp_path, 2, [(OP_UPDATE, _enc(7e6, "b"))]
+        )
+        store = PlanStore.open(plan_path, deltas=[d1, d2])
+        assert store.get_batch([7e6]) == ["b"]
+        assert store.wal_lsn == 2
+
+    def test_gap_in_chain_is_refused(self, tmp_path, plan_path):
+        d2 = self._delta(tmp_path, 2, [(OP_INSERT, _enc(7e6, "a"))])
+        with pytest.raises(PlanFormatError, match="chain gap"):
+            PlanStore.open(plan_path, deltas=[d2])
+
+    def test_foreign_generation_is_refused(self, tmp_path, plan_path):
+        d1 = self._delta(
+            tmp_path, 1, [(OP_INSERT, _enc(7e6, "a"))], generation=9
+        )
+        with pytest.raises(PlanFormatError, match="generation"):
+            PlanStore.open(plan_path, deltas=[d1])

@@ -1,0 +1,64 @@
+"""Trace identity: the mapped plan costs exactly what the live one does.
+
+The acceptance bar is +-0 simulated cycles: ``PlanStore`` wraps a real
+:class:`FlatPlan` over the memory-mapped buffers, so a traced
+``get_batch`` must replay the *identical* descent -- same cycles, same
+cache misses -- as the index the plan was published from.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DILI
+from repro.planstore.format import write_plan_file
+from repro.planstore.store import PlanStore
+from repro.simulate.cache import CacheSimulator
+from repro.simulate.tracer import CostTracer
+
+CACHE_LINES = 1024
+
+
+@st.composite
+def keys_and_queries(draw):
+    keys = draw(
+        st.lists(
+            st.integers(0, 100_000),
+            min_size=8,
+            max_size=250,
+            unique=True,
+        )
+    )
+    hits = draw(
+        st.lists(st.sampled_from(keys), min_size=1, max_size=64)
+    )
+    misses = draw(
+        st.lists(st.integers(-1000, 101_000), max_size=32)
+    )
+    queries = [float(q) for q in hits] + [q + 0.5 for q in misses]
+    return sorted(float(k) for k in keys), queries
+
+
+class TestTraceIdentity:
+    @given(keys_and_queries())
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_and_misses_match_exactly(self, case):
+        keys, queries = case
+        index = DILI()
+        index.bulk_load(keys, [f"v{i}" for i in range(len(keys))])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.plan"
+            write_plan_file(path, index._plan())
+            store = PlanStore.open(path)
+
+            live = CostTracer(CacheSimulator(CACHE_LINES))
+            mapped = CostTracer(CacheSimulator(CACHE_LINES))
+            want = index.get_batch(queries, live)
+            got = store.get_batch(queries, mapped)
+
+            assert got == want
+            assert mapped.total_cycles == live.total_cycles  # +-0
+            assert mapped.cache_misses == live.cache_misses
+            store.close()
