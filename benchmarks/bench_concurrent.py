@@ -1,12 +1,18 @@
-"""Extension bench: the Appendix A.8 lock-crabbing wrapper.
+"""Extension bench: the Appendix A.8 wrapper with epoch-pinned reads.
 
 Measures the locking overhead of :class:`ConcurrentDILI` against the
-bare index (single-threaded wall-clock) and verifies a multi-threaded
-mixed workload completes losslessly.  Python's GIL precludes real
-parallel speedups; what this bench pins down is the overhead and
-correctness of the per-leaf locking protocol.
+bare index (single-threaded wall-clock), verifies a multi-threaded
+mixed workload completes losslessly, and tables batch-read throughput
+at 1/2/4/8 reader threads.  Batch reads descend the published flat
+plan under an epoch pin and take no locks at all, so they scale with
+available cores and -- on any machine, GIL or not -- never stall
+behind a writer's stripe/exclusive critical sections; the contention
+rows price exactly that stall by re-running the same readers forced
+through ``exclusive()``.  Scalar ``get`` still takes per-leaf locks,
+and its overhead is what the first table pins down.
 """
 
+import os
 import threading
 import time
 
@@ -14,6 +20,7 @@ import numpy as np
 
 from repro import ConcurrentDILI, DILI
 from repro.bench import print_table
+from repro.bench.harness import measure_concurrent_read_scaling
 from repro.data import split_initial
 
 
@@ -89,3 +96,48 @@ def test_concurrent_wrapper(cache, scale, benchmark, capsys):
     assert wrapped_us < plain_us * 10
 
     benchmark(wrapped.get, float(initial[77]))
+
+
+def test_lockfree_read_scaling(cache, scale, benchmark, capsys):
+    keys = cache.keys("logn")
+    m = measure_concurrent_read_scaling(keys)
+
+    rows = [
+        [f"{n} reader{'s' if n > 1 else ''}",
+         m.ops_per_s[n] / 1e3, m.scaling(n), ""]
+        for n in m.thread_counts
+    ]
+    with capsys.disabled():
+        print_table(
+            f"Epoch-pinned batch reads, scale={scale.name} "
+            f"({len(keys):,} keys, {os.cpu_count()} CPU)",
+            ["Readers (no writer)", "klookups/s", "vs 1 reader", ""],
+            rows,
+            first_col_width=22,
+        )
+        print_table(
+            f"4 readers vs churning writer, scale={scale.name}",
+            ["Read protocol", "klookups/s", "vs locked", ""],
+            [
+                ["epoch-pinned (lock-free)",
+                 m.contention_lockfree_ops / 1e3,
+                 m.contention_speedup, ""],
+                ["exclusive() (pre-epoch)",
+                 m.contention_locked_ops / 1e3, 1.0, ""],
+            ],
+            first_col_width=26,
+        )
+
+    assert m.wrong_reads == 0
+    assert m.lost_updates == 0
+    assert m.plan_publishes >= 1 and m.epoch_pins >= 1
+    # The hard >= 2.5x floors live in check_batch_baseline.py; here a
+    # loose sanity bound keeps the bench robust on loaded runners.
+    assert m.contention_speedup > 1.5
+    if (os.cpu_count() or 1) >= 4:
+        assert m.scaling_4 > 1.5
+
+    index = ConcurrentDILI()
+    index.bulk_load(keys, list(range(len(keys))))
+    index.get_batch(keys[:16])  # compile + publish the plan
+    benchmark(index.get_batch, keys[:256])

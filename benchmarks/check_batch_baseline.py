@@ -20,7 +20,14 @@ the repository root) and exits non-zero when any of
   5x the committed ``open_ms`` baseline (with an absolute 25 ms floor
   against runner jitter) -- the O(1)-open invariant: opening a plan
   verifies a framed header and memory-maps buffers, it never
-  deserializes them.
+  deserializes them, or
+* the epoch-pinned concurrent read path loses its win: any wrong read
+  or lost writer insert (always fatal), a contention speedup -- 4
+  lock-free readers vs the same readers forced through ``exclusive()``
+  while a writer churns the tree -- below 2.5x, zero plan publishes or
+  epoch pins during the contended run, or (only on machines with >= 4
+  CPUs, where thread scaling is physically possible under CPython) a
+  4-reader/1-reader throughput ratio below 2.5x.
 
 Regenerate the baseline after an intentional cost change with::
 
@@ -31,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -40,6 +48,7 @@ from repro.bench.harness import (
     BuildCache,
     measure_batch_lookup,
     measure_batch_write,
+    measure_concurrent_read_scaling,
     measure_mixed_workload,
 )
 
@@ -54,6 +63,8 @@ MAX_FULL_RECOMPILES = 0
 MIXES = [("95/5", 0.05), ("80/20", 0.20), ("50/50", 0.50)]
 OPEN_FACTOR = 5.0
 OPEN_FLOOR_MS = 25.0
+MIN_CONTENTION_SPEEDUP = 2.5
+MIN_SCALING_4 = 2.5  # gated only where >= 4 CPUs make it measurable
 
 
 def measure_plan_store(cache: BuildCache) -> dict:
@@ -125,6 +136,22 @@ def measure() -> dict:
             "full_recompiles": x.full_recompiles,
             "plan_alive": bool(x.plan_alive),
         }
+    r = measure_concurrent_read_scaling(cache.keys("logn"))
+    scaling = {
+        "threads": list(r.thread_counts),
+        "ops_per_s": {
+            str(n): round(v) for n, v in r.ops_per_s.items()
+        },
+        "scaling_4": round(r.scaling_4, 2),
+        "contention_lockfree_ops": round(r.contention_lockfree_ops),
+        "contention_locked_ops": round(r.contention_locked_ops),
+        "contention_speedup": round(r.contention_speedup, 2),
+        "wrong_reads": r.wrong_reads,
+        "lost_updates": r.lost_updates,
+        "plan_publishes": r.plan_publishes,
+        "epoch_pins": r.epoch_pins,
+        "cpu_count": r.cpu_count,
+    }
     return {
         "scale": SCALE,
         "num_keys": scale.num_keys,
@@ -133,6 +160,7 @@ def measure() -> dict:
         "batch_write": writes,
         "mixed": mixed,
         "plan_store": measure_plan_store(cache),
+        "concurrent_read_scaling": scaling,
     }
 
 
@@ -229,6 +257,54 @@ def main(argv: list[str] | None = None) -> int:
             f"{got['keys']:,} keys (baseline {want_plan['open_ms']:.2f}, "
             f"limit {limit:.1f}), publish {got['publish_ms']:.1f} ms, "
             f"rung {got['rung']}"
+        )
+    if baseline.get("concurrent_read_scaling") is not None:
+        got = current["concurrent_read_scaling"]
+        if got["wrong_reads"] != 0:
+            failures.append(
+                f"concurrent: {got['wrong_reads']} wrong reads -- a "
+                "lock-free batch read returned a value inconsistent "
+                "with the loaded data"
+            )
+        if got["lost_updates"] != 0:
+            failures.append(
+                f"concurrent: {got['lost_updates']} writer inserts "
+                "lost while lock-free readers ran"
+            )
+        if got["contention_speedup"] < MIN_CONTENTION_SPEEDUP:
+            failures.append(
+                f"concurrent: contention speedup "
+                f"{got['contention_speedup']:.2f}x below the "
+                f"{MIN_CONTENTION_SPEEDUP}x floor (epoch-pinned reads "
+                "vs exclusive-locked reads under a churning writer)"
+            )
+        if got["plan_publishes"] < 1 or got["epoch_pins"] < 1:
+            failures.append(
+                "concurrent: contended run exercised no plan "
+                f"publication (publishes {got['plan_publishes']}, "
+                f"pins {got['epoch_pins']}) -- the lock-free path "
+                "was not actually taken"
+            )
+        many_cpus = (os.cpu_count() or 1) >= 4
+        if many_cpus and got["scaling_4"] < MIN_SCALING_4:
+            failures.append(
+                f"concurrent: 4-reader scaling {got['scaling_4']:.2f}x "
+                f"below the {MIN_SCALING_4}x floor on a "
+                f"{os.cpu_count()}-CPU machine"
+            )
+        scaling_note = (
+            f"scaling_4 {got['scaling_4']:.2f}x"
+            + ("" if many_cpus else
+               f" (not gated: {got['cpu_count']} CPU)")
+        )
+        print(
+            f"concurrent: contention speedup "
+            f"{got['contention_speedup']:.2f}x "
+            f"(floor {MIN_CONTENTION_SPEEDUP}x), {scaling_note}, "
+            f"wrong reads {got['wrong_reads']}, "
+            f"lost updates {got['lost_updates']}, "
+            f"publishes {got['plan_publishes']}, "
+            f"pins {got['epoch_pins']}"
         )
     if failures:
         print("\nBATCH BASELINE CHECK FAILED:", file=sys.stderr)

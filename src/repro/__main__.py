@@ -412,6 +412,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             ["lock acquisitions", float(report.lock_stats["acquisitions"])],
             ["lock retries", float(report.lock_stats["retries"])],
             ["lock escalations", float(report.lock_stats["escalations"])],
+            ["plan publishes", float(report.lock_stats["plan_publishes"])],
+            ["plans retired", float(report.lock_stats["plans_retired"])],
+            ["epoch pins", float(report.lock_stats["epoch_pins"])],
+            ["lock-free batch reads",
+             float(report.lock_stats.get("batch_reads", 0))],
         ]
     print(
         format_table(

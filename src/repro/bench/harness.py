@@ -570,6 +570,249 @@ def measure_mixed_workload(
     )
 
 
+@dataclass(frozen=True)
+class ReadScalingMeasurement:
+    """Concurrent batch-read scaling and contention measurement.
+
+    Attributes:
+        thread_counts: Reader-thread counts measured (e.g. ``(1,2,4,8)``).
+        ops_per_s: Lock-free ``get_batch`` lookups/s by reader count,
+            with no writer running.
+        contention_lockfree_ops: Lookups/s of 4 lock-free readers while
+            a writer thread churns the tree under stripe/exclusive
+            locks (readers descend the published plan, never block).
+        contention_locked_ops: Same readers and writer, but every read
+            forced through ``exclusive()`` -- the pre-epoch protocol
+            where batch reads serialized against writers and each other.
+        wrong_reads: Reads (across every phase) that returned a value
+            inconsistent with the loaded base data.  Must be zero.
+        lost_updates: Writer-inserted keys missing after the contention
+            phases.  Must be zero.
+        plan_publishes: Plan versions published during the lock-free
+            contention phase.
+        epoch_pins: Epoch pins taken during the lock-free contention
+            phase.
+        cpu_count: ``os.cpu_count()`` on the measuring machine; pure
+            thread scaling is only meaningful when it is >= the thread
+            count (CPython threads share one interpreter lock).
+    """
+
+    thread_counts: tuple[int, ...]
+    ops_per_s: dict[int, float]
+    contention_lockfree_ops: float
+    contention_locked_ops: float
+    wrong_reads: int
+    lost_updates: int
+    plan_publishes: int
+    epoch_pins: int
+    cpu_count: int
+
+    def scaling(self, threads: int) -> float:
+        """Throughput at ``threads`` readers relative to one reader."""
+        base = self.ops_per_s[self.thread_counts[0]]
+        return self.ops_per_s[threads] / base if base > 0 else 0.0
+
+    @property
+    def scaling_4(self) -> float:
+        return self.scaling(4) if 4 in self.ops_per_s else 0.0
+
+    @property
+    def contention_speedup(self) -> float:
+        """Lock-free vs exclusive-locked read throughput under writers."""
+        if self.contention_locked_ops <= 0:
+            return float("inf")
+        return self.contention_lockfree_ops / self.contention_locked_ops
+
+
+def measure_concurrent_read_scaling(
+    keys: np.ndarray,
+    *,
+    thread_counts: Sequence[int] = (1, 2, 4, 8),
+    batch: int = 256,
+    rounds: int = 30,
+    writer_keys: int = 1024,
+    writer_chunk: int = 128,
+    repeats: int = 2,
+    seed: int = 31,
+) -> ReadScalingMeasurement:
+    """Measure epoch-pinned batch-read scaling and lock contention.
+
+    Loads one :class:`~repro.core.concurrent.ConcurrentDILI` with
+    ``keys`` (value = position), compiles and publishes the flat plan,
+    then runs three phases:
+
+    1. **Pure scaling** -- for each count in ``thread_counts``, that
+       many reader threads each issue ``rounds`` lock-free
+       ``get_batch`` calls over pre-drawn base-key batches; every
+       result is checked against the loaded values.
+    2. **Lock-free contention** -- 4 readers as above while a writer
+       thread inserts fresh keys with ``insert_batch`` and churns them
+       with ``update_batch``/``bulk_insert`` (all lock-taking paths).
+    3. **Locked contention** -- identical workload, but each read is
+       forced through ``exclusive()`` to price the pre-epoch protocol
+       where batch reads serialized against writers.
+
+    Wrong reads and lost writer inserts are counted, never tolerated:
+    callers gate both at zero.
+    """
+    import threading
+
+    from repro import ConcurrentDILI
+
+    rng = np.random.default_rng(seed)
+    index = ConcurrentDILI()
+    index.bulk_load(keys, list(range(len(keys))))
+    index.get_batch(keys[:16])  # compile + publish the plan
+    wrong_reads = 0
+    lost_updates = 0
+
+    def draw_probes(n_threads: int) -> list[list[tuple[np.ndarray, list]]]:
+        per_thread = []
+        for _ in range(n_threads):
+            plan = []
+            for _ in range(rounds):
+                idx = rng.integers(0, len(keys), size=batch)
+                plan.append((keys[idx], [int(i) for i in idx]))
+            per_thread.append(plan)
+        return per_thread
+
+    def run_readers(
+        n_threads: int, read_one: Callable
+    ) -> tuple[float, int]:
+        """Run the pre-drawn probe plans; return (wall_s, wrong)."""
+        probes = draw_probes(n_threads)
+        barrier = threading.Barrier(n_threads + 1)
+        wrong = [0] * n_threads
+        errors: list[BaseException] = []
+
+        def reader(tid: int) -> None:
+            try:
+                barrier.wait()
+                bad = 0
+                for q, expect in probes[tid]:
+                    if read_one(q) != expect:
+                        bad += 1
+                wrong[tid] = bad
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        return wall, sum(wrong)
+
+    # Phase 1: pure lock-free reader scaling, no writers.
+    ops_per_s: dict[int, float] = {}
+    for n in thread_counts:
+        wall, wrong = run_readers(n, index.get_batch)
+        wrong_reads += wrong
+        ops_per_s[n] = n * rounds * batch / wall if wall > 0 else 0.0
+
+    # Phases 2-3: 4 readers vs one lock-taking writer.  The writer
+    # inserts a disjoint pool of fresh keys chunk by chunk, then churns
+    # them (update_batch + periodic bulk_insert re-upserts) until the
+    # readers finish, so stripe and exclusive locks stay hot the whole
+    # phase.  Base keys are never touched: reader expectations hold.
+    def run_contended(read_one: Callable, pool: np.ndarray) -> float:
+        stop = threading.Event()
+        writer_errors: list[BaseException] = []
+
+        def writer() -> None:
+            try:
+                # Insert the whole pool even if readers finish first:
+                # the lost-update check audits every key written here.
+                values = [-1] * writer_chunk
+                for start in range(0, len(pool), writer_chunk):
+                    chunk = pool[start : start + writer_chunk]
+                    index.insert_batch(chunk, values[: len(chunk)])
+                # Structural churn: delete and re-insert rotating
+                # chunks (long stripe/exclusive critical sections --
+                # the workload the pre-epoch protocol stalls reads
+                # behind), plus periodic whole-pool value updates.
+                # Delete/insert always run as a pair so the pool is
+                # fully present whenever the loop observes ``stop``.
+                nchunks = max(1, len(pool) // writer_chunk)
+                generation = 0
+                while not stop.is_set():
+                    generation += 1
+                    start = (generation % nchunks) * writer_chunk
+                    chunk = pool[start : start + writer_chunk]
+                    index.delete_batch(chunk)
+                    index.insert_batch(chunk, [generation] * len(chunk))
+                    if generation % 8 == 0:
+                        index.update_batch(
+                            pool, [generation] * len(pool)
+                        )
+            except BaseException as exc:  # pragma: no cover
+                writer_errors.append(exc)
+
+        churn = threading.Thread(target=writer)
+        churn.start()
+        try:
+            wall, wrong = run_readers(4, read_one)
+        finally:
+            stop.set()
+            churn.join()
+        if writer_errors:
+            raise writer_errors[0]
+        nonlocal wrong_reads
+        wrong_reads += wrong
+        return 4 * rounds * batch / wall if wall > 0 else 0.0
+
+    def locked_read(q: np.ndarray) -> list:
+        with index.exclusive():
+            return index.index.get_batch(q)
+
+    # Best-of-``repeats`` on each contended phase: thread scheduling on
+    # a busy runner is noisy, and (as with the warm batch timings
+    # above) the best observed throughput is the stable estimate of
+    # what each protocol can sustain.  Re-running over the same pool is
+    # sound -- inserts of present keys are no-ops and the churn loop is
+    # self-restoring, so the lost-update audit still covers every key.
+    pools = np.array_split(
+        _fresh_keys(keys, 2 * writer_keys, seed + 1), 2
+    )
+    stats0 = index.lock_stats
+    contention_lockfree = max(
+        run_contended(index.get_batch, pools[0])
+        for _ in range(max(repeats, 1))
+    )
+    stats1 = index.lock_stats
+    contention_locked = max(
+        run_contended(locked_read, pools[1])
+        for _ in range(max(repeats, 1))
+    )
+
+    for pool in pools:
+        present = index.contains_batch(pool)
+        lost_updates += sum(1 for p in present if not p)
+    index.index.validate()
+
+    return ReadScalingMeasurement(
+        thread_counts=tuple(thread_counts),
+        ops_per_s=ops_per_s,
+        contention_lockfree_ops=contention_lockfree,
+        contention_locked_ops=contention_locked,
+        wrong_reads=wrong_reads,
+        lost_updates=lost_updates,
+        plan_publishes=(
+            stats1["plan_publishes"] - stats0["plan_publishes"]
+        ),
+        epoch_pins=stats1["epoch_pins"] - stats0["epoch_pins"],
+        cpu_count=os.cpu_count() or 1,
+    )
+
+
 def measure_lookup(
     index,
     queries: np.ndarray,

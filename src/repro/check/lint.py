@@ -1,4 +1,4 @@
-"""Custom AST lint for the repro codebase (rules CHK001-CHK005).
+"""Custom AST lint for the repro codebase (rules CHK001-CHK008).
 
 Pure stdlib-``ast`` analysis -- no third-party linter frameworks.  Each
 rule encodes an invariant of this codebase that a generic linter cannot
@@ -35,6 +35,14 @@ know:
   whose formats checksum every byte before trusting it.  Anywhere else
   they deserialize (or map) bytes nothing has verified.  Test,
   example and benchmark trees are exempt.
+* **CHK008** -- copy-on-write plan discipline: the in-place
+  ``patch_*`` / ``recompile_*`` FlatPlan mutators may only be invoked
+  from inside ``repro/core/flat.py`` (the ``applied_*`` constructors
+  delegate to them after deciding in-place vs copy-on-write).  A
+  direct call anywhere else in ``src/`` would mutate a plan that may
+  already be epoch-published -- frozen plans raise at runtime, but the
+  lint catches the pattern before a schedule ever freezes one.  Test,
+  example and benchmark trees are exempt.
 
 Any finding can be locally waived with a pragma comment on (any line
 of) the offending statement::
@@ -60,9 +68,12 @@ RULES: dict[str, str] = {
     "CHK005": "traced probe without a shared Tracer constant",
     "CHK006": "FaultInjector constructed outside the fault registry",
     "CHK007": "untrusted-bytes primitive outside durability/planstore",
+    "CHK008": "in-place FlatPlan mutator invoked outside repro/core/flat.py",
 }
 
-# FlatPlan's structure-of-arrays attributes (mirrors FlatPlan.__slots__).
+# FlatPlan's structure-of-arrays attributes (the SoA-buffer subset of
+# FlatPlan.__slots__; the version/frozen publication fields are not
+# buffers and are governed by freeze(), not the patch APIs).
 SOA_ATTRS = frozenset(
     {
         "kind", "slope", "intercept", "size", "base", "region",
@@ -75,6 +86,17 @@ SOA_ATTRS = frozenset(
 _PLAN_MUTATOR_METHODS = frozenset(
     {
         "__init__",
+        "patch_value", "patch_insert", "patch_insert_many",
+        "patch_delete", "patch_delete_many",
+        "recompile_subtree", "recompile_subtrees",
+    }
+)
+
+# The in-place plan mutators themselves (CHK008): outside flat.py, plan
+# maintenance must go through the applied_* copy-on-write constructors,
+# which are safe on frozen (epoch-published) plans.
+_INPLACE_PLAN_MUTATORS = frozenset(
+    {
         "patch_value", "patch_insert", "patch_insert_many",
         "patch_delete", "patch_delete_many",
         "recompile_subtree", "recompile_subtrees",
@@ -171,6 +193,9 @@ class _FileContext:
         self.check_untrusted = not (in_tests or in_benchmarks) and not any(
             p in ("durability", "planstore") for p in parts
         )
+        # flat.py's applied_* constructors are the sanctioned callers of
+        # the in-place patch tiers (CHK008).
+        self.check_cow = not (in_tests or in_benchmarks) and name != "flat.py"
 
 
 class _Linter(ast.NodeVisitor):
@@ -316,6 +341,17 @@ class _Linter(ast.NodeVisitor):
             )
         if self.ctx.check_untrusted:
             self._check_untrusted_bytes(node)
+        if (
+            self.ctx.check_cow
+            and isinstance(node.func, ast.Attribute)
+            and name in _INPLACE_PLAN_MUTATORS
+        ):
+            self._report(
+                node, "CHK008",
+                f"in-place plan mutator .{name}() outside repro/core/"
+                f"flat.py; published plans are frozen -- use the "
+                f"applied_* copy-on-write constructors",
+            )
         if name in _MUTATING_CALLS and isinstance(node.func, ast.Attribute):
             self._check_soa_mutation(node, node.func.value, is_call=True)
         self.generic_visit(node)

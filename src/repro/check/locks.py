@@ -19,6 +19,19 @@ unlucky schedule away.
   without the owning stripe are reported as **unlocked access**, scans
   and batch operations without every stripe as **non-exclusive scans**.
 
+Epoch-pinned batch reads are *legal without any lock*: the lock-free
+read path descends the frozen published plan, never the inner index,
+so it does not trip the exclusive check -- the contract it must honor
+instead is the RCU one, which the sanitizer verifies through
+``ConcurrentDILI._plan_read_guard``: every lock-free read must (a)
+hold an epoch pin for the duration of the descent (else a concurrent
+retire could reclaim the buffers out from under it -- reported as
+**unpinned-plan-read**) and (b) run against a frozen plan (a mutable
+published plan is a torn read waiting to happen).  Batch calls that
+reach the *inner* index (the recompile fallback) still require
+``exclusive()`` exactly as before: they may compile and install a new
+plan, which is a write.
+
 Violations are recorded (not raised) so a whole workload can be
 examined; call :meth:`LockSanitizer.assert_clean` at the end to turn
 any finding into a :class:`~repro.check.errors.SanitizerViolation`.
@@ -37,7 +50,9 @@ from repro.core.nodes import InternalNode
 class LockViolation:
     """One observed breach of the locking protocol."""
 
-    kind: str  # "order-inversion" | "unlocked-access" | "non-exclusive-scan"
+    # "order-inversion" | "unlocked-access" | "non-exclusive-scan"
+    # | "unpinned-plan-read"
+    kind: str
     message: str
     thread: str
 
@@ -148,6 +163,7 @@ class LockSanitizer:
         self._orig_locks = list(target._locks)
         self._orig_global = target._global
         self._orig_index = target._index
+        self._orig_plan_guard = getattr(target, "_plan_read_guard", None)
         self._mutex = threading.Lock()
         self._edges: dict[str, set[str]] = {}  # name -> names locked after
         self._held = threading.local()
@@ -156,14 +172,18 @@ class LockSanitizer:
             lambda lock, name: _InstrumentedLock(lock, name, self),
             index_proxy=lambda inner: _GuardedDILI(inner, self),
         )
+        if hasattr(target, "_plan_read_guard"):
+            target._plan_read_guard = self._check_plan_read
 
     # -- lifecycle -----------------------------------------------------
 
     def detach(self) -> None:
-        """Restore the original locks and index object."""
+        """Restore the original locks, index object, and read guard."""
         self._target._locks = self._orig_locks
         self._target._global = self._orig_global
         self._target._index = self._orig_index
+        if hasattr(self._target, "_plan_read_guard"):
+            self._target._plan_read_guard = self._orig_plan_guard
 
     def assert_clean(self) -> None:
         if self.violations:
@@ -263,4 +283,31 @@ class LockSanitizer:
                 "unlocked-access",
                 f"{op}({key!r}) touched the tree without holding the "
                 f"owning leaf's stripe",
+            )
+
+    # -- epoch-pinned plan reads (from ConcurrentDILI._plan_read_guard) --
+
+    def _check_plan_read(self, plan) -> None:
+        """Verify a lock-free batch read honors the RCU contract.
+
+        Installed as ``ConcurrentDILI._plan_read_guard`` and invoked
+        with the snapshot on every pinned-plan read.  No lock is
+        required -- that is the point -- but the reading thread must
+        hold an epoch pin (or retirement cannot see it and the plan
+        could be reclaimed mid-descent) and the plan must be frozen
+        (publication freezes; descending a mutable plan races its
+        patcher).
+        """
+        if not self._target._published.current_thread_pinned():
+            self._record(
+                "unpinned-plan-read",
+                "published plan read without an epoch pin; a concurrent "
+                "retire could reclaim the snapshot mid-descent",
+            )
+        if not getattr(plan, "frozen", False):
+            self._record(
+                "unpinned-plan-read",
+                f"plan v{getattr(plan, 'version', '?')} served to a "
+                f"lock-free reader while still mutable; publish() must "
+                f"freeze it first",
             )

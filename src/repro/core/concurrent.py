@@ -16,6 +16,20 @@ still maps to the held stripe, retrying with exponential backoff (and
 falling back to fully exclusive locking) when it does not.  Tree
 rebuilds run under :meth:`exclusive`, which holds the global lock *and*
 every stripe, so they can never overlap a verified per-leaf operation.
+
+Batch reads are **lock-free**: writers maintain the compiled
+:class:`~repro.core.flat.FlatPlan` as an immutable published version
+(see :mod:`repro.core.epoch`), so ``get_batch`` / ``contains_batch`` /
+``count_range`` / ``count_range_batch`` pin a reader epoch, grab the
+published snapshot with one reference load, and descend without
+touching a single lock -- a long batch read never blocks a writer and
+is never blocked by one.  Each read answers from *some* published
+version (snapshot semantics): a racing writer's mutation becomes
+visible at its publication swap, and a writer's own thread always sees
+its completed writes because every mutator republishes before
+returning.  Only when no plan is published (empty tree, or a mutation
+the copy-on-write tiers could not absorb) does a batch read fall back
+to :meth:`exclusive` to recompile and republish.
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.dili import DILI, DiliConfig
+from repro.core.epoch import PlanPublisher
 from repro.core.nodes import InternalNode, Pair
 
 # Verified lock acquisition retries before escalating to exclusive mode.
@@ -41,10 +56,12 @@ class ConcurrentDILI:
 
     Point operations (get / insert / delete / update) serialize per
     top-level leaf via striped locks; operations on different leaves
-    proceed in parallel.  Scans (``range_query`` / ``items``) cross
-    leaf boundaries, so they run under :meth:`exclusive` (global +
-    every stripe) -- as do bulk loads and rebuilds -- which keeps
-    every point writer out for the duration.
+    proceed in parallel.  Batch reads run lock-free against the
+    epoch-published flat plan (see the module docstring).  Scans
+    (``range_query`` / ``items``) cross leaf boundaries *through the
+    live tree*, so they run under :meth:`exclusive` (global + every
+    stripe) -- as do bulk loads and rebuilds -- which keeps every
+    point writer out for the duration.
 
     Args:
         config: Forwarded to the underlying :class:`DILI`.
@@ -67,12 +84,35 @@ class ConcurrentDILI:
         self._locks = [threading.RLock() for _ in range(stripes)]
         self._global = threading.RLock()
         self._stats_lock = threading.Lock()
-        #: Verified-acquisition telemetry: ``acquisitions`` (successful
-        #: per-leaf lock grabs), ``retries`` (failed verification
-        #: rounds before success or escalation), and ``escalations``
-        #: (silent fallbacks to :meth:`exclusive` -- empty tree, or the
-        #: retry budget exhausted under rebuild pressure).
-        self.lock_stats = {"acquisitions": 0, "retries": 0, "escalations": 0}
+        # Verified-acquisition telemetry; merged with the publisher's
+        # epoch counters by the :attr:`lock_stats` property.
+        self._base_stats = {"acquisitions": 0, "retries": 0, "escalations": 0}
+        #: Epoch-published plan slot: batch readers pin and snapshot it
+        #: lock-free; every mutator republishes the maintained version
+        #: (or unpublishes on invalidation) before returning.
+        self._published = PlanPublisher()
+        #: LockSanitizer hook: called with the pinned plan on every
+        #: lock-free batch read (None when no sanitizer is attached).
+        self._plan_read_guard = None
+        if index is not None and index.peek_plan() is not None:
+            # Adopting an index with a live maintained plan (e.g. crash
+            # recovery warmed it): publish so reads start lock-free.
+            self._published.publish(index.peek_plan())
+
+    @property
+    def lock_stats(self) -> dict:
+        """Locking + publication telemetry, one flat dict.
+
+        ``acquisitions`` / ``retries`` / ``escalations`` count the
+        verified stripe-lock protocol (see :meth:`locked`);
+        ``plan_publishes`` / ``plans_retired`` / ``plans_reclaimed`` /
+        ``plans_limbo`` / ``epoch_pins`` expose publication churn and
+        reader pinning on the lock-free batch-read path.
+        """
+        with self._stats_lock:
+            out = dict(self._base_stats)
+        out.update(self._published.stats())
+        return out
 
     # ------------------------------------------------------------------
     # Locking protocol
@@ -117,16 +157,16 @@ class ConcurrentDILI:
                     and self._locks[id(current) % len(self._locks)] is lock
                 ):
                     with self._stats_lock:
-                        self.lock_stats["acquisitions"] += 1
-                        self.lock_stats["retries"] += retries
+                        self._base_stats["acquisitions"] += 1
+                        self._base_stats["retries"] += retries
                     yield
                     return
             retries += 1
             time.sleep(delay)
             delay = min(delay * 2.0, _BACKOFF_MAX_S)
         with self._stats_lock:
-            self.lock_stats["escalations"] += 1
-            self.lock_stats["retries"] += retries
+            self._base_stats["escalations"] += 1
+            self._base_stats["retries"] += retries
         with self.exclusive():
             yield
 
@@ -169,6 +209,49 @@ class ConcurrentDILI:
                     lock.release()
 
     # ------------------------------------------------------------------
+    # Epoch-published plan (lock-free batch reads)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _pinned_plan(self):
+        """Pin a reader epoch and yield the published plan snapshot.
+
+        Yields ``None`` when no plan is published (empty tree, or plan
+        invalidated by an unpatchable mutation); the caller then takes
+        the :meth:`exclusive` fallback, which recompiles and
+        republishes.  The pin -- not a lock -- keeps the snapshot out
+        of reclamation until the descent finishes.
+        """
+        with self._published.pinned() as plan:
+            if plan is not None:
+                guard = self._plan_read_guard
+                if guard is not None:
+                    guard(plan)
+            yield plan
+
+    def _republish(self) -> None:
+        """Publish the index's maintained plan version (if any).
+
+        Called by every mutator while it still holds its stripe or
+        exclusive locks, so the calling thread's subsequent reads see
+        its own writes.  Racing republishes are safe: versions are
+        assigned in tree-mutation order under ``DILI._plan_mutex`` and
+        :meth:`~repro.core.epoch.PlanPublisher.publish` rejects stale
+        ones, so the slot converges on the newest tree state.
+        """
+        plan = self._index.peek_plan()
+        if plan is None:
+            self._published.unpublish()
+        else:
+            self._published.publish(plan)
+
+    @property
+    def published_plan_version(self) -> int | None:
+        """Version of the currently published plan (None if none)."""
+        plan = self._published.load()
+        return None if plan is None else plan.version
+
+    # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
@@ -176,6 +259,7 @@ class ConcurrentDILI:
         """Build the index; excludes every concurrent operation."""
         with self.exclusive():
             self._index.bulk_load(keys, values)
+            self._republish()
 
     def get(self, key: float) -> object | None:
         """Point lookup under the owning leaf's lock."""
@@ -185,50 +269,98 @@ class ConcurrentDILI:
             return self._index.get(key)
 
     def get_batch(self, keys: np.ndarray | list) -> list:
-        """Vectorized multi-key lookup, exclusive of every writer.
+        """Vectorized multi-key lookup, lock-free.
 
-        Batches cross leaf boundaries (and the first call after a write
-        compiles the flat plan), so like scans they need the global lock
-        plus every stripe rather than a single leaf's.
+        Descends the epoch-pinned published plan without taking any
+        lock; falls back to :meth:`exclusive` (compile + republish)
+        only when no plan is published.  Answers come from *some*
+        published version: a batch racing a writer sees the tree state
+        of its snapshot, never a torn mix.
         """
+        with self._pinned_plan() as plan:
+            if plan is not None:
+                arr = np.asarray(keys, dtype=np.float64)
+                if arr.ndim != 1:
+                    raise ValueError("keys must be one-dimensional")
+                out, _ = plan.lookup_batch(arr)
+                return plan.gather_values(out)
         with self.exclusive():
-            return self._index.get_batch(keys)
+            out = self._index.get_batch(keys)
+            self._republish()
+            return out
 
     def contains_batch(self, keys: np.ndarray | list) -> np.ndarray:
-        """Vectorized membership test; exclusive like :meth:`get_batch`."""
+        """Vectorized membership test; lock-free like :meth:`get_batch`."""
+        with self._pinned_plan() as plan:
+            if plan is not None:
+                arr = np.asarray(keys, dtype=np.float64)
+                if arr.ndim != 1:
+                    raise ValueError("keys must be one-dimensional")
+                return plan.contains_batch(arr)
         with self.exclusive():
-            return self._index.contains_batch(keys)
+            out = self._index.contains_batch(keys)
+            self._republish()
+            return out
 
     def count_range(self, lo: float, hi: float) -> int:
-        """Count keys in ``[lo, hi)``, exclusive like other scans."""
+        """Count keys in ``[lo, hi)``; lock-free like :meth:`get_batch`.
+
+        Two binary searches over the published plan's sorted key
+        array -- no pairs are materialized and no lock is taken.
+        """
+        with self._pinned_plan() as plan:
+            if plan is not None:
+                return plan.count_range(float(lo), float(hi))
         with self.exclusive():
-            return self._index.count_range(lo, hi)
+            out = self._index.count_range(lo, hi)
+            self._republish()
+            return out
 
     def count_range_batch(
         self, los: np.ndarray | list, his: np.ndarray | list
     ) -> np.ndarray:
-        """Vectorized range counts; exclusive like :meth:`get_batch`."""
+        """Vectorized range counts; lock-free like :meth:`get_batch`."""
+        with self._pinned_plan() as plan:
+            if plan is not None:
+                lo_arr = np.asarray(los, dtype=np.float64)
+                hi_arr = np.asarray(his, dtype=np.float64)
+                if lo_arr.shape != hi_arr.shape:
+                    raise ValueError("los and his must have the same shape")
+                return plan.count_range_batch(lo_arr, hi_arr)
         with self.exclusive():
-            return self._index.count_range_batch(los, his)
+            out = self._index.count_range_batch(los, his)
+            self._republish()
+            return out
 
     def insert(self, key: float, value: object) -> bool:
-        """Insert under the owning leaf's lock (A.8 insertion protocol)."""
+        """Insert under the owning leaf's lock (A.8 insertion protocol).
+
+        Like every mutator, republishes the maintained plan version
+        before releasing the lock, so the new pair is visible to
+        lock-free batch readers (and to this thread's next read).
+        """
         with self.locked(key):
-            return self._index.insert(key, value)
+            out = self._index.insert(key, value)
+            self._republish()
+            return out
 
     def delete(self, key: float) -> bool:
         """Delete under the owning leaf's lock (A.8 deletion protocol)."""
         if self._index.root is None:
             return False
         with self.locked(key):
-            return self._index.delete(key)
+            out = self._index.delete(key)
+            self._republish()
+            return out
 
     def update(self, key: float, value: object) -> bool:
         """Replace an existing key's value under the owning leaf's lock."""
         if self._index.root is None:
             return False
         with self.locked(key):
-            return self._index.update(key, value)
+            out = self._index.update(key, value)
+            self._republish()
+            return out
 
     def range_query(self, lo: float, hi: float) -> list[Pair]:
         """Ordered scan, exclusive of every writer.
@@ -260,14 +392,18 @@ class ConcurrentDILI:
         stripe rather than a single leaf's.
         """
         with self.exclusive():
-            return self._index.insert_batch(keys, values)
+            out = self._index.insert_batch(keys, values)
+            self._republish()
+            return out
 
     def delete_batch(self, keys: np.ndarray | list) -> np.ndarray:
         """Vectorized multi-key delete; exclusive like :meth:`insert_batch`."""
         if self._index.root is None:
             return np.zeros(len(keys), dtype=bool)
         with self.exclusive():
-            return self._index.delete_batch(keys)
+            out = self._index.delete_batch(keys)
+            self._republish()
+            return out
 
     def update_batch(
         self, keys: np.ndarray | list, values: list
@@ -276,7 +412,9 @@ class ConcurrentDILI:
         if self._index.root is None:
             return np.zeros(len(keys), dtype=bool)
         with self.exclusive():
-            return self._index.update_batch(keys, values)
+            out = self._index.update_batch(keys, values)
+            self._republish()
+            return out
 
     def insert_many(self, pairs: Iterable[Pair]) -> int:
         """Insert pairs one by one; returns how many were new."""
@@ -287,7 +425,9 @@ class ConcurrentDILI:
     ) -> int:
         """Batch insert; exclusive because it may rebuild the tree."""
         with self.exclusive():
-            return self._index.bulk_insert(keys, values, **kwargs)
+            out = self._index.bulk_insert(keys, values, **kwargs)
+            self._republish()
+            return out
 
     def __len__(self) -> int:
         return len(self._index)

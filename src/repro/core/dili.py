@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
@@ -140,6 +141,13 @@ class DILI:
         self._count = 0
         self._cycles = self.config.cycles
         self._flat: FlatPlan | None = None
+        # Serializes plan compilation/maintenance: concurrent writers
+        # (stripe-locked on different leaves) each produce a new plan
+        # version via the copy-on-write applied_* constructors, and the
+        # mutex makes every version build on the previous one instead
+        # of two patches racing on the same base.  Reentrant because
+        # maintenance falls back to _invalidate_plan while holding it.
+        self._plan_mutex = threading.RLock()
         self._router: InternalRouter | None = None
         # Set by _insert_to_leaf/_delete_from_leaf/_adjust when an op
         # changes the tree *shape* (spawn / adjust / collapse), not just
@@ -335,7 +343,8 @@ class DILI:
     def _invalidate_plan(self) -> None:
         """Drop the compiled read plan (the incremental-maintenance
         fallback for mutations no patch or subtree recompile covers)."""
-        self._flat = None
+        with self._plan_mutex:
+            self._flat = None
 
     def _sanitize_after(self, keys) -> None:
         """TreeSanitizer hook: report a completed mutation.
@@ -359,14 +368,28 @@ class DILI:
         subtree, so mixed read/write workloads do not pay an O(n)
         recompile per write.
         """
-        plan = self._flat
-        if plan is None:
-            if self.root is None:
-                raise ValueError("cannot compile a plan for an empty index")
-            plan = compile_plan(self.root)
-            self._flat = plan
-            self.plan_recompiles += 1
-        return plan
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                if self.root is None:
+                    raise ValueError(
+                        "cannot compile a plan for an empty index"
+                    )
+                plan = compile_plan(self.root)
+                self._flat = plan
+                self.plan_recompiles += 1
+            return plan
+
+    def peek_plan(self) -> FlatPlan | None:
+        """The maintained plan *without* compiling one (None if dropped).
+
+        Publication hook: after a mutation,
+        :class:`repro.core.concurrent.ConcurrentDILI` republished the
+        maintained plan version (or unpublishes when maintenance fell
+        back to invalidation) without forcing an eager recompile on the
+        write path.
+        """
+        return self._flat
 
     def _get_router(self) -> InternalRouter:
         """Cached write-batch router; rebuilt when the root is replaced.
@@ -381,44 +404,81 @@ class DILI:
         return router
 
     def _plan_note_insert(self, key: float, value: object, leaf) -> None:
-        """Maintain the plan after one successful scalar insert."""
-        plan = self._flat
-        if plan is None:
-            return
-        if self._op_structural:
-            if plan.recompile_subtree(key, leaf):
-                self.plan_subtree_recompiles += 1
+        """Maintain the plan after one successful scalar insert.
+
+        Like every ``_plan_note_*`` hook this goes through the
+        ``applied_*`` constructors: while the plan is private they
+        patch it in place exactly as before; once it has been frozen
+        by publication they return a copy-on-write successor version,
+        installed here under the plan mutex.
+        """
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                return
+            if self._op_structural:
+                new = plan.applied_recompile_subtrees([(key, leaf)])
+                if new is not None:
+                    self._flat = new
+                    self.plan_subtree_recompiles += 1
+                else:
+                    self._invalidate_plan()
             else:
-                self._invalidate_plan()
-        elif plan.patch_insert(key, value):
-            self.plan_patches += 1
-        else:
-            self._invalidate_plan()
+                new = plan.applied_insert_many([(key, value)])
+                if new is not None:
+                    self._flat = new
+                    self.plan_patches += 1
+                else:
+                    self._invalidate_plan()
 
     def _plan_note_delete(self, key: float, leaf) -> None:
         """Maintain the plan after one successful scalar delete."""
-        plan = self._flat
-        if plan is None:
-            return
-        if self._op_structural:
-            if plan.recompile_subtree(key, leaf):
-                self.plan_subtree_recompiles += 1
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                return
+            if self._op_structural:
+                new = plan.applied_recompile_subtrees([(key, leaf)])
+                if new is not None:
+                    self._flat = new
+                    self.plan_subtree_recompiles += 1
+                else:
+                    self._invalidate_plan()
             else:
-                self._invalidate_plan()
-        elif plan.patch_delete(key):
-            self.plan_patches += 1
-        else:
-            self._invalidate_plan()
+                new = plan.applied_delete_many([key])
+                if new is not None:
+                    self._flat = new
+                    self.plan_patches += 1
+                else:
+                    self._invalidate_plan()
 
     def _plan_note_update(self, key: float, value: object) -> None:
         """Maintain the plan after one successful value update."""
-        plan = self._flat
-        if plan is None:
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                return
+            new = plan.applied_values([(key, value)])
+            if new is not None:
+                self._flat = new
+                self.plan_patches += 1
+            else:
+                self._invalidate_plan()
+
+    def _plan_note_updates(self, pairs: list) -> None:
+        """Maintain the plan after a batch of successful value updates."""
+        if not pairs:
             return
-        if plan.patch_value(key, value):
-            self.plan_patches += 1
-        else:
-            self._invalidate_plan()
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                return
+            new = plan.applied_values(pairs)
+            if new is not None:
+                self._flat = new
+                self.plan_patches += len(pairs)
+            else:
+                self._invalidate_plan()
 
     def get_batch(
         self, keys: np.ndarray | list, tracer: Tracer = NULL_TRACER
@@ -1111,14 +1171,7 @@ class DILI:
                         break
                     node = entry
                     p = node.predict_slot(k)
-        plan = self._flat
-        if plan is not None:
-            for k, v in updated:
-                if plan.patch_value(k, v):
-                    self.plan_patches += 1
-                else:
-                    self._invalidate_plan()
-                    break
+        self._plan_note_updates(updated)
         self._sanitize_after(keys)
         return out
 
@@ -1173,24 +1226,32 @@ class DILI:
         ``dirty`` holds ``(leaf, key)`` for structurally changed
         top-level leaves, each recompiled as one subtree splice.
         """
-        plan = self._flat
-        if plan is None:
-            return
-        ok = True
-        if slot_keys:
-            if deletes:
-                ok = plan.patch_delete_many(slot_keys)
-            else:
-                ok = plan.patch_insert_many(slot_keys)
-            if ok:
-                self.plan_patches += len(slot_keys)
-        if ok and dirty:
-            if plan.recompile_subtrees([(key, leaf) for leaf, key in dirty]):
-                self.plan_subtree_recompiles += len(dirty)
-            else:
-                ok = False
-        if not ok:
-            self._invalidate_plan()
+        with self._plan_mutex:
+            plan = self._flat
+            if plan is None:
+                return
+            ok = True
+            if slot_keys:
+                if deletes:
+                    new = plan.applied_delete_many(slot_keys)
+                else:
+                    new = plan.applied_insert_many(slot_keys)
+                if new is not None:
+                    self._flat = plan = new
+                    self.plan_patches += len(slot_keys)
+                else:
+                    ok = False
+            if ok and dirty:
+                new = plan.applied_recompile_subtrees(
+                    [(key, leaf) for leaf, key in dirty]
+                )
+                if new is not None:
+                    self._flat = new
+                    self.plan_subtree_recompiles += len(dirty)
+                else:
+                    ok = False
+            if not ok:
+                self._invalidate_plan()
 
     # ------------------------------------------------------------------
     # Value updates and convenience accessors
@@ -1292,10 +1353,12 @@ class DILI:
         state["_flat"] = None
         state["_router"] = None
         state["sanitizer"] = None
+        state["_plan_mutex"] = None  # locks do not pickle; recreated
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__["_plan_mutex"] = threading.RLock()
         # Files written before the flat plan / batch write path existed
         # lack these fields.
         self.__dict__.setdefault("_flat", None)

@@ -67,6 +67,22 @@ through the ordinary :class:`~repro.simulate.tracer.Tracer` protocol --
 charging exactly the events the scalar ``get`` loop would have charged,
 in the same order, so the stateful LRU cache simulation produces
 identical totals.
+
+Versioning and publication
+--------------------------
+Every plan carries a globally monotonic ``version`` and a ``frozen``
+flag.  :meth:`FlatPlan.freeze` (called by
+:class:`repro.core.epoch.PlanPublisher` at publication) makes the plan
+immutable: the in-place ``patch_*`` / ``recompile_*`` mutators raise
+:class:`~repro.check.errors.InvariantError` on a frozen plan.  Plan
+maintenance goes through the ``applied_*`` constructors instead, which
+mutate in place while the plan is private (the pre-publication fast
+path, identical to the old behavior) and switch to copy-on-write once
+it is frozen: the clone shares every unmodified SoA buffer with its
+parent and copies only the arrays the patch writes (the slot tables
+for inserts/deletes, the value list for updates; subtree splices
+rebuild whole arrays and need no private copies at all).  Lint rule
+CHK008 keeps all other code off the in-place mutators.
 """
 
 from __future__ import annotations
@@ -76,6 +92,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.check.errors import InvariantError
+from repro.core.epoch import next_plan_version
 from repro.core.local_opt import _SAFE_PRED
 from repro.core.nodes import DenseLeafNode, InternalNode, LeafNode
 from repro.simulate.latency import CyclesPerOp, DEFAULT_CYCLES
@@ -112,6 +130,8 @@ class FlatPlan:
         "sorted_keys",
         "num_pairs",
         "depth",
+        "version",
+        "frozen",
     )
 
     def __init__(
@@ -144,6 +164,97 @@ class FlatPlan:
         self.sorted_keys = sorted_keys
         self.num_pairs = len(pair_keys)
         self.depth = depth
+        self.version = next_plan_version()
+        self.frozen = False
+
+    # ------------------------------------------------------------------
+    # Versioning / copy-on-write publication support
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> "FlatPlan":
+        """Mark this plan immutable (idempotent); returns ``self``.
+
+        Called at publication time: once other threads can hold
+        lock-free references to the buffers, in-place patching would be
+        a torn read waiting to happen, so the ``patch_*`` /
+        ``recompile_*`` mutators refuse frozen plans and maintenance
+        switches to the copy-on-write ``applied_*`` constructors.
+        """
+        self.frozen = True
+        return self
+
+    def _frozen_guard(self) -> None:
+        if self.frozen:
+            raise InvariantError(
+                "in-place mutation of a frozen (published) FlatPlan; "
+                "use the applied_* copy-on-write constructors"
+            )
+
+    def _cow_clone(
+        self, *, copy_slots: bool = False, copy_values: bool = False
+    ) -> "FlatPlan":
+        """Unfrozen clone sharing every buffer its patch will not touch.
+
+        The patch tiers validate fully before mutating and touch a
+        known, small subset of the tables in place (everything else is
+        rebuilt as fresh arrays), so the clone copies exactly that
+        subset: ``copy_slots`` privatizes the slot tables
+        (insert/delete patches), ``copy_values`` the value list (value
+        patches).  Subtree splices reassign whole arrays and need
+        neither.
+        """
+        clone = FlatPlan.__new__(FlatPlan)
+        for name in FlatPlan.__slots__:
+            setattr(clone, name, getattr(self, name))
+        if copy_slots:
+            clone.slot_kind = self.slot_kind.copy()
+            clone.slot_ref = self.slot_ref.copy()
+        if copy_values:
+            clone.values = list(self.values)
+        clone.version = next_plan_version()
+        clone.frozen = False
+        return clone
+
+    def applied_values(self, pairs: list) -> "FlatPlan | None":
+        """Plan with ``(key, value)`` payload replacements applied.
+
+        Returns ``self`` (patched in place) while unfrozen, a
+        copy-on-write clone once frozen, or ``None`` when any key's
+        terminal cannot be located (plan out of sync): the caller must
+        fall back to invalidation.  A frozen plan is never half
+        patched -- the clone is discarded on failure.
+        """
+        target = self if not self.frozen else self._cow_clone(copy_values=True)
+        for key, value in pairs:
+            if not target.patch_value(key, value):
+                return None
+        return target
+
+    def applied_insert_many(self, pairs: list) -> "FlatPlan | None":
+        """Plan with newly inserted pairs spliced in (COW when frozen).
+
+        Same contract as :meth:`applied_values`; the insert patch
+        mutates only the slot tables in place (the key/value arrays are
+        rebuilt), so the clone privatizes exactly those.
+        """
+        target = self if not self.frozen else self._cow_clone(copy_slots=True)
+        return target if target.patch_insert_many(pairs) else None
+
+    def applied_delete_many(self, keys: Sequence[float]) -> "FlatPlan | None":
+        """Plan with top-frame pair deletions applied (COW when frozen)."""
+        target = self if not self.frozen else self._cow_clone(copy_slots=True)
+        return target if target.patch_delete_many(keys) else None
+
+    def applied_recompile_subtrees(self, items: list) -> "FlatPlan | None":
+        """Plan with structurally changed subtrees respliced.
+
+        COW when frozen; the splice reassembles every table as fresh
+        concatenations (unchanged chunks are copied by
+        ``np.concatenate``), so the clone shares nothing it mutates and
+        needs no private copies up front.
+        """
+        target = self if not self.frozen else self._cow_clone()
+        return target if target.recompile_subtrees(items) else None
 
     # ------------------------------------------------------------------
     # Batch descent
@@ -322,6 +433,7 @@ class FlatPlan:
         stale state is one ``values`` entry.  Works on pair and dense
         terminals alike.
         """
+        self._frozen_guard()
         loc = self._locate(key)
         if loc is None:
             return False
@@ -357,6 +469,7 @@ class FlatPlan:
         the flat key/value arrays grow by one vectorized ``np.insert``
         with the existing pair references shifted in bulk.
         """
+        self._frozen_guard()
         if len(self.dense_keys):
             return False  # dense/mixed plans: patching keys not supported
         k = len(pairs)
@@ -422,6 +535,7 @@ class FlatPlan:
         become ``SLOT_EMPTY`` with a zeroed ref -- exactly what a fresh
         compile of the mutated tree would emit.
         """
+        self._frozen_guard()
         if len(self.dense_keys):
             return False
         k = len(keys)
@@ -483,6 +597,7 @@ class FlatPlan:
         buffers no matter how many leaves changed, which is what makes
         write batches with many structural groups affordable.
         """
+        self._frozen_guard()
         if len(self.dense_keys):
             return False
         if not items:

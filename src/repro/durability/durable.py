@@ -23,6 +23,16 @@ Composition: with ``concurrent=True`` the inner index is a
 runs under the owning leaf's verified stripe lock, so per-key WAL order
 matches per-key apply order; operations on different keys commute, so
 global log order vs. apply order does not matter for replay.
+
+Reads are never logged and -- with ``concurrent=True`` -- the batch
+reads (``get_batch`` / ``contains_batch`` / ``count_range`` /
+``count_range_batch``) are also **lock-free**: they descend the
+epoch-published flat plan (see :mod:`repro.core.epoch`), so a long
+batch read neither blocks a concurrent logged write nor waits for one.
+The write path is unchanged: WAL append and apply still run under the
+stripe/exclusive protocol, and each mutator republishes the maintained
+plan before acknowledging, so an acknowledged write is visible to
+every subsequent batch read.
 """
 
 from __future__ import annotations
@@ -280,9 +290,17 @@ class DurableDILI:
             if self._plain.root is None:
                 raise ValueError("cannot publish a plan of an empty index")
             plan = self._plain._plan()
-            return PlanDirectory.for_state_dir(self.dirpath).publish_base(
+            generation = PlanDirectory.for_state_dir(self.dirpath).publish_base(
                 plan, wal_lsn=self.wal.last_seqno, faults=self._faults
             )
+            if self._concurrent:
+                # The on-disk generation snapshots exactly this version;
+                # publish it to the in-memory epoch slot too, so the
+                # plan that readers pin is the one the plan store wrote
+                # (and the compile we just paid is not recompiled by
+                # the next lock-free read's fallback).
+                self._index._republish()
+            return generation
 
     def publish_tail(self) -> str | None:
         """Publish WAL records past the newest plan chain as one delta.
@@ -336,11 +354,14 @@ class DurableDILI:
         return self._index.get(float(key))
 
     def get_batch(self, keys) -> list:
-        """Vectorized lookups; reads are never logged."""
+        """Vectorized lookups; never logged, and lock-free when
+        ``concurrent=True`` (epoch-pinned published-plan descent --
+        a long batch read does not block a logged write)."""
         return self._index.get_batch(keys)
 
     def contains_batch(self, keys):
-        """Vectorized membership tests; reads are never logged."""
+        """Vectorized membership tests; never logged, lock-free like
+        :meth:`get_batch`."""
         return self._index.contains_batch(keys)
 
     def count_range(self, lo: float, hi: float) -> int:

@@ -263,29 +263,36 @@ def run_lock_chaos(
     ops_per_thread: int = 200,
     stall_s: float = 2e-4,
 ) -> dict:
-    """Concurrency chaos: stalled stripe + empty-tree escalation.
+    """Concurrency chaos: stalled stripe, escalation, lock-free reads.
 
-    Exercises the two paths :class:`ConcurrentDILI`'s ``lock_stats``
+    Exercises the paths :class:`ConcurrentDILI`'s ``lock_stats``
     instruments: the deterministic empty-tree escalation (first insert
-    finds no leaf to lock and must take :meth:`exclusive`) and verified
+    finds no leaf to lock and must take :meth:`exclusive`), verified
     acquisition under a :class:`StallingLock`-delayed stripe with
-    concurrent rebuild pressure.  Returns the final ``lock_stats``.
+    concurrent rebuild pressure, and the epoch-pinned lock-free
+    ``get_batch`` path racing those writers -- every batch answer for
+    a never-deleted base key must resolve (its original value or a
+    writer's), or the snapshot was torn.  Returns the final
+    ``lock_stats`` (including ``plan_publishes`` / ``plans_retired`` /
+    ``epoch_pins``) plus ``stalls`` and ``batch_reads``.
     """
+    from repro.check.errors import InvariantError
+
     rng = np.random.default_rng(seed)
     cc = ConcurrentDILI()
     # Empty tree: descent finds no leaf, locked() must escalate.
     cc.insert(1.0, "first")
     if cc.lock_stats["escalations"] < 1:
-        from repro.check.errors import InvariantError
-
         raise InvariantError(
             "empty-tree insert did not escalate to exclusive locking"
         )
 
     keys = load_dataset("logn", num_keys, seed=seed + 1)
     cc.bulk_load(keys, list(range(num_keys)))
+    cc.get_batch(keys[:8])  # compile + publish the plan
     wrapper = stall_stripe(cc, 0, stall_s)
     errors: list[BaseException] = []
+    batch_reads = [0]
 
     def worker(worker_seed: int) -> None:
         wrng = np.random.default_rng(worker_seed)
@@ -293,8 +300,20 @@ def run_lock_chaos(
             for _ in range(ops_per_thread):
                 key = float(wrng.choice(keys))
                 op = wrng.random()
-                if op < 0.5:
+                if op < 0.35:
                     cc.get(key)
+                elif op < 0.6:
+                    # Lock-free batch read racing the writers below:
+                    # base keys are never deleted, so every answer must
+                    # resolve in whatever published snapshot we pinned.
+                    probe = wrng.choice(keys, size=16)
+                    got = cc.get_batch(probe)
+                    if any(v is None for v in got):
+                        raise InvariantError(
+                            "lock-free get_batch lost a base key: "
+                            "torn or stale-beyond-publication snapshot"
+                        )
+                    batch_reads[0] += 1
                 elif op < 0.8:
                     cc.update(key, "touched")
                 else:
@@ -320,5 +339,11 @@ def run_lock_chaos(
     if errors:
         raise errors[0]
     stats = dict(cc.lock_stats)
+    if stats["plan_publishes"] < 1 or stats["epoch_pins"] < 1:
+        raise InvariantError(
+            "lock-free read path never engaged: no plan publication or "
+            "epoch pin was recorded"
+        )
     stats["stalls"] = wrapper.stalls
+    stats["batch_reads"] = batch_reads[0]
     return stats

@@ -438,7 +438,13 @@ class RepairEngine:
                     if expected
                     else leaf.lb + (leaf.ub - leaf.lb) / 2.0
                 )
-                if plan.recompile_subtree(anchor, leaf):
+                # Copy-on-write splice (CHK008): if the plan has been
+                # epoch-published it is frozen, and the repair must
+                # install a successor version instead of patching the
+                # buffers lock-free readers are descending.
+                new = plan.applied_recompile_subtrees([(anchor, leaf)])
+                if new is not None:
+                    self.index._flat = new
                     self.counters["plan_splices"] += 1
                 else:
                     self.index._invalidate_plan()

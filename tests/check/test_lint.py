@@ -229,6 +229,53 @@ class TestChk007UntrustedBytes:
         ) == []
 
 
+class TestChk008InPlacePlanMutators:
+    def test_patch_call_outside_flat_flagged(self):
+        src = (
+            "def hotfix(plan, key, value):\n"
+            "    plan.patch_value(key, value)\n"
+        )
+        assert rules(src, CORE) == ["CHK008"]
+        assert rules(src, PLAIN) == ["CHK008"]
+
+    def test_every_mutator_name_flagged(self):
+        src = (
+            "def churn(plan):\n"
+            "    plan.patch_insert_many([])\n"
+            "    plan.patch_delete_many([])\n"
+            "    plan.recompile_subtrees([])\n"
+        )
+        assert rules(src, CORE) == ["CHK008", "CHK008", "CHK008"]
+
+    def test_cow_constructors_are_sanctioned(self):
+        src = (
+            "def maintain(plan, pairs, keys):\n"
+            "    a = plan.applied_values(pairs)\n"
+            "    b = plan.applied_insert_many(pairs)\n"
+            "    c = plan.applied_delete_many(keys)\n"
+            "    d = plan.applied_recompile_subtrees([])\n"
+        )
+        assert rules(src, CORE) == []
+
+    def test_flat_module_is_exempt(self):
+        # The COW constructors themselves delegate to the in-place
+        # tiers on their private clone; only flat.py may do that.
+        src = "def applied(clone, key, v):\n    clone.patch_value(key, v)\n"
+        assert rules(src, "src/repro/core/flat.py") == []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        src = "def probe(plan):\n    plan.patch_value(1.0, None)\n"
+        assert rules(src, TESTS) == []
+        assert rules(src, "benchmarks/bench_example.py") == []
+
+    def test_pragma_waives(self):
+        assert rules(
+            "plan.patch_value(k, v)"
+            "  # repro-check: allow CHK008 -- plan is a private clone\n",
+            CORE,
+        ) == []
+
+
 class TestEngine:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", PLAIN)
@@ -243,7 +290,7 @@ class TestEngine:
     def test_every_rule_has_a_description(self):
         assert sorted(RULES) == [
             "CHK001", "CHK002", "CHK003", "CHK004", "CHK005", "CHK006",
-            "CHK007",
+            "CHK007", "CHK008",
         ]
         assert all(RULES.values())
 

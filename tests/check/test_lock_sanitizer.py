@@ -129,6 +129,48 @@ class TestSeededViolations:
         san.detach()
 
 
+class TestEpochPinnedReads:
+    def test_lockfree_batch_read_is_clean_and_pinned(self):
+        keys = _keys(800)
+        index = ConcurrentDILI(stripes=4)
+        san = LockSanitizer(index)
+        index.bulk_load(keys, list(range(len(keys))))
+        before = index.lock_stats["epoch_pins"]
+        assert index.get_batch(keys[:32]) == list(range(32))
+        assert index.lock_stats["epoch_pins"] > before  # pinned path
+        san.assert_clean()
+        san.detach()
+
+    def test_unpinned_read_is_reported(self):
+        keys = _keys(500)
+        index = ConcurrentDILI(stripes=4)
+        san = LockSanitizer(index)
+        index.bulk_load(keys)
+        index.get_batch(keys[:4])  # compile + publish
+        # A rogue reader grabs the published plan without pinning an
+        # epoch: the guard (the instrumentation point every lock-free
+        # read must pass through) flags it.
+        index._plan_read_guard(index._published.load())
+        assert kinds(san) == ["unpinned-plan-read"]
+        with pytest.raises(SanitizerViolation, match="unpinned-plan-read"):
+            san.assert_clean()
+        san.detach()
+
+    def test_mutable_published_plan_is_reported(self):
+        keys = _keys(500)
+        index = ConcurrentDILI(stripes=4)
+        san = LockSanitizer(index)
+        index.bulk_load(keys)
+        index.get_batch(keys[:4])  # compile + publish
+        # Seeded publisher bug: swap in a plan without freeze().  The
+        # regular read path then serves a mutable snapshot and the
+        # guard reports it even though the reader pinned correctly.
+        index._published._current = index._published.load()._cow_clone()
+        index.get_batch(keys[:4])
+        assert kinds(san) == ["unpinned-plan-read"]
+        san.detach()
+
+
 class TestLifecycle:
     def test_detach_restores_originals(self):
         index = ConcurrentDILI(stripes=4)

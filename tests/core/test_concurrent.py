@@ -261,9 +261,12 @@ class TestLockStats:
         ``leaf is None`` break) and must fall back to exclusive();
         the fallback is no longer silent."""
         index = ConcurrentDILI()
-        assert index.lock_stats == {
-            "acquisitions": 0, "retries": 0, "escalations": 0,
-        }
+        stats = index.lock_stats
+        assert {stats[k] for k in ("acquisitions", "retries", "escalations")} \
+            == {0}
+        # The epoch-publication counters ride along in the same dict.
+        for key in ("plan_publishes", "plans_retired", "epoch_pins"):
+            assert stats[key] == 0
         assert index.insert(1.0, "first")
         assert index.lock_stats["escalations"] == 1
         assert index.lock_stats["acquisitions"] == 0

@@ -191,3 +191,83 @@ class TestConcurrentComposition:
         result = recover(tmp_path)
         assert len(result.index) == len(base) + len(extra)
         result.index.validate()
+
+    def test_long_batch_read_does_not_block_logged_write(self, tmp_path):
+        """A reader holding an epoch pin never stalls a logged write."""
+        base = _keys(1_000, seed=5)
+        d = DurableDILI(tmp_path, concurrent=True, sync=False)
+        d.bulk_load(base, list(range(len(base))))
+        d.get_batch(base[:4])  # compile + publish the plan
+        extra = np.setdiff1d(_keys(1_100, seed=6), base)[:64]
+
+        pinned = threading.Event()
+        release = threading.Event()
+        snapshot_out = []
+
+        def long_reader():
+            with d.index._pinned_plan() as plan:
+                assert plan is not None
+                pinned.set()
+                # Hold the pin across the whole write below; the
+                # snapshot stays readable the entire time.
+                assert release.wait(timeout=30)
+                snapshot_out.append(plan.get_batch(base[:8]))
+
+        written = threading.Event()
+
+        def logged_writer():
+            assert bool(np.all(d.insert_batch(extra, ["w"] * len(extra))))
+            written.set()
+
+        reader = threading.Thread(target=long_reader)
+        reader.start()
+        assert pinned.wait(timeout=30)
+        writer = threading.Thread(target=logged_writer)
+        writer.start()
+        writer.join(timeout=30)
+        # The write must finish while the read is still pinned -- if
+        # batch reads still took locks, the writer would be parked
+        # here until ``release`` fires and the join would time out.
+        assert written.is_set() and not release.is_set()
+        release.set()
+        reader.join(timeout=30)
+        assert snapshot_out == [list(range(8))]
+
+        d.sync_wal()
+        d.wal.close()
+        result = recover(tmp_path)  # the concurrent write was logged
+        assert len(result.index) == len(base) + len(extra)
+
+    def test_exclusive_writer_does_not_block_published_read(
+        self, tmp_path
+    ):
+        """Batch reads descend the published plan past a locked writer."""
+        base = _keys(1_000, seed=7)
+        d = DurableDILI(tmp_path, concurrent=True, sync=False)
+        d.bulk_load(base, list(range(len(base))))
+        d.get_batch(base[:4])  # compile + publish the plan
+
+        holding = threading.Event()
+        release = threading.Event()
+
+        def exclusive_holder():
+            with d.index.exclusive():
+                holding.set()
+                assert release.wait(timeout=30)
+
+        got = []
+
+        def reader():
+            got.append(d.get_batch(base[:16]))
+
+        holder = threading.Thread(target=exclusive_holder)
+        holder.start()
+        assert holding.wait(timeout=30)
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join(timeout=30)
+        # The read returns while the exclusive lock is still held.
+        assert got == [list(range(16))] and not release.is_set()
+        release.set()
+        holder.join(timeout=30)
+        d.close()
