@@ -27,7 +27,15 @@ the repository root) and exits non-zero when any of
   while a writer churns the tree -- below 2.5x, zero plan publishes or
   epoch pins during the contended run, or (only on machines with >= 4
   CPUs, where thread scaling is physically possible under CPython) a
-  4-reader/1-reader throughput ratio below 2.5x.
+  4-reader/1-reader throughput ratio below 2.5x, or
+* the sharded multi-process serving path loses its win: any wrong
+  read through the coordinator (always fatal), per-shard distribution
+  tuning failing to beat the single best global config on the
+  mixed-distribution keyset (the comparison is simulated, hence
+  deterministic), or (only on machines with >= 2 CPUs, where process
+  scaling is physically possible) batch-get throughput at 2 worker
+  processes below 1.7x the 1-worker throughput through the identical
+  coordinator/pipe stack.
 
 Regenerate the baseline after an intentional cost change with::
 
@@ -65,6 +73,38 @@ OPEN_FACTOR = 5.0
 OPEN_FLOOR_MS = 25.0
 MIN_CONTENTION_SPEEDUP = 2.5
 MIN_SCALING_4 = 2.5  # gated only where >= 4 CPUs make it measurable
+MIN_SHARD_SCALING_2 = 1.7  # gated only where >= 2 CPUs make it measurable
+
+
+def measure_sharded() -> dict:
+    """Sharded multi-process throughput scaling + tuning comparison."""
+    from repro.bench.harness import (
+        measure_shard_tuning,
+        measure_sharded_throughput,
+        mixed_distribution_keys,
+    )
+
+    m = measure_sharded_throughput(mixed_distribution_keys(60_000))
+    t = measure_shard_tuning()
+    return {
+        "worker_counts": list(m.worker_counts),
+        "ops_per_s": {
+            str(n): round(v) for n, v in m.ops_per_s.items()
+        },
+        "scaling_2": round(m.scaling_2, 2),
+        "wrong_reads": m.wrong_reads,
+        "num_keys": m.num_keys,
+        "batch": m.batch,
+        "cpu_count": m.cpu_count,
+        "tuning": {
+            "num_shards": t.num_shards,
+            "local_cycles_per_op": round(t.local_cycles_per_op, 2),
+            "global_cycles_per_op": round(t.global_cycles_per_op, 2),
+            "gain_pct": round(t.gain_pct, 2),
+            "local_configs": [list(c) for c in t.local_configs],
+            "global_config": list(t.global_config),
+        },
+    }
 
 
 def measure_plan_store(cache: BuildCache) -> dict:
@@ -161,6 +201,7 @@ def measure() -> dict:
         "mixed": mixed,
         "plan_store": measure_plan_store(cache),
         "concurrent_read_scaling": scaling,
+        "sharded_throughput": measure_sharded(),
     }
 
 
@@ -305,6 +346,41 @@ def main(argv: list[str] | None = None) -> int:
             f"lost updates {got['lost_updates']}, "
             f"publishes {got['plan_publishes']}, "
             f"pins {got['epoch_pins']}"
+        )
+    if baseline.get("sharded_throughput") is not None:
+        got = current["sharded_throughput"]
+        if got["wrong_reads"] != 0:
+            failures.append(
+                f"sharded: {got['wrong_reads']} wrong reads -- the "
+                "coordinator returned a value inconsistent with the "
+                "loaded data"
+            )
+        tuning = got["tuning"]
+        if tuning["gain_pct"] <= 0.0:
+            failures.append(
+                f"sharded: per-shard tuning gain "
+                f"{tuning['gain_pct']:.2f}% -- heterogeneous configs "
+                "no longer beat the single global config on the "
+                "mixed-distribution keyset (deterministic simulation)"
+            )
+        two_cpus = (os.cpu_count() or 1) >= 2
+        if two_cpus and got["scaling_2"] < MIN_SHARD_SCALING_2:
+            failures.append(
+                f"sharded: 2-worker scaling {got['scaling_2']:.2f}x "
+                f"below the {MIN_SHARD_SCALING_2}x floor on a "
+                f"{os.cpu_count()}-CPU machine"
+            )
+        scaling_note = (
+            f"scaling_2 {got['scaling_2']:.2f}x"
+            + ("" if two_cpus else
+               f" (not gated: {got['cpu_count']} CPU)")
+        )
+        print(
+            f"sharded: {scaling_note}, "
+            f"wrong reads {got['wrong_reads']}, "
+            f"tuning gain {tuning['gain_pct']:.2f}% "
+            f"(local {tuning['local_cycles_per_op']:.1f} vs global "
+            f"{tuning['global_cycles_per_op']:.1f} cycles/op)"
         )
     if failures:
         print("\nBATCH BASELINE CHECK FAILED:", file=sys.stderr)

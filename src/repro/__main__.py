@@ -38,6 +38,13 @@ Commands:
   mixed workload with the tree sanitizer on vs off, and
   ``check audit-wal`` scans a durability directory for frame/CRC/LSN
   damage without replaying it.
+* ``shard``     -- sharded multi-process serving: ``shard init``
+  partitions a dataset into per-shard plan directories, ``shard
+  serve`` scatter/gathers an audited read workload over worker
+  processes, ``shard bench`` measures batch-read scaling by worker
+  count plus per-shard tuning vs one global config, and ``shard
+  status`` reports per-shard key counts, plan generations, ops
+  counters and health.
 """
 
 from __future__ import annotations
@@ -690,6 +697,224 @@ def cmd_check_audit_wal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_shard_status(status: dict) -> None:
+    from repro.bench.reporting import format_table
+
+    router = status.get("router", {})
+    print(
+        f"{status['dir']}: generation {status['generation']}, "
+        f"{status['num_shards']} shard(s), partition "
+        f"{status['partition']}, health {status['health']}, "
+        f"restarts {status['restarts']}, rebalances "
+        f"{status['rebalances']}"
+    )
+    if router:
+        print(
+            f"router: {router.get('kind')} over "
+            f"{len(router.get('boundaries', []))} boundary key(s), "
+            f"{router.get('routed', 0):,} routed, "
+            f"{router.get('corrected', 0):,} model misses corrected"
+        )
+    rows = []
+    for i, shard in enumerate(status["shards"]):
+        ops = shard.get("ops", {})
+        rows.append(
+            [
+                f"{i}:{shard.get('name', '?')}",
+                float(shard.get("keys", 0)),
+                float(shard.get("generation") or 0),
+                float(shard.get("rung") or 0),
+                float(ops.get("reads", 0)),
+                float(ops.get("writes", 0)),
+                float(shard.get("wal_lsn", 0)),
+            ]
+        )
+    print(
+        format_table(
+            "Shards (health: "
+            + ", ".join(
+                str(s.get("health")) for s in status["shards"]
+            )
+            + ")",
+            ["shard", "keys", "gen", "rung", "reads", "writes", "lsn"],
+            rows,
+            first_col_width=16,
+        )
+    )
+
+
+def _shard_dataset_params(args: argparse.Namespace) -> tuple[str, int, int]:
+    """Dataset parameters for a sharded dir: the recorded ones win.
+
+    ``shard init`` records (dataset, keys, seed) in ``dataset.json`` so
+    ``serve`` audits against the keyset the directory was actually
+    built from; the CLI flags only apply to directories without a
+    record (and a mismatch between flags and record is reported).
+    """
+    import json
+
+    path = os.path.join(args.dir, "dataset.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            rec = json.load(fh)
+        dataset = str(rec["dataset"])
+        num_keys = int(rec["keys"])
+        seed = int(rec["seed"])
+    except (OSError, ValueError, KeyError):
+        return args.dataset, args.keys, args.seed
+    if (dataset, num_keys, seed) != (args.dataset, args.keys, args.seed):
+        print(
+            f"using recorded dataset {dataset}/{num_keys}/seed {seed} "
+            f"from {path} (flags ignored)"
+        )
+    return dataset, num_keys, seed
+
+
+def cmd_shard_init(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sharding import ShardedDILI
+
+    if os.path.isdir(args.dir) and os.listdir(args.dir):
+        print(f"refusing to init non-empty directory {args.dir}",
+              file=sys.stderr)
+        return 2
+    # mmap_mode="r" so concurrent worker processes share one page-cache
+    # copy of the dataset instead of each materializing it.
+    keys = load_dataset(
+        args.dataset, args.keys, seed=args.seed, mmap_mode="r"
+    )
+    keys = np.asarray(keys)
+    with ShardedDILI.create(
+        args.dir,
+        keys,
+        list(range(len(keys))),
+        num_shards=args.shards,
+        partition=args.partition,
+        tuning=args.tuning,
+        processes=False,
+        sync=args.sync,
+    ) as index:
+        status = index.status()
+    with open(
+        os.path.join(args.dir, "dataset.json"), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(
+            {"dataset": args.dataset, "keys": args.keys,
+             "seed": args.seed},
+            fh,
+        )
+    print(
+        f"sharded {len(keys):,} {args.dataset} keys into "
+        f"{args.shards} {args.partition} shard(s) "
+        f"(tuning={args.tuning}) under {args.dir}"
+    )
+    _print_shard_status(status)
+    return 0
+
+
+def cmd_shard_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sharding import ShardedDILI
+
+    dataset, num_keys, seed = _shard_dataset_params(args)
+    rng = np.random.default_rng(seed + 1)
+    keys = np.asarray(
+        load_dataset(dataset, num_keys, seed=seed, mmap_mode="r")
+    )
+    wrong = reads = 0
+    wall = 0.0
+    with ShardedDILI.open(
+        args.dir, processes=not args.no_processes, sync=args.sync
+    ) as index:
+        for _ in range(args.rounds):
+            idx = rng.integers(0, len(keys), size=args.batch)
+            queries = keys[idx]
+            t0 = time.perf_counter()
+            got = index.get_batch(queries)
+            wall += time.perf_counter() - t0
+            reads += len(queries)
+            wrong += sum(
+                1 for g, e in zip(got, idx.tolist()) if g != int(e)
+            )
+        status = index.status()
+    ops = reads / wall if wall > 0 else 0.0
+    print(
+        f"served {reads:,} audited reads in {args.rounds} batches: "
+        f"{ops:,.0f} lookups/s, {wrong} wrong"
+    )
+    _print_shard_status(status)
+    if wrong:
+        print("serve audit FAILED: wrong reads", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_shard_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import (
+        measure_shard_tuning,
+        measure_sharded_throughput,
+    )
+    from repro.bench.reporting import print_table
+
+    keys = np.asarray(
+        load_dataset(args.dataset, args.keys, seed=args.seed,
+                     mmap_mode="r")
+    )
+    workers = sorted({int(w) for w in args.workers.split(",")})
+    m = measure_sharded_throughput(
+        keys, worker_counts=workers, batch=args.batch
+    )
+    rows = [
+        [f"{n} worker(s)", m.ops_per_s[n], m.scaling(n)]
+        for n in m.worker_counts
+    ]
+    print_table(
+        f"Sharded batch reads on {args.dataset} "
+        f"({m.num_keys:,} keys, {m.batch:,}-key batches, "
+        f"{m.cpu_count} CPU(s))",
+        ["Workers", "lookups/s", "scaling x"],
+        rows,
+        first_col_width=14,
+    )
+    if m.wrong_reads:
+        print(f"{m.wrong_reads} wrong reads", file=sys.stderr)
+        return 1
+    t = measure_shard_tuning(num_shards=args.shards)
+    print_table(
+        f"Per-shard tuning vs one global config "
+        f"({t.num_shards} shards, mixed-distribution keys)",
+        ["Variant", "sim cycles/op"],
+        [
+            [f"global {t.global_config}", t.global_cycles_per_op],
+            ["per-shard " + "/".join(
+                f"({o},{r})" for o, r in t.local_configs
+            ), t.local_cycles_per_op],
+        ],
+        first_col_width=34,
+    )
+    print(f"per-shard tuning gain: {t.gain_pct:.2f}%")
+    return 0
+
+
+def cmd_shard_status(args: argparse.Namespace) -> int:
+    from repro.sharding import ShardedDILI
+
+    if not os.path.isdir(args.dir):
+        print(f"{args.dir} is not a directory", file=sys.stderr)
+        return 2
+    # In-process workers: status inspection must not spawn processes
+    # or contend with a live serving coordinator's directories.
+    with ShardedDILI.open(args.dir, processes=False) as index:
+        status = index.status()
+    _print_shard_status(status)
+    healthy = status["health"] == "healthy" and all(
+        s.get("health") in (None, "healthy") for s in status["shards"]
+    )
+    return 0 if healthy else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -973,6 +1198,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", required=True, help="durable state directory"
     )
     audit.set_defaults(func=cmd_check_audit_wal)
+
+    shard = sub.add_parser(
+        "shard", help="sharded multi-process serving"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_init = shard_sub.add_parser(
+        "init",
+        help="partition a dataset into per-shard plan directories",
+    )
+    _add_common(shard_init)
+    shard_init.add_argument(
+        "--dir", required=True, help="sharded state directory"
+    )
+    shard_init.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count (default: 2)",
+    )
+    shard_init.add_argument(
+        "--partition", default="range", choices=["range", "aligned"],
+        help="range = quantile cuts; aligned = split the global tree "
+        "at the root (trace-parity serving)",
+    )
+    shard_init.add_argument(
+        "--tuning", default="local", choices=["local", "global", "none"],
+        help="per-shard bulk-load parameter fitting (default: local)",
+    )
+    shard_init.add_argument(
+        "--no-sync", dest="sync", action="store_false",
+        help="skip per-append fsync (faster, benchmark use only)",
+    )
+    shard_init.set_defaults(func=cmd_shard_init)
+
+    shard_serve = shard_sub.add_parser(
+        "serve",
+        help="serve an audited read workload over worker processes",
+    )
+    _add_common(shard_serve)
+    shard_serve.add_argument(
+        "--dir", required=True, help="sharded state directory"
+    )
+    shard_serve.add_argument(
+        "--rounds", type=int, default=20,
+        help="read batches to serve (default: 20)",
+    )
+    shard_serve.add_argument(
+        "--batch", type=int, default=4_096,
+        help="keys per batch (default: 4096)",
+    )
+    shard_serve.add_argument(
+        "--no-processes", action="store_true",
+        help="serve in-process instead of spawning workers",
+    )
+    shard_serve.add_argument(
+        "--no-sync", dest="sync", action="store_false",
+        help="skip per-append fsync on shard WALs",
+    )
+    shard_serve.set_defaults(func=cmd_shard_serve)
+
+    shard_bench = shard_sub.add_parser(
+        "bench",
+        help="batch-read scaling by worker count + tuning comparison",
+    )
+    _add_common(shard_bench)
+    shard_bench.add_argument(
+        "--workers", default="1,2",
+        help="comma-separated worker counts (default: 1,2)",
+    )
+    shard_bench.add_argument(
+        "--batch", type=int, default=32_768,
+        help="keys per measured get_batch call (default: 32768)",
+    )
+    shard_bench.add_argument(
+        "--shards", type=int, default=3,
+        help="shards in the tuning comparison (default: 3)",
+    )
+    shard_bench.set_defaults(func=cmd_shard_bench)
+
+    shard_status = shard_sub.add_parser(
+        "status",
+        help="per-shard key counts, plan versions, ops and health",
+    )
+    shard_status.add_argument(
+        "--dir", required=True, help="sharded state directory"
+    )
+    shard_status.set_defaults(func=cmd_shard_status)
 
     return parser
 

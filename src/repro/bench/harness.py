@@ -813,6 +813,225 @@ def measure_concurrent_read_scaling(
     )
 
 
+@dataclass(frozen=True)
+class ShardedThroughputMeasurement:
+    """Multi-process sharded batch-read throughput by worker count.
+
+    Every worker count -- including 1 -- serves through the full
+    coordinator/pipe/worker-process stack, so the scaling ratio
+    isolates parallelism from serialization overhead.
+
+    Attributes:
+        worker_counts: Worker-process counts measured (e.g. ``(1, 2)``).
+        ops_per_s: Batch-get lookups/s by worker count (best of
+            ``rounds``), every result audited against the loaded
+            values.
+        wrong_reads: Lookups that returned a value inconsistent with
+            the loaded data.  Must be zero.
+        num_keys: Keys loaded per configuration.
+        batch: Keys per measured ``get_batch`` call.
+        cpu_count: ``os.cpu_count()`` on the measuring machine; process
+            scaling is only physically possible when it is >= the
+            worker count.
+    """
+
+    worker_counts: tuple[int, ...]
+    ops_per_s: dict[int, float]
+    wrong_reads: int
+    num_keys: int
+    batch: int
+    cpu_count: int
+
+    def scaling(self, workers: int) -> float:
+        """Throughput at ``workers`` relative to one worker."""
+        base = self.ops_per_s[self.worker_counts[0]]
+        return self.ops_per_s[workers] / base if base > 0 else 0.0
+
+    @property
+    def scaling_2(self) -> float:
+        return self.scaling(2) if 2 in self.ops_per_s else 0.0
+
+
+def measure_sharded_throughput(
+    keys: np.ndarray,
+    *,
+    worker_counts: Sequence[int] = (1, 2),
+    batch: int = 32_768,
+    rounds: int = 5,
+    seed: int = 37,
+) -> ShardedThroughputMeasurement:
+    """Measure sharded multi-process batch-read scaling.
+
+    For each worker count, creates a fresh range-sharded directory
+    (``tuning="none"`` -- the grid search is a build-time cost priced
+    by :func:`measure_shard_tuning`, not a serving cost), serves it
+    with that many dedicated worker processes reading zero-copy from
+    the published plans, and times repeated ``get_batch`` calls over
+    one pre-drawn existing-key batch.  Large batches amortize the pipe
+    round-trip the way the paper's batch API amortizes interpreter
+    dispatch; every returned value is audited against the loaded data.
+    """
+    import tempfile
+
+    from repro.sharding import ShardedDILI
+
+    keys = np.ascontiguousarray(keys, dtype=np.float64)
+    values = list(range(len(keys)))
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(keys), size=batch)
+    queries = keys[idx]
+    expected = [int(i) for i in idx]
+    ops_per_s: dict[int, float] = {}
+    wrong_reads = 0
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-shard-bench-"
+        ) as tmp:
+            with ShardedDILI.create(
+                tmp,
+                keys,
+                values,
+                num_shards=workers,
+                partition="range",
+                tuning="none",
+                processes=True,
+                sync=False,
+            ) as index:
+                index.get_batch(queries[:256])  # warm pages + workers
+                best = float("inf")
+                got: list = []
+                for _ in range(max(rounds, 1)):
+                    t0 = time.perf_counter()
+                    got = index.get_batch(queries)
+                    best = min(best, time.perf_counter() - t0)
+                wrong_reads += sum(
+                    1 for g, e in zip(got, expected) if g != e
+                )
+                ops_per_s[workers] = batch / best if best > 0 else 0.0
+    return ShardedThroughputMeasurement(
+        worker_counts=tuple(worker_counts),
+        ops_per_s=ops_per_s,
+        wrong_reads=wrong_reads,
+        num_keys=len(keys),
+        batch=batch,
+        cpu_count=os.cpu_count() or 1,
+    )
+
+
+def mixed_distribution_keys(
+    num_keys: int, seed: int = 41
+) -> np.ndarray:
+    """A deliberately non-stationary keyset for the tuning benchmark.
+
+    Three contiguous regimes -- a uniform span, a band of tight
+    Gaussian clusters, and a heavy lognormal tail -- so quantile range
+    shards land on genuinely different local distributions and a
+    single global configuration has to compromise.
+    """
+    rng = np.random.default_rng(seed)
+    third = num_keys // 3
+    uniform = rng.uniform(0.0, 1.0e7, size=third)
+    centers = rng.integers(0, 50, size=third).astype(np.float64)
+    clusters = 2.0e7 + centers * 1.0e5 + rng.normal(0.0, 40.0, size=third)
+    tail = 5.0e7 + np.exp(
+        rng.normal(14.0, 1.2, size=num_keys - 2 * third)
+    )
+    return np.unique(np.concatenate((uniform, clusters, tail))).astype(
+        np.float64
+    )
+
+
+@dataclass(frozen=True)
+class ShardTuningMeasurement:
+    """Heterogeneous per-shard tuning vs one global configuration.
+
+    Both variants use the identical quantile partition and the
+    identical query workload; only the per-shard bulk-load parameters
+    differ.  Costs come from the deterministic simulated cost model
+    (one LRU cache per shard, matching the per-process reality), so
+    the comparison is machine-noise-free.
+
+    Attributes:
+        num_shards: Shards in both partitions.
+        local_cycles_per_op: Simulated cycles/lookup with per-shard
+            fitted configs.
+        global_cycles_per_op: Same workload with the single best
+            global config everywhere.
+        local_configs: The fitted ``(omega, rho)`` per shard.
+        global_config: The ``(omega, rho)`` the global fit chose.
+    """
+
+    num_shards: int
+    local_cycles_per_op: float
+    global_cycles_per_op: float
+    local_configs: tuple
+    global_config: tuple
+
+    @property
+    def gain_pct(self) -> float:
+        """How much cheaper per-shard tuning is, in percent."""
+        if self.global_cycles_per_op <= 0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.local_cycles_per_op / self.global_cycles_per_op
+        )
+
+
+def measure_shard_tuning(
+    keys: np.ndarray | None = None,
+    *,
+    num_keys: int = 60_000,
+    num_shards: int = 3,
+    num_queries: int = 4_096,
+    seed: int = 42,
+) -> ShardTuningMeasurement:
+    """Score per-shard distribution tuning against one global config.
+
+    Plans the same quantile partition twice (``tuning="local"`` vs
+    ``tuning="global"``), bulk-loads every shard under its chosen
+    config, routes one shared random existing-key workload, and traces
+    each shard's queries through its own simulated LRU cache.  Reports
+    total simulated cycles per lookup for both variants.
+    """
+    from repro.sharding.partition import build_range_shards
+
+    if keys is None:
+        keys = mixed_distribution_keys(num_keys, seed=seed)
+    keys = np.ascontiguousarray(keys, dtype=np.float64)
+    rng = np.random.default_rng(seed + 1)
+    queries = keys[rng.integers(0, len(keys), size=num_queries)]
+
+    def score(tuning: str) -> tuple[float, tuple]:
+        part = build_range_shards(
+            keys, None, num_shards, tuning=tuning, seed=seed
+        )
+        shard_ids = part.router.route(queries)
+        cycles = 0.0
+        configs = []
+        for j, spec in enumerate(part.shards):
+            configs.append((spec.config.omega, spec.config.rho))
+            index = DILI(spec.config)
+            index.bulk_load(spec.keys, list(spec.values))
+            mine = queries[shard_ids == j]
+            if len(mine) == 0:
+                continue
+            lines = max(512, len(spec.keys) // 100)
+            tracer = CostTracer(CacheSimulator(lines))
+            index.get_batch(mine, tracer)
+            cycles += tracer.total_cycles
+        return cycles / max(len(queries), 1), tuple(configs)
+
+    local_cost, local_configs = score("local")
+    global_cost, global_configs = score("global")
+    return ShardTuningMeasurement(
+        num_shards=num_shards,
+        local_cycles_per_op=local_cost,
+        global_cycles_per_op=global_cost,
+        local_configs=local_configs,
+        global_config=global_configs[0],
+    )
+
+
 def measure_lookup(
     index,
     queries: np.ndarray,

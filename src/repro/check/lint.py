@@ -1,4 +1,4 @@
-"""Custom AST lint for the repro codebase (rules CHK001-CHK008).
+"""Custom AST lint for the repro codebase (rules CHK001-CHK009).
 
 Pure stdlib-``ast`` analysis -- no third-party linter frameworks.  Each
 rule encodes an invariant of this codebase that a generic linter cannot
@@ -35,6 +35,15 @@ know:
   whose formats checksum every byte before trusting it.  Anywhere else
   they deserialize (or map) bytes nothing has verified.  Test,
   example and benchmark trees are exempt.
+* **CHK009** -- shard serving discipline: outside the sanctioned
+  factory modules, ``src/`` code may not construct a ``DILI`` directly
+  -- in particular the sharding layer (coordinator, router, chaos)
+  must touch index state only through the durability/planstore APIs
+  (``DurableDILI`` recovery + logged writes, ``MmapDILI`` serving).
+  The factories: ``repro/core`` itself, durability recovery,
+  resilience serving, the lock-check proxy, the bench harness, the
+  CLI, and the sharding build modules ``worker.py`` / ``partition.py``.
+  Test, example and benchmark trees are exempt.
 * **CHK008** -- copy-on-write plan discipline: the in-place
   ``patch_*`` / ``recompile_*`` FlatPlan mutators may only be invoked
   from inside ``repro/core/flat.py`` (the ``applied_*`` constructors
@@ -69,7 +78,22 @@ RULES: dict[str, str] = {
     "CHK006": "FaultInjector constructed outside the fault registry",
     "CHK007": "untrusted-bytes primitive outside durability/planstore",
     "CHK008": "in-place FlatPlan mutator invoked outside repro/core/flat.py",
+    "CHK009": "direct DILI construction outside the sanctioned factories",
 }
+
+# Files allowed to construct a DILI directly (CHK009), as
+# (parent-directory, filename) pairs; repro/core is allowed wholesale.
+_DILI_FACTORIES = frozenset(
+    {
+        ("durability", "recovery.py"),
+        ("resilience", "serving.py"),
+        ("check", "locks.py"),
+        ("bench", "harness.py"),
+        ("repro", "__main__.py"),
+        ("sharding", "worker.py"),
+        ("sharding", "partition.py"),
+    }
+)
 
 # FlatPlan's structure-of-arrays attributes (the SoA-buffer subset of
 # FlatPlan.__slots__; the version/frozen publication fields are not
@@ -196,6 +220,15 @@ class _FileContext:
         # flat.py's applied_* constructors are the sanctioned callers of
         # the in-place patch tiers (CHK008).
         self.check_cow = not (in_tests or in_benchmarks) and name != "flat.py"
+        # Only the factory modules may construct a DILI directly; shard
+        # workers and everything downstream of them must reach index
+        # state through DurableDILI / MmapDILI (CHK009).
+        parent = parts[-2] if len(parts) >= 2 else ""
+        self.check_dili_ctor = (
+            not (in_tests or in_benchmarks)
+            and "core" not in parts
+            and (parent, name) not in _DILI_FACTORIES
+        )
 
 
 class _Linter(ast.NodeVisitor):
@@ -338,6 +371,14 @@ class _Linter(ast.NodeVisitor):
                 "use repro.faults.FaultRegistry.durability() (or "
                 "durability's NULL_FAULTS) so armed crash points stay "
                 "attributable",
+            )
+        if self.ctx.check_dili_ctor and name == "DILI":
+            self._report(
+                node, "CHK009",
+                "direct DILI construction outside the sanctioned "
+                "factories; serve index state through the durability/"
+                "planstore APIs (DurableDILI recovery + logged writes, "
+                "MmapDILI zero-copy reads)",
             )
         if self.ctx.check_untrusted:
             self._check_untrusted_bytes(node)

@@ -26,6 +26,8 @@ of keys is separable by a float64 linear model.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Callable
 
 import numpy as np
@@ -250,8 +252,8 @@ DATASET_NAMES: dict[str, Callable[[int, int], np.ndarray]] = {
 """Registry keyed by the names the paper's tables use."""
 
 
-_DATASET_CACHE: dict[tuple[str, int, int], np.ndarray] = {}
-"""Memo of generated datasets keyed by (name, n, seed).
+_DATASET_CACHE: dict[tuple, np.ndarray] = {}
+"""Memo of generated datasets keyed by (name, n, seed, mmap_mode).
 
 Generation costs seconds at benchmark scales and every benchmark file
 asks for the same five (name, n, seed) combinations, so the arrays are
@@ -259,13 +261,73 @@ built once per process.  Cached arrays are returned *shared* and marked
 read-only -- callers that need a mutable copy must ``.copy()``."""
 
 
-def load_dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
+def dataset_cache_dir() -> str:
+    """Directory for on-disk ``.npy`` dataset materializations.
+
+    Override with ``REPRO_DATASET_CACHE``; defaults to a per-user
+    subdirectory of the system temp dir so unrelated users never share
+    (or fight over) cache files.
+    """
+    configured = os.environ.get("REPRO_DATASET_CACHE")
+    if configured:
+        return configured
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-datasets-{os.getuid()}"
+    )
+
+
+def _materialize(name: str, n: int, seed: int, keys: np.ndarray) -> str:
+    """Write ``keys`` to the on-disk cache atomically, once.
+
+    Concurrent processes may race to create the same file; the
+    write-to-temp + ``os.replace`` dance makes the race harmless (last
+    writer wins with identical deterministic bytes, readers only ever
+    see a complete file).
+    """
+    cache_dir = dataset_cache_dir()
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{name}-{n}-{seed}.npy")
+    if os.path.exists(path):
+        return path
+    fd, tmp = tempfile.mkstemp(
+        prefix=f"{name}-{n}-{seed}-", suffix=".npy.tmp", dir=cache_dir
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.save(fh, keys, allow_pickle=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_dataset(
+    name: str, n: int, seed: int = 0, *, mmap_mode: str | None = None
+) -> np.ndarray:
     """Generate dataset ``name`` with ``n`` unique sorted keys.
 
     Results are memoized per ``(name, n, seed)`` and returned as shared
     read-only arrays; call ``.copy()`` before mutating one.
+
+    Args:
+        mmap_mode: ``None`` (default) keeps the in-process memo.
+            ``"r"`` materializes the array once into an on-disk
+            ``.npy`` cache (see :func:`dataset_cache_dir`) and returns
+            a read-only ``np.memmap`` view -- the multi-process path:
+            shard worker processes mapping the same file share one
+            page-cache copy instead of each regenerating and holding a
+            private array.  Writable mmap modes are rejected.
     """
-    cache_key = (name, n, seed)
+    if mmap_mode not in (None, "r"):
+        raise ValueError(
+            f"mmap_mode must be None or 'r', got {mmap_mode!r}; "
+            "dataset caches are shared and must stay immutable"
+        )
+    cache_key = (name, n, seed, mmap_mode)
     cached = _DATASET_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -275,7 +337,18 @@ def load_dataset(name: str, n: int, seed: int = 0) -> np.ndarray:
         raise ValueError(
             f"unknown dataset {name!r}; choose from {sorted(DATASET_NAMES)}"
         ) from None
-    keys = generator(n, seed)
-    keys.flags.writeable = False
-    _DATASET_CACHE[cache_key] = keys
-    return keys
+    if mmap_mode == "r":
+        path = os.path.join(
+            dataset_cache_dir(), f"{name}-{n}-{seed}.npy"
+        )
+        if not os.path.exists(path):
+            # Reuse the in-memory memo when present: same bytes, and
+            # the generation cost is paid at most once per process.
+            keys = load_dataset(name, n, seed)
+            path = _materialize(name, n, seed, keys)
+        out = np.load(path, mmap_mode="r", allow_pickle=False)
+    else:
+        out = generator(n, seed)
+        out.flags.writeable = False
+    _DATASET_CACHE[cache_key] = out
+    return out

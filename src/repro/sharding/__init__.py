@@ -1,0 +1,58 @@
+"""Sharded multi-process serving over the mmap plan store.
+
+The first GIL-escaping path: the keyspace is cut into contiguous range
+shards, each a full :class:`~repro.durability.durable.DurableDILI`
+state directory whose compiled plan is published through
+:mod:`repro.planstore` and served zero-copy by a dedicated worker
+*process*; a coordinator with a learned Eq.1 router scatter/gathers
+batches over the worker pipes, preserving input order and -- for
+aligned partitions -- per-key simulated costs (±0 cycles vs the
+unsharded index).
+
+Modules:
+
+* :mod:`repro.sharding.router` -- learned key-space router with
+  binary-search last mile, plus the bit-exact aligned child router.
+* :mod:`repro.sharding.partition` -- quantile partitioning, per-shard
+  distribution tuning (grid search on the local CDF under the
+  simulated cost model), and the aligned global-tree split.
+* :mod:`repro.sharding.manifest` -- the atomic ``shards.json``.
+* :mod:`repro.sharding.worker` -- the per-shard worker process (the
+  only sharding module allowed to touch index state; CHK009).
+* :mod:`repro.sharding.coordinator` -- ``ShardedDILI``: scatter /
+  gather, worker restart, and the split/merge rebalancer.
+* :mod:`repro.sharding.chaos` -- worker-kill + mid-rebalance chaos
+  harness asserting zero wrong reads.
+"""
+
+from repro.sharding.coordinator import (
+    ShardedDILI,
+    WorkerDied,
+    WorkerRemoteError,
+)
+from repro.sharding.manifest import Manifest, read_manifest, write_manifest
+from repro.sharding.partition import (
+    build_range_shards,
+    fit_shard_config,
+    quantile_boundaries,
+    split_aligned,
+)
+from repro.sharding.router import AlignedRouter, ShardRouter, router_from_dict
+from repro.sharding.worker import ShardWorker
+
+__all__ = [
+    "AlignedRouter",
+    "Manifest",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardedDILI",
+    "WorkerDied",
+    "WorkerRemoteError",
+    "build_range_shards",
+    "fit_shard_config",
+    "quantile_boundaries",
+    "read_manifest",
+    "router_from_dict",
+    "split_aligned",
+    "write_manifest",
+]

@@ -1,0 +1,202 @@
+"""Chaos harness for sharded serving: kills, rebalances, zero wrong reads.
+
+Drives a real multi-process :class:`~repro.sharding.coordinator.ShardedDILI`
+through a scripted schedule of batch reads and writes while SIGKILLing
+workers -- including one killed *mid-rebalance*, between the moment the
+replacement shard directories are fully built and the atomic router
+swap -- and audits every single read against a shadow dict.  The
+contract under test is the ISSUE 8 acceptance line: **zero wrong
+reads**, surviving shards keep serving, and every dead worker restarts
+from its shard directory via the PR 6 fallback ladder (the restarted
+worker must come back serving a published plan generation, not a
+degraded stub).
+
+Deterministic: all scheduling flows from one seeded RNG, so a failure
+reproduces from its seed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sharding.coordinator import ShardedDILI
+
+
+@dataclass
+class ShardChaosReport:
+    """What happened, and whether serving stayed correct."""
+
+    seed: int
+    rounds: int = 0
+    reads: int = 0
+    wrong_reads: int = 0
+    writes: int = 0
+    lost_writes: int = 0
+    kills: int = 0
+    restarts: int = 0
+    rebalances: int = 0
+    mid_rebalance_kills: int = 0
+    final_shards: int = 0
+    final_keys: int = 0
+    events: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.wrong_reads == 0 and self.lost_writes == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "reads": self.reads,
+            "wrong_reads": self.wrong_reads,
+            "writes": self.writes,
+            "lost_writes": self.lost_writes,
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "rebalances": self.rebalances,
+            "mid_rebalance_kills": self.mid_rebalance_kills,
+            "final_shards": self.final_shards,
+            "final_keys": self.final_keys,
+            "clean": self.clean,
+        }
+
+
+def _audit_reads(
+    index: ShardedDILI,
+    queries: np.ndarray,
+    shadow: dict,
+    report: ShardChaosReport,
+) -> None:
+    got = index.get_batch(queries)
+    report.reads += len(queries)
+    for key, value in zip(queries.tolist(), got):
+        if value != shadow.get(key):
+            report.wrong_reads += 1
+
+
+def run_shard_chaos(
+    *,
+    num_shards: int = 4,
+    num_keys: int = 2_000,
+    rounds: int = 6,
+    batch: int = 256,
+    seed: int = 0,
+    kill_every: int = 2,
+    rebalance_round: int = 3,
+    dirpath=None,
+    processes: bool = True,
+) -> ShardChaosReport:
+    """Serve under fire; return the audit.
+
+    Schedule per round: audit a read batch (existing + absent keys),
+    apply an insert + delete batch, audit again.  Every
+    ``kill_every``-th round SIGKILLs a random worker right before the
+    read audit (the next request finds the corpse, restarts it from
+    its shard directory, and retries).  On ``rebalance_round`` the
+    busiest shard is split with a worker kill injected *between* the
+    build of the replacement directories and the atomic swap.
+    """
+    rng = np.random.default_rng(seed)
+    report = ShardChaosReport(seed=seed)
+    keys = np.unique(rng.integers(0, 10_000_000, size=num_keys)).astype(
+        np.float64
+    )
+    values = [int(k) * 3 for k in keys]
+    shadow = dict(zip(keys.tolist(), values))
+    own_dir = dirpath is None
+    if own_dir:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-shard-chaos-")
+        dirpath = tmp.name
+    next_fresh = 20_000_000  # insert keys disjoint from the loaded range
+    try:
+        with ShardedDILI.create(
+            dirpath,
+            keys,
+            values,
+            num_shards=num_shards,
+            partition="range",
+            tuning="local",
+            processes=processes,
+            sync=False,
+        ) as index:
+            for round_no in range(rounds):
+                report.rounds = round_no + 1
+                if kill_every and round_no % kill_every == 1:
+                    victim = int(rng.integers(0, index.num_shards))
+                    index.kill_worker(victim)
+                    report.kills += 1
+                    report.events.append(
+                        f"round {round_no}: killed worker {victim}"
+                    )
+                hits = rng.choice(keys, size=batch // 2, replace=True)
+                misses = rng.uniform(0, 30_000_000, size=batch // 2)
+                queries = np.concatenate((hits, misses))
+                rng.shuffle(queries)
+                _audit_reads(index, queries, shadow, report)
+
+                fresh = np.arange(
+                    next_fresh, next_fresh + batch // 4, dtype=np.float64
+                )
+                next_fresh += batch // 4
+                inserted = index.insert_batch(fresh, [int(k) for k in fresh])
+                report.writes += len(fresh)
+                for key, ok in zip(fresh.tolist(), inserted.tolist()):
+                    shadow[key] = int(key)
+                    if not ok:
+                        report.lost_writes += 1
+                doomed = rng.choice(keys, size=batch // 8, replace=False)
+                index.delete_batch(doomed)
+                report.writes += len(doomed)
+                for key in doomed.tolist():
+                    shadow.pop(key, None)
+                keys = np.asarray(
+                    sorted(set(keys.tolist()) - set(doomed.tolist())),
+                    dtype=np.float64,
+                )
+
+                if round_no == rebalance_round and index.num_shards > 1:
+                    busiest = int(np.argmax(index.ops_counts))
+                    victim = (busiest + 1) % index.num_shards
+
+                    def mid_kill() -> None:
+                        index.kill_worker(victim)
+                        report.kills += 1
+                        report.mid_rebalance_kills += 1
+                        report.events.append(
+                            f"round {round_no}: killed worker {victim} "
+                            f"mid-rebalance of shard {busiest}"
+                        )
+
+                    index.split_shard(busiest, mid_hook=mid_kill)
+                    report.events.append(
+                        f"round {round_no}: split shard {busiest}"
+                    )
+                _audit_reads(index, queries, shadow, report)
+
+            # Closing audit: every surviving key, plus worker health.
+            all_keys = np.asarray(sorted(shadow), dtype=np.float64)
+            _audit_reads(index, all_keys, shadow, report)
+            report.restarts = index.restarts
+            report.rebalances = index.rebalances
+            report.final_shards = index.num_shards
+            report.final_keys = len(index)
+            if report.final_keys != len(shadow):
+                report.lost_writes += abs(report.final_keys - len(shadow))
+            status = index.status()
+            for shard in status["shards"]:
+                rung = shard.get("rung")
+                if shard.get("health") not in (None, "healthy") or (
+                    rung is not None and rung >= 4
+                ):
+                    report.events.append(
+                        f"unhealthy shard after chaos: {shard}"
+                    )
+    finally:
+        if own_dir:
+            tmp.cleanup()
+    return report

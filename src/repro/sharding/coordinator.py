@@ -1,0 +1,839 @@
+"""``ShardedDILI``: scatter/gather coordination over shard workers.
+
+The coordinator owns the learned router and the worker handles; it
+never touches index state itself (CHK009).  Every batch op routes its
+keys, scatters per-shard sub-batches over the worker pipes -- all
+sub-requests are in flight simultaneously, which is where the
+multi-process parallelism comes from -- and gathers the responses back
+into input order via the inverse of the stable scatter permutation.
+
+Guarantees:
+
+* **Order identity**: results come back in input order, exactly as an
+  unsharded index would return them.
+* **Trace identity** (aligned partitions, read-only): traced
+  ``get_batch`` replays the workers' recorded per-key event segments
+  into the caller's tracer in input order, so a stateful cost tracer
+  (LRU cache simulation included) observes the event stream of the
+  equivalent unsharded index, ±0 cycles.  See
+  :mod:`repro.sharding.partition`.
+* **Worker death is survivable**: a dead worker (broken pipe, kill -9)
+  transitions coordinator health HEALTHY -> DEGRADED, is restarted
+  from its shard directory -- recovery runs the PR 6 fallback ladder:
+  newest published plan, older generation, snapshot+WAL rebuild --
+  then health walks REPAIRING -> HEALTHY and the request retries.
+  Reads are idempotent; a write retried across a crash is
+  at-least-once (the final state is idempotent because the WAL logs
+  validated ops, but the returned inserted/deleted flags can
+  understate if the first attempt had partially applied).
+* **Rebalancing is atomic**: splits and merges build fully published
+  replacement shard directories first, then swap the shard table and
+  router inside the coordinator lock, then stop the old workers.  A
+  reader never observes a half-updated router, and old directories
+  are kept on disk, never deleted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.dili import DiliConfig
+from repro.durability.durable import DurableDILI
+from repro.resilience.health import Health, HealthMonitor
+from repro.sharding.manifest import (
+    Manifest,
+    ShardEntry,
+    read_manifest,
+    write_manifest,
+)
+from repro.sharding.partition import (
+    build_range_shards,
+    fit_shard_config,
+    split_aligned,
+)
+from repro.sharding.router import ShardRouter, router_from_dict
+from repro.sharding.worker import ShardWorker, replay_segment, worker_main
+from repro.simulate.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class WorkerDied(RuntimeError):
+    """The worker process is gone (crash, kill, broken pipe)."""
+
+
+class WorkerRemoteError(RuntimeError):
+    """The worker raised; carries the remote type name and message."""
+
+
+_REMOTE_TYPES = {
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "NotImplementedError": NotImplementedError,
+}
+
+
+def _raise_remote(name: str, message: str):
+    exc_type = _REMOTE_TYPES.get(name)
+    if exc_type is not None:
+        raise exc_type(f"shard worker: {message}")
+    raise WorkerRemoteError(f"shard worker {name}: {message}")
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessHandle:
+    """One worker process behind a duplex pipe."""
+
+    def __init__(self, dirpath, *, serve: str, sync: bool, ctx=None) -> None:
+        self.dirpath = os.fspath(dirpath)
+        ctx = ctx if ctx is not None else _mp_context()
+        parent, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(self.dirpath, child, serve, sync),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+        self._next_req = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, method: str, args: tuple = ()) -> int:
+        self._next_req += 1
+        rid = self._next_req
+        try:
+            self.conn.send((rid, method, args))
+        except (OSError, BrokenPipeError) as exc:
+            raise WorkerDied(
+                f"{self.dirpath}: worker pipe is broken: {exc}"
+            ) from exc
+        return rid
+
+    def recv(self, rid: int, timeout: float | None = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                ready = self.conn.poll(0.05)
+            except (OSError, BrokenPipeError) as exc:
+                raise WorkerDied(
+                    f"{self.dirpath}: worker pipe is broken: {exc}"
+                ) from exc
+            if ready:
+                try:
+                    got, ok, payload = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerDied(
+                        f"{self.dirpath}: worker died mid-response: {exc}"
+                    ) from exc
+                if got == -1 and not ok:
+                    _raise_remote(payload[0], f"startup failed: {payload[1]}")
+                if got != rid:
+                    continue  # stale response from a pre-retry request
+                if not ok:
+                    _raise_remote(payload[0], payload[1])
+                return payload
+            if not self.process.is_alive():
+                # Drain anything flushed before death.
+                if self.conn.poll(0):
+                    continue
+                raise WorkerDied(f"{self.dirpath}: worker process exited")
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerDied(
+                    f"{self.dirpath}: worker timed out after {timeout}s"
+                )
+
+    def call(self, method: str, args: tuple = (), timeout=None):
+        return self.recv(self.send(method, args), timeout)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            self.call("stop", (), timeout=timeout)
+        except (WorkerDied, WorkerRemoteError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.conn.close()
+
+    def kill(self) -> None:
+        """SIGKILL, no goodbye -- the chaos harness's verb."""
+        self.process.kill()
+        self.process.join(timeout=10.0)
+
+
+class LocalHandle:
+    """In-process transport: same protocol, no pipe, no process.
+
+    Used by property-based tests (no per-example spawn cost) and by
+    ``processes=False`` coordinators.  Never "dies".
+    """
+
+    def __init__(self, dirpath, *, serve: str, sync: bool) -> None:
+        self.dirpath = os.fspath(dirpath)
+        self.worker = ShardWorker(dirpath, serve=serve, sync=sync)
+        self._results: dict[int, object] = {}
+        self._next_req = 0
+
+    @property
+    def pid(self) -> int:
+        return os.getpid()
+
+    def alive(self) -> bool:
+        return True
+
+    def send(self, method: str, args: tuple = ()) -> int:
+        self._next_req += 1
+        rid = self._next_req
+        self._results[rid] = self.worker.dispatch(method, args)
+        return rid
+
+    def recv(self, rid: int, timeout=None):
+        return self._results.pop(rid)
+
+    def call(self, method: str, args: tuple = (), timeout=None):
+        return self.recv(self.send(method, args), timeout)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.worker.close()
+
+    def kill(self) -> None:
+        self.worker.close()
+
+
+def _shard_dir_name(number: int) -> str:
+    return f"shard-{number:04d}"
+
+
+def _config_summary(config: DiliConfig) -> dict:
+    return {"omega": config.omega, "rho": config.rho}
+
+
+def _build_shard_dir(
+    dirpath, keys, values, config: DiliConfig
+) -> None:
+    """Bulk-load one shard directory and publish its first plan."""
+    with DurableDILI(dirpath, config=config) as durable:
+        if len(keys):
+            durable.bulk_load(keys, values)
+            durable.publish_plan()
+
+
+class ShardedDILI:
+    """Multi-process sharded serving facade over one state directory.
+
+    The directory holds ``shards.json`` plus one DurableDILI state
+    subdirectory per shard.  Batch ops mirror the unsharded API:
+    ``get_batch`` (with optional tracer), ``contains_batch``,
+    ``count_range`` / ``count_range_batch``, ``insert_batch``,
+    ``delete_batch``, ``update_batch``, ``len()``.
+
+    Thread-safety: all public ops serialize on one coordinator lock;
+    parallelism is *across worker processes*, not across caller
+    threads (ROADMAP item 1's scope -- in-process read concurrency is
+    PR 7's epoch path).
+    """
+
+    def __init__(
+        self,
+        dirpath,
+        manifest: Manifest,
+        *,
+        processes: bool = True,
+        serve: str = "mmap",
+        sync: bool = True,
+        request_timeout: float | None = 120.0,
+    ) -> None:
+        self.dirpath = os.fspath(dirpath)
+        self.manifest = manifest
+        self.processes = processes
+        self.serve = serve
+        self.sync = sync
+        self.request_timeout = request_timeout
+        self.router = router_from_dict(manifest.router)
+        self.health = HealthMonitor()
+        self.restarts = 0
+        self.rebalances = 0
+        self._ctx = _mp_context() if processes else None
+        self._lock = threading.RLock()
+        self._handles = [
+            self._spawn(entry.name) for entry in manifest.shards
+        ]
+        self.ops_counts = [0] * len(self._handles)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        dirpath,
+        keys,
+        values: list | None = None,
+        *,
+        num_shards: int = 2,
+        partition: str = "range",
+        tuning: str = "local",
+        config: DiliConfig | None = None,
+        seed: int = 0,
+        **open_kwargs,
+    ) -> "ShardedDILI":
+        """Partition ``keys``, build + publish every shard, and serve.
+
+        Args:
+            partition: ``"range"`` quantile-partitions the keys and
+                bulk-loads each shard independently (``tuning`` picks
+                per-shard vs global cost parameters);  ``"aligned"``
+                splits one global tree at the root's children, which
+                preserves ±0 trace parity with the unsharded index.
+            num_shards: Shard count (aligned mode caps it at the root
+                fanout).
+            open_kwargs: Forwarded to the constructor (``processes``,
+                ``serve``, ``sync``, ``request_timeout``).
+        """
+        dirpath = os.fspath(dirpath)
+        os.makedirs(dirpath, exist_ok=True)
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        entries: list[ShardEntry] = []
+        if partition == "range":
+            plan = build_range_shards(
+                keys, values, num_shards, tuning=tuning, base=config,
+                seed=seed,
+            )
+            for j, spec in enumerate(plan.shards):
+                name = _shard_dir_name(j)
+                _build_shard_dir(
+                    os.path.join(dirpath, name),
+                    spec.keys,
+                    spec.values,
+                    spec.config,
+                )
+                entries.append(
+                    ShardEntry(name, len(spec.keys),
+                               _config_summary(spec.config))
+                )
+            router = plan.router
+        elif partition == "aligned":
+            from repro.durability.recovery import SNAPSHOT_NAME
+            from repro.durability.snapshot import write_snapshot
+
+            part = split_aligned(keys, values, num_shards, config=config)
+            for j, shard in enumerate(part.shards):
+                name = _shard_dir_name(j)
+                shard_dir = os.path.join(dirpath, name)
+                os.makedirs(shard_dir, exist_ok=True)
+                write_snapshot(
+                    shard.index,
+                    os.path.join(shard_dir, SNAPSHOT_NAME),
+                    last_seqno=0,
+                )
+                with DurableDILI(shard_dir, config=config) as durable:
+                    if durable.index.root is not None:
+                        durable.publish_plan()
+                entries.append(
+                    ShardEntry(name, shard.count,
+                               _config_summary(shard.index.config))
+                )
+            router = part.router
+        else:
+            raise ValueError(f"unknown partition mode {partition!r}")
+        manifest = Manifest(
+            router=router.to_dict(),
+            shards=entries,
+            generation=1,
+            next_shard=len(entries),
+            partition=partition,
+        )
+        write_manifest(dirpath, manifest)
+        return cls(dirpath, manifest, **open_kwargs)
+
+    @classmethod
+    def open(cls, dirpath, **open_kwargs) -> "ShardedDILI":
+        """Serve an existing sharded directory."""
+        return cls(dirpath, read_manifest(dirpath), **open_kwargs)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._handles)
+
+    def _spawn(self, name: str):
+        shard_dir = os.path.join(self.dirpath, name)
+        if self.processes:
+            return ProcessHandle(
+                shard_dir, serve=self.serve, sync=self.sync, ctx=self._ctx
+            )
+        return LocalHandle(shard_dir, serve=self.serve, sync=self.sync)
+
+    def _restart(self, index: int) -> None:
+        """Replace a dead worker; recovery is the shard dir's problem.
+
+        The fresh process re-opens the shard directory through
+        DurableDILI + MmapDILI, i.e. the PR 6 fallback ladder decides
+        what serves (published plan first, snapshot+WAL rebuild last).
+        """
+        self.restarts += 1
+        self.health.to(Health.DEGRADED)
+        old = self._handles[index]
+        try:
+            old.kill()
+        except Exception:
+            pass
+        self._handles[index] = self._spawn(self.manifest.shards[index].name)
+        self.health.to(Health.REPAIRING)
+        self._handles[index].call("ping", (), timeout=self.request_timeout)
+        self.health.to(Health.HEALTHY)
+
+    def _call(self, index: int, method: str, args: tuple = (), retries=2):
+        """One synchronous worker call, restarting through deaths."""
+        for attempt in range(retries + 1):
+            try:
+                return self._handles[index].call(
+                    method, args, timeout=self.request_timeout
+                )
+            except WorkerDied:
+                if attempt == retries:
+                    raise
+                self._restart(index)
+
+    def _recv_retry(self, index: int, rid: int, method: str, args: tuple):
+        """Gather one in-flight response, restart + re-ask on death."""
+        try:
+            return self._handles[index].recv(rid, self.request_timeout)
+        except WorkerDied:
+            self._restart(index)
+            return self._call(index, method, args, retries=1)
+
+    # ------------------------------------------------------------------
+    # Scatter/gather plumbing
+    # ------------------------------------------------------------------
+
+    def _scatter(self, keys: np.ndarray):
+        """Route + stable-sort keys by shard.
+
+        Returns ``(shard_ids, order, cuts)`` where ``order`` is the
+        stable permutation grouping keys by shard and ``cuts[s]`` /
+        ``cuts[s + 1]`` bound shard ``s``'s slice of it.
+        """
+        shard_ids = self.router.route(keys)
+        order = np.argsort(shard_ids, kind="stable")
+        cuts = np.searchsorted(
+            shard_ids[order], np.arange(self.num_shards + 1)
+        )
+        return shard_ids, order, cuts
+
+    def _gather_object(self, n: int, pending, record: bool, tracer: Tracer):
+        """Collect get_batch responses back into input order."""
+        out = np.empty(n, dtype=object)
+        segments: list = [None] * n if record else []
+        for index, positions, rid, args in pending:
+            values, segs = self._recv_retry(index, rid, "get_batch", args)
+            boxed = np.empty(len(values), dtype=object)
+            boxed[:] = values
+            out[positions] = boxed
+            if record:
+                for pos, seg in zip(positions.tolist(), segs):
+                    segments[pos] = seg
+        if record:
+            for seg in segments:
+                replay_segment(seg, tracer)
+        return list(out)
+
+    # ------------------------------------------------------------------
+    # Batch reads
+    # ------------------------------------------------------------------
+
+    def get_batch(self, keys, tracer: Tracer = NULL_TRACER) -> list:
+        """Values per key (None where absent), input order preserved.
+
+        With a real tracer, the per-key simulated event streams the
+        workers recorded are replayed here in input order -- on an
+        aligned read-only partition that is the exact unsharded stream
+        (±0 cycles; once WAL-tail overlays apply the per-key costs are
+        the documented PR 6 base-descent approximation).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n = len(keys)
+        if n == 0:
+            return []
+        record = not isinstance(tracer, NullTracer)
+        with self._lock:
+            _, order, cuts = self._scatter(keys)
+            pending = []
+            for s in range(self.num_shards):
+                lo, hi = int(cuts[s]), int(cuts[s + 1])
+                if lo == hi:
+                    continue
+                positions = order[lo:hi]
+                args = (keys[positions], record)
+                rid = self._send_retry(s, "get_batch", args)
+                self.ops_counts[s] += hi - lo
+                pending.append((s, positions, rid, args))
+            return self._gather_object(n, pending, record, tracer)
+
+    def _send_retry(self, index: int, method: str, args: tuple) -> int:
+        try:
+            return self._handles[index].send(method, args)
+        except WorkerDied:
+            self._restart(index)
+            return self._handles[index].send(method, args)
+
+    def contains_batch(self, keys) -> np.ndarray:
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        with self._lock:
+            _, order, cuts = self._scatter(keys)
+            pending = []
+            for s in range(self.num_shards):
+                lo, hi = int(cuts[s]), int(cuts[s + 1])
+                if lo == hi:
+                    continue
+                positions = order[lo:hi]
+                args = (keys[positions],)
+                rid = self._send_retry(s, "contains_batch", args)
+                self.ops_counts[s] += hi - lo
+                pending.append((s, positions, rid, args))
+            for s, positions, rid, args in pending:
+                out[positions] = np.asarray(
+                    self._recv_retry(s, rid, "contains_batch", args)
+                )
+        return out
+
+    def count_range(self, lo: float, hi: float) -> int:
+        return int(self.count_range_batch([lo], [hi])[0])
+
+    def count_range_batch(self, los, his) -> np.ndarray:
+        """Per-pair counts; shard contents are disjoint, so the
+        all-shard broadcast sums are exact."""
+        los = np.ascontiguousarray(los, dtype=np.float64)
+        his = np.ascontiguousarray(his, dtype=np.float64)
+        if len(los) != len(his):
+            raise ValueError("los and his must match in length")
+        totals = np.zeros(len(los), dtype=np.int64)
+        if len(los) == 0:
+            return totals
+        with self._lock:
+            args = (los, his)
+            pending = [
+                (s, self._send_retry(s, "count_range_batch", args))
+                for s in range(self.num_shards)
+            ]
+            for s, rid in pending:
+                totals += np.asarray(
+                    self._recv_retry(s, rid, "count_range_batch", args),
+                    dtype=np.int64,
+                )
+        return totals
+
+    # ------------------------------------------------------------------
+    # Batch writes
+    # ------------------------------------------------------------------
+
+    def _write_batch(
+        self, method: str, keys, values: list | None
+    ) -> np.ndarray:
+        keys = DurableDILI._check_batch_keys(keys)
+        n = len(keys)
+        if values is not None and len(values) != n:
+            raise ValueError("values must match keys in length")
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        with self._lock:
+            _, order, cuts = self._scatter(keys)
+            pending = []
+            for s in range(self.num_shards):
+                lo, hi = int(cuts[s]), int(cuts[s + 1])
+                if lo == hi:
+                    continue
+                positions = order[lo:hi]
+                sub_keys = keys[positions]
+                if method == "delete_batch":
+                    args: tuple = (sub_keys,)
+                elif values is None:
+                    args = (sub_keys, None)
+                else:
+                    args = (sub_keys, [values[i] for i in positions])
+                rid = self._send_retry(s, method, args)
+                self.ops_counts[s] += hi - lo
+                pending.append((s, positions, rid, args))
+            for s, positions, rid, args in pending:
+                out[positions] = np.asarray(
+                    self._recv_retry(s, rid, method, args)
+                )
+        return out
+
+    def insert_batch(self, keys, values: list | None = None) -> np.ndarray:
+        return self._write_batch("insert_batch", keys, values)
+
+    def delete_batch(self, keys) -> np.ndarray:
+        return self._write_batch("delete_batch", keys, None)
+
+    def update_batch(self, keys, values: list) -> np.ndarray:
+        if values is None:
+            raise ValueError("update_batch requires values")
+        return self._write_batch("update_batch", keys, values)
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def _boundaries(self) -> np.ndarray:
+        """Current interior boundaries, converting aligned -> range.
+
+        An aligned router has no key-space boundaries; the conversion
+        uses each shard's first *stored* key, which routes every
+        stored key to its current shard (absent keys may flip to a
+        neighbour, which answers None either way -- correct).  After
+        conversion the partition is a plain range partition and the
+        ±0 alignment guarantee is documented as create-time-only.
+        """
+        if isinstance(self.router, ShardRouter):
+            return self.router.boundaries.copy()
+        boundaries = []
+        previous = -np.inf
+        for s in range(1, self.num_shards):
+            first = self._call(s, "first_key")
+            boundary = previous if first is None else float(first)
+            boundaries.append(max(boundary, previous))
+            previous = boundaries[-1]
+        return np.asarray(boundaries, dtype=np.float64)
+
+    def _fresh_shard_names(self, count: int) -> list[str]:
+        names = [
+            _shard_dir_name(self.manifest.next_shard + i)
+            for i in range(count)
+        ]
+        self.manifest.next_shard += count
+        return names
+
+    def _swap_topology(
+        self,
+        at: int,
+        drop: int,
+        new_names: list[str],
+        new_handles: list,
+        new_entries: list[ShardEntry],
+        new_boundaries: np.ndarray,
+    ) -> None:
+        """Atomically replace shards [at, at+drop) with the new ones.
+
+        The router and shard table flip together under the coordinator
+        lock; the manifest is written before the old workers stop, so
+        a crash at any instant leaves a directory that reopens to
+        either the old or the new complete topology.
+        """
+        old_handles = self._handles[at:at + drop]
+        self._handles[at:at + drop] = new_handles
+        self.manifest.shards[at:at + drop] = new_entries
+        self.manifest.router = ShardRouter(new_boundaries).to_dict()
+        self.manifest.generation += 1
+        self.manifest.partition = "range"
+        self.router = router_from_dict(self.manifest.router)
+        self.ops_counts[at:at + drop] = [0] * len(new_handles)
+        write_manifest(self.dirpath, self.manifest)
+        self.rebalances += 1
+        for handle in old_handles:
+            try:
+                handle.stop()
+            except Exception:
+                pass
+
+    def split_shard(self, index: int, *, mid_hook=None) -> dict:
+        """Split shard ``index`` at its median key into two shards.
+
+        Both replacement shards are bulk-loaded with configs re-fit to
+        their *local* key distribution and fully published through
+        their own PlanDirectory before the router flips.  ``mid_hook``
+        (tests only) runs after the new directories are built but
+        before the swap -- the chaos harness kills workers there.
+        """
+        with self._lock:
+            if not 0 <= index < self.num_shards:
+                raise ValueError(f"no shard {index}")
+            boundaries = self._boundaries()
+            items = self._call(index, "items")
+            if len(items) < 2:
+                raise ValueError(
+                    f"shard {index} has {len(items)} keys; nothing to split"
+                )
+            mid = len(items) // 2
+            halves = [items[:mid], items[mid:]]
+            split_key = float(items[mid][0])
+            names = self._fresh_shard_names(2)
+            entries = []
+            for name, half in zip(names, halves):
+                half_keys = np.asarray([k for k, _ in half], dtype=np.float64)
+                half_values = [v for _, v in half]
+                config, _ = fit_shard_config(half_keys)
+                _build_shard_dir(
+                    os.path.join(self.dirpath, name),
+                    half_keys,
+                    half_values,
+                    config,
+                )
+                entries.append(
+                    ShardEntry(name, len(half_keys), _config_summary(config))
+                )
+            handles = [self._spawn(name) for name in names]
+            if mid_hook is not None:
+                mid_hook()
+            new_boundaries = np.insert(boundaries, index, split_key)
+            self._swap_topology(
+                index, 1, names, handles, entries, new_boundaries
+            )
+            return {
+                "action": "split",
+                "shard": index,
+                "at": split_key,
+                "new": names,
+            }
+
+    def merge_shards(self, index: int) -> dict:
+        """Merge shards ``index`` and ``index + 1`` into one."""
+        with self._lock:
+            if not 0 <= index < self.num_shards - 1:
+                raise ValueError(f"no adjacent pair at {index}")
+            boundaries = self._boundaries()
+            items = list(self._call(index, "items")) + list(
+                self._call(index + 1, "items")
+            )
+            merged_keys = np.asarray([k for k, _ in items], dtype=np.float64)
+            merged_values = [v for _, v in items]
+            name = self._fresh_shard_names(1)[0]
+            config, _ = fit_shard_config(merged_keys)
+            _build_shard_dir(
+                os.path.join(self.dirpath, name),
+                merged_keys,
+                merged_values,
+                config,
+            )
+            entries = [
+                ShardEntry(name, len(merged_keys), _config_summary(config))
+            ]
+            handles = [self._spawn(name)]
+            new_boundaries = np.delete(boundaries, index)
+            self._swap_topology(
+                index, 2, [name], handles, entries, new_boundaries
+            )
+            return {"action": "merge", "shards": [index, index + 1],
+                    "new": [name]}
+
+    def maybe_rebalance(
+        self,
+        *,
+        split_ratio: float = 2.0,
+        merge_ratio: float = 0.25,
+    ) -> dict | None:
+        """Split the hot shard / merge the coldest adjacent pair.
+
+        Driven by the per-shard ops counters the scatter path
+        maintains: a shard carrying more than ``split_ratio`` times
+        the mean load splits; an adjacent pair carrying less than
+        ``merge_ratio`` of the mean (each) merges.  Counters reset
+        after every action so decisions reflect fresh traffic.
+        """
+        with self._lock:
+            total = sum(self.ops_counts)
+            if total == 0 or self.num_shards == 0:
+                return None
+            mean = total / self.num_shards
+            hot = int(np.argmax(self.ops_counts))
+            if self.num_shards > 1 and self.ops_counts[hot] > split_ratio * mean:
+                if self._call(hot, "len") >= 2:
+                    action = self.split_shard(hot)
+                    self.ops_counts = [0] * self.num_shards
+                    return action
+            if self.num_shards >= 2:
+                pair_load = [
+                    self.ops_counts[i] + self.ops_counts[i + 1]
+                    for i in range(self.num_shards - 1)
+                ]
+                coldest = int(np.argmin(pair_load))
+                if pair_load[coldest] < merge_ratio * mean * 2:
+                    action = self.merge_shards(coldest)
+                    self.ops_counts = [0] * self.num_shards
+                    return action
+            return None
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, index: int) -> int | None:
+        """SIGKILL one worker (chaos harness); returns its old pid."""
+        with self._lock:
+            handle = self._handles[index]
+            pid = handle.pid
+            handle.kill()
+            return pid
+
+    def status(self) -> dict:
+        """Topology, router, health and per-shard worker status."""
+        with self._lock:
+            shards = []
+            for s, entry in enumerate(self.manifest.shards):
+                try:
+                    worker = self._call(s, "status")
+                except (WorkerDied, WorkerRemoteError) as exc:
+                    worker = {"error": str(exc)}
+                worker["name"] = entry.name
+                worker["coordinator_ops"] = self.ops_counts[s]
+                shards.append(worker)
+            return {
+                "dir": self.dirpath,
+                "generation": self.manifest.generation,
+                "partition": self.manifest.partition,
+                "num_shards": self.num_shards,
+                "health": self.health.state.value,
+                "restarts": self.restarts,
+                "rebalances": self.rebalances,
+                "router": {
+                    **self.router.to_dict(),
+                    "routed": self.router.routed,
+                    "corrected": self.router.corrected,
+                },
+                "shards": shards,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                int(self._call(s, "len")) for s in range(self.num_shards)
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            for handle in self._handles:
+                try:
+                    handle.stop()
+                except Exception:
+                    pass
+            self._handles = []
+
+    def __enter__(self) -> "ShardedDILI":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

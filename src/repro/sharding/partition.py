@@ -1,0 +1,330 @@
+"""Partition planning and per-shard distribution tuning.
+
+Two ways to cut the keyspace into contiguous range shards:
+
+* :func:`build_range_shards` -- quantile (equal-count) partitions,
+  each shard independently bulk-loaded.  With ``tuning="local"`` every
+  shard's bulk-load cost parameters are fit to its *local* key density
+  by :func:`fit_shard_config` (a small grid search scored with the
+  simulated cost model on a sampled local CDF), so a uniform shard and
+  a clustered shard get different fanout/leaf decisions -- the
+  heterogeneous-per-shard thesis from "Unlocking the Power of
+  Diversity in Index Tuning" applied to DILI's cost model.
+
+* :func:`split_aligned` -- split ONE globally bulk-loaded tree at the
+  root's children.  Every shard's root is a clone of the global root
+  (same region id, same Eq.1 slope/intercept, same child count) whose
+  non-owned child slots hold empty placeholder leaves built with the
+  exact empty-range recipe from
+  :mod:`repro.core.bulk_load` (``_EMPTY_LEAF_FANOUT`` +
+  ``LinearModel.from_range``).  Because pickling preserves region ids
+  and the clone preserves every slot offset, a key routed to its
+  owning shard produces the *same simulated event stream* as the
+  global tree -- the foundation of the coordinator's ±0 trace-parity
+  guarantee.  Internal nodes are immutable after bulk load and all
+  structural mutation happens inside top-level leaves (each owned by
+  exactly one shard), so the alignment survives writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.bulk_load import _EMPTY_LEAF_FANOUT
+from repro.core.dili import DILI, DiliConfig
+from repro.core.linear_model import LinearModel
+from repro.core.local_opt import local_opt
+from repro.core.nodes import InternalNode, LeafNode
+from repro.sharding.router import AlignedRouter, ShardRouter
+from repro.simulate.tracer import CacheSimulator, CostTracer
+
+# (omega, rho) grid for the per-shard search.  Small omegas favour
+# clustered regions (shorter last-mile search inside mispredicted
+# leaves), large omegas favour near-linear regions (shallower trees,
+# fewer internal hops); rho shifts how aggressively the BU cost model
+# discounts deep levels.
+CANDIDATE_GRID: tuple[tuple[int, float], ...] = (
+    (512, 0.2),
+    (1024, 0.2),
+    (4096, 0.2),
+    (1024, 0.4),
+    (4096, 0.1),
+)
+
+#: Grid-search probe size cap; probes above this subsample uniformly.
+PROBE_CAP = 20_000
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One planned range shard: its data slice and chosen config."""
+
+    keys: np.ndarray
+    values: list
+    config: DiliConfig
+    probe_cycles: float  # simulated cycles/op of the winning probe
+
+
+@dataclass(frozen=True)
+class RangePartition:
+    router: ShardRouter
+    shards: list  # list[ShardSpec]
+    tuning: str
+
+
+@dataclass(frozen=True)
+class AlignedShard:
+    """One aligned shard: a masked clone of the global tree."""
+
+    index: DILI
+    count: int
+
+
+@dataclass(frozen=True)
+class AlignedPartition:
+    router: AlignedRouter
+    shards: list  # list[AlignedShard]
+    global_index: DILI
+
+
+def _check_sorted_unique(keys: np.ndarray) -> np.ndarray:
+    keys = np.ascontiguousarray(keys, dtype=np.float64)
+    if keys.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    if len(keys) > 1 and np.any(np.diff(keys) <= 0):
+        raise ValueError("keys must be sorted and unique")
+    return keys
+
+
+def quantile_boundaries(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Interior boundaries (first key of shards 1..S-1), equal-count.
+
+    With fewer keys than shards the tail boundaries repeat the last
+    key, which makes the surplus shards empty -- the router handles
+    duplicate boundaries by construction.
+    """
+    keys = _check_sorted_unique(keys)
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    n = len(keys)
+    if n == 0:
+        return np.arange(1, num_shards, dtype=np.float64)
+    idx = np.minimum(
+        (np.arange(1, num_shards) * n) // num_shards, n - 1
+    )
+    return keys[idx].astype(np.float64)
+
+
+def sample_keys(keys: np.ndarray, cap: int) -> np.ndarray:
+    """Uniform-stride subsample preserving the local CDF shape."""
+    n = len(keys)
+    if n <= cap:
+        return keys
+    idx = np.linspace(0, n - 1, num=cap).astype(np.int64)
+    return keys[np.unique(idx)]
+
+
+def fit_shard_config(
+    keys: np.ndarray,
+    *,
+    base: DiliConfig | None = None,
+    probe_cap: int = PROBE_CAP,
+    num_queries: int = 2048,
+    seed: int = 0,
+) -> tuple[DiliConfig, float]:
+    """Choose bulk-load parameters for one shard's local distribution.
+
+    Grid search over :data:`CANDIDATE_GRID`: bulk-load a stride sample
+    of the shard's keys under each candidate, probe it with random
+    existing-key lookups under a :class:`CostTracer`, and keep the
+    config with the lowest simulated cycles per op (first wins ties,
+    so the search is deterministic).  Returns ``(config, cycles/op)``.
+    """
+    base = base if base is not None else DiliConfig()
+    keys = _check_sorted_unique(keys)
+    if len(keys) < 16:
+        return base, 0.0
+    probe = sample_keys(keys, probe_cap)
+    rng = np.random.default_rng(seed)
+    queries = probe[rng.integers(0, len(probe), size=num_queries)]
+    cache_lines = max(512, len(probe) // 100)
+    best: tuple[float, DiliConfig] | None = None
+    for omega, rho in CANDIDATE_GRID:
+        config = replace(base, omega=omega, rho=rho)
+        index = DILI(config)
+        index.bulk_load(probe)
+        tracer = CostTracer(CacheSimulator(cache_lines))
+        index.get_batch(queries, tracer)
+        score = tracer.total_cycles / len(queries)
+        if best is None or score < best[0]:
+            best = (score, config)
+    return best[1], best[0]
+
+
+def build_range_shards(
+    keys: np.ndarray,
+    values: list | None,
+    num_shards: int,
+    *,
+    tuning: str = "local",
+    base: DiliConfig | None = None,
+    seed: int = 0,
+) -> RangePartition:
+    """Plan quantile range shards with per-shard (or global) tuning.
+
+    Args:
+        keys: Sorted unique float64 keys.
+        values: Payloads (defaults to key positions).
+        num_shards: Shard count.
+        tuning: ``"local"`` fits each shard's config to its local CDF;
+            ``"global"`` runs the same grid search once over the whole
+            key set and reuses the winner everywhere (the fair
+            one-global-configuration baseline); ``"none"`` uses
+            ``base`` as-is.
+        base: Base config the grid search perturbs.
+        seed: Probe RNG seed.
+    """
+    keys = _check_sorted_unique(keys)
+    if values is None:
+        values = list(range(len(keys)))
+    if len(values) != len(keys):
+        raise ValueError("values must match keys in length")
+    if tuning not in ("local", "global", "none"):
+        raise ValueError(f"unknown tuning mode {tuning!r}")
+    base = base if base is not None else DiliConfig()
+    boundaries = quantile_boundaries(keys, num_shards)
+    router = ShardRouter(boundaries, num_shards)
+    cuts = np.concatenate(
+        ([0], np.searchsorted(keys, boundaries, side="left"), [len(keys)])
+    ).astype(np.int64)
+    global_config, global_cost = (base, 0.0)
+    if tuning == "global":
+        global_config, global_cost = fit_shard_config(
+            keys, base=base, seed=seed
+        )
+    shards: list[ShardSpec] = []
+    for j in range(num_shards):
+        lo, hi = int(cuts[j]), int(cuts[j + 1])
+        shard_keys = keys[lo:hi]
+        shard_values = list(values[lo:hi])
+        if tuning == "local":
+            config, cost = fit_shard_config(
+                shard_keys, base=base, seed=seed + j
+            )
+        else:
+            config, cost = global_config, global_cost
+        shards.append(ShardSpec(shard_keys, shard_values, config, cost))
+    return RangePartition(router=router, shards=shards, tuning=tuning)
+
+
+def _placeholder_leaf(lb: float, ub: float, config: DiliConfig) -> LeafNode:
+    """An empty leaf exactly as bulk load builds one for a bare range."""
+    leaf = LeafNode(lb, ub)
+    local_opt(
+        leaf,
+        [],
+        enlarge=config.enlarge,
+        fanout=_EMPTY_LEAF_FANOUT,
+        model=LinearModel.from_range(lb, ub, _EMPTY_LEAF_FANOUT),
+    )
+    return leaf
+
+
+def _masked_root(
+    root: InternalNode, start: int, end: int, config: DiliConfig
+) -> InternalNode:
+    """Clone ``root`` keeping children [start, end), masking the rest.
+
+    The clone preserves lb/ub/slope/intercept/region and the child
+    count, so slot offsets (``64 + idx * 8``) and every routed key's
+    event stream match the global tree bit for bit.
+    """
+    clone = InternalNode.__new__(InternalNode)
+    clone.lb = root.lb
+    clone.ub = root.ub
+    clone.slope = root.slope
+    clone.intercept = root.intercept
+    clone.region = root.region
+    children: list[object] = []
+    for i, child in enumerate(root.children):
+        if start <= i < end:
+            children.append(child)
+        else:
+            lb, ub = root.child_bounds(i)
+            children.append(_placeholder_leaf(lb, ub, config))
+    clone.children = children
+    return clone
+
+
+def _group_starts(counts: np.ndarray, num_shards: int) -> list[int]:
+    """Contiguous child groups balanced by key count."""
+    fanout = len(counts)
+    num_shards = min(num_shards, fanout)
+    cum = np.cumsum(counts)
+    total = int(cum[-1]) if fanout else 0
+    starts = [0]
+    for j in range(1, num_shards):
+        target = total * j / num_shards
+        raw = int(np.searchsorted(cum, target, side="left")) + 1
+        # Keep starts strictly increasing and leave room for the
+        # remaining groups.
+        lo = starts[-1] + 1
+        hi = fanout - (num_shards - j)
+        starts.append(max(lo, min(raw, hi)))
+    return starts
+
+
+def split_aligned(
+    keys: np.ndarray,
+    values: list | None = None,
+    num_shards: int = 2,
+    *,
+    config: DiliConfig | None = None,
+) -> AlignedPartition:
+    """Bulk-load one global tree and split it at the root's children.
+
+    The shard count is capped by the root's fanout (and collapses to a
+    single shard when the whole tree is one leaf).  Shard ``j`` owns
+    the contiguous child group ``[starts[j], starts[j+1])``; its index
+    is the global tree with every other child replaced by an empty
+    placeholder leaf.
+    """
+    keys = _check_sorted_unique(keys)
+    if values is None:
+        values = list(range(len(keys)))
+    config = config if config is not None else DiliConfig()
+    global_index = DILI(config)
+    global_index.bulk_load(keys, list(values))
+    root = global_index.root
+    if not isinstance(root, InternalNode) or num_shards <= 1:
+        router = AlignedRouter(0.0, 0.0, 1, [0])
+        return AlignedPartition(
+            router=router,
+            shards=[AlignedShard(index=global_index, count=len(keys))],
+            global_index=global_index,
+        )
+    fanout = len(root.children)
+    # Child membership follows construction exactly: bulk load assigns
+    # keys to children by searchsorted on the equal-width child bounds.
+    bounds = np.array(
+        [root.child_bounds(i)[0] for i in range(fanout)], dtype=np.float64
+    )
+    edges = np.searchsorted(keys, bounds, side="left").astype(np.int64)
+    edges = np.concatenate((edges, [len(keys)]))
+    edges[0] = 0  # every key at or below the root lb belongs to child 0
+    counts = np.diff(edges)
+    starts = _group_starts(counts, num_shards)
+    router = AlignedRouter(root.slope, root.intercept, fanout, starts)
+    shards: list[AlignedShard] = []
+    for j, start in enumerate(starts):
+        end = starts[j + 1] if j + 1 < len(starts) else fanout
+        count = int(edges[end] - edges[start])
+        shard = DILI(config)
+        shard.root = _masked_root(root, start, end, config)
+        shard._count = count
+        shards.append(AlignedShard(index=shard, count=count))
+    return AlignedPartition(
+        router=router, shards=shards, global_index=global_index
+    )

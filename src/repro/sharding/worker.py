@@ -1,0 +1,308 @@
+"""The shard worker: one process, one shard, served from its plan dir.
+
+A worker owns exactly one shard directory -- a standard
+:class:`~repro.durability.durable.DurableDILI` state dir.  It is the
+**only** place in the sharding layer allowed to touch index state, and
+it does so exclusively through the durability/planstore APIs (lint
+rule CHK009 enforces this): recovery and logged writes go through
+``DurableDILI``, reads are served zero-copy from the published plan
+via :class:`~repro.planstore.serve.MmapDILI` (the PR 6 fallback
+ladder), and every write batch republishes a WAL-tail delta -- or a
+fresh base generation once the tail grows past
+``republish_threshold`` -- so the mmap handle stays current.
+
+The same :class:`ShardWorker` object serves two transports:
+
+* :func:`worker_main` runs it as a dedicated *process* behind a
+  ``multiprocessing`` pipe -- the GIL-escaping path.
+* The coordinator can also drive it in-process (``processes=False``),
+  which the property-based tests use to avoid per-example process
+  spawns.
+
+Traced reads ship their simulated cost back to the coordinator as
+:class:`~repro.simulate.tracer.RecordingTracer` event tuples, split
+into per-key segments on the ``step1`` phase marker each key's replay
+begins with.  The coordinator reorders the segments into input order
+and replays them into the caller's tracer, so the (stateful, LRU
+cache-simulating) cost accounting sees exactly the event stream an
+unsharded index would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.dili import DiliConfig
+from repro.durability.durable import DurableDILI
+from repro.planstore.serve import PlanDirectory
+from repro.simulate.tracer import NULL_TRACER, RecordingTracer
+
+#: WAL-tail ops accumulated before a write republishes a base
+#: generation instead of another delta.
+REPUBLISH_THRESHOLD = 4096
+
+
+def split_trace_segments(events: list, n: int) -> list:
+    """Split a recorded event stream into ``n`` per-key segments.
+
+    Every key replayed by the flat plan opens with a
+    ``("step1", ...)`` phase marker, so segment boundaries are exactly
+    the marker positions.  An empty index records no events at all for
+    a batch; that is ``n`` empty segments, not an error.
+    """
+    if n == 0:
+        return []
+    if not events:
+        return [[] for _ in range(n)]
+    phase = RecordingTracer._PHASE
+    starts = [
+        i
+        for i, (kind, name, _) in enumerate(events)
+        if kind == phase and name == "step1"
+    ]
+    if len(starts) != n or starts[0] != 0:
+        raise ValueError(
+            f"cannot segment trace: {len(starts)} step1 markers "
+            f"for {n} keys"
+        )
+    starts.append(len(events))
+    return [events[starts[i]:starts[i + 1]] for i in range(n)]
+
+
+def replay_segment(events: list, tracer) -> None:
+    """Replay one per-key event segment into ``tracer``."""
+    mem = RecordingTracer._MEM
+    compute = RecordingTracer._COMPUTE
+    for kind, a, b in events:
+        if kind == mem:
+            tracer.mem(a, b)
+        elif kind == compute:
+            tracer.compute(a)
+        else:
+            tracer.phase(a)
+
+
+class ShardWorker:
+    """Serves one shard directory through durability/planstore APIs.
+
+    Args:
+        dirpath: The shard's DurableDILI state directory.
+        serve: ``"mmap"`` reads from the published plan via the
+            fallback ladder (zero-copy, the production path);
+            ``"live"`` reads from the recovered in-memory index
+            (used by trace-parity tests that need exactness across
+            writes, where the mmap overlay is documented-approximate).
+        config: Config for a fresh index when the directory is empty.
+        sync: fsync the WAL on every append (see DurableDILI).
+        republish_threshold: WAL-tail ops before a write publishes a
+            new base generation instead of a delta.
+    """
+
+    def __init__(
+        self,
+        dirpath,
+        *,
+        serve: str = "mmap",
+        config: DiliConfig | None = None,
+        sync: bool = True,
+        republish_threshold: int = REPUBLISH_THRESHOLD,
+    ) -> None:
+        if serve not in ("mmap", "live"):
+            raise ValueError(f"unknown serve mode {serve!r}")
+        self.dirpath = os.fspath(dirpath)
+        self.serve = serve
+        self.republish_threshold = republish_threshold
+        self.durable = DurableDILI(self.dirpath, config=config, sync=sync)
+        self.ops = {
+            "reads": 0,
+            "writes": 0,
+            "batches": 0,
+            "republishes": 0,
+        }
+        self._tail_ops = 0
+        self.served = None
+        self._ensure_published()
+        self._reopen_served()
+
+    # ------------------------------------------------------------------
+    # Serving-handle maintenance
+    # ------------------------------------------------------------------
+
+    def _ensure_published(self) -> None:
+        """Publish a first base generation for a non-empty shard."""
+        plans = PlanDirectory.for_state_dir(self.dirpath)
+        if self.durable.index.root is None or plans.generations():
+            return
+        self.durable.publish_plan()
+
+    def _reopen_served(self) -> None:
+        if self.served is not None:
+            self.served.close()
+            self.served = None
+        if self.serve == "mmap":
+            self.served = self.durable.serve_mmap()
+
+    def _after_write(self, n: int) -> None:
+        self.ops["writes"] += n
+        self._tail_ops += n
+        plans = PlanDirectory.for_state_dir(self.dirpath)
+        if self.durable.index.root is not None:
+            if (
+                not plans.generations()
+                or self._tail_ops >= self.republish_threshold
+            ):
+                self.durable.publish_plan()
+                self.ops["republishes"] += 1
+                self._tail_ops = 0
+            else:
+                self.durable.publish_tail()
+        self._reopen_served()
+
+    def _read_target(self):
+        if self.served is not None:
+            return self.served
+        return self.durable.index
+
+    # ------------------------------------------------------------------
+    # Request handlers (the wire protocol's verbs)
+    # ------------------------------------------------------------------
+
+    def get_batch(self, keys, record: bool = False):
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        self.ops["reads"] += len(keys)
+        self.ops["batches"] += 1
+        tracer = RecordingTracer() if record else NULL_TRACER
+        values = self._read_target().get_batch(keys, tracer)
+        segments = (
+            split_trace_segments(tracer.events, len(keys)) if record else None
+        )
+        return list(values), segments
+
+    def contains_batch(self, keys):
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        self.ops["reads"] += len(keys)
+        self.ops["batches"] += 1
+        return np.asarray(self._read_target().contains_batch(keys))
+
+    def count_range_batch(self, los, his):
+        self.ops["reads"] += len(los)
+        self.ops["batches"] += 1
+        return np.asarray(self._read_target().count_range_batch(los, his))
+
+    def count_range(self, lo: float, hi: float) -> int:
+        return int(self.count_range_batch([lo], [hi])[0])
+
+    def insert_batch(self, keys, values=None):
+        out = self.durable.insert_batch(keys, values)
+        self._after_write(len(out))
+        return np.asarray(out)
+
+    def delete_batch(self, keys):
+        out = self.durable.delete_batch(keys)
+        self._after_write(len(out))
+        return np.asarray(out)
+
+    def update_batch(self, keys, values):
+        out = self.durable.update_batch(keys, values)
+        self._after_write(len(out))
+        return np.asarray(out)
+
+    def items(self) -> list:
+        """Every (key, value) pair, sorted -- the rebalance feed."""
+        return list(self.durable.items())
+
+    def first_key(self) -> float | None:
+        """Smallest stored key (None when empty); feeds the
+        aligned-to-range router conversion before a rebalance."""
+        for key, _ in self.durable.items():
+            return float(key)
+        return None
+
+    def status(self) -> dict:
+        plans = PlanDirectory.for_state_dir(self.dirpath)
+        generations = plans.generations()
+        served = self.served
+        return {
+            "pid": os.getpid(),
+            "dir": self.dirpath,
+            "keys": len(self.durable),
+            "serve": self.serve,
+            "generations": generations,
+            "generation": served.generation if served is not None else None,
+            "rung": served.rung if served is not None else None,
+            "health": (
+                served.health.state.value if served is not None else "healthy"
+            ),
+            "wal_lsn": self.durable.wal.last_seqno,
+            "ops": dict(self.ops),
+        }
+
+    def __len__(self) -> int:
+        return len(self.durable)
+
+    def ping(self) -> str:
+        return "pong"
+
+    def publish(self) -> int:
+        generation = self.durable.publish_plan()
+        self.ops["republishes"] += 1
+        self._tail_ops = 0
+        self._reopen_served()
+        return generation
+
+    def close(self) -> None:
+        if self.served is not None:
+            self.served.close()
+            self.served = None
+        self.durable.close()
+
+    def dispatch(self, method: str, args: tuple):
+        """Invoke one protocol verb; the transports' single entry."""
+        if method == "len":
+            return len(self)
+        if method.startswith("_") or not hasattr(self, method):
+            raise ValueError(f"unknown shard-worker method {method!r}")
+        return getattr(self, method)(*args)
+
+
+def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
+    """Process entry point: serve ``dirpath`` over a pipe.
+
+    Protocol: requests are ``(req_id, method, args)``; responses are
+    ``(req_id, ok, payload)`` where a failed call carries
+    ``(exception_type_name, message)``.  ``stop`` acknowledges, closes
+    the shard cleanly, and exits; losing the pipe (coordinator death)
+    exits too.
+    """
+    try:
+        worker = ShardWorker(dirpath, serve=serve, sync=sync)
+    except Exception as exc:  # startup failure must reach the coordinator
+        try:
+            conn.send((-1, False, (type(exc).__name__, str(exc))))
+        except (OSError, BrokenPipeError):
+            pass
+        return
+    try:
+        while True:
+            try:
+                req_id, method, args = conn.recv()
+            except (EOFError, OSError):
+                break
+            if method == "stop":
+                conn.send((req_id, True, None))
+                break
+            try:
+                result = (
+                    len(worker) if method == "len"
+                    else worker.dispatch(method, args)
+                )
+                conn.send((req_id, True, result))
+            except Exception as exc:
+                try:
+                    conn.send((req_id, False, (type(exc).__name__, str(exc))))
+                except (OSError, BrokenPipeError):
+                    break
+    finally:
+        worker.close()

@@ -276,6 +276,48 @@ class TestChk008InPlacePlanMutators:
         ) == []
 
 
+class TestChk009DirectDiliConstruction:
+    SRC = "def build(keys):\n    index = DILI()\n    return index\n"
+
+    def test_flagged_in_unsanctioned_src(self):
+        assert rules(self.SRC, "src/repro/sharding/coordinator.py") == [
+            "CHK009"
+        ]
+        assert rules(self.SRC, PLAIN) == ["CHK009"]
+
+    def test_factories_are_sanctioned(self):
+        assert rules(self.SRC, "src/repro/sharding/worker.py") == []
+        assert rules(self.SRC, "src/repro/sharding/partition.py") == []
+        assert rules(self.SRC, "src/repro/durability/recovery.py") == []
+        assert rules(self.SRC, "src/repro/bench/harness.py") == []
+
+    def test_core_is_exempt(self):
+        # core/ IS the index implementation; the rule fences the rest
+        # of the tree off from raw construction, not the type itself.
+        assert "CHK009" not in rules(self.SRC, CORE)
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        assert rules(self.SRC, TESTS) == []
+        assert rules(self.SRC, "benchmarks/bench_example.py") == []
+
+    def test_other_calls_not_flagged(self):
+        src = (
+            "def open_index(path):\n"
+            "    a = DurableDILI(path)\n"
+            "    b = MmapDILI(path)\n"
+            "    c = ConcurrentDILI()\n"
+        )
+        assert rules(src, PLAIN) == []
+
+    def test_pragma_waives(self):
+        src = (
+            "def build():\n"
+            "    index = DILI()"
+            "  # repro-check: allow CHK009 -- throwaway probe\n"
+        )
+        assert rules(src, PLAIN) == []
+
+
 class TestEngine:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def broken(:\n", PLAIN)
@@ -290,7 +332,7 @@ class TestEngine:
     def test_every_rule_has_a_description(self):
         assert sorted(RULES) == [
             "CHK001", "CHK002", "CHK003", "CHK004", "CHK005", "CHK006",
-            "CHK007", "CHK008",
+            "CHK007", "CHK008", "CHK009",
         ]
         assert all(RULES.values())
 

@@ -152,3 +152,42 @@ class TestRecords:
             split_initial(keys, 0.0)
         with pytest.raises(ValueError):
             split_initial(keys, 1.0)
+
+
+class TestMmapLoading:
+    """The multi-process path: datasets served from an on-disk cache."""
+
+    def test_mmap_equals_in_memory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+        plain = load_dataset("logn", 3_111, seed=9)
+        mapped = load_dataset("logn", 3_111, seed=9, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(np.asarray(mapped), plain)
+
+    def test_mmap_is_read_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+        mapped = load_dataset("fb", 1_234, seed=9, mmap_mode="r")
+        with pytest.raises((ValueError, TypeError)):
+            mapped[0] = 0.0
+
+    def test_writable_modes_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("logn", 100, mmap_mode="r+")
+        with pytest.raises(ValueError):
+            load_dataset("logn", 100, mmap_mode="w+")
+
+    def test_cache_file_created_once_and_reused(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+        a = load_dataset("wikits", 2_345, seed=4, mmap_mode="r")
+        files = list(tmp_path.glob("wikits-2345-4.npy"))
+        assert len(files) == 1
+        mtime = files[0].stat().st_mtime_ns
+        b = load_dataset("wikits", 2_345, seed=4, mmap_mode="r")
+        assert files[0].stat().st_mtime_ns == mtime
+        assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_mmap_shares_page_cache_across_views(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+        mapped = load_dataset("books", 1_777, seed=2, mmap_mode="r")
+        again = np.load(mapped.filename, mmap_mode="r")
+        assert np.array_equal(np.asarray(mapped), np.asarray(again))

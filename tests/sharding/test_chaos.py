@@ -1,0 +1,39 @@
+"""The sharded chaos contract: zero wrong reads under kills + rebalance."""
+
+from repro.sharding.chaos import run_shard_chaos
+
+
+class TestShardChaos:
+    def test_chaos_run_is_clean(self):
+        report = run_shard_chaos(seed=3)
+        assert report.clean, report.to_dict()
+        assert report.wrong_reads == 0
+        assert report.lost_writes == 0
+        # The schedule actually exercised the failure paths.
+        assert report.kills >= 2
+        assert report.restarts >= 1
+        assert report.mid_rebalance_kills >= 1
+        assert report.rebalances >= 1
+        assert report.reads > 1_000
+        assert not any(
+            "unhealthy" in event for event in report.events
+        ), report.events
+
+    def test_deterministic_given_seed(self):
+        a = run_shard_chaos(seed=5, rounds=3, num_keys=800, num_shards=2)
+        b = run_shard_chaos(seed=5, rounds=3, num_keys=800, num_shards=2)
+        assert a.clean and b.clean
+        assert a.reads == b.reads
+        assert a.writes == b.writes
+        assert a.final_keys == b.final_keys
+
+    def test_report_dict_shape(self):
+        report = run_shard_chaos(
+            seed=1, rounds=2, num_keys=500, num_shards=2, kill_every=0,
+            rebalance_round=99,
+        )
+        d = report.to_dict()
+        assert d["clean"] is True
+        assert d["kills"] == 0
+        assert d["rebalances"] == 0
+        assert d["final_shards"] == 2

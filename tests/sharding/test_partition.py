@@ -1,0 +1,168 @@
+"""Partition planning: quantile shards, aligned splits, tuning, manifest."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import mixed_distribution_keys
+from repro.core.dili import DiliConfig
+from repro.sharding.manifest import (
+    Manifest,
+    ManifestError,
+    ShardEntry,
+    read_manifest,
+    write_manifest,
+)
+from repro.sharding.partition import (
+    build_range_shards,
+    fit_shard_config,
+    quantile_boundaries,
+    split_aligned,
+)
+
+
+def sorted_keys(n, seed=11, lo=0.0, hi=1e7):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.uniform(lo, hi, size=int(n * 1.1)))[:n]
+
+
+class TestQuantileBoundaries:
+    def test_equal_count_cuts(self):
+        keys = np.arange(100, dtype=np.float64)
+        got = quantile_boundaries(keys, 4)
+        assert got.tolist() == [25.0, 50.0, 75.0]
+
+    def test_single_shard(self):
+        assert quantile_boundaries(np.arange(9.0), 1).tolist() == []
+
+    def test_fewer_keys_than_shards(self):
+        keys = np.array([1.0, 2.0])
+        got = quantile_boundaries(keys, 5)
+        assert len(got) == 4
+        assert np.all(np.diff(got) >= 0)  # duplicates allowed
+
+    def test_empty_keys(self):
+        assert len(quantile_boundaries(np.array([]), 3)) == 2
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_boundaries(np.array([3.0, 1.0]), 2)
+
+
+class TestBuildRangeShards:
+    def test_shards_partition_the_keys(self):
+        keys = sorted_keys(5_000)
+        part = build_range_shards(keys, None, 4, tuning="none")
+        assert len(part.shards) == 4
+        rebuilt = np.concatenate([s.keys for s in part.shards])
+        assert np.array_equal(rebuilt, keys)
+        # Router must send every key to the shard that stores it.
+        sid = part.router.route(keys)
+        for j, spec in enumerate(part.shards):
+            assert np.array_equal(keys[sid == j], spec.keys)
+
+    def test_values_follow_keys(self):
+        keys = sorted_keys(300)
+        values = [f"v{i}" for i in range(len(keys))]
+        part = build_range_shards(keys, values, 3, tuning="none")
+        flat = [v for s in part.shards for v in s.values]
+        assert flat == values
+
+    def test_local_tuning_differs_across_regimes(self):
+        # Mixed-distribution data must produce heterogeneous configs
+        # and a total simulated cost no worse than one global config --
+        # the per-shard fit picks the argmin over the same grid the
+        # global fit searches.
+        keys = mixed_distribution_keys(30_000)
+        local = build_range_shards(keys, None, 3, tuning="local")
+        universal = build_range_shards(keys, None, 3, tuning="global")
+        local_cfgs = [(s.config.omega, s.config.rho) for s in local.shards]
+        assert len(set(local_cfgs)) > 1
+        assert len({
+            (s.config.omega, s.config.rho) for s in universal.shards
+        }) == 1
+
+    def test_unknown_tuning_rejected(self):
+        with pytest.raises(ValueError):
+            build_range_shards(sorted_keys(50), None, 2, tuning="psychic")
+
+    def test_value_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_range_shards(sorted_keys(50), ["x"], 2, tuning="none")
+
+
+class TestFitShardConfig:
+    def test_tiny_shard_keeps_base(self):
+        base = DiliConfig()
+        config, cost = fit_shard_config(np.arange(8.0), base=base)
+        assert config == base
+        assert cost == 0.0
+
+    def test_deterministic(self):
+        keys = sorted_keys(4_000, seed=3)
+        a = fit_shard_config(keys, seed=9)
+        b = fit_shard_config(keys, seed=9)
+        assert a == b
+
+
+class TestSplitAligned:
+    def test_counts_sum_and_shards_serve_their_keys(self):
+        keys = sorted_keys(3_000)
+        values = list(range(len(keys)))
+        part = split_aligned(keys, values, 3)
+        assert sum(s.count for s in part.shards) == len(keys)
+        sid = part.router.route(keys)
+        for j, shard in enumerate(part.shards):
+            assert len(shard.index) == shard.count
+            mine = keys[sid == j]
+            assert int(np.count_nonzero(sid == j)) == shard.count
+            got = shard.index.get_batch(mine)
+            want = [values[i] for i in np.flatnonzero(sid == j)]
+            assert got == want
+
+    def test_single_shard_degenerate(self):
+        keys = sorted_keys(500)
+        part = split_aligned(keys, None, 1)
+        assert len(part.shards) == 1
+        assert part.router.num_shards == 1
+        assert part.shards[0].count == len(keys)
+
+    def test_tiny_tree_collapses_to_one_shard(self):
+        keys = np.arange(4, dtype=np.float64)
+        part = split_aligned(keys, None, 8)
+        assert sum(s.count for s in part.shards) == len(keys)
+
+    def test_masked_root_preserves_model_and_region(self):
+        keys = sorted_keys(2_000)
+        part = split_aligned(keys, None, 2)
+        root = part.global_index.root
+        for shard in part.shards:
+            clone = shard.index.root
+            assert clone.region == root.region
+            assert clone.slope == root.slope
+            assert clone.intercept == root.intercept
+            assert len(clone.children) == len(root.children)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = Manifest(
+            router={"kind": "range", "boundaries": [10.0]},
+            shards=[
+                ShardEntry("shard-0000", 5, {"omega": 4096, "rho": 0.2}),
+                ShardEntry("shard-0001", 7, {"omega": 512, "rho": 0.4}),
+            ],
+            generation=3,
+            next_shard=2,
+        )
+        write_manifest(tmp_path, manifest)
+        got = read_manifest(tmp_path)
+        assert got.to_dict() == manifest.to_dict()
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        (tmp_path / "shards.json").write_text("{not json")
+        with pytest.raises(ManifestError):
+            read_manifest(tmp_path)

@@ -189,3 +189,45 @@ class TestBenchParser:
     def test_bench_rejects_bad_scale(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--scale", "galactic"])
+
+
+class TestShardCommands:
+    def test_init_records_dataset_and_serve_uses_it(
+        self, tmp_path, capsys
+    ):
+        d = str(tmp_path / "shards")
+        assert main(
+            ["shard", "init", "--dir", d, "--keys", "3000",
+             "--shards", "2", "--no-sync"]
+        ) == 0
+        assert (tmp_path / "shards" / "dataset.json").is_file()
+        capsys.readouterr()
+        # serve with *mismatched* flags must audit against the
+        # recorded keyset, not the flag keyset.
+        assert main(
+            ["shard", "serve", "--dir", d, "--keys", "9999",
+             "--rounds", "2", "--batch", "256", "--no-processes",
+             "--no-sync"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "using recorded dataset logn/3000/seed 7" in out
+        assert "0 wrong" in out
+
+    def test_init_refuses_non_empty_dir(self, tmp_path, capsys):
+        d = tmp_path / "occupied"
+        d.mkdir()
+        (d / "junk").write_text("x")
+        assert main(
+            ["shard", "init", "--dir", str(d), "--keys", "1000"]
+        ) == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_status_healthy(self, tmp_path, capsys):
+        d = str(tmp_path / "shards")
+        assert main(
+            ["shard", "init", "--dir", d, "--keys", "2000",
+             "--no-sync"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["shard", "status", "--dir", d]) == 0
+        assert "health healthy" in capsys.readouterr().out
