@@ -605,18 +605,51 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 3
 
 
+def _emit_findings(findings, fmt: str, clean_message: str) -> int:
+    import json
+
+    active = [f for f in findings if not f.waived]
+    if fmt == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+        return 1 if active else 0
+    for finding in active:
+        print(finding.format())
+    if active:
+        print(f"{len(active)} finding(s)", file=sys.stderr)
+        return 1
+    print(clean_message)
+    return 0
+
+
 def cmd_check_lint(args: argparse.Namespace) -> int:
-    from repro.check.lint import lint_paths
+    from repro.check.dataflow import analyze_parsed
+    from repro.check.lint import lint_parsed
+    from repro.check.parsing import parse_paths
 
     paths = args.paths or ["src", "benchmarks"]
-    findings = lint_paths(paths)
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"lint clean ({', '.join(str(p) for p in paths)})")
-    return 0
+    include_waived = args.format == "json"
+    # One parse per file, shared by the pattern rules (CHK001-009)
+    # and the dataflow rules (CHK010-013).
+    parsed = parse_paths(paths)
+    findings = lint_parsed(parsed, include_waived=include_waived)
+    findings += analyze_parsed(parsed, include_waived=include_waived)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return _emit_findings(
+        findings, args.format,
+        f"lint clean ({', '.join(str(p) for p in paths)})",
+    )
+
+
+def cmd_check_dataflow(args: argparse.Namespace) -> int:
+    from repro.check.dataflow import analyze_paths
+
+    paths = args.paths or ["src"]
+    include_waived = args.format == "json"
+    findings = analyze_paths(paths, include_waived=include_waived)
+    return _emit_findings(
+        findings, args.format,
+        f"dataflow clean ({', '.join(str(p) for p in paths)})",
+    )
 
 
 def cmd_check_sanitize(args: argparse.Namespace) -> int:
@@ -1168,14 +1201,38 @@ def build_parser() -> argparse.ArgumentParser:
     check_sub = check.add_subparsers(dest="check_command", required=True)
 
     lint = check_sub.add_parser(
-        "lint", help="run the CHK lint rules over source trees"
+        "lint",
+        help="run every CHK rule (pattern + dataflow) over source trees",
     )
     lint.add_argument(
         "paths",
         nargs="*",
         help="files or directories to lint (default: src benchmarks)",
     )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json includes pragma-waived findings",
+    )
     lint.set_defaults(func=cmd_check_lint)
+
+    dataflow = check_sub.add_parser(
+        "dataflow",
+        help="run only the interprocedural rules CHK010-CHK013",
+    )
+    dataflow.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    dataflow.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json includes pragma-waived findings",
+    )
+    dataflow.set_defaults(func=cmd_check_dataflow)
 
     sanitize = check_sub.add_parser(
         "sanitize",

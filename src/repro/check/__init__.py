@@ -12,8 +12,12 @@ Three pillars (see ``docs/static_analysis.md``):
 * :mod:`repro.check.plan_audit` -- :class:`PlanAuditor`: offline
   plan-store audit (base CRCs, delta chains, staleness); ``repro
   audit DIR`` combines it with the WAL audit.
-* :mod:`repro.check.lint` -- rules CHK001-CHK007 over the repo's own
-  source (``repro check lint ...``).
+* :mod:`repro.check.lint` -- pattern rules CHK001-CHK009 over the
+  repo's own source (``repro check lint ...``).
+* :mod:`repro.check.dataflow` -- interprocedural dataflow rules
+  CHK010-CHK013 (``repro check dataflow ...``; also part of the
+  default ``repro check lint`` gate), sharing one parse per file with
+  the pattern rules via :mod:`repro.check.parsing`.
 
 Submodules import the core back (the sanitizers wrap live indexes), so
 everything here is exported lazily; ``repro.check.errors`` stays
@@ -40,6 +44,10 @@ _LAZY = {
     "LintFinding": ("repro.check.lint", "LintFinding"),
     "lint_paths": ("repro.check.lint", "lint_paths"),
     "RULES": ("repro.check.lint", "RULES"),
+    "DATAFLOW_RULES": ("repro.check.dataflow", "DATAFLOW_RULES"),
+    "analyze_paths": ("repro.check.dataflow", "analyze_paths"),
+    "ParsedFile": ("repro.check.parsing", "ParsedFile"),
+    "parse_paths": ("repro.check.parsing", "parse_paths"),
 }
 
 __all__ = ["InvariantError", "SanitizerViolation", *_LAZY]

@@ -1,0 +1,133 @@
+"""Per-function def-use facts.
+
+For each function the analysis needs (a) its local defs and uses in
+statement order and (b) every write it performs on ``self``
+attributes -- plain stores, augmented stores, subscript stores, and
+mutating method calls (``self.xs.append(...)`` corrupts shared state
+just as surely as ``self.xs = ...``).  The taint solver walks
+statements itself (it needs full expression structure); the rules use
+these precomputed chains for everything that is not taint-shaped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .model import FunctionInfo, call_name
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: In-place container mutators (mirrors the pattern lint's list).
+MUTATING_CALLS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort",
+     "reverse", "fill", "resize", "put", "update", "setdefault",
+     "add", "discard"}
+)
+
+
+@dataclass
+class SelfWrite:
+    """One write to a ``self.<attr>`` slot."""
+
+    attr: str
+    node: ast.AST                 # the statement/call performing it
+    kind: str                     # "assign" | "aug" | "subscript" | "call"
+
+
+@dataclass
+class FunctionFacts:
+    """Def-use chains for one function."""
+
+    info: FunctionInfo
+    #: local name -> defining statements, in source order
+    defs: dict[str, list[ast.AST]] = field(default_factory=dict)
+    #: local name -> reading expressions, in source order
+    uses: dict[str, list[ast.Name]] = field(default_factory=dict)
+    self_writes: list[SelfWrite] = field(default_factory=list)
+    #: attributes of self this function reads
+    self_reads: dict[str, list[ast.Attribute]] = field(default_factory=dict)
+    returns: list[ast.Return] = field(default_factory=list)
+
+
+def _is_self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def compute_facts(info: FunctionInfo) -> FunctionFacts:
+    """Def-use chains for ``info``, nested defs excluded."""
+    facts = FunctionFacts(info)
+
+    def note_target(target: ast.expr, stmt: ast.AST, kind: str) -> None:
+        if isinstance(target, ast.Name):
+            facts.defs.setdefault(target.id, []).append(stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                note_target(el, stmt, kind)
+        elif isinstance(target, ast.Starred):
+            note_target(target.value, stmt, kind)
+        elif isinstance(target, ast.Attribute):
+            attr = _is_self_attr(target)
+            if attr is not None:
+                facts.self_writes.append(SelfWrite(attr, stmt, kind))
+        elif isinstance(target, ast.Subscript):
+            attr = _is_self_attr(target.value)
+            if attr is not None:
+                facts.self_writes.append(SelfWrite(attr, stmt, "subscript"))
+            elif isinstance(target.value, ast.Name):
+                facts.defs.setdefault(target.value.id, []).append(stmt)
+
+    class _Walker(ast.NodeVisitor):
+        def _skip(self, node) -> None:  # nested defs get their own facts
+            del node
+
+        visit_FunctionDef = _skip
+        visit_AsyncFunctionDef = _skip
+        visit_Lambda = _skip
+
+        def visit_Assign(self, node: ast.Assign) -> None:
+            for t in node.targets:
+                note_target(t, node, "assign")
+            self.generic_visit(node)
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            if node.value is not None:
+                note_target(node.target, node, "assign")
+            self.generic_visit(node)
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            note_target(node.target, node, "aug")
+            self.generic_visit(node)
+
+        def visit_Call(self, node: ast.Call) -> None:
+            name = call_name(node.func)
+            if name in MUTATING_CALLS and isinstance(node.func, ast.Attribute):
+                attr = _is_self_attr(node.func.value)
+                if attr is not None:
+                    facts.self_writes.append(SelfWrite(attr, node, "call"))
+            self.generic_visit(node)
+
+        def visit_Name(self, node: ast.Name) -> None:
+            if isinstance(node.ctx, ast.Load):
+                facts.uses.setdefault(node.id, []).append(node)
+
+        def visit_Attribute(self, node: ast.Attribute) -> None:
+            attr = _is_self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                facts.self_reads.setdefault(attr, []).append(node)
+            self.generic_visit(node)
+
+        def visit_Return(self, node: ast.Return) -> None:
+            facts.returns.append(node)
+            self.generic_visit(node)
+
+    walker = _Walker()
+    for stmt in info.node.body:
+        walker.visit(stmt)
+    return facts

@@ -1,0 +1,110 @@
+"""CHK012 -- frozen-plan escape analysis (interprocedural CHK008).
+
+CHK008 bans the in-place ``patch_*`` / ``recompile_*`` spellings
+outside ``flat.py`` by location.  This rule chases the *values*: a
+``FlatPlan`` that can be epoch-published -- obtained from
+``peek_plan()``, ``PlanPublisher.load()``, a ``with ...pinned() as
+plan`` block, passed to ``publish(...)``, or returned by
+``freeze()`` -- must never flow, through any number of assignments,
+returns, or parameters, into a context that calls an in-place mutator
+on it.  Published plans are frozen; the runtime guard raises, but only
+on schedules that actually froze the plan first -- the escape analysis
+catches the pattern on every schedule.
+
+``flat.py`` itself is exempt on the sink side (the ``applied_*``
+constructors delegate to the in-place tiers on private clones), same
+as CHK008.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .facts import FactsStore
+from .model import FunctionInfo
+from .solver import TaintConfig, TaintFinding, TaintSolver
+
+RULE = "CHK012"
+
+_INPLACE_MUTATORS = frozenset(
+    {"patch_value", "patch_insert", "patch_insert_many",
+     "patch_delete", "patch_delete_many",
+     "recompile_subtree", "recompile_subtrees"}
+)
+
+#: plan-returning publication APIs; results are publishable plans
+_PLAN_SOURCES = frozenset({"peek_plan", "freeze"})
+
+#: receivers that identify a publisher's ``load()`` (plain ``load`` is
+#: far too common a name to taint unconditionally)
+_PUBLISHER_NAMES = frozenset({"_published", "publisher", "_publisher"})
+
+
+def _trailing(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _source_call(
+    node: ast.Call, fi: FunctionInfo | None, path: str
+) -> str | None:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _PLAN_SOURCES:
+        return f"{func.attr}() ({path}:{node.lineno})"
+    if func.attr == "load" and _trailing(func.value) in _PUBLISHER_NAMES:
+        return f"publisher load() ({path}:{node.lineno})"
+    return None
+
+
+def _source_withitem(
+    item: ast.withitem, fi: FunctionInfo | None, path: str
+) -> str | None:
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "pinned"
+    ):
+        return f"pinned() ({path}:{expr.lineno})"
+    return None
+
+
+def _sink(
+    node: ast.Call, name: str | None, fi: FunctionInfo | None, path: str
+) -> str | None:
+    if path.replace("\\", "/").endswith("core/flat.py"):
+        return None
+    if name in _INPLACE_MUTATORS and isinstance(node.func, ast.Attribute):
+        return f".{name}()"
+    return None
+
+
+def _message(sink: str, origin: str) -> str:
+    return (
+        f"a publishable FlatPlan (from {origin}) escapes to the in-place "
+        f"mutator {sink}; published plans are frozen -- use the applied_* "
+        f"copy-on-write constructors"
+    )
+
+
+def run(facts: FactsStore) -> list[TaintFinding]:
+    config = TaintConfig(
+        rule=RULE,
+        source_call=_source_call,
+        source_withitem=_source_withitem,
+        sink=_sink,
+        arg_taint_calls=frozenset({"publish"}),
+        # applied_* return fresh private (or freshly cloned) plans; a
+        # mutator on *their* result is flat.py's sanctioned business.
+        purifiers=frozenset(
+            {"applied_values", "applied_insert_many", "applied_delete_many",
+             "applied_recompile_subtrees", "compile_plan", "_cow_clone"}
+        ),
+        message=_message,
+    )
+    return TaintSolver(facts.model, config).run()

@@ -1,0 +1,27 @@
+"""The facts store shared across dataflow rules.
+
+One :class:`FactsStore` is built per ``repro check`` invocation: it
+owns the :class:`~repro.check.dataflow.model.ProjectModel` (functions,
+classes, call graph) and memoizes the per-function def-use chains so
+that CHK010-CHK013 all read the same computed facts instead of
+re-walking the trees.
+"""
+
+from __future__ import annotations
+
+from .defuse import FunctionFacts, compute_facts
+from .model import FunctionInfo, ProjectModel
+
+
+class FactsStore:
+    """Shared, memoized analysis facts for one project."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self._defuse: dict[str, FunctionFacts] = {}
+
+    def defuse(self, fi: FunctionInfo) -> FunctionFacts:
+        facts = self._defuse.get(fi.qualname)
+        if facts is None:
+            facts = self._defuse[fi.qualname] = compute_facts(fi)
+        return facts

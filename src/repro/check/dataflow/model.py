@@ -1,0 +1,272 @@
+"""Project model: functions, classes, and the module-level call graph.
+
+The model is the substrate every flow-sensitive rule shares.  It is
+built once per ``repro check`` invocation from the already-parsed
+trees (:mod:`repro.check.parsing`) and indexes
+
+* every function and method in the analyzed files
+  (:class:`FunctionInfo`), with its parameter list and decorators;
+* every class with its methods (:class:`ClassInfo`);
+* every call site, resolved to candidate callees by a name-based
+  heuristic (:class:`CallSite`) -- Python has no static types, so
+  resolution is deliberately conservative: an attribute call
+  ``x.meth(...)`` resolves to *every* method of that name (narrowed to
+  the enclosing class for ``self.meth(...)``), and a bare-name call to
+  the same-module function first, then any module-level function of
+  that name.
+
+Candidate over-approximation errs toward *propagating* facts, which
+for the taint-style rules means false positives are possible but
+missed flows are much harder; documented false positives are waived
+with pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.check.parsing import ParsedFile
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def call_name(func: ast.expr) -> str | None:
+    """Trailing name of a call target (``foo`` or ``obj.foo``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string when the expression is a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the analyzed project."""
+
+    qualname: str                 # "path::Class.meth" / "path::func"
+    name: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None        # owning class, None for plain functions
+    params: list[str]             # positional + kw-only names, incl. self
+    required: int                 # params without defaults (incl. self)
+    has_varargs: bool
+    decorators: list[str] = field(default_factory=list)
+    calls: list["CallSite"] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its methods."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression, resolved to candidate callees."""
+
+    caller: FunctionInfo | None   # None: module-level code
+    node: ast.Call
+    name: str | None              # trailing callee name
+    receiver: ast.expr | None     # func.value for attribute calls
+    callees: tuple[FunctionInfo, ...]
+
+
+def _params_of(node) -> tuple[list[str], int, bool]:
+    a = node.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args)]
+    required = len(names) - len(a.defaults)
+    kwonly = [p.arg for p in a.kwonlyargs]
+    return names + kwonly, required, a.vararg is not None
+
+
+class ProjectModel:
+    """Whole-project function/class/call-graph index."""
+
+    def __init__(self) -> None:
+        self.files: list[ParsedFile] = []
+        self.functions: list[FunctionInfo] = []
+        self.by_qualname: dict[str, FunctionInfo] = {}
+        #: bare name -> every function/method with that name
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        #: class name -> definitions (names are unique in practice but
+        #: collisions across modules are preserved, not clobbered)
+        self.classes: dict[str, list[ClassInfo]] = {}
+        #: callee qualname -> call sites that may reach it
+        self.callers: dict[str, list[CallSite]] = {}
+        self._by_node: dict[int, FunctionInfo] = {}
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def build(cls, parsed: list[ParsedFile]) -> "ProjectModel":
+        model = cls()
+        model.files = [p for p in parsed if p.tree is not None]
+        for pf in model.files:
+            model._collect_defs(pf)
+        for pf in model.files:
+            model._collect_calls(pf)
+        return model
+
+    def _add_function(
+        self, pf: ParsedFile, node, class_name: str | None, prefix: str
+    ) -> FunctionInfo:
+        params, required, varargs = _params_of(node)
+        qual = f"{pf.path}::{prefix}{node.name}"
+        info = FunctionInfo(
+            qualname=qual,
+            name=node.name,
+            path=pf.path,
+            node=node,
+            class_name=class_name,
+            params=params,
+            required=required,
+            has_varargs=varargs,
+            decorators=[
+                d for d in (dotted_name(dec) or call_name(getattr(dec, "func", dec))
+                            for dec in node.decorator_list)
+                if d
+            ],
+        )
+        self.functions.append(info)
+        self.by_qualname[qual] = info
+        self.by_name.setdefault(node.name, []).append(info)
+        self._by_node[id(node)] = info
+        return info
+
+    def _collect_defs(self, pf: ParsedFile) -> None:
+        for top in pf.tree.body:
+            if isinstance(top, _FUNC_NODES):
+                fi = self._add_function(pf, top, None, "")
+                self._collect_nested(pf, top, fi)
+            elif isinstance(top, ast.ClassDef):
+                ci = ClassInfo(top.name, pf.path, top)
+                self.classes.setdefault(top.name, []).append(ci)
+                for item in top.body:
+                    if isinstance(item, _FUNC_NODES):
+                        mi = self._add_function(
+                            pf, item, top.name, f"{top.name}."
+                        )
+                        ci.methods[item.name] = mi
+                        self._collect_nested(pf, item, mi)
+
+    def _collect_nested(self, pf: ParsedFile, node, parent: FunctionInfo) -> None:
+        for child in ast.walk(node):
+            if child is node or not isinstance(child, _FUNC_NODES):
+                continue
+            # Nested defs keep the lexical class context (closures over
+            # self are rare; name-based resolution covers them anyway).
+            self._add_function(
+                pf, child, parent.class_name,
+                f"{parent.qualname.split('::', 1)[1]}.<locals>.",
+            )
+
+    # -- call-site resolution -----------------------------------------
+
+    def _collect_calls(self, pf: ParsedFile) -> None:
+        model = self
+
+        class _CallWalker(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: list[FunctionInfo | None] = [None]
+                self.class_stack: list[str] = []
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+
+            def _visit_func(self, node) -> None:
+                fi = model._by_node.get(id(node))
+                self.stack.append(fi)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            visit_FunctionDef = _visit_func
+            visit_AsyncFunctionDef = _visit_func
+
+            def visit_Call(self, node: ast.Call) -> None:
+                caller = self.stack[-1]
+                site = model.resolve_call(node, caller, pf.path)
+                if caller is not None:
+                    caller.calls.append(site)
+                for callee in site.callees:
+                    model.callers.setdefault(callee.qualname, []).append(site)
+                self.generic_visit(node)
+
+        _CallWalker().visit(pf.tree)
+
+    def class_of(self, fi: FunctionInfo) -> ClassInfo | None:
+        for ci in self.classes.get(fi.class_name or "", []):
+            if ci.path == fi.path:
+                return ci
+        return None
+
+    def constructor_of(self, name: str) -> tuple[ClassInfo, ...]:
+        return tuple(self.classes.get(name, ()))
+
+    def resolve_call(
+        self, node: ast.Call, caller: FunctionInfo | None, path: str
+    ) -> CallSite:
+        func = node.func
+        name = call_name(func)
+        receiver = func.value if isinstance(func, ast.Attribute) else None
+        callees: list[FunctionInfo] = []
+        if isinstance(func, ast.Name):
+            if func.id == "cls" and caller is not None and caller.class_name:
+                for ci in self.classes.get(caller.class_name, []):
+                    init = ci.methods.get("__init__")
+                    if init:
+                        callees.append(init)
+            elif func.id in self.classes:
+                for ci in self.classes[func.id]:
+                    init = ci.methods.get("__init__")
+                    if init:
+                        callees.append(init)
+            else:
+                plain = [
+                    f for f in self.by_name.get(func.id, [])
+                    if f.class_name is None
+                ]
+                local = [f for f in plain if f.path == path]
+                callees.extend(local or plain)
+        elif isinstance(func, ast.Attribute):
+            own: list[FunctionInfo] = []
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and caller is not None
+                and caller.class_name
+            ):
+                for ci in self.classes.get(caller.class_name, []):
+                    if func.attr in ci.methods:
+                        own.append(ci.methods[func.attr])
+            if own:
+                callees.extend(own)
+            else:
+                callees.extend(
+                    f for f in self.by_name.get(func.attr, [])
+                    if f.class_name is not None
+                )
+        return CallSite(caller, node, name, receiver, tuple(callees))

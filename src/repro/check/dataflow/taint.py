@@ -1,0 +1,115 @@
+"""CHK011 -- untrusted-bytes taint.
+
+CHK007 bans the untrusted-bytes *primitives* outside durability and
+planstore; this rule proves the *flows* inside them (and sharding, the
+third byte-handling package): a value originating at an untrusted
+source must pass through an allowlisted CRC/verify function before it
+reaches a serving or deserialization sink.
+
+**Sources** (only inside ``repro/durability``, ``repro/planstore``,
+``repro/sharding``):
+
+* ``np.memmap(...)`` / ``numpy.memmap(...)`` -- bytes mapped straight
+  from disk; nothing has checksummed them yet (the plan store verifies
+  lazily, after open);
+* ``<pipe>.recv()`` -- frames from the coordinator/worker pipe; a
+  half-dead peer can deliver garbage.
+
+**Verifier allowlist** (sanitizers): ``verify``,
+``_ensure_verified``, ``read_plan_header``, ``read_delta_file``,
+``scan_wal``, ``read_snapshot``, ``_validate_request``,
+``_validate_response``.  Calling one cleans its arguments; the
+argument-less method form (``self._ensure_verified()``) blesses the
+receiver's state for the rest of the body -- the verify-then-serve
+idiom ``PlanStore`` is built on.
+
+**Sinks** (same three packages): ``pickle.load(s)`` on a tainted
+argument, the plan serving entry points (``lookup_batch``,
+``gather_values``, ``replay_trace``, ``contains_batch``,
+``count_range``/``count_range_batch``, ``get_batch``) on a tainted
+receiver or argument, and the worker's ``dispatch`` on tainted
+arguments.  Constructing a ``FlatPlan`` over memmap buffers is *not* a
+sink -- the store's O(1)-open design builds the plan first and
+verifies before the first read; the rule checks exactly that ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .facts import FactsStore
+from .model import FunctionInfo
+from .solver import TaintConfig, TaintFinding, TaintSolver
+
+RULE = "CHK011"
+
+_PACKAGES = ("durability", "planstore", "sharding")
+
+VERIFIERS = frozenset(
+    {"verify", "_ensure_verified", "read_plan_header", "read_delta_file",
+     "scan_wal", "read_snapshot", "_validate_request", "_validate_response"}
+)
+
+_SERVING_SINKS = frozenset(
+    {"lookup_batch", "gather_values", "replay_trace", "contains_batch",
+     "count_range", "count_range_batch", "get_batch", "dispatch"}
+)
+
+
+def in_scope(path: str) -> bool:
+    return any(f"/{pkg}/" in path.replace("\\", "/") for pkg in _PACKAGES)
+
+
+def _source_call(
+    node: ast.Call, fi: FunctionInfo | None, path: str
+) -> str | None:
+    if not in_scope(path):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "memmap" and isinstance(func.value, ast.Name) and (
+            func.value.id in ("np", "numpy")
+        ):
+            return f"np.memmap ({path}:{node.lineno})"
+        if func.attr == "recv" and not node.args:
+            return f"pipe recv ({path}:{node.lineno})"
+    elif isinstance(func, ast.Name) and func.id == "memmap":
+        return f"memmap ({path}:{node.lineno})"
+    return None
+
+
+def _sink(
+    node: ast.Call, name: str | None, fi: FunctionInfo | None, path: str
+) -> str | None:
+    if not in_scope(path):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "pickle"
+        and func.attr in ("load", "loads")
+    ):
+        return f"pickle.{func.attr}"
+    if name in _SERVING_SINKS and isinstance(func, ast.Attribute):
+        return f".{name}()"
+    return None
+
+
+def _message(sink: str, origin: str) -> str:
+    return (
+        f"untrusted bytes from {origin} reach {sink} without passing "
+        f"an allowlisted verifier ({', '.join(sorted(VERIFIERS))})"
+    )
+
+
+def run(facts: FactsStore) -> list[TaintFinding]:
+    config = TaintConfig(
+        rule=RULE,
+        source_call=_source_call,
+        sink=_sink,
+        sanitizers=VERIFIERS,
+        scope=in_scope,
+        message=_message,
+    )
+    return TaintSolver(facts.model, config).run()

@@ -35,6 +35,14 @@ know:
   whose formats checksum every byte before trusting it.  Anywhere else
   they deserialize (or map) bytes nothing has verified.  Test,
   example and benchmark trees are exempt.
+* **CHK008** -- copy-on-write plan discipline: the in-place
+  ``patch_*`` / ``recompile_*`` FlatPlan mutators may only be invoked
+  from inside ``repro/core/flat.py`` (the ``applied_*`` constructors
+  delegate to them after deciding in-place vs copy-on-write).  A
+  direct call anywhere else in ``src/`` would mutate a plan that may
+  already be epoch-published -- frozen plans raise at runtime, but the
+  lint catches the pattern before a schedule ever freezes one.  Test,
+  example and benchmark trees are exempt.
 * **CHK009** -- shard serving discipline: outside the sanctioned
   factory modules, ``src/`` code may not construct a ``DILI`` directly
   -- in particular the sharding layer (coordinator, router, chaos)
@@ -44,14 +52,10 @@ know:
   resilience serving, the lock-check proxy, the bench harness, the
   CLI, and the sharding build modules ``worker.py`` / ``partition.py``.
   Test, example and benchmark trees are exempt.
-* **CHK008** -- copy-on-write plan discipline: the in-place
-  ``patch_*`` / ``recompile_*`` FlatPlan mutators may only be invoked
-  from inside ``repro/core/flat.py`` (the ``applied_*`` constructors
-  delegate to them after deciding in-place vs copy-on-write).  A
-  direct call anywhere else in ``src/`` would mutate a plan that may
-  already be epoch-published -- frozen plans raise at runtime, but the
-  lint catches the pattern before a schedule ever freezes one.  Test,
-  example and benchmark trees are exempt.
+
+The flow-sensitive rules CHK010-CHK013 live in
+``repro.check.dataflow`` and run from the same parsed trees (see
+``repro.check.parsing``).
 
 Any finding can be locally waived with a pragma comment on (any line
 of) the offending statement::
@@ -68,6 +72,15 @@ import re
 from dataclasses import dataclass
 from pathlib import Path, PurePath
 from typing import Iterable, Sequence
+
+from repro.check.parsing import (
+    ParsedFile,
+    _PRAGMA_RE,
+    iter_python_files,
+    parse_paths,
+    parse_source,
+    pragma_lines as _pragma_lines,
+)
 
 RULES: dict[str, str] = {
     "CHK001": "flat-plan SoA buffers mutated outside patch_*/recompile_*",
@@ -138,9 +151,6 @@ _MUTATING_CALLS = frozenset(
 # branch).  Re-typing any of them as a literal is what CHK003 flags.
 COST_LITERALS = frozenset({130.0, 25.0, 17.0, 5.0, 4.0, 2.0})
 
-_PRAGMA_RE = re.compile(r"#\s*repro-check:\s*allow\s+([A-Z0-9,\s]+)")
-
-
 @dataclass(frozen=True)
 class LintFinding:
     """One rule violation at a source location."""
@@ -150,19 +160,21 @@ class LintFinding:
     col: int
     rule: str
     message: str
+    waived: bool = False
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
-
-def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
-    """Map 1-based line number -> rules waived on that line."""
-    out: dict[int, frozenset[str]] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(line)
-        if m:
-            out[i] = frozenset(re.findall(r"CHK\d{3}", m.group(1)))
-    return out
+    def to_json(self) -> dict:
+        """The stable machine-readable schema (``--format=json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+        }
 
 
 def _call_name(func: ast.expr) -> str | None:
@@ -239,6 +251,7 @@ class _Linter(ast.NodeVisitor):
         self.ctx = _FileContext(path)
         self.pragmas = _pragma_lines(source)
         self.findings: list[LintFinding] = []
+        self.waived: list[LintFinding] = []
         self._class_stack: list[str] = []
         self._func_stack: list[str] = []
         # Per-scope sets of local names bound to a flat plan.
@@ -262,16 +275,32 @@ class _Linter(ast.NodeVisitor):
 
     # -- reporting ----------------------------------------------------
 
-    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+    def _report(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        span: tuple[int, int] | None = None,
+    ) -> None:
+        # ``span`` widens the pragma-matching window beyond the node
+        # itself (e.g. a default-value finding honors a pragma anywhere
+        # on the enclosing ``def``'s decorated signature).
         first = getattr(node, "lineno", 1)
         last = getattr(node, "end_lineno", None) or first
+        if span is not None:
+            first, last = min(first, span[0]), max(last, span[1])
+        finding = LintFinding(
+            self.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0), rule, message,
+        )
         for line in range(first, last + 1):
             if rule in self.pragmas.get(line, ()):  # waived
+                self.waived.append(
+                    LintFinding(finding.path, finding.line, finding.col,
+                                finding.rule, finding.message, waived=True)
+                )
                 return
-        self.findings.append(
-            LintFinding(self.path, first, getattr(node, "col_offset", 0),
-                        rule, message)
-        )
+        self.findings.append(finding)
 
     # -- scope bookkeeping --------------------------------------------
 
@@ -434,12 +463,21 @@ class _Linter(ast.NodeVisitor):
             for arg, d in zip(a.kwonlyargs, a.kw_defaults)
             if d is not None
         ]
+        # The offending "statement" is the decorated signature: a pragma
+        # anywhere from the first decorator through the line before the
+        # body waives, but a pragma inside the body does not.
+        sig_first = min(
+            [node.lineno, *(d.lineno for d in node.decorator_list)]
+        )
+        body_first = node.body[0].lineno if node.body else node.lineno
+        sig_last = body_first if body_first == node.lineno else body_first - 1
         for arg, default in pairs:
             if arg.arg == "tracer" and not _is_null_tracer_ref(default):
                 self._report(
                     default, "CHK005",
                     "tracer parameter must default to the shared "
                     "NULL_TRACER constant",
+                    span=(sig_first, sig_last),
                 )
 
     # -- CHK001: SoA mutation tracking --------------------------------
@@ -528,16 +566,35 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def lint_parsed(
+    parsed: Iterable[ParsedFile], *, include_waived: bool = False
+) -> list[LintFinding]:
+    """Lint already-parsed files (the shared single-parse entry point)."""
+    findings: list[LintFinding] = []
+    for pf in parsed:
+        if pf.tree is None:
+            exc = pf.error
+            findings.append(
+                LintFinding(
+                    pf.path,
+                    (exc.lineno or 1) if exc else 1,
+                    (exc.offset or 0) if exc else 0,
+                    "PARSE",
+                    f"syntax error: {exc.msg if exc else 'unparseable'}",
+                )
+            )
+            continue
+        linter = _Linter(pf.path, pf.source, pf.tree)
+        findings.extend(linter.findings)
+        if include_waived:
+            findings.extend(linter.waived)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
     """Lint one module's source text; returns findings (possibly empty)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:  # surfaced as a finding, not a crash
-        return [
-            LintFinding(path, exc.lineno or 1, exc.offset or 0, "PARSE",
-                        f"syntax error: {exc.msg}")
-        ]
-    return _Linter(path, source, tree).findings
+    return lint_parsed([parse_source(source, path)])
 
 
 def lint_file(path: str | Path) -> list[LintFinding]:
@@ -545,22 +602,6 @@ def lint_file(path: str | Path) -> list[LintFinding]:
     return lint_source(p.read_text(encoding="utf-8"), str(p))
 
 
-def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted, deduplicated .py list."""
-    out: set[Path] = set()
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            out.update(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            out.add(p)
-    return sorted(out)
-
-
 def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
     """Lint every .py file under ``paths``; findings in stable order."""
-    findings: list[LintFinding] = []
-    for f in iter_python_files(paths):
-        findings.extend(lint_file(f))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    return lint_parsed(parse_paths(paths))

@@ -1,0 +1,78 @@
+"""Parse-once infrastructure shared by every static pass.
+
+One ``repro check`` invocation parses each source file exactly once:
+:func:`parse_paths` produces :class:`ParsedFile` records (source text,
+AST, pragma map) that both the pattern lint (``repro.check.lint``) and
+the interprocedural dataflow pass (``repro.check.dataflow``) consume.
+The pragma machinery lives here too so both passes honor the same
+waiver contract (``# repro-check: allow CHKxxx -- reason`` on any line
+of the offending statement's span).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+_PRAGMA_RE = re.compile(r"#\s*repro-check:\s*allow\s+([A-Z0-9,\s]+)")
+
+
+def pragma_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rules waived on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if m:
+            out[i] = frozenset(re.findall(r"CHK\d{3}", m.group(1)))
+    return out
+
+
+def waived_in_span(
+    pragmas: dict[int, frozenset[str]], rule: str, first: int, last: int
+) -> bool:
+    """Is ``rule`` waived by a pragma on any line of ``[first, last]``?"""
+    return any(rule in pragmas.get(line, ()) for line in range(first, last + 1))
+
+
+@dataclass
+class ParsedFile:
+    """One source file, parsed once and shared between passes."""
+
+    path: str
+    source: str
+    tree: ast.Module | None        # None when the file failed to parse
+    error: SyntaxError | None = None
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+
+
+def parse_source(source: str, path: str = "<string>") -> ParsedFile:
+    """Parse one module's text; a syntax error is recorded, not raised."""
+    try:
+        tree: ast.Module | None = ast.parse(source, filename=path)
+        error: SyntaxError | None = None
+    except SyntaxError as exc:
+        tree, error = None, exc
+    return ParsedFile(path, source, tree, error, pragma_lines(source))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def parse_paths(paths: Iterable[str | Path]) -> list[ParsedFile]:
+    """Parse every .py file under ``paths``, each exactly once."""
+    return [
+        parse_source(f.read_text(encoding="utf-8"), str(f))
+        for f in iter_python_files(paths)
+    ]

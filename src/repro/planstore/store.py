@@ -79,7 +79,9 @@ class _LazyValues:
 
     def __getitem__(self, i: int):
         lo, hi = int(self._offsets[i]), int(self._offsets[i + 1])
-        return pickle.loads(self._bytes[lo:hi].tobytes())
+        return pickle.loads(  # repro-check: allow CHK011 -- PlanStore._ensure_verified checksums the mapped file before any read indexes this column (lazy-verify contract)
+            self._bytes[lo:hi].tobytes()
+        )
 
 
 class PlanStore:
@@ -257,9 +259,13 @@ class PlanStore:
                 raise PlanFormatError(
                     f"{self.path}: unknown overlay opcode {opcode}"
                 )
-        if wal_lsn is not None and wal_lsn > self.wal_lsn:
-            self.wal_lsn = wal_lsn
-        self._count_cache = None
+        # Only the tail takes the lock: the replay loop above goes
+        # through _insert_many -> _base_contains -> _ensure_verified,
+        # which acquires self._lock itself (non-reentrant).
+        with self._lock:
+            if wal_lsn is not None and wal_lsn > self.wal_lsn:
+                self.wal_lsn = wal_lsn
+            self._count_cache = None
 
     def _base_contains(self, keys: list[float]) -> np.ndarray:
         self._ensure_verified()

@@ -88,6 +88,24 @@ def _mp_context():
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _validate_response(frame) -> tuple:
+    """Verify a response frame's shape before trusting its fields.
+
+    The worker pipe delivers whatever the peer pickled; a crashed or
+    version-skewed worker can flush garbage.  The frame must be
+    ``(req_id: int, ok: bool, payload)``.
+    """
+    if (
+        not isinstance(frame, tuple)
+        or len(frame) != 3
+        or isinstance(frame[0], bool)
+        or not isinstance(frame[0], int)
+        or not isinstance(frame[1], bool)
+    ):
+        raise ValueError(f"malformed response frame: {frame!r}")
+    return frame
+
+
 class ProcessHandle:
     """One worker process behind a duplex pipe."""
 
@@ -134,11 +152,13 @@ class ProcessHandle:
                 ) from exc
             if ready:
                 try:
-                    got, ok, payload = self.conn.recv()
+                    got, ok, payload = _validate_response(self.conn.recv())
                 except (EOFError, OSError) as exc:
                     raise WorkerDied(
                         f"{self.dirpath}: worker died mid-response: {exc}"
                     ) from exc
+                except ValueError as exc:
+                    raise WorkerDied(f"{self.dirpath}: {exc}") from exc
                 if got == -1 and not ok:
                     _raise_remote(payload[0], f"startup failed: {payload[1]}")
                 if got != rid:
@@ -594,6 +614,23 @@ class ShardedDILI:
         if values is None:
             raise ValueError("update_batch requires values")
         return self._write_batch("update_batch", keys, values)
+
+    def republish(self, index: int | None = None) -> dict:
+        """Force shard(s) to publish a fresh base generation now.
+
+        Workers compact their WAL tail into a new base generation
+        automatically once it grows past ``republish_threshold``;
+        this triggers the compaction eagerly -- e.g. before a planned
+        shutdown, so the next recovery opens a published plan instead
+        of replaying a WAL tail.  Returns ``{shard_name: generation}``
+        for the affected shards.
+        """
+        targets = range(self.num_shards) if index is None else [index]
+        with self._lock:
+            return {
+                self.manifest.shards[s].name: int(self._call(s, "publish"))
+                for s in targets
+            }
 
     # ------------------------------------------------------------------
     # Rebalancing

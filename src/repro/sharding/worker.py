@@ -191,9 +191,6 @@ class ShardWorker:
         self.ops["batches"] += 1
         return np.asarray(self._read_target().count_range_batch(los, his))
 
-    def count_range(self, lo: float, hi: float) -> int:
-        return int(self.count_range_batch([lo], [hi])[0])
-
     def insert_batch(self, keys, values=None):
         out = self.durable.insert_batch(keys, values)
         self._after_write(len(out))
@@ -267,6 +264,26 @@ class ShardWorker:
         return getattr(self, method)(*args)
 
 
+def _validate_request(frame) -> tuple:
+    """Verify a request frame's shape before dispatching on it.
+
+    The pipe hands over whatever the peer pickled; a version-skewed or
+    half-dead coordinator can deliver garbage that would otherwise be
+    splatted straight into ``getattr`` dispatch.  The frame must be
+    ``(req_id: int, method: str, args: tuple)``.
+    """
+    if (
+        not isinstance(frame, tuple)
+        or len(frame) != 3
+        or isinstance(frame[0], bool)
+        or not isinstance(frame[0], int)
+        or not isinstance(frame[1], str)
+        or not isinstance(frame[2], tuple)
+    ):
+        raise ValueError(f"malformed request frame: {frame!r}")
+    return frame
+
+
 def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
     """Process entry point: serve ``dirpath`` over a pipe.
 
@@ -287,8 +304,12 @@ def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
     try:
         while True:
             try:
-                req_id, method, args = conn.recv()
+                req_id, method, args = _validate_request(conn.recv())
             except (EOFError, OSError):
+                break
+            except ValueError:
+                # A peer not speaking our frames is as dead as a
+                # broken pipe; there is no req_id to answer on.
                 break
             if method == "stop":
                 conn.send((req_id, True, None))

@@ -341,3 +341,95 @@ class TestRepositoryIsClean:
     def test_src_and_benchmarks_lint_clean(self):
         findings = lint_paths([REPO / "src", REPO / "benchmarks"])
         assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestPragmaMultiLineStatements:
+    """A pragma waives when it sits on *any* line of the offending
+    statement -- decorated signatures, parenthesized multi-line calls,
+    and multi-line ``with`` headers included."""
+
+    def test_decorated_def_pragma_on_decorator_line(self):
+        src = (
+            "@probe  # repro-check: allow CHK005 -- bench shim\n"
+            "def traced(\n"
+            "    tracer=None,\n"
+            "):\n"
+            "    pass\n"
+        )
+        assert rules(src) == []
+
+    def test_decorated_def_pragma_inside_body_does_not_waive(self):
+        src = (
+            "@probe\n"
+            "def traced(tracer=None):\n"
+            "    pass  # repro-check: allow CHK005 -- too late\n"
+        )
+        assert rules(src) == ["CHK005"]
+
+    def test_multiline_call_pragma_on_closing_paren(self):
+        src = (
+            "injector = FaultInjector(\n"
+            "    'probe',\n"
+            ")  # repro-check: allow CHK006 -- seeded\n"
+        )
+        assert rules(src) == []
+
+    def test_multiline_call_pragma_on_first_line(self):
+        src = (
+            "injector = FaultInjector(  # repro-check: allow CHK006 -- seeded\n"
+            "    'probe',\n"
+            ")\n"
+        )
+        assert rules(src) == []
+
+    def test_multiline_with_statement_pragma(self):
+        src = (
+            "import numpy as np\n"
+            "with np.memmap(\n"
+            "    'plan.bin',\n"
+            "    mode='r',\n"
+            ") as buf:  # repro-check: allow CHK007 -- fixture\n"
+            "    pass\n"
+        )
+        assert rules(src) == []
+
+    def test_unrelated_rule_pragma_on_multiline_call_does_not_waive(self):
+        src = (
+            "injector = FaultInjector(\n"
+            "    'probe',\n"
+            ")  # repro-check: allow CHK007 -- wrong rule\n"
+        )
+        assert rules(src) == ["CHK006"]
+
+
+class TestSingleParsePerInvocation:
+    """One ``repro check`` invocation parses each file exactly once;
+    the pattern rules and the dataflow rules share the trees."""
+
+    def test_parse_count_equals_file_count(self, tmp_path, monkeypatch):
+        import ast as ast_module
+
+        import repro.check.parsing  # noqa: F401 -- the patched seam
+        from repro.check.dataflow import analyze_parsed
+        from repro.check.lint import lint_parsed
+        from repro.check.parsing import parse_paths
+
+        (tmp_path / "a.py").write_text("def f():\n    return 1\n")
+        (tmp_path / "b.py").write_text(
+            "class C:\n    def m(self):\n        return 2\n"
+        )
+        calls = []
+        real_parse = ast_module.parse
+
+        def spying_parse(*args, **kwargs):
+            calls.append(args[0][:20])
+            return real_parse(*args, **kwargs)
+
+        monkeypatch.setattr(ast_module, "parse", spying_parse)
+        parsed = parse_paths([tmp_path])
+        assert len(calls) == 2
+        lint_parsed(parsed)
+        analyze_parsed(parsed)
+        lint_parsed(parsed, include_waived=True)
+        analyze_parsed(parsed, include_waived=True)
+        assert len(calls) == 2, "a pass re-parsed instead of sharing trees"

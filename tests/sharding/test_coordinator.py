@@ -205,3 +205,90 @@ def test_status_reports_per_shard_counters(tmp_path):
         assert shard["health"] == "healthy"
         assert shard["generations"]
         assert shard["keys"] > 0
+
+
+class TestPipeProtocolValidation:
+    """The frame validators are the pipe protocol's trust boundary:
+    whatever a half-dead peer pickles gets shape-checked before
+    dispatch (worker side) or field access (coordinator side)."""
+
+    def test_validate_request_passes_good_frames(self):
+        from repro.sharding.worker import _validate_request
+
+        frame = (7, "get_batch", (np.asarray([1.0]),))
+        assert _validate_request(frame) is frame
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            None,
+            "stop",
+            (1, "get_batch"),  # missing args
+            (1, "get_batch", (), "extra"),
+            ("1", "get_batch", ()),  # req_id not an int
+            (True, "get_batch", ()),  # bool is not a req_id
+            (1, 2, ()),  # method not a str
+            (1, "get_batch", [1.0]),  # args not a tuple
+        ],
+    )
+    def test_validate_request_rejects_malformed_frames(self, frame):
+        from repro.sharding.worker import _validate_request
+
+        with pytest.raises(ValueError):
+            _validate_request(frame)
+
+    def test_validate_response_passes_good_frames(self):
+        from repro.sharding.coordinator import _validate_response
+
+        frame = (7, True, [1, 2, 3])
+        assert _validate_response(frame) is frame
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            None,
+            (1, True),
+            (1, True, None, None),
+            ("1", True, None),
+            (True, True, None),  # bool is not a req_id
+            (1, 1, None),  # ok not a bool
+        ],
+    )
+    def test_validate_response_rejects_malformed_frames(self, frame):
+        from repro.sharding.coordinator import _validate_response
+
+        with pytest.raises(ValueError):
+            _validate_response(frame)
+
+    def test_worker_survives_until_malformed_frame(self, tmp_path):
+        # A process worker that receives garbage exits instead of
+        # dispatching on it; the coordinator sees a dead worker and
+        # restarts it on the next request.
+        index, keys, values = make_index(tmp_path, processes=True)
+        with index:
+            handle = index._handles[0]
+            handle.conn.send("not a frame")
+            got = index.get_batch(keys[:10])
+            assert got == [values[i] for i in range(10)]
+
+
+class TestRepublish:
+    def test_republish_rolls_every_shard_generation(self, tmp_path):
+        index, keys, values = make_index(tmp_path)
+        with index:
+            new_keys = keys[:50] + 0.5
+            index.insert_batch(new_keys, [int(k) for k in new_keys])
+            generations = index.republish()
+            assert set(generations) == {
+                entry.name for entry in index.manifest.shards
+            }
+            assert all(g >= 1 for g in generations.values())
+            # Serving continues from the fresh generation.
+            got = index.get_batch(keys[:20])
+            assert got == [values[i] for i in range(20)]
+
+    def test_republish_single_shard(self, tmp_path):
+        index, keys, values = make_index(tmp_path)
+        with index:
+            generations = index.republish(0)
+            assert len(generations) == 1

@@ -231,3 +231,60 @@ class TestShardCommands:
         capsys.readouterr()
         assert main(["shard", "status", "--dir", d]) == 0
         assert "health healthy" in capsys.readouterr().out
+
+
+class TestCheckCommands:
+    CHK012_SEED = (
+        "def corrupt(index):\n"
+        "    plan = index.peek_plan()\n"
+        "    plan.patch_insert(1.0, 'v')\n"
+    )
+
+    def seed(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "example.py").write_text(self.CHK012_SEED)
+        return tmp_path / "src"
+
+    def test_check_dataflow_clean_tree(self, tmp_path, capsys):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "fine.py").write_text("def f():\n    return 1\n")
+        assert main(["check", "dataflow", str(tmp_path / "src")]) == 0
+        assert "dataflow clean" in capsys.readouterr().out
+
+    def test_check_dataflow_seeded_violation(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        assert main(["check", "dataflow", str(src)]) == 1
+        assert "CHK012" in capsys.readouterr().out
+
+    def test_check_lint_gate_includes_dataflow(self, tmp_path, capsys):
+        src = self.seed(tmp_path)
+        assert main(["check", "lint", str(src)]) == 1
+        assert "CHK012" in capsys.readouterr().out
+
+    def test_check_json_format_schema(self, tmp_path, capsys):
+        import json
+
+        src = self.seed(tmp_path)
+        assert main(["check", "dataflow", "--format=json", str(src)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in findings] == ["CHK012"]
+        assert set(findings[0]) == {
+            "rule", "path", "line", "col", "message", "waived",
+        }
+        assert findings[0]["waived"] is False
+
+    def test_check_json_format_includes_waived(self, tmp_path, capsys):
+        import json
+
+        src = self.seed(tmp_path)
+        example = src / "repro" / "core" / "example.py"
+        example.write_text(self.CHK012_SEED.replace(
+            "plan.patch_insert(1.0, 'v')",
+            "plan.patch_insert(1.0, 'v')"
+            "  # repro-check: allow CHK012 -- seeded",
+        ))
+        assert main(["check", "dataflow", "--format=json", str(src)]) == 0
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["waived"] for f in findings] == [True]
