@@ -1,0 +1,148 @@
+"""Shard supervision bench: what the deadline + breaker machinery buys.
+
+Prices the ISSUE 10 contract on a live 3-shard process fleet:
+
+* **hung-shard batch read** -- wall-clock of a full-fleet `get_batch`
+  with one SIGSTOP'd worker, vs the healthy baseline and vs the
+  request deadline.  The whole point of one per-request budget is that
+  this latency is bounded by `deadline + eps`, not
+  `retries x timeout`; the assertion holds the bound.
+* **partial-mode tax** -- `partial=True` read latency with one shard
+  isolated behind a forced-OPEN breaker, vs fail-fast on the same
+  healthy fleet: the degraded path must not be more than a small
+  multiple of the healthy one (it skips the dead shard entirely).
+* **supervision overhead** -- healthy-fleet throughput with heartbeats
+  + background probe on vs off, pricing the always-on machinery.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.sharding.breaker import RestartPolicy
+from repro.sharding.coordinator import ShardedDILI
+from repro.sharding.supervision import UNAVAILABLE
+
+
+def _make_fleet(tmp_path, *, supervise=True, heartbeat=0.1, **kwargs):
+    rng = np.random.default_rng(29)
+    keys = np.unique(rng.integers(0, 10_000_000, size=6_000)).astype(
+        np.float64
+    )
+    values = [int(k) * 3 for k in keys]
+    index = ShardedDILI.create(
+        tmp_path,
+        keys,
+        values,
+        num_shards=3,
+        partition="range",
+        tuning="none",
+        processes=True,
+        sync=False,
+        heartbeat_interval=heartbeat,
+        supervise=supervise,
+        **kwargs,
+    )
+    return index, keys
+
+
+def _timed_read(index, probe):
+    t0 = time.perf_counter()
+    got = index.get_batch(probe)
+    return time.perf_counter() - t0, got
+
+
+def test_hung_shard_read_bounded_by_deadline(tmp_path, capsys):
+    request_timeout = 8.0
+    index, keys = _make_fleet(
+        tmp_path / "hung",
+        request_timeout=request_timeout,
+        hang_timeout=0.5,
+        policy=RestartPolicy(term_grace=0.3),
+        supervise=False,  # measure the in-request escalation itself
+    )
+    probe = keys[:: max(1, len(keys) // 2_000)]
+    with index:
+        healthy_s, baseline = _timed_read(index, probe)
+        index.pause_worker(1)
+        hung_s, got = _timed_read(index, probe)
+        assert got == baseline
+        assert hung_s <= request_timeout + 0.5
+        assert index.restarts == 1
+    rows = [
+        ["healthy read", healthy_s * 1e3, len(probe), 0.0],
+        ["one shard hung", hung_s * 1e3, len(probe), 1.0],
+        ["deadline budget", request_timeout * 1e3, len(probe), 0.0],
+    ]
+    with capsys.disabled():
+        print_table(
+            "Full-fleet batch read with a SIGSTOP'd worker "
+            "(escalate + restart inside one request deadline)",
+            ["case", "ms", "keys", "restarts"],
+            rows,
+            first_col_width=18,
+        )
+
+
+def test_partial_mode_tax_with_isolated_shard(tmp_path, capsys):
+    index, keys = _make_fleet(tmp_path / "partial", supervise=False)
+    probe = keys[:: max(1, len(keys) // 2_000)]
+    with index:
+        healthy_s, _ = _timed_read(index, probe)
+        for _ in range(index.policy.budget):
+            index.supervisor.note_failure(0, "forced open for bench")
+        t0 = time.perf_counter()
+        got = index.get_batch(probe, partial=True)
+        partial_s = time.perf_counter() - t0
+        routed = index.router.route(probe)
+        unavailable = sum(1 for value in got if value is UNAVAILABLE)
+        assert unavailable == int((routed == 0).sum())
+        # Skipping the isolated shard must not cost more than a small
+        # multiple of the healthy read (no spawn, no waiting).
+        assert partial_s <= max(5.0 * healthy_s, 0.25)
+    rows = [
+        ["fail-fast healthy", healthy_s * 1e3, len(probe), 0.0],
+        ["partial, 1 isolated", partial_s * 1e3, len(probe),
+         float(unavailable)],
+    ]
+    with capsys.disabled():
+        print_table(
+            "Partial-mode read tax with one shard behind an OPEN breaker",
+            ["case", "ms", "keys", "unavailable"],
+            rows,
+            first_col_width=20,
+        )
+
+
+def test_supervision_overhead_when_healthy(tmp_path, capsys):
+    rows = []
+    throughputs = {}
+    for label, supervise, heartbeat in (
+        ("unsupervised", False, 0.0),
+        ("supervised", True, 0.1),
+    ):
+        index, keys = _make_fleet(
+            tmp_path / label, supervise=supervise, heartbeat=heartbeat
+        )
+        probe = keys[:: max(1, len(keys) // 4_000)]
+        with index:
+            index.get_batch(probe[:64])  # warm the workers
+            t0 = time.perf_counter()
+            rounds = 12
+            for _ in range(rounds):
+                index.get_batch(probe)
+            elapsed = time.perf_counter() - t0
+        per_key = rounds * len(probe) / elapsed
+        throughputs[label] = per_key
+        rows.append([label, elapsed / rounds * 1e3, per_key, heartbeat])
+    # Heartbeats ride the existing pipes and the probe thread sleeps
+    # between sweeps: the healthy-path cost must stay marginal.
+    assert throughputs["supervised"] >= 0.5 * throughputs["unsupervised"]
+    with capsys.disabled():
+        print_table(
+            "Healthy-fleet cost of heartbeats + background probe",
+            ["fleet", "ms/batch", "keys/s", "heartbeat_s"],
+            rows,
+            first_col_width=14,
+        )

@@ -42,9 +42,12 @@ Commands:
   partitions a dataset into per-shard plan directories, ``shard
   serve`` scatter/gathers an audited read workload over worker
   processes, ``shard bench`` measures batch-read scaling by worker
-  count plus per-shard tuning vs one global config, and ``shard
-  status`` reports per-shard key counts, plan generations, ops
-  counters and health.
+  count plus per-shard tuning vs one global config, ``shard status``
+  reports per-shard key counts, plan generations, ops counters,
+  health, restart ledgers and circuit-breaker states, and ``shard
+  chaos`` runs the seeded fault-injection audits (SIGKILL, SIGSTOP
+  hangs, slow workers, crash loops) and exits nonzero unless every
+  read audited clean.
 """
 
 from __future__ import annotations
@@ -751,6 +754,7 @@ def _print_shard_status(status: dict) -> None:
     rows = []
     for i, shard in enumerate(status["shards"]):
         ops = shard.get("ops", {})
+        sup = shard.get("supervision", {})
         rows.append(
             [
                 f"{i}:{shard.get('name', '?')}",
@@ -760,6 +764,7 @@ def _print_shard_status(status: dict) -> None:
                 float(ops.get("reads", 0)),
                 float(ops.get("writes", 0)),
                 float(shard.get("wal_lsn", 0)),
+                float(sup.get("restarts", 0)),
             ]
         )
     print(
@@ -769,10 +774,27 @@ def _print_shard_status(status: dict) -> None:
                 str(s.get("health")) for s in status["shards"]
             )
             + ")",
-            ["shard", "keys", "gen", "rung", "reads", "writes", "lsn"],
+            ["shard", "keys", "gen", "rung", "reads", "writes", "lsn",
+             "rst"],
             rows,
             first_col_width=16,
         )
+    )
+    parts = []
+    for i, shard in enumerate(status["shards"]):
+        sup = shard.get("supervision", {})
+        breaker = sup.get("breaker", {})
+        state = breaker.get("state", "closed")
+        up = "up" if sup.get("up", True) else "down"
+        note = f"{i}:{state}/{up}"
+        if sup.get("consecutive_failures"):
+            note += f"({sup['consecutive_failures']} fails)"
+        parts.append(note)
+    print(
+        f"supervision: {' '.join(parts)}; "
+        f"{status.get('open_breakers', 0)} open breaker(s), "
+        f"background probe "
+        f"{'on' if status.get('supervise') else 'off'}"
     )
 
 
@@ -942,10 +964,59 @@ def cmd_shard_status(args: argparse.Namespace) -> int:
     with ShardedDILI.open(args.dir, processes=False) as index:
         status = index.status()
     _print_shard_status(status)
-    healthy = status["health"] == "healthy" and all(
-        s.get("health") in (None, "healthy") for s in status["shards"]
+    healthy = (
+        status["health"] == "healthy"
+        and status.get("open_breakers", 0) == 0
+        and all(
+            s.get("health") in (None, "healthy")
+            for s in status["shards"]
+        )
     )
     return 0 if healthy else 1
+
+
+def cmd_shard_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sharding.chaos import run_shard_chaos, run_supervision_chaos
+
+    clean = True
+    if args.schedule in ("kill", "both"):
+        report = run_shard_chaos(seed=args.seed)
+        clean = clean and report.clean
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            d = report.to_dict()
+            print(
+                f"kill schedule (seed {args.seed}): "
+                f"{d['reads']:,} audited reads, "
+                f"{d['wrong_reads']} wrong, {d['kills']} kills, "
+                f"{d['restarts']} restarts, "
+                f"{d['rebalances']} rebalances -> "
+                f"{'clean' if report.clean else 'DIRTY'}"
+            )
+    if args.schedule in ("supervision", "both"):
+        report = run_supervision_chaos(seed=args.seed)
+        clean = clean and report.clean
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            d = report.to_dict()
+            print(
+                f"supervision schedule (seed {args.seed}): "
+                f"{d['reads']:,} audited reads, "
+                f"{d['wrong_reads']} wrong, "
+                f"{d['unavailable_marks']} exact unavailability marks "
+                f"({d['misreported_unavailability']} misreported), "
+                f"hang replaced in {d['hang_recovery_seconds']}s, "
+                f"breaker tripped after {d['failures_at_trip']} "
+                f"failures, healed={d['healed']} -> "
+                f"{'clean' if report.clean else 'DIRTY'}"
+            )
+            for event in report.events:
+                print(f"  - {event}")
+    return 0 if clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1341,6 +1412,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", required=True, help="sharded state directory"
     )
     shard_status.set_defaults(func=cmd_shard_status)
+
+    shard_chaos = shard_sub.add_parser(
+        "chaos",
+        help="seeded fault-injection audit: kills, hangs, slow "
+        "workers, crash loops; exits nonzero unless clean",
+    )
+    shard_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed driving the whole schedule (default: 0)",
+    )
+    shard_chaos.add_argument(
+        "--schedule", default="supervision",
+        choices=["kill", "supervision", "both"],
+        help="kill = SIGKILL + mid-rebalance kills; supervision = "
+        "SIGSTOP hangs, slow workers and crash loops (default)",
+    )
+    shard_chaos.add_argument(
+        "--json", action="store_true",
+        help="print the full report(s) as JSON",
+    )
+    shard_chaos.set_defaults(func=cmd_shard_chaos)
 
     return parser
 

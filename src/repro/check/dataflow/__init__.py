@@ -1,4 +1,4 @@
-"""Interprocedural dataflow analyses (rules CHK010-CHK013).
+"""Interprocedural dataflow analyses (rules CHK010-CHK014).
 
 The pattern rules in :mod:`repro.check.lint` judge one statement at a
 time; the rules here judge *flows*: facts that are only visible once
@@ -28,6 +28,10 @@ The rules:
 * **CHK013** -- pipe-protocol conformance: every message tag the
   coordinator sends has a worker handler with a compatible payload
   arity, and every handler verb is reachable.
+* **CHK014** -- untimed pipe receives: a raw ``Connection.recv()`` /
+  ``.poll(...)`` outside the sanctioned supervision wrappers escapes
+  the per-request deadline budget and can wait forever on a hung
+  worker.
 
 Findings use the same pragma waivers as CHK001-CHK009 (``#
 repro-check: allow CHK011 -- reason``) and the same
@@ -46,7 +50,7 @@ from typing import Iterable
 from repro.check.lint import LintFinding
 from repro.check.parsing import ParsedFile, parse_paths, parse_source, waived_in_span
 
-from . import escape, locks, protocol, taint
+from . import escape, locks, pipes, protocol, taint
 from .facts import FactsStore
 from .model import ProjectModel
 from .solver import TaintFinding
@@ -56,9 +60,10 @@ DATAFLOW_RULES: dict[str, str] = {
     "CHK011": "untrusted bytes reach a sink without an allowlisted verifier",
     "CHK012": "publishable FlatPlan escapes to an in-place mutator",
     "CHK013": "coordinator/worker pipe-protocol drift",
+    "CHK014": "untimed pipe receive outside the supervision wrappers",
 }
 
-_RULE_RUNNERS = (locks.run, taint.run, escape.run, protocol.run)
+_RULE_RUNNERS = (locks.run, taint.run, escape.run, protocol.run, pipes.run)
 
 _EXEMPT_PARTS = frozenset({"tests", "test", "examples", "benchmarks"})
 

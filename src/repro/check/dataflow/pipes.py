@@ -1,0 +1,69 @@
+"""CHK014 -- no untimed pipe receives outside the supervision wrappers.
+
+PR 8's coordinator called ``Connection.recv()`` / ``Connection.poll``
+wherever it needed a frame, each site with its own ad-hoc timeout (or
+none), which is exactly how the 120 s-per-retry tail latency happened:
+per-call timeouts multiply under retries, and one forgotten timeout is
+an unbounded wait on a hung worker.  The supervision layer fixes this
+by construction -- every pipe wait flows through
+:func:`~repro.sharding.supervision.poll_frame` /
+:func:`~repro.sharding.supervision.recv_frame` /
+:func:`~repro.sharding.supervision.drain_stale`, each sliced from one
+per-request :class:`~repro.sharding.supervision.Deadline` -- and this
+rule keeps it fixed: a raw ``.recv()`` or ``.poll(...)`` on a pipe
+connection anywhere outside the sanctioned wrapper module is a
+finding.
+
+Receiver detection is the same name heuristic the rest of the engine
+uses (documented-conservative): a call whose receiver is ``conn`` or
+``*.conn`` is a pipe receive.  The one legitimate blocking receive --
+the worker's request loop, whose whole job is to wait for its
+coordinator while a heartbeat thread vouches for liveness -- carries
+an explicit pragma waiver, so the exception is visible in the diff and
+counted by the waiver audit.
+"""
+
+from __future__ import annotations
+
+from .facts import FactsStore
+from .model import dotted_name
+from .solver import TaintFinding
+
+RULE = "CHK014"
+
+#: The only module allowed to touch the raw pipe-receive primitives:
+#: its wrappers take the caller's deadline slice and are the choke
+#: point the whole bounded-wait argument rests on.
+SANCTIONED = "sharding/supervision.py"
+
+#: Methods that block (or busy-wait) on a pipe connection.
+_RECEIVE_METHODS = frozenset({"recv", "poll"})
+
+
+def _is_pipe_receiver(receiver) -> bool:
+    name = dotted_name(receiver)
+    return name is not None and (name == "conn" or name.endswith(".conn"))
+
+
+def run(facts: FactsStore) -> list[TaintFinding]:
+    findings: list[TaintFinding] = []
+    for fi in facts.model.functions:
+        path = fi.path.replace("\\", "/")
+        if path.endswith(SANCTIONED):
+            continue
+        for site in fi.calls:
+            if (
+                site.name in _RECEIVE_METHODS
+                and site.receiver is not None
+                and _is_pipe_receiver(site.receiver)
+            ):
+                findings.append(
+                    TaintFinding(
+                        fi.path, site.node, RULE,
+                        f"raw pipe {site.name}() outside the sanctioned "
+                        f"supervision wrappers; route the wait through "
+                        f"poll_frame/recv_frame/drain_stale so it draws "
+                        f"from the request deadline",
+                    )
+                )
+    return findings

@@ -44,6 +44,18 @@ _ALLOWED: frozenset[tuple[Health, Health]] = frozenset(
 )
 
 
+#: For each (current, target) pair, the next legal hop on the shortest
+#: path; the state machine is small enough to enumerate by hand.
+_NEXT_HOP: dict[tuple[Health, Health], Health] = {
+    (Health.HEALTHY, Health.DEGRADED): Health.DEGRADED,
+    (Health.HEALTHY, Health.REPAIRING): Health.DEGRADED,
+    (Health.DEGRADED, Health.HEALTHY): Health.REPAIRING,
+    (Health.DEGRADED, Health.REPAIRING): Health.REPAIRING,
+    (Health.REPAIRING, Health.HEALTHY): Health.HEALTHY,
+    (Health.REPAIRING, Health.DEGRADED): Health.DEGRADED,
+}
+
+
 class HealthMonitor:
     """Tracks the health state and its full transition history."""
 
@@ -77,3 +89,16 @@ class HealthMonitor:
             )
         self._state = new
         self.history.append((old, new))
+
+    def drive_to(self, target: Health) -> None:
+        """Walk legal transitions until ``target`` is reached.
+
+        Supervisors derive a *target* health from per-shard state (see
+        :class:`~repro.sharding.supervision.FleetSupervisor`) without
+        caring which state the monitor is currently in; this walks the
+        connecting edges -- e.g. DEGRADED -> HEALTHY routes through
+        REPAIRING -- so every hop stays auditable in ``history`` and
+        illegal jumps remain impossible by construction.
+        """
+        while self._state is not target:
+            self.to(_NEXT_HOP[(self._state, target)])

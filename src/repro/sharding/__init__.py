@@ -18,17 +18,35 @@ Modules:
   simulated cost model), and the aligned global-tree split.
 * :mod:`repro.sharding.manifest` -- the atomic ``shards.json``.
 * :mod:`repro.sharding.worker` -- the per-shard worker process (the
-  only sharding module allowed to touch index state; CHK009).
+  only sharding module allowed to touch index state; CHK009), with a
+  heartbeat thread so the coordinator can tell hung from slow.
 * :mod:`repro.sharding.coordinator` -- ``ShardedDILI``: scatter /
-  gather, worker restart, and the split/merge rebalancer.
-* :mod:`repro.sharding.chaos` -- worker-kill + mid-rebalance chaos
-  harness asserting zero wrong reads.
+  gather, supervised worker restart, and the split/merge rebalancer.
+* :mod:`repro.sharding.supervision` -- per-request ``Deadline``
+  budgets, the sanctioned pipe-receive wrappers (CHK014), and the
+  ``FleetSupervisor`` per-shard health ledgers that derive aggregate
+  coordinator health and gate restarts.
+* :mod:`repro.sharding.breaker` -- per-shard ``CircuitBreaker``
+  (CLOSED -> OPEN -> HALF_OPEN) and the exponential-backoff
+  ``RestartPolicy`` that isolate crash-looping shards.
+* :mod:`repro.sharding.chaos` -- seeded chaos harnesses: worker-kill +
+  mid-rebalance (zero wrong reads) and the supervision schedule
+  (SIGSTOP hangs, slow workers, crash loops, partial-result audits).
 """
 
+from repro.sharding.breaker import BreakerState, CircuitBreaker, RestartPolicy
 from repro.sharding.coordinator import (
     ShardedDILI,
     WorkerDied,
     WorkerRemoteError,
+)
+from repro.sharding.supervision import (
+    UNAVAILABLE,
+    Deadline,
+    DeadlineExceeded,
+    FleetSupervisor,
+    ShardUnavailableError,
+    WorkerHung,
 )
 from repro.sharding.manifest import Manifest, read_manifest, write_manifest
 from repro.sharding.partition import (
@@ -42,11 +60,20 @@ from repro.sharding.worker import ShardWorker
 
 __all__ = [
     "AlignedRouter",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FleetSupervisor",
     "Manifest",
+    "RestartPolicy",
     "ShardRouter",
+    "ShardUnavailableError",
     "ShardWorker",
     "ShardedDILI",
+    "UNAVAILABLE",
     "WorkerDied",
+    "WorkerHung",
     "WorkerRemoteError",
     "build_range_shards",
     "fit_shard_config",

@@ -1,0 +1,178 @@
+"""Per-shard circuit breaker and restart policy.
+
+A crash-looping shard must not be allowed to consume the fleet: PR 8's
+coordinator retried a dead worker synchronously and forever inside the
+request path, so one poisoned shard directory turned every request that
+touched it into an unbounded spawn-fail loop.  The supervision layer
+replaces that with two small, clock-driven machines:
+
+* :class:`RestartPolicy` -- how eagerly a dead worker may be revived:
+  the first failure restarts immediately (a single crash stays
+  transparent, the PR 8 contract), repeated failures back off
+  exponentially, and after ``budget`` *consecutive* failures the
+  shard's breaker trips.
+* :class:`CircuitBreaker` -- the classic CLOSED -> OPEN -> HALF_OPEN
+  machine, per shard.  While OPEN the shard is isolated: requests
+  fail fast (or degrade to partial results) instead of re-spawning the
+  corpse; after ``cooldown`` seconds one *probe* restart is allowed
+  (HALF_OPEN).  A successful probe closes the breaker; a failed one
+  re-opens it for another cooldown.
+
+Both take an injectable monotonic ``clock`` so the state machines are
+unit-testable without sleeping.  Neither is thread-safe on its own:
+all mutation happens under the owning coordinator's lock.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+from repro.check.errors import InvariantError
+
+
+class BreakerState(enum.Enum):
+    """How much the fleet currently trusts one shard's worker."""
+
+    CLOSED = "closed"
+    HALF_OPEN = "half_open"
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff + budget for supervised worker restarts.
+
+    Attributes:
+        backoff_base: Delay before the *second* consecutive restart
+            attempt (the first retries immediately so an isolated
+            crash stays invisible to callers).
+        backoff_factor: Multiplier per further consecutive failure.
+        backoff_cap: Upper bound on any single backoff delay.
+        budget: Consecutive failed restarts before the shard's
+            circuit breaker opens.
+        cooldown: Seconds an OPEN breaker isolates the shard before a
+            HALF_OPEN probe restart is allowed.
+        probe_timeout: Deadline budget for the post-restart ``ping``
+            probe (used when no request deadline is in scope, e.g.
+            the background probe thread).
+        term_grace: Bounded wait after SIGTERM before escalating to
+            SIGKILL when putting down a hung or stopping worker.
+    """
+
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    budget: int = 3
+    cooldown: float = 5.0
+    probe_timeout: float = 10.0
+    term_grace: float = 1.0
+
+    def backoff(self, consecutive_failures: int) -> float:
+        """Delay before the next restart attempt.
+
+        Zero after a success or a single isolated failure; exponential
+        in the number of *consecutive* failures after that.
+        """
+        if consecutive_failures <= 1:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (
+            consecutive_failures - 2
+        )
+        return min(self.backoff_cap, delay)
+
+
+class CircuitBreaker:
+    """One shard's CLOSED -> OPEN -> HALF_OPEN trust machine.
+
+    ``record_failure`` / ``record_success`` feed restart outcomes in;
+    ``allow_attempt`` gates restart attempts (and flips OPEN ->
+    HALF_OPEN once the cooldown has elapsed).  ``state`` alone never
+    mutates, so status snapshots are side-effect free.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise InvariantError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self.failures = 0  # consecutive
+        self.trips = 0
+        self.opened_at: float | None = None
+        #: Every committed transition, oldest first.
+        self.history: list[tuple[BreakerState, BreakerState]] = []
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def closed(self) -> bool:
+        return self._state is BreakerState.CLOSED
+
+    def _to(self, new: BreakerState) -> None:
+        if new is self._state:
+            return
+        self.history.append((self._state, new))
+        self._state = new
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an OPEN breaker will allow a probe (0 when
+        not OPEN or already probe-ready)."""
+        if self._state is not BreakerState.OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.opened_at + self.cooldown - self._clock())
+
+    def allow_attempt(self) -> bool:
+        """May the caller attempt a restart now?
+
+        CLOSED always allows.  OPEN refuses until ``cooldown`` has
+        elapsed, then transitions to HALF_OPEN and allows exactly the
+        probe attempt.  HALF_OPEN allows (the probe is in flight; the
+        coordinator lock serializes attempts).
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            return True
+        if self.cooldown_remaining() > 0.0:
+            return False
+        self._to(BreakerState.HALF_OPEN)
+        return True
+
+    def record_failure(self) -> None:
+        """One restart attempt failed; trip after ``threshold``
+        consecutive failures (immediately when a HALF_OPEN probe
+        fails)."""
+        self.failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self.failures >= self.threshold
+        ):
+            if self._state is not BreakerState.OPEN:
+                self.trips += 1
+            self._to(BreakerState.OPEN)
+            self.opened_at = self._clock()
+
+    def record_success(self) -> None:
+        """A restart (or probe) succeeded; full trust restored."""
+        self.failures = 0
+        self.opened_at = None
+        self._to(BreakerState.CLOSED)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self._state.value,
+            "failures": self.failures,
+            "trips": self.trips,
+            "cooldown_remaining": round(self.cooldown_remaining(), 3),
+        }

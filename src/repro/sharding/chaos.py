@@ -13,17 +13,32 @@ degraded stub).
 
 Deterministic: all scheduling flows from one seeded RNG, so a failure
 reproduces from its seed.
+
+ISSUE 10 adds the *supervision* chaos schedule
+(:func:`run_supervision_chaos`): on top of SIGKILL it injects **hangs**
+(SIGSTOP -- the process lives, heartbeats stop), **slow workers** (the
+``set_delay`` verb: serving latency with heartbeats flowing) and a
+**crash loop** (the shard directory poisoned into a plain file, so
+every restart dies at startup) and asserts the fleet-supervision
+contract: hung workers are replaced within one request deadline, slow
+workers are *not* killed, the crash-looping shard trips its circuit
+breaker within the restart budget while every healthy shard keeps
+answering, partial-mode reads report exactly the unavailable keys, and
+the fleet heals to HEALTHY once the poison is removed.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sharding.breaker import BreakerState, RestartPolicy
 from repro.sharding.coordinator import ShardedDILI
+from repro.sharding.supervision import UNAVAILABLE, ShardUnavailableError
 
 
 @dataclass
@@ -196,6 +211,382 @@ def run_shard_chaos(
                     report.events.append(
                         f"unhealthy shard after chaos: {shard}"
                     )
+    finally:
+        if own_dir:
+            tmp.cleanup()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Supervision chaos: hangs, slow workers, crash loops (ISSUE 10)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SupervisionChaosReport:
+    """Outcome of one :func:`run_supervision_chaos` schedule."""
+
+    seed: int
+    reads: int = 0
+    wrong_reads: int = 0
+    partial_reads: int = 0
+    unavailable_marks: int = 0
+    misreported_unavailability: int = 0
+    kills: int = 0
+    restarts: int = 0
+    hang_recovery_seconds: float = 0.0
+    hung_replaced_within_deadline: bool = False
+    slow_worker_survived: bool = False
+    breaker_tripped_within_budget: bool = False
+    failures_at_trip: int = 0
+    write_rejected_retryable: bool = False
+    healthy_shards_kept_serving: bool = False
+    healed: bool = False
+    final_health: str = ""
+    events: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.wrong_reads == 0
+            and self.misreported_unavailability == 0
+            and self.hung_replaced_within_deadline
+            and self.slow_worker_survived
+            and self.breaker_tripped_within_budget
+            and self.write_rejected_retryable
+            and self.healthy_shards_kept_serving
+            and self.healed
+            and self.final_health == "healthy"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "reads": self.reads,
+            "wrong_reads": self.wrong_reads,
+            "partial_reads": self.partial_reads,
+            "unavailable_marks": self.unavailable_marks,
+            "misreported_unavailability": self.misreported_unavailability,
+            "kills": self.kills,
+            "restarts": self.restarts,
+            "hang_recovery_seconds": round(self.hang_recovery_seconds, 3),
+            "hung_replaced_within_deadline":
+                self.hung_replaced_within_deadline,
+            "slow_worker_survived": self.slow_worker_survived,
+            "breaker_tripped_within_budget":
+                self.breaker_tripped_within_budget,
+            "failures_at_trip": self.failures_at_trip,
+            "write_rejected_retryable": self.write_rejected_retryable,
+            "healthy_shards_kept_serving": self.healthy_shards_kept_serving,
+            "healed": self.healed,
+            "final_health": self.final_health,
+            "clean": self.clean,
+        }
+
+
+def poison_shard_dir(dirpath, name: str) -> str:
+    """Crash-loop injector: replace a shard directory with a plain file.
+
+    Every restarted worker then dies at startup (``DurableDILI``'s
+    ``os.makedirs`` finds a non-directory in the way), which is the
+    crash-loop signature the circuit breaker must contain.  Returns
+    the quarantine path holding the real directory; undo with
+    :func:`heal_shard_dir`.
+    """
+    shard_dir = os.path.join(os.fspath(dirpath), name)
+    quarantine = shard_dir + ".quarantine"
+    os.rename(shard_dir, quarantine)
+    with open(shard_dir, "w", encoding="utf-8") as fh:
+        fh.write("poisoned by run_supervision_chaos\n")
+    return quarantine
+
+
+def heal_shard_dir(dirpath, name: str) -> None:
+    """Undo :func:`poison_shard_dir`: restore the real shard directory."""
+    shard_dir = os.path.join(os.fspath(dirpath), name)
+    os.remove(shard_dir)
+    os.rename(shard_dir + ".quarantine", shard_dir)
+
+
+def _wait_until(predicate, timeout: float, interval: float = 0.05) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+def _worker_pid(index: ShardedDILI, shard: int):
+    return index.status()["shards"][shard].get("pid")
+
+
+def _audit_supervised(
+    index: ShardedDILI,
+    queries: np.ndarray,
+    shadow: dict,
+    report: SupervisionChaosReport,
+    *,
+    unavailable_shard: int | None = None,
+) -> None:
+    """Audit one batch read against the shadow dict.
+
+    With ``unavailable_shard`` set the read runs in partial mode and
+    the audit demands *exact* per-key unavailability: every key routed
+    to that shard comes back :data:`UNAVAILABLE`, every other key
+    comes back with its shadow value -- no false unavailability, no
+    silently wrong values.
+    """
+    report.reads += len(queries)
+    if unavailable_shard is None:
+        got = index.get_batch(queries)
+        for key, value in zip(queries.tolist(), got):
+            if value != shadow.get(key):
+                report.wrong_reads += 1
+        return
+    report.partial_reads += 1
+    expected_down = index.router.route(queries) == unavailable_shard
+    got = index.get_batch(queries, partial=True)
+    for key, value, down in zip(
+        queries.tolist(), got, expected_down.tolist()
+    ):
+        if down:
+            if value is UNAVAILABLE:
+                report.unavailable_marks += 1
+            else:
+                report.misreported_unavailability += 1
+        elif value is UNAVAILABLE:
+            report.misreported_unavailability += 1
+        elif value != shadow.get(key):
+            report.wrong_reads += 1
+
+
+def run_supervision_chaos(
+    *,
+    num_shards: int = 3,
+    num_keys: int = 1_200,
+    batch: int = 240,
+    seed: int = 0,
+    request_timeout: float = 4.0,
+    heartbeat_interval: float = 0.1,
+    hang_timeout: float = 0.8,
+    probe_interval: float = 0.1,
+    slow_delay: float = 0.25,
+    dirpath=None,
+) -> SupervisionChaosReport:
+    """Drive the fleet through every supervised failure mode; audit all.
+
+    The seeded schedule mixes the four injectors and asserts the
+    ISSUE 10 contract phase by phase:
+
+    1. **baseline** -- audited reads on a healthy fleet.
+    2. **SIGKILL** -- one worker killed; the next request restarts it
+       transparently (the PR 8 contract still holds under
+       supervision).
+    3. **hang (SIGSTOP)** -- the worker stays alive but heartbeats
+       stop; a full-fleet batch read must complete *within one request
+       deadline* because the supervisor escalates poll -> SIGTERM ->
+       SIGKILL -> restart mid-request.
+    4. **slow** -- injected serving delay with heartbeats flowing.
+       Under the deadline the read just succeeds; over the deadline a
+       partial-mode read marks exactly the slow shard's keys
+       :data:`UNAVAILABLE` -- and the worker is *not* killed (slow is
+       not hung).
+    5. **crash loop** -- the shard directory is poisoned so every
+       restart dies at startup; the breaker must trip within the
+       restart budget, writes to the shard must be rejected with a
+       *typed, retryable* error, and the healthy shards must keep
+       serving (fail-fast on their keys, partial over the full
+       keyspace).
+    6. **heal** -- the poison is removed; the background probe's
+       HALF_OPEN restart must close the breaker and return the fleet
+       to HEALTHY with zero wrong reads on the full keyspace.
+    """
+    if num_shards < 3:
+        raise ValueError("supervision chaos needs >= 3 shards")
+    rng = np.random.default_rng(seed)
+    report = SupervisionChaosReport(seed=seed)
+    policy = RestartPolicy(
+        backoff_base=0.05,
+        backoff_factor=2.0,
+        backoff_cap=0.5,
+        budget=2,
+        cooldown=2.5,
+        probe_timeout=5.0,
+        term_grace=0.5,
+    )
+    keys = np.unique(rng.integers(0, 10_000_000, size=num_keys)).astype(
+        np.float64
+    )
+    values = [int(k) * 3 for k in keys]
+    shadow = dict(zip(keys.tolist(), values))
+    own_dir = dirpath is None
+    if own_dir:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-supervision-chaos-")
+        dirpath = tmp.name
+
+    def draw_queries() -> np.ndarray:
+        hits = rng.choice(keys, size=batch // 2, replace=True)
+        misses = rng.uniform(0, 30_000_000, size=batch // 2)
+        queries = np.concatenate((hits, misses))
+        rng.shuffle(queries)
+        return queries
+
+    try:
+        with ShardedDILI.create(
+            dirpath,
+            keys,
+            values,
+            num_shards=num_shards,
+            partition="range",
+            tuning="local",
+            processes=True,
+            sync=False,
+            request_timeout=request_timeout,
+            heartbeat_interval=heartbeat_interval,
+            hang_timeout=hang_timeout,
+            policy=policy,
+            probe_interval=probe_interval,
+        ) as index:
+            victims = rng.permutation(num_shards)
+            hang_victim = int(victims[0])
+            slow_victim = int(victims[1])
+            crash_victim = int(victims[2])
+
+            # Phase 1: baseline.
+            _audit_supervised(index, draw_queries(), shadow, report)
+            report.events.append("baseline audit clean")
+
+            # Phase 2: plain SIGKILL -- restart stays transparent.
+            kill_victim = int(rng.integers(0, num_shards))
+            index.kill_worker(kill_victim)
+            report.kills += 1
+            _audit_supervised(index, draw_queries(), shadow, report)
+            report.events.append(f"SIGKILL worker {kill_victim}: served on")
+
+            # Phase 3: hang.  SIGSTOP stops heartbeats but not the
+            # process; the in-request escalation must replace it within
+            # one deadline.
+            old_pid = _worker_pid(index, hang_victim)
+            index.pause_worker(hang_victim)
+            report.kills += 1
+            started = time.monotonic()
+            _audit_supervised(index, draw_queries(), shadow, report)
+            report.hang_recovery_seconds = time.monotonic() - started
+            replaced = _wait_until(
+                lambda: _worker_pid(index, hang_victim) not in (None, old_pid),
+                timeout=request_timeout,
+            )
+            report.hung_replaced_within_deadline = (
+                replaced
+                and report.hang_recovery_seconds <= request_timeout + 0.5
+            )
+            report.events.append(
+                f"SIGSTOP worker {hang_victim}: replaced in "
+                f"{report.hang_recovery_seconds:.2f}s"
+            )
+
+            # Phase 4a: slow under the deadline -- reads just succeed.
+            slow_pid = _worker_pid(index, slow_victim)
+            index.set_worker_delay(slow_victim, slow_delay)
+            _audit_supervised(index, draw_queries(), shadow, report)
+
+            # Phase 4b: slow over the deadline -- partial mode marks
+            # exactly the slow shard's keys, and the worker survives
+            # (heartbeats kept flowing, so it was never "hung").
+            over_delay = request_timeout + 1.5
+            index.set_worker_delay(slow_victim, over_delay)
+            _audit_supervised(
+                index, draw_queries(), shadow, report,
+                unavailable_shard=slow_victim,
+            )
+            index.set_worker_delay(slow_victim, 0.0)
+            report.slow_worker_survived = (
+                _worker_pid(index, slow_victim) == slow_pid
+            )
+            _audit_supervised(index, draw_queries(), shadow, report)
+            report.events.append(
+                f"slow worker {slow_victim}: survived={report.slow_worker_survived}"
+            )
+
+            # Phase 5: crash loop.  Poison the shard directory, kill
+            # the worker; the background probe's restarts all die at
+            # startup and must trip the breaker within the budget.
+            crash_name = index.manifest.shards[crash_victim].name
+            poison_shard_dir(dirpath, crash_name)
+            index.kill_worker(crash_victim)
+            report.kills += 1
+            ledger = index.supervisor.ledger(crash_victim)
+            _wait_until(
+                lambda: ledger.breaker.state is BreakerState.OPEN,
+                timeout=request_timeout + policy.budget,
+            )
+            report.failures_at_trip = ledger.consecutive_failures
+            report.breaker_tripped_within_budget = (
+                ledger.breaker.state is BreakerState.OPEN
+                and ledger.consecutive_failures <= policy.budget
+            )
+            report.events.append(
+                f"crash loop {crash_name}: breaker "
+                f"{ledger.breaker.state.value} after "
+                f"{ledger.consecutive_failures} failures"
+            )
+
+            # Writes to the isolated shard: typed, retryable rejection
+            # with no side effects.
+            target = keys[index.router.route(keys) == crash_victim][:8]
+            if len(target):
+                try:
+                    index.update_batch(
+                        target, [int(k) * 7 for k in target]
+                    )
+                except ShardUnavailableError as exc:
+                    report.write_rejected_retryable = bool(
+                        getattr(exc, "retryable", False)
+                    )
+                except Exception as exc:  # cooldown raced: not typed
+                    report.events.append(f"write rejection raced: {exc!r}")
+
+            # Healthy shards keep serving: fail-fast on their keys,
+            # partial with exact unavailability over the full keyspace.
+            queries = draw_queries()
+            healthy = queries[index.router.route(queries) != crash_victim]
+            before_wrong = report.wrong_reads
+            _audit_supervised(index, healthy, shadow, report)
+            _audit_supervised(
+                index, draw_queries(), shadow, report,
+                unavailable_shard=crash_victim,
+            )
+            report.healthy_shards_kept_serving = (
+                report.wrong_reads == before_wrong
+                and report.misreported_unavailability == 0
+            )
+
+            # Phase 6: heal.  The next HALF_OPEN probe restart succeeds,
+            # closes the breaker, and the fleet returns to HEALTHY.
+            heal_shard_dir(dirpath, crash_name)
+            report.healed = _wait_until(
+                lambda: ledger.up and ledger.breaker.closed,
+                timeout=4.0 * policy.cooldown,
+            )
+            if report.healed and len(target):
+                # The previously rejected write now lands.
+                index.update_batch(target, [int(k) * 7 for k in target])
+                for key in target.tolist():
+                    shadow[key] = int(key) * 7
+            all_keys = np.asarray(sorted(shadow), dtype=np.float64)
+            _audit_supervised(
+                index, all_keys, shadow, report,
+                unavailable_shard=None if report.healed else crash_victim,
+            )
+            status = index.status()
+            report.restarts = index.restarts
+            report.final_health = status["health"]
+            report.events.append(
+                f"healed: health={report.final_health} "
+                f"open_breakers={status['open_breakers']}"
+            )
     finally:
         if own_dir:
             tmp.cleanup()

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
 import threading
 import time
 
@@ -45,6 +46,7 @@ import numpy as np
 from repro.core.dili import DiliConfig
 from repro.durability.durable import DurableDILI
 from repro.resilience.health import Health, HealthMonitor
+from repro.sharding.breaker import RestartPolicy
 from repro.sharding.manifest import (
     Manifest,
     ShardEntry,
@@ -57,12 +59,39 @@ from repro.sharding.partition import (
     split_aligned,
 )
 from repro.sharding.router import ShardRouter, router_from_dict
-from repro.sharding.worker import ShardWorker, replay_segment, worker_main
+from repro.sharding.supervision import (
+    HEARTBEAT_RID,
+    POLL_INTERVAL,
+    STARTUP_RID,
+    UNAVAILABLE,
+    Deadline,
+    DeadlineExceeded,
+    FleetSupervisor,
+    ShardUnavailableError,
+    WorkerDied,
+    WorkerHung,
+    _validate_response,
+    drain_stale,
+    poll_frame,
+    recv_frame,
+)
+from repro.sharding.worker import (
+    HEARTBEAT_INTERVAL,
+    ShardWorker,
+    replay_segment,
+    worker_main,
+)
 from repro.simulate.tracer import NULL_TRACER, NullTracer, Tracer
 
-
-class WorkerDied(RuntimeError):
-    """The worker process is gone (crash, kill, broken pipe)."""
+__all__ = [
+    "LocalHandle",
+    "ProcessHandle",
+    "ShardedDILI",
+    "ShardUnavailableError",
+    "WorkerDied",
+    "WorkerHung",
+    "WorkerRemoteError",
+]
 
 
 class WorkerRemoteError(RuntimeError):
@@ -88,40 +117,43 @@ def _mp_context():
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _validate_response(frame) -> tuple:
-    """Verify a response frame's shape before trusting its fields.
-
-    The worker pipe delivers whatever the peer pickled; a crashed or
-    version-skewed worker can flush garbage.  The frame must be
-    ``(req_id: int, ok: bool, payload)``.
-    """
-    if (
-        not isinstance(frame, tuple)
-        or len(frame) != 3
-        or isinstance(frame[0], bool)
-        or not isinstance(frame[0], int)
-        or not isinstance(frame[1], bool)
-    ):
-        raise ValueError(f"malformed response frame: {frame!r}")
-    return frame
-
-
 class ProcessHandle:
-    """One worker process behind a duplex pipe."""
+    """One worker process behind a duplex pipe.
 
-    def __init__(self, dirpath, *, serve: str, sync: bool, ctx=None) -> None:
+    All pipe waits flow through the sanctioned supervision wrappers
+    (CHK014), sliced from the caller's :class:`Deadline`, and the
+    handle tracks ``last_heard`` -- the monotonic time of the last
+    frame (response *or* heartbeat) -- so receives can distinguish a
+    *hung* worker (heartbeat-silent past ``hang_timeout``:
+    :class:`WorkerHung`, escalate and replace) from a merely *slow*
+    one (heartbeats flowing: :class:`DeadlineExceeded`, leave it be).
+    """
+
+    def __init__(
+        self,
+        dirpath,
+        *,
+        serve: str,
+        sync: bool,
+        ctx=None,
+        heartbeat: float = HEARTBEAT_INTERVAL,
+        term_grace: float = 1.0,
+    ) -> None:
         self.dirpath = os.fspath(dirpath)
+        self.heartbeat = heartbeat
+        self.term_grace = term_grace
         ctx = ctx if ctx is not None else _mp_context()
         parent, child = ctx.Pipe()
         self.process = ctx.Process(
             target=worker_main,
-            args=(self.dirpath, child, serve, sync),
+            args=(self.dirpath, child, serve, sync, heartbeat),
             daemon=True,
         )
         self.process.start()
         child.close()
         self.conn = parent
         self._next_req = 0
+        self.last_heard = time.monotonic()
 
     @property
     def pid(self) -> int | None:
@@ -130,7 +162,15 @@ class ProcessHandle:
     def alive(self) -> bool:
         return self.process.is_alive()
 
+    def _note_heard(self) -> None:
+        self.last_heard = time.monotonic()
+
     def send(self, method: str, args: tuple = ()) -> int:
+        # Anything buffered before a fresh request id is issued is
+        # stale by construction (heartbeats, responses to abandoned
+        # requests); draining here keeps a slow worker's heartbeats
+        # from filling the pipe between requests.
+        drain_stale(self.conn, self.dirpath, on_heartbeat=self._note_heard)
         self._next_req += 1
         rid = self._next_req
         try:
@@ -141,54 +181,120 @@ class ProcessHandle:
             ) from exc
         return rid
 
-    def recv(self, rid: int, timeout: float | None = None):
-        deadline = None if timeout is None else time.monotonic() + timeout
+    def recv(
+        self,
+        rid: int,
+        deadline: Deadline | float | None = None,
+        hang_timeout: float | None = None,
+    ):
+        """Wait for response ``rid`` within the request's budget.
+
+        Raises:
+            WorkerDied: The process exited (its last frames are
+                drained first -- a buffered startup failure surfaces
+                as the remote error it reported).
+            WorkerHung: Alive but heartbeat-silent past
+                ``hang_timeout`` -- the caller should escalate.
+            DeadlineExceeded: Budget exhausted while the worker is
+                alive and heartbeating -- slow, not hung; retryable.
+        """
+        if not isinstance(deadline, Deadline):
+            deadline = Deadline(deadline)
         while True:
-            try:
-                ready = self.conn.poll(0.05)
-            except (OSError, BrokenPipeError) as exc:
-                raise WorkerDied(
-                    f"{self.dirpath}: worker pipe is broken: {exc}"
-                ) from exc
-            if ready:
-                try:
-                    got, ok, payload = _validate_response(self.conn.recv())
-                except (EOFError, OSError) as exc:
-                    raise WorkerDied(
-                        f"{self.dirpath}: worker died mid-response: {exc}"
-                    ) from exc
-                except ValueError as exc:
-                    raise WorkerDied(f"{self.dirpath}: {exc}") from exc
-                if got == -1 and not ok:
+            if poll_frame(
+                self.conn, deadline.slice(POLL_INTERVAL), self.dirpath
+            ):
+                got, ok, payload = recv_frame(self.conn, self.dirpath)
+                self._note_heard()
+                if got == HEARTBEAT_RID:
+                    continue
+                if got == STARTUP_RID and not ok:
                     _raise_remote(payload[0], f"startup failed: {payload[1]}")
                 if got != rid:
-                    continue  # stale response from a pre-retry request
+                    continue  # stale response from an abandoned request
                 if not ok:
                     _raise_remote(payload[0], payload[1])
                 return payload
             if not self.process.is_alive():
                 # Drain anything flushed before death.
-                if self.conn.poll(0):
+                if poll_frame(self.conn, 0.0, self.dirpath):
                     continue
                 raise WorkerDied(f"{self.dirpath}: worker process exited")
-            if deadline is not None and time.monotonic() > deadline:
-                raise WorkerDied(
-                    f"{self.dirpath}: worker timed out after {timeout}s"
+            if (
+                hang_timeout is not None
+                and self.heartbeat > 0
+                and time.monotonic() - self.last_heard > hang_timeout
+            ):
+                raise WorkerHung(
+                    f"{self.dirpath}: no heartbeat for {hang_timeout}s; "
+                    f"worker pid {self.pid} presumed hung"
+                )
+            if deadline.expired:
+                raise DeadlineExceeded(
+                    f"{self.dirpath}: request {rid} exceeded its "
+                    f"{deadline.budget}s deadline budget"
                 )
 
-    def call(self, method: str, args: tuple = (), timeout=None):
-        return self.recv(self.send(method, args), timeout)
+    def call(
+        self,
+        method: str,
+        args: tuple = (),
+        deadline: Deadline | float | None = None,
+        hang_timeout: float | None = None,
+    ):
+        return self.recv(self.send(method, args), deadline, hang_timeout)
+
+    def hang_suspected(self, hang_timeout: float) -> bool:
+        """Idle-time hang check (no request in flight): drain any
+        buffered heartbeats, then judge the silence."""
+        if self.heartbeat <= 0 or not self.process.is_alive():
+            return False
+        drain_stale(self.conn, self.dirpath, on_heartbeat=self._note_heard)
+        return time.monotonic() - self.last_heard > hang_timeout
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Graceful, *bounded* shutdown: ask -> join -> TERM -> KILL.
+
+        Every wait is bounded and each escalation rung joins at most
+        once, so ``stop`` returns within roughly ``timeout +
+        term_grace`` even for a SIGSTOP'd worker (SIGTERM stays
+        pending on a stopped process; SIGKILL does not).
+        """
+        budget = Deadline(timeout)
         try:
-            self.call("stop", (), timeout=timeout)
-        except (WorkerDied, WorkerRemoteError):
+            rid = self.send("stop")
+            self.recv(rid, deadline=budget)
+        except (WorkerDied, WorkerRemoteError, DeadlineExceeded):
             pass
-        self.process.join(timeout=timeout)
+        self.process.join(timeout=budget.slice(timeout))
         if self.process.is_alive():
             self.process.terminate()
-            self.process.join(timeout=timeout)
-        self.conn.close()
+            self.process.join(timeout=self.term_grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=10.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def put_down(self, grace: float | None = None) -> None:
+        """Hung-worker escalation: SIGTERM -> bounded join -> SIGKILL.
+
+        No goodbye frame: the target is presumed unresponsive (the
+        poll already happened -- this *is* the poll -> SIGTERM ->
+        SIGKILL ladder's kill end)."""
+        grace = self.term_grace if grace is None else grace
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=10.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
 
     def kill(self) -> None:
         """SIGKILL, no goodbye -- the chaos harness's verb."""
@@ -208,6 +314,8 @@ class LocalHandle:
         self.worker = ShardWorker(dirpath, serve=serve, sync=sync)
         self._results: dict[int, object] = {}
         self._next_req = 0
+        self.heartbeat = 0.0
+        self.last_heard = time.monotonic()
 
     @property
     def pid(self) -> int:
@@ -222,13 +330,20 @@ class LocalHandle:
         self._results[rid] = self.worker.dispatch(method, args)
         return rid
 
-    def recv(self, rid: int, timeout=None):
+    def recv(self, rid: int, deadline=None, hang_timeout=None):
         return self._results.pop(rid)
 
-    def call(self, method: str, args: tuple = (), timeout=None):
-        return self.recv(self.send(method, args), timeout)
+    def call(self, method: str, args: tuple = (), deadline=None,
+             hang_timeout=None):
+        return self.recv(self.send(method, args), deadline, hang_timeout)
+
+    def hang_suspected(self, hang_timeout: float) -> bool:
+        return False
 
     def stop(self, timeout: float = 5.0) -> None:
+        self.worker.close()
+
+    def put_down(self, grace: float | None = None) -> None:
         self.worker.close()
 
     def kill(self) -> None:
@@ -266,6 +381,23 @@ class ShardedDILI:
     parallelism is *across worker processes*, not across caller
     threads (ROADMAP item 1's scope -- in-process read concurrency is
     PR 7's epoch path).
+
+    Supervision (see :mod:`repro.sharding.supervision`): every batch
+    op draws all its pipe waits, restarts and retries from **one**
+    ``request_timeout`` deadline budget; workers heartbeat every
+    ``heartbeat_interval`` seconds and a worker silent past
+    ``hang_timeout`` is escalated SIGTERM -> SIGKILL -> restart;
+    restarts are gated per shard by ``policy`` (exponential backoff +
+    budget) and repeated failures trip that shard's circuit breaker,
+    isolating it while the rest of the fleet keeps serving.  With
+    ``supervise=True`` (the default for process-backed fleets) a
+    background thread probes for dead/hung workers and revives them
+    off the request path.  Batch reads accept ``partial=True`` to
+    return healthy-shard results with explicit per-key
+    :data:`~repro.sharding.supervision.UNAVAILABLE` markers instead
+    of failing; writes touching an isolated shard always fail fast
+    with a retryable
+    :class:`~repro.sharding.supervision.ShardUnavailableError`.
     """
 
     def __init__(
@@ -277,6 +409,11 @@ class ShardedDILI:
         serve: str = "mmap",
         sync: bool = True,
         request_timeout: float | None = 120.0,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        hang_timeout: float | None = None,
+        policy: RestartPolicy | None = None,
+        supervise: bool | None = None,
+        probe_interval: float = 0.5,
     ) -> None:
         self.dirpath = os.fspath(dirpath)
         self.manifest = manifest
@@ -284,8 +421,16 @@ class ShardedDILI:
         self.serve = serve
         self.sync = sync
         self.request_timeout = request_timeout
+        self.heartbeat_interval = heartbeat_interval if processes else 0.0
+        if hang_timeout is None and self.heartbeat_interval > 0:
+            hang_timeout = 10.0 * self.heartbeat_interval
+        self.hang_timeout = hang_timeout if processes else None
+        self.policy = policy if policy is not None else RestartPolicy()
         self.router = router_from_dict(manifest.router)
         self.health = HealthMonitor()
+        self.supervisor = FleetSupervisor(
+            [entry.name for entry in manifest.shards], policy=self.policy
+        )
         self.restarts = 0
         self.rebalances = 0
         self._ctx = _mp_context() if processes else None
@@ -294,6 +439,15 @@ class ShardedDILI:
             self._spawn(entry.name) for entry in manifest.shards
         ]
         self.ops_counts = [0] * len(self._handles)
+        self.supervise = processes if supervise is None else supervise
+        self._probe_interval = probe_interval
+        self._stop_probe = threading.Event()
+        self._probe_thread = None
+        if self.supervise:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, name="shard-supervisor", daemon=True
+            )
+            self._probe_thread.start()
 
     # ------------------------------------------------------------------
     # Construction
@@ -399,48 +553,180 @@ class ShardedDILI:
         shard_dir = os.path.join(self.dirpath, name)
         if self.processes:
             return ProcessHandle(
-                shard_dir, serve=self.serve, sync=self.sync, ctx=self._ctx
+                shard_dir,
+                serve=self.serve,
+                sync=self.sync,
+                ctx=self._ctx,
+                heartbeat=self.heartbeat_interval,
+                term_grace=self.policy.term_grace,
             )
         return LocalHandle(shard_dir, serve=self.serve, sync=self.sync)
 
-    def _restart(self, index: int) -> None:
-        """Replace a dead worker; recovery is the shard dir's problem.
+    def _alive(self, index: int) -> bool:
+        return self._handles[index].alive()
 
-        The fresh process re-opens the shard directory through
-        DurableDILI + MmapDILI, i.e. the PR 6 fallback ladder decides
-        what serves (published plan first, snapshot+WAL rebuild last).
+    def _deadline(self) -> Deadline:
+        return Deadline(self.request_timeout)
+
+    def _revive(self, index: int, *, deadline: Deadline | None = None) -> None:
+        """Replace a dead worker under supervision gating.
+
+        Recovery is the shard dir's problem: the fresh process
+        re-opens the directory through DurableDILI + MmapDILI, i.e.
+        the PR 6 fallback ladder decides what serves (published plan
+        first, snapshot+WAL rebuild last).  The supervisor gates the
+        attempt: a first failure revives immediately (a single crash
+        stays transparent to callers), repeated failures back off
+        exponentially and eventually trip the shard's breaker, which
+        raises :class:`ShardUnavailableError` here instead of
+        re-spawning the corpse.  Aggregate health is re-derived from
+        *all* shards afterwards -- reviving one worker cannot declare
+        the fleet healthy while another shard is down.
         """
+        sup = self.supervisor
+        delay = sup.authorize_restart(index)
+        if delay > 0.0:
+            if deadline is not None and delay >= deadline.remaining():
+                led = sup.ledger(index)
+                raise ShardUnavailableError(
+                    f"shard {led.name} is backing off ({delay:.2f}s) "
+                    f"past the request deadline",
+                    shard=index,
+                    name=led.name,
+                    state=led.breaker.state,
+                    retry_after=delay,
+                )
+            time.sleep(delay)
         self.restarts += 1
-        self.health.to(Health.DEGRADED)
+        sup.note_attempt(index)
+        self.health.drive_to(Health.DEGRADED)
         old = self._handles[index]
         try:
-            old.kill()
+            old.put_down(self.policy.term_grace)
         except Exception:
             pass
-        self._handles[index] = self._spawn(self.manifest.shards[index].name)
-        self.health.to(Health.REPAIRING)
-        self._handles[index].call("ping", (), timeout=self.request_timeout)
-        self.health.to(Health.HEALTHY)
-
-    def _call(self, index: int, method: str, args: tuple = (), retries=2):
-        """One synchronous worker call, restarting through deaths."""
-        for attempt in range(retries + 1):
-            try:
-                return self._handles[index].call(
-                    method, args, timeout=self.request_timeout
-                )
-            except WorkerDied:
-                if attempt == retries:
-                    raise
-                self._restart(index)
-
-    def _recv_retry(self, index: int, rid: int, method: str, args: tuple):
-        """Gather one in-flight response, restart + re-ask on death."""
+        probe_budget = (
+            deadline if deadline is not None
+            else Deadline(self.policy.probe_timeout)
+        )
         try:
-            return self._handles[index].recv(rid, self.request_timeout)
-        except WorkerDied:
-            self._restart(index)
-            return self._call(index, method, args, retries=1)
+            self._handles[index] = self._spawn(
+                self.manifest.shards[index].name
+            )
+            self.health.drive_to(Health.REPAIRING)
+            self._handles[index].call(
+                "ping", (),
+                deadline=probe_budget, hang_timeout=self.hang_timeout,
+            )
+        except (
+            WorkerDied, WorkerRemoteError, DeadlineExceeded, OSError
+        ) as exc:
+            sup.note_failure(index, str(exc))
+            self.health.drive_to(sup.target_health(self._alive))
+            raise WorkerDied(
+                f"{self.manifest.shards[index].name}: restart failed: {exc}"
+            ) from exc
+        sup.note_success(index)
+        self.health.drive_to(sup.target_health(self._alive))
+
+    def _probe_loop(self) -> None:
+        while not self._stop_probe.wait(self._probe_interval):
+            try:
+                self._probe_once()
+            except Exception:
+                # The supervisor must outlive any single probe error.
+                pass
+
+    def _probe_once(self) -> None:
+        """One background supervision sweep, off the request path.
+
+        Marks silently-dead and heartbeat-silent (hung) workers down
+        -- putting hung ones down SIGTERM -> SIGKILL -- then revives
+        every shard whose backoff has elapsed and whose breaker
+        permits an attempt, and re-derives aggregate health.
+        """
+        with self._lock:
+            if not self._handles:
+                return
+            sup = self.supervisor
+            for index, handle in enumerate(self._handles):
+                if not sup.ledger(index).up:
+                    continue
+                try:
+                    hung = self.hang_timeout is not None and (
+                        handle.hang_suspected(self.hang_timeout)
+                    )
+                except WorkerDied as exc:
+                    sup.note_down(index, str(exc))
+                    continue
+                if hung:
+                    handle.put_down(self.policy.term_grace)
+                    sup.note_down(index, "heartbeat-silent (hung)")
+                elif not handle.alive():
+                    sup.note_down(index, "worker process exited")
+            for index in sup.probe_candidates():
+                try:
+                    self._revive(index)
+                except (WorkerDied, ShardUnavailableError):
+                    pass
+            self.health.drive_to(sup.target_health(self._alive))
+
+    def _call(
+        self,
+        index: int,
+        method: str,
+        args: tuple = (),
+        *,
+        deadline: Deadline | None = None,
+        retries: int = 2,
+    ):
+        """One synchronous worker call, restarting through deaths.
+
+        The whole call -- every pipe wait, hang escalation, restart
+        and retry -- draws from one deadline budget, so the worst
+        case is ``deadline + eps``, never ``retries x timeout``.
+        """
+        if deadline is None:
+            deadline = self._deadline()
+        sup = self.supervisor
+        for attempt in range(retries + 1):
+            if not sup.available(index):
+                self._revive(index, deadline=deadline)
+            handle = self._handles[index]
+            try:
+                return handle.call(
+                    method, args,
+                    deadline=deadline, hang_timeout=self.hang_timeout,
+                )
+            except WorkerHung as exc:
+                # Alive but heartbeat-silent: poll already failed,
+                # escalate to SIGTERM -> SIGKILL, then restart.
+                handle.put_down(self.policy.term_grace)
+                sup.note_down(index, str(exc))
+                if attempt == retries or deadline.expired:
+                    raise
+            except WorkerDied as exc:
+                sup.note_down(index, str(exc))
+                if attempt == retries or deadline.expired:
+                    raise
+
+    def _recv_retry(
+        self, index: int, rid: int, method: str, args: tuple,
+        deadline: Deadline,
+    ):
+        """Gather one in-flight response, restart + re-ask on death."""
+        handle = self._handles[index]
+        try:
+            return handle.recv(
+                rid, deadline=deadline, hang_timeout=self.hang_timeout
+            )
+        except WorkerHung as exc:
+            handle.put_down(self.policy.term_grace)
+            self.supervisor.note_down(index, str(exc))
+        except WorkerDied as exc:
+            self.supervisor.note_down(index, str(exc))
+        self._revive(index, deadline=deadline)
+        return self._call(index, method, args, deadline=deadline, retries=0)
 
     # ------------------------------------------------------------------
     # Scatter/gather plumbing
@@ -460,12 +746,32 @@ class ShardedDILI:
         )
         return shard_ids, order, cuts
 
-    def _gather_object(self, n: int, pending, record: bool, tracer: Tracer):
-        """Collect get_batch responses back into input order."""
+    _READ_FAULTS = (ShardUnavailableError, WorkerDied, DeadlineExceeded)
+
+    def _gather_object(
+        self, n: int, pending, record: bool, tracer: Tracer,
+        deadline: Deadline, *, partial: bool = False, unavailable=(),
+    ):
+        """Collect get_batch responses back into input order.
+
+        In partial mode, a shard that cannot answer within the shared
+        budget marks exactly its keys' positions with
+        :data:`UNAVAILABLE` instead of failing the batch.
+        """
         out = np.empty(n, dtype=object)
         segments: list = [None] * n if record else []
+        for positions in unavailable:
+            out[positions] = UNAVAILABLE
         for index, positions, rid, args in pending:
-            values, segs = self._recv_retry(index, rid, "get_batch", args)
+            try:
+                values, segs = self._recv_retry(
+                    index, rid, "get_batch", args, deadline
+                )
+            except self._READ_FAULTS:
+                if not partial:
+                    raise
+                out[positions] = UNAVAILABLE
+                continue
             boxed = np.empty(len(values), dtype=object)
             boxed[:] = values
             out[positions] = boxed
@@ -474,14 +780,17 @@ class ShardedDILI:
                     segments[pos] = seg
         if record:
             for seg in segments:
-                replay_segment(seg, tracer)
+                if seg is not None:
+                    replay_segment(seg, tracer)
         return list(out)
 
     # ------------------------------------------------------------------
     # Batch reads
     # ------------------------------------------------------------------
 
-    def get_batch(self, keys, tracer: Tracer = NULL_TRACER) -> list:
+    def get_batch(
+        self, keys, tracer: Tracer = NULL_TRACER, *, partial: bool = False
+    ) -> list:
         """Values per key (None where absent), input order preserved.
 
         With a real tracer, the per-key simulated event streams the
@@ -489,6 +798,13 @@ class ShardedDILI:
         aligned read-only partition that is the exact unsharded stream
         (±0 cycles; once WAL-tail overlays apply the per-key costs are
         the documented PR 6 base-descent approximation).
+
+        ``partial=True`` opts into degraded serving: keys routed to a
+        shard that is isolated (breaker OPEN), dead beyond revival, or
+        too slow for the request deadline come back as the
+        :data:`~repro.sharding.supervision.UNAVAILABLE` marker while
+        every other key is answered normally.  The default stays
+        fail-fast: any unavailable shard raises.
         """
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         n = len(keys)
@@ -496,33 +812,56 @@ class ShardedDILI:
             return []
         record = not isinstance(tracer, NullTracer)
         with self._lock:
+            deadline = self._deadline()
             _, order, cuts = self._scatter(keys)
             pending = []
+            unavailable = []
             for s in range(self.num_shards):
                 lo, hi = int(cuts[s]), int(cuts[s + 1])
                 if lo == hi:
                     continue
                 positions = order[lo:hi]
                 args = (keys[positions], record)
-                rid = self._send_retry(s, "get_batch", args)
+                try:
+                    rid = self._send_retry(s, "get_batch", args, deadline)
+                except self._READ_FAULTS:
+                    if not partial:
+                        raise
+                    unavailable.append(positions)
+                    continue
                 self.ops_counts[s] += hi - lo
                 pending.append((s, positions, rid, args))
-            return self._gather_object(n, pending, record, tracer)
+            return self._gather_object(
+                n, pending, record, tracer, deadline,
+                partial=partial, unavailable=unavailable,
+            )
 
-    def _send_retry(self, index: int, method: str, args: tuple) -> int:
+    def _send_retry(
+        self, index: int, method: str, args: tuple, deadline: Deadline
+    ) -> int:
+        if not self.supervisor.available(index):
+            self._revive(index, deadline=deadline)
         try:
             return self._handles[index].send(method, args)
-        except WorkerDied:
-            self._restart(index)
+        except WorkerDied as exc:
+            self.supervisor.note_down(index, str(exc))
+            self._revive(index, deadline=deadline)
             return self._handles[index].send(method, args)
 
-    def contains_batch(self, keys) -> np.ndarray:
+    def contains_batch(self, keys, *, partial: bool = False) -> np.ndarray:
+        """Membership per key.  ``partial=True`` returns an object
+        array holding True/False/:data:`UNAVAILABLE` per key instead
+        of failing on an unavailable shard."""
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         n = len(keys)
-        out = np.zeros(n, dtype=bool)
+        out = (
+            np.empty(n, dtype=object) if partial
+            else np.zeros(n, dtype=bool)
+        )
         if n == 0:
             return out
         with self._lock:
+            deadline = self._deadline()
             _, order, cuts = self._scatter(keys)
             pending = []
             for s in range(self.num_shards):
@@ -531,13 +870,31 @@ class ShardedDILI:
                     continue
                 positions = order[lo:hi]
                 args = (keys[positions],)
-                rid = self._send_retry(s, "contains_batch", args)
+                try:
+                    rid = self._send_retry(s, "contains_batch", args, deadline)
+                except self._READ_FAULTS:
+                    if not partial:
+                        raise
+                    out[positions] = UNAVAILABLE
+                    continue
                 self.ops_counts[s] += hi - lo
                 pending.append((s, positions, rid, args))
             for s, positions, rid, args in pending:
-                out[positions] = np.asarray(
-                    self._recv_retry(s, rid, "contains_batch", args)
-                )
+                try:
+                    answer = self._recv_retry(
+                        s, rid, "contains_batch", args, deadline
+                    )
+                except self._READ_FAULTS:
+                    if not partial:
+                        raise
+                    out[positions] = UNAVAILABLE
+                    continue
+                if partial:
+                    boxed = np.empty(len(positions), dtype=object)
+                    boxed[:] = [bool(b) for b in answer]
+                    out[positions] = boxed
+                else:
+                    out[positions] = np.asarray(answer)
         return out
 
     def count_range(self, lo: float, hi: float) -> int:
@@ -554,14 +911,19 @@ class ShardedDILI:
         if len(los) == 0:
             return totals
         with self._lock:
+            deadline = self._deadline()
             args = (los, his)
+            # No partial mode: the broadcast sums need every shard's
+            # answer to be exact, so a missing shard must fail loudly.
             pending = [
-                (s, self._send_retry(s, "count_range_batch", args))
+                (s, self._send_retry(s, "count_range_batch", args, deadline))
                 for s in range(self.num_shards)
             ]
             for s, rid in pending:
                 totals += np.asarray(
-                    self._recv_retry(s, rid, "count_range_batch", args),
+                    self._recv_retry(
+                        s, rid, "count_range_batch", args, deadline
+                    ),
                     dtype=np.int64,
                 )
         return totals
@@ -581,7 +943,17 @@ class ShardedDILI:
         if n == 0:
             return out
         with self._lock:
+            deadline = self._deadline()
             _, order, cuts = self._scatter(keys)
+            # Writes never degrade partially: every target shard must
+            # be available (or revivable right now) *before* anything
+            # is scattered, so an isolated shard rejects the whole
+            # batch with a typed, retryable error and no side effects.
+            for s in range(self.num_shards):
+                if int(cuts[s]) == int(cuts[s + 1]):
+                    continue
+                if not self.supervisor.available(s):
+                    self._revive(s, deadline=deadline)
             pending = []
             for s in range(self.num_shards):
                 lo, hi = int(cuts[s]), int(cuts[s + 1])
@@ -595,12 +967,12 @@ class ShardedDILI:
                     args = (sub_keys, None)
                 else:
                     args = (sub_keys, [values[i] for i in positions])
-                rid = self._send_retry(s, method, args)
+                rid = self._send_retry(s, method, args, deadline)
                 self.ops_counts[s] += hi - lo
                 pending.append((s, positions, rid, args))
             for s, positions, rid, args in pending:
                 out[positions] = np.asarray(
-                    self._recv_retry(s, rid, method, args)
+                    self._recv_retry(s, rid, method, args, deadline)
                 )
         return out
 
@@ -683,6 +1055,7 @@ class ShardedDILI:
         """
         old_handles = self._handles[at:at + drop]
         self._handles[at:at + drop] = new_handles
+        self.supervisor.splice(at, drop, new_names)
         self.manifest.shards[at:at + drop] = new_entries
         self.manifest.router = ShardRouter(new_boundaries).to_dict()
         self.manifest.generation += 1
@@ -826,6 +1199,25 @@ class ShardedDILI:
             handle.kill()
             return pid
 
+    def pause_worker(self, index: int) -> int | None:
+        """SIGSTOP one worker (chaos harness); returns its pid.
+
+        The process stays alive but stops heartbeating, which is the
+        hang signature the supervisor must detect and escalate
+        (SIGTERM stays pending on a stopped process; SIGKILL works).
+        """
+        with self._lock:
+            pid = self._handles[index].pid
+            if pid is not None and pid != os.getpid():
+                os.kill(pid, signal.SIGSTOP)
+            return pid
+
+    def set_worker_delay(self, index: int, seconds: float) -> float:
+        """Chaos harness: inject per-verb serving latency into one
+        worker (it keeps heartbeating -- slow, not hung)."""
+        with self._lock:
+            return float(self._call(index, "set_delay", (float(seconds),)))
+
     def status(self) -> dict:
         """Topology, router, health and per-shard worker status."""
         with self._lock:
@@ -833,10 +1225,14 @@ class ShardedDILI:
             for s, entry in enumerate(self.manifest.shards):
                 try:
                     worker = self._call(s, "status")
-                except (WorkerDied, WorkerRemoteError) as exc:
+                except (
+                    WorkerDied, WorkerRemoteError,
+                    ShardUnavailableError, DeadlineExceeded,
+                ) as exc:
                     worker = {"error": str(exc)}
                 worker["name"] = entry.name
                 worker["coordinator_ops"] = self.ops_counts[s]
+                worker["supervision"] = self.supervisor.ledger(s).snapshot()
                 shards.append(worker)
             return {
                 "dir": self.dirpath,
@@ -846,6 +1242,8 @@ class ShardedDILI:
                 "health": self.health.state.value,
                 "restarts": self.restarts,
                 "rebalances": self.rebalances,
+                "open_breakers": self.supervisor.open_breakers(),
+                "supervise": self.supervise,
                 "router": {
                     **self.router.to_dict(),
                     "routed": self.router.routed,
@@ -861,7 +1259,14 @@ class ShardedDILI:
             )
 
     def close(self) -> None:
+        # Stop the probe thread *before* taking the lock (its loop
+        # acquires the lock per sweep -- joining under it deadlocks).
+        self._stop_probe.set()
+        probe = self._probe_thread
+        if probe is not None:
+            probe.join(timeout=30.0)
         with self._lock:
+            self._probe_thread = None
             for handle in self._handles:
                 try:
                     handle.stop()

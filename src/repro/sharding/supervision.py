@@ -1,0 +1,397 @@
+"""Fleet supervision: deadline budgets, pipe wrappers, shard ledgers.
+
+This module sits between :class:`~repro.sharding.coordinator.ShardedDILI`
+and its worker handles and owns the three things PR 8's failure
+handling lacked:
+
+* **One deadline per request.**  :class:`Deadline` is created once per
+  public batch op and threaded through every send, receive, restart
+  and retry, so a request with one hung shard completes within
+  ``deadline + eps`` -- never ``retries x timeout``.  Every pipe wait
+  is sliced from the same budget.
+* **Sanctioned pipe receives.**  ``poll_frame`` / ``recv_frame`` /
+  ``drain_stale`` are the *only* places in ``repro.sharding`` allowed
+  to call ``Connection.poll()`` / ``Connection.recv()`` -- lint rule
+  CHK014 confines the raw primitives to this module so no untimed
+  receive can creep back into the request path.  Frames are
+  shape-checked by ``_validate_response`` before any field is trusted
+  (the CHK011 boundary).
+* **Per-shard health ledgers.**  :class:`FleetSupervisor` tracks each
+  shard's liveness, restart counts, consecutive failures, backoff
+  schedule and :class:`~repro.sharding.breaker.CircuitBreaker`, and
+  derives the *aggregate* coordinator health from the per-shard
+  states -- reviving one worker can no longer mark the fleet HEALTHY
+  while another shard is dead.
+
+The worker side heartbeats (``HEARTBEAT_RID`` frames) so the
+coordinator can tell a *hung* worker (SIGSTOP, deadlock: heartbeats
+stop) from a merely *slow* one (heartbeats keep flowing): hung workers
+are escalated poll -> SIGTERM -> SIGKILL -> restart; slow workers are
+left alone until the request deadline expires, which surfaces as a
+retryable :class:`DeadlineExceeded` (or a per-key
+:data:`UNAVAILABLE` marker in partial mode) rather than a kill.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.check.errors import InvariantError
+from repro.resilience.health import Health
+from repro.sharding.breaker import BreakerState, CircuitBreaker, RestartPolicy
+
+#: Request id of worker heartbeat frames (never a real request: request
+#: ids are positive).
+HEARTBEAT_RID = -2
+
+#: Request id of the worker's startup-failure report.
+STARTUP_RID = -1
+
+#: Default slice for one pipe poll; bounds how stale a liveness check
+#: can be, not how long a request may wait.
+POLL_INTERVAL = 0.05
+
+
+class WorkerDied(RuntimeError):
+    """The worker process is gone (crash, kill, broken pipe)."""
+
+
+class WorkerHung(WorkerDied):
+    """The worker process is alive but heartbeat-silent past the hang
+    budget (SIGSTOP, deadlock, pathological disk stall).  The
+    supervisor escalates: SIGTERM -> SIGKILL -> restart."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline budget ran out while the worker was
+    alive and heartbeating -- slow, not hung.  Retryable: the shard is
+    not replaced, the caller may re-ask with a fresh budget."""
+
+    retryable = True
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard is isolated behind its circuit breaker (or cannot be
+    revived within the request's budget).  Retryable by contract: the
+    breaker re-probes after its cooldown, so a later identical request
+    can succeed without operator action."""
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        name: str | None = None,
+        state: BreakerState | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.name = name
+        self.state = state
+        self.retry_after = retry_after
+
+
+class _Unavailable:
+    """Singleton marker for per-key unavailability in partial-mode
+    reads.  Distinct from ``None`` (key absent) and falsy so naive
+    truthiness checks fail closed."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unavailable>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The per-key marker partial-mode reads return for keys routed to an
+#: unavailable shard.
+UNAVAILABLE = _Unavailable()
+
+
+class Deadline:
+    """One monotonic-clock time budget shared by a whole request.
+
+    ``budget=None`` means unbounded (used by ``processes=False``
+    coordinators whose LocalHandle never blocks).
+    """
+
+    __slots__ = ("budget", "_expires", "_clock")
+
+    def __init__(self, budget: float | None, *, clock=time.monotonic) -> None:
+        if budget is not None and budget < 0:
+            raise InvariantError(f"negative deadline budget {budget!r}")
+        self.budget = budget
+        self._clock = clock
+        self._expires = None if budget is None else clock() + budget
+
+    def remaining(self) -> float:
+        if self._expires is None:
+            return float("inf")
+        return self._expires - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def slice(self, cap: float) -> float:
+        """A wait bounded by both ``cap`` and the remaining budget."""
+        return max(0.0, min(cap, self.remaining()))
+
+
+def _validate_response(frame) -> tuple:
+    """Verify a response frame's shape before trusting its fields.
+
+    The worker pipe delivers whatever the peer pickled; a crashed or
+    version-skewed worker can flush garbage.  The frame must be
+    ``(req_id: int, ok: bool, payload)``.
+    """
+    if (
+        not isinstance(frame, tuple)
+        or len(frame) != 3
+        or isinstance(frame[0], bool)
+        or not isinstance(frame[0], int)
+        or not isinstance(frame[1], bool)
+    ):
+        raise ValueError(f"malformed response frame: {frame!r}")
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Sanctioned pipe receives (the CHK014 wrappers)
+# ----------------------------------------------------------------------
+
+
+def poll_frame(conn, timeout: float, who: str) -> bool:
+    """Is a frame readable within ``timeout`` seconds?
+
+    The only sanctioned ``Connection.poll`` in the sharding layer:
+    callers pass a slice of their request :class:`Deadline`, so no
+    wait is ever unbounded.
+    """
+    try:
+        return conn.poll(timeout)
+    except (OSError, BrokenPipeError) as exc:
+        raise WorkerDied(f"{who}: worker pipe is broken: {exc}") from exc
+
+
+def recv_frame(conn, who: str) -> tuple:
+    """Receive one shape-validated ``(req_id, ok, payload)`` frame.
+
+    The only sanctioned ``Connection.recv`` in the sharding layer;
+    only ever called after :func:`poll_frame` said a frame is ready,
+    so it never blocks.
+    """
+    try:
+        return _validate_response(conn.recv())
+    except (EOFError, OSError) as exc:
+        raise WorkerDied(f"{who}: worker died mid-response: {exc}") from exc
+    except ValueError as exc:
+        raise WorkerDied(f"{who}: {exc}") from exc
+
+
+def drain_stale(conn, who: str, on_heartbeat=None) -> None:
+    """Discard buffered frames before a fresh request is sent.
+
+    Anything readable *before* a new request id is issued is by
+    construction stale: heartbeats (noted via ``on_heartbeat``), or a
+    late response to a request whose deadline already expired -- the
+    same frames ``recv`` would discard by id mismatch.  Draining here
+    keeps a slow worker's pipe buffer from filling with heartbeats
+    between requests.  A buffered startup-failure report means the
+    worker is already dead; surface it as such.
+    """
+    while poll_frame(conn, 0.0, who):
+        got, ok, payload = recv_frame(conn, who)
+        if got == HEARTBEAT_RID:
+            if on_heartbeat is not None:
+                on_heartbeat()
+            continue
+        if got == STARTUP_RID and not ok:
+            raise WorkerDied(f"{who}: worker startup failed: {payload!r}")
+        # Stale response from an expired or abandoned request: drop.
+
+
+# ----------------------------------------------------------------------
+# Per-shard ledgers and the fleet supervisor
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardLedger:
+    """One shard's supervision history.
+
+    Mutated only under the owning coordinator's lock.
+    """
+
+    name: str
+    breaker: CircuitBreaker
+    up: bool = True
+    restarts: int = 0
+    consecutive_failures: int = 0
+    next_attempt_at: float = 0.0
+    last_error: str = ""
+    events: list = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "up": self.up,
+            "breaker": self.breaker.snapshot(),
+            "restarts": self.restarts,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+class FleetSupervisor:
+    """Per-shard restart gating + aggregate health derivation.
+
+    Owns no locks and spawns no threads: every method is called under
+    the coordinator's lock, and the coordinator's background probe
+    loop drives :meth:`probe_candidates`.  The injectable ``clock``
+    makes backoff/cooldown schedules unit-testable.
+    """
+
+    def __init__(
+        self,
+        names,
+        *,
+        policy: RestartPolicy | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else RestartPolicy()
+        self._clock = clock
+        self.ledgers: list[ShardLedger] = [
+            self._fresh_ledger(name) for name in names
+        ]
+
+    def _fresh_ledger(self, name: str) -> ShardLedger:
+        return ShardLedger(
+            name=name,
+            breaker=CircuitBreaker(
+                threshold=self.policy.budget,
+                cooldown=self.policy.cooldown,
+                clock=self._clock,
+            ),
+        )
+
+    def ledger(self, index: int) -> ShardLedger:
+        return self.ledgers[index]
+
+    def splice(self, at: int, drop: int, names) -> None:
+        """Mirror a rebalance: shards [at, at+drop) were replaced by
+        fresh directories with fresh workers -- fresh ledgers too."""
+        self.ledgers[at:at + drop] = [
+            self._fresh_ledger(name) for name in names
+        ]
+
+    # -- gating --------------------------------------------------------
+
+    def available(self, index: int) -> bool:
+        """May requests be scattered to this shard right now?"""
+        led = self.ledgers[index]
+        return led.up and led.breaker.closed
+
+    def authorize_restart(self, index: int) -> float:
+        """Gate one restart attempt.
+
+        Returns the backoff delay the caller must wait before
+        spawning (0.0 for a first failure or a sanctioned probe).
+
+        Raises:
+            ShardUnavailableError: The breaker is OPEN and its
+                cooldown has not elapsed -- the shard stays isolated.
+        """
+        led = self.ledgers[index]
+        if not led.breaker.allow_attempt():
+            raise ShardUnavailableError(
+                f"shard {led.name} is isolated: circuit breaker OPEN "
+                f"after {led.consecutive_failures} consecutive restart "
+                f"failures ({led.last_error or 'unknown error'}); "
+                f"probe in {led.breaker.cooldown_remaining():.2f}s",
+                shard=index,
+                name=led.name,
+                state=led.breaker.state,
+                retry_after=led.breaker.cooldown_remaining(),
+            )
+        return max(0.0, led.next_attempt_at - self._clock())
+
+    # -- outcome bookkeeping -------------------------------------------
+
+    def note_down(self, index: int, error: str) -> None:
+        led = self.ledgers[index]
+        led.up = False
+        led.last_error = error
+        led.events.append(("down", error))
+
+    def note_attempt(self, index: int) -> None:
+        led = self.ledgers[index]
+        led.restarts += 1
+        led.events.append(("restart", led.restarts))
+
+    def note_failure(self, index: int, error: str) -> None:
+        led = self.ledgers[index]
+        led.up = False
+        led.consecutive_failures += 1
+        led.last_error = error
+        led.breaker.record_failure()
+        led.next_attempt_at = self._clock() + self.policy.backoff(
+            led.consecutive_failures + 1
+        )
+        led.events.append(("restart-failed", error))
+
+    def note_success(self, index: int) -> None:
+        led = self.ledgers[index]
+        led.up = True
+        led.consecutive_failures = 0
+        led.next_attempt_at = 0.0
+        led.breaker.record_success()
+        led.events.append(("up", led.restarts))
+
+    # -- aggregate health ----------------------------------------------
+
+    def target_health(self, alive=None) -> Health:
+        """Derive the fleet's aggregate health from per-shard states.
+
+        A shard counts unhealthy when its ledger says it is down, its
+        breaker is not CLOSED, or -- when ``alive`` is provided -- its
+        worker process is no longer running even though no request has
+        noticed yet (the two-concurrent-kills case).
+        """
+        for index, led in enumerate(self.ledgers):
+            if not led.up or not led.breaker.closed:
+                return Health.DEGRADED
+            if alive is not None and not alive(index):
+                return Health.DEGRADED
+        return Health.HEALTHY
+
+    def probe_candidates(self) -> list[int]:
+        """Shards the background supervisor should try to revive now:
+        down, breaker willing (CLOSED, HALF_OPEN, or OPEN past its
+        cooldown), and past their backoff delay."""
+        now = self._clock()
+        out = []
+        for index, led in enumerate(self.ledgers):
+            if led.up or led.next_attempt_at > now:
+                continue
+            breaker = led.breaker
+            if breaker.state is BreakerState.OPEN and (
+                breaker.cooldown_remaining() > 0.0
+            ):
+                continue
+            out.append(index)
+        return out
+
+    def open_breakers(self) -> int:
+        return sum(
+            1 for led in self.ledgers if not led.breaker.closed
+        )
+
+    def status(self) -> list[dict]:
+        return [led.snapshot() for led in self.ledgers]

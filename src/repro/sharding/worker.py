@@ -31,17 +31,38 @@ unsharded index would have produced.
 from __future__ import annotations
 
 import os
+import threading
+import time
 
 import numpy as np
 
 from repro.core.dili import DiliConfig
 from repro.durability.durable import DurableDILI
 from repro.planstore.serve import PlanDirectory
+from repro.sharding.supervision import HEARTBEAT_RID, STARTUP_RID
 from repro.simulate.tracer import NULL_TRACER, RecordingTracer
 
 #: WAL-tail ops accumulated before a write republishes a base
 #: generation instead of another delta.
 REPUBLISH_THRESHOLD = 4096
+
+#: Seconds between worker heartbeat frames (0 disables them).
+HEARTBEAT_INTERVAL = 0.5
+
+#: Verbs the chaos ``set_delay`` injector slows down.  Liveness verbs
+#: (``ping``, ``status``, ``set_delay`` itself) stay fast so probes and
+#: injector cleanup are never behind the injected latency.
+_DELAYABLE = frozenset(
+    {
+        "get_batch",
+        "contains_batch",
+        "count_range_batch",
+        "insert_batch",
+        "delete_batch",
+        "update_batch",
+        "items",
+    }
+)
 
 
 def split_trace_segments(events: list, n: int) -> list:
@@ -122,6 +143,7 @@ class ShardWorker:
             "republishes": 0,
         }
         self._tail_ops = 0
+        self._delay = 0.0
         self.served = None
         self._ensure_published()
         self._reopen_served()
@@ -242,6 +264,18 @@ class ShardWorker:
     def ping(self) -> str:
         return "pong"
 
+    def set_delay(self, seconds: float) -> float:
+        """Chaos injector: sleep before every serving verb.
+
+        Models a slow-but-alive worker (cold page cache, noisy
+        neighbour).  The worker keeps heartbeating, so the supervisor
+        must *not* kill it -- callers see a retryable
+        ``DeadlineExceeded`` (or per-key unavailability in partial
+        mode) when the latency exceeds their budget.
+        """
+        self._delay = max(0.0, float(seconds))
+        return self._delay
+
     def publish(self) -> int:
         generation = self.durable.publish_plan()
         self.ops["republishes"] += 1
@@ -257,6 +291,8 @@ class ShardWorker:
 
     def dispatch(self, method: str, args: tuple):
         """Invoke one protocol verb; the transports' single entry."""
+        if self._delay and method in _DELAYABLE:
+            time.sleep(self._delay)
         if method == "len":
             return len(self)
         if method.startswith("_") or not hasattr(self, method):
@@ -284,7 +320,13 @@ def _validate_request(frame) -> tuple:
     return frame
 
 
-def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
+def worker_main(
+    dirpath,
+    conn,
+    serve: str = "mmap",
+    sync: bool = True,
+    heartbeat: float = HEARTBEAT_INTERVAL,
+) -> None:
     """Process entry point: serve ``dirpath`` over a pipe.
 
     Protocol: requests are ``(req_id, method, args)``; responses are
@@ -292,19 +334,52 @@ def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
     ``(exception_type_name, message)``.  ``stop`` acknowledges, closes
     the shard cleanly, and exits; losing the pipe (coordinator death)
     exits too.
+
+    A daemon thread additionally sends a heartbeat frame (req_id
+    ``HEARTBEAT_RID``) every ``heartbeat`` seconds.  Heartbeats flow
+    even while a verb is sleeping or grinding (the GIL is released in
+    both), so the coordinator can tell *slow* (heartbeats arriving:
+    leave the worker alone, let the caller's deadline decide) from
+    *hung* (SIGSTOP, deadlock: heartbeats stop with the process --
+    escalate SIGTERM -> SIGKILL -> restart).  Both threads share one
+    send lock so frames never interleave on the pipe.
     """
+    send_lock = threading.Lock()
+
+    def _send(frame) -> None:
+        with send_lock:
+            conn.send(frame)
+
     try:
         worker = ShardWorker(dirpath, serve=serve, sync=sync)
     except Exception as exc:  # startup failure must reach the coordinator
         try:
-            conn.send((-1, False, (type(exc).__name__, str(exc))))
+            _send((STARTUP_RID, False, (type(exc).__name__, str(exc))))
         except (OSError, BrokenPipeError):
             pass
         return
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat):
+            try:
+                _send((HEARTBEAT_RID, True, None))
+            except (OSError, BrokenPipeError):
+                return
+
+    if heartbeat > 0:
+        threading.Thread(
+            target=_beat, name="shard-heartbeat", daemon=True
+        ).start()
     try:
         while True:
             try:
-                req_id, method, args = _validate_request(conn.recv())
+                # The worker's whole job is to wait for its
+                # coordinator; liveness is the heartbeat thread's
+                # problem, so this receive may block forever.
+                req_id, method, args = _validate_request(
+                    conn.recv()  # repro-check: allow CHK014 -- worker request loop blocks for its coordinator by design
+                )
             except (EOFError, OSError):
                 break
             except ValueError:
@@ -312,18 +387,19 @@ def worker_main(dirpath, conn, serve: str = "mmap", sync: bool = True) -> None:
                 # broken pipe; there is no req_id to answer on.
                 break
             if method == "stop":
-                conn.send((req_id, True, None))
+                _send((req_id, True, None))
                 break
             try:
                 result = (
                     len(worker) if method == "len"
                     else worker.dispatch(method, args)
                 )
-                conn.send((req_id, True, result))
+                _send((req_id, True, result))
             except Exception as exc:
                 try:
-                    conn.send((req_id, False, (type(exc).__name__, str(exc))))
+                    _send((req_id, False, (type(exc).__name__, str(exc))))
                 except (OSError, BrokenPipeError):
                     break
     finally:
+        stop_beating.set()
         worker.close()

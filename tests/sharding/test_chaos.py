@@ -1,6 +1,6 @@
 """The sharded chaos contract: zero wrong reads under kills + rebalance."""
 
-from repro.sharding.chaos import run_shard_chaos
+from repro.sharding.chaos import run_shard_chaos, run_supervision_chaos
 
 
 class TestShardChaos:
@@ -37,3 +37,26 @@ class TestShardChaos:
         assert d["kills"] == 0
         assert d["rebalances"] == 0
         assert d["final_shards"] == 2
+
+
+class TestSupervisionChaos:
+    def test_supervision_chaos_run_is_clean(self):
+        report = run_supervision_chaos(seed=7)
+        assert report.clean, report.to_dict()
+        # Zero wrong reads and *exact* per-key unavailability.
+        assert report.wrong_reads == 0
+        assert report.misreported_unavailability == 0
+        assert report.unavailable_marks > 0
+        # Every injector actually fired and was contained.
+        assert report.hung_replaced_within_deadline
+        assert report.slow_worker_survived
+        assert report.breaker_tripped_within_budget
+        assert report.failures_at_trip <= 2  # the policy budget
+        assert report.write_rejected_retryable
+        assert report.healthy_shards_kept_serving
+        assert report.healed
+        assert report.final_health == "healthy"
+        assert report.kills >= 3
+        assert report.restarts >= 3
+        d = report.to_dict()
+        assert d["clean"] is True

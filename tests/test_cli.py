@@ -230,7 +230,22 @@ class TestShardCommands:
         ) == 0
         capsys.readouterr()
         assert main(["shard", "status", "--dir", d]) == 0
-        assert "health healthy" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "health healthy" in out
+        # ISSUE 10: per-shard supervision state is part of status.
+        assert "supervision:" in out
+        assert "0 open breaker(s)" in out
+        assert "closed/up" in out
+
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["shard", "chaos"])
+        assert args.schedule == "supervision"
+        assert args.seed == 0
+        assert args.json is False
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["shard", "chaos", "--schedule", "lava"]
+            )
 
 
 class TestCheckCommands:
